@@ -1,0 +1,60 @@
+"""Shared helpers for the per-table/per-figure benchmark modules.
+
+Scale control: set ``REPRO_SCALE`` to tiny / small / medium / paper
+(default ``tiny`` so the whole bench suite runs in minutes; use ``small``
+or ``medium`` to approach paper-scale statistics — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines import sz_compress, sz_decompress, zfp_compress, zfp_decompress
+from repro.core.api import compress as szx_compress, decompress as szx_decompress
+from repro.datasets import APPLICATION_NAMES, get_application
+
+SCALE = os.environ.get("REPRO_SCALE", "tiny")
+
+#: The three REL bounds of Tables 3-7.
+REL_BOUNDS = (1e-2, 1e-3, 1e-4)
+
+#: Cap on fields per application for the heavier sweeps.
+MAX_FIELDS = int(os.environ.get("REPRO_MAX_FIELDS", "4"))
+
+
+@lru_cache(maxsize=None)
+def app_fields(app_name: str, limit: int | None = None):
+    """Cached ``[(field_name, data), ...]`` for one application."""
+    app = get_application(app_name, SCALE)
+    fields = list(app.fields())
+    if limit is not None:
+        fields = fields[:limit]
+    return fields
+
+
+def all_apps():
+    return APPLICATION_NAMES
+
+
+#: Uniform (compress, decompress) interface per compressor, REL mode.
+COMPRESSORS = {
+    "SZx": (
+        lambda d, rel: szx_compress(d, rel, mode="rel"),
+        szx_decompress,
+    ),
+    "SZ": (
+        lambda d, rel: sz_compress(d, rel, mode="rel"),
+        sz_decompress,
+    ),
+    "ZFP": (
+        lambda d, rel: zfp_compress(d, rel, bound_mode="rel"),
+        zfp_decompress,
+    ),
+}
+
+
+def cr(data: np.ndarray, stream: bytes) -> float:
+    return data.nbytes / len(stream)

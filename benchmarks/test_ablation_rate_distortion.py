@@ -1,0 +1,69 @@
+"""Ablation: rate-distortion curves (bit rate vs PSNR) per compressor.
+
+The lossy-compression community's standard lens on Table 3 + Figure 8:
+sweep the error bound and record (bits/value, PSNR) points for SZx, SZ,
+and ZFP on a Miranda field.  Asserted shape: every compressor's curve is
+monotone (looser bound => fewer bits and lower PSNR), and at matched
+PSNR SZ spends the fewest bits, SZx the most (the price of speed —
+precisely the trade Table 3 quantifies).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_result
+from repro.core.api import compress as szx_c, decompress as szx_d
+from repro.baselines import sz_compress, sz_decompress, zfp_compress, zfp_decompress
+from repro.metrics import psnr
+
+from _common import app_fields
+
+BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+
+CODECS = {
+    "SZx": (lambda d, r: szx_c(d, r, mode="rel"), szx_d),
+    "SZ": (lambda d, r: sz_compress(d, r, mode="rel"), sz_decompress),
+    "ZFP": (lambda d, r: zfp_compress(d, r, bound_mode="rel"), zfp_decompress),
+}
+
+
+def sweep(data):
+    curves = {}
+    for name, (compress_fn, decompress_fn) in CODECS.items():
+        points = []
+        for rel in BOUNDS:
+            stream = compress_fn(data, rel)
+            recon = decompress_fn(stream)
+            bit_rate = 8 * len(stream) / data.size
+            points.append((bit_rate, psnr(data, recon)))
+        curves[name] = points
+    return curves
+
+
+def test_ablation_rate_distortion(benchmark):
+    data = app_fields("Miranda", limit=1)[0][1]
+    benchmark(CODECS["SZx"][0], data, 1e-3)
+
+    curves = sweep(data)
+    rows = []
+    for name, points in curves.items():
+        for rel, (rate, quality) in zip(BOUNDS, points):
+            rows.append((f"{name} REL={rel:g}", rate, quality))
+    text = format_table(
+        "Ablation — rate-distortion on Miranda density-class field",
+        ["bits/value", "PSNR (dB)"],
+        rows,
+    )
+    print("\n" + text)
+    save_result("ablation_rate_distortion", text)
+
+    for name, points in curves.items():
+        rates = [p[0] for p in points]
+        psnrs = [p[1] for p in points]
+        # tighter bound -> more bits and higher PSNR, strictly
+        assert all(a < b for a, b in zip(rates, rates[1:])), name
+        assert all(a < b for a, b in zip(psnrs, psnrs[1:])), name
+
+    # At every shared bound, SZ spends fewer bits than SZx for at least
+    # comparable PSNR — the ratio-vs-speed trade in one line.
+    for i in range(len(BOUNDS)):
+        assert curves["SZ"][i][0] < curves["SZx"][i][0]

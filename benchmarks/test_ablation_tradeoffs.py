@@ -1,0 +1,123 @@
+"""Ablation: the compression-ratio vs. performance trade-off.
+
+Section 8 names "quantitatively characterize the trade-off between the
+compression ratio and the performance" as future work; this benchmark
+does it.  One Pareto table covers every codec variant in the repository:
+
+* SZx (the paper's design),
+* SZx-L (SZx + lossless post-stage — the ratio-improvement extension),
+* SZ with and without its lossless stage,
+* ZFP embedded (faithful) and fast (vectorized plane coder),
+* the lossless baseline alone.
+
+Asserted: SZx is on the Pareto frontier at the speed end (nothing is
+both faster and better-compressing), and SZx-L strictly improves SZx's
+ratio at a speed cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import sz_compress, sz_decompress, zfp_compress, zfp_decompress
+from repro.core.api import compress as szx_c, decompress as szx_d
+from repro.core.extended import compress_extended, decompress_extended
+from repro.lossless import lossless_compress, lossless_decompress
+from repro.bench import format_table, save_result
+
+from _common import app_fields
+
+REL = 1e-3
+
+VARIANTS = {
+    "SZx": (
+        lambda d: szx_c(d, REL, mode="rel"),
+        szx_d,
+    ),
+    "SZx-L": (
+        lambda d: compress_extended(d, REL, mode="rel"),
+        decompress_extended,
+    ),
+    "SZ": (
+        lambda d: sz_compress(d, REL, mode="rel", lossless_stage=True),
+        sz_decompress,
+    ),
+    "SZ-noLZ": (
+        lambda d: sz_compress(d, REL, mode="rel", lossless_stage=False),
+        sz_decompress,
+    ),
+    "ZFP-emb": (
+        lambda d: zfp_compress(d, REL, bound_mode="rel", mode="embedded"),
+        zfp_decompress,
+    ),
+    "ZFP-fast": (
+        lambda d: zfp_compress(d, REL, bound_mode="rel", mode="fast"),
+        zfp_decompress,
+    ),
+    "lossless": (
+        lambda d: lossless_compress(d.tobytes()),
+        lossless_decompress,
+    ),
+}
+
+
+def measure_variants():
+    fields = app_fields("Miranda", limit=3)
+    results = {}
+    for name, (compress_fn, decompress_fn) in VARIANTS.items():
+        total = 0
+        out = 0
+        t_c = 0.0
+        t_d = 0.0
+        for _, d in fields:
+            t0 = time.perf_counter()
+            stream = compress_fn(d)
+            t1 = time.perf_counter()
+            decompress_fn(stream)
+            t2 = time.perf_counter()
+            total += d.nbytes
+            out += len(stream)
+            t_c += t1 - t0
+            t_d += t2 - t1
+        results[name] = (
+            total / out,            # CR
+            total / 1e6 / t_c,      # compress MB/s
+            total / 1e6 / t_d,      # decompress MB/s
+        )
+    return results
+
+
+def test_ablation_pareto(benchmark):
+    data = app_fields("Miranda", limit=1)[0][1]
+    benchmark(VARIANTS["SZx"][0], data)
+
+    results = measure_variants()
+    rows = [
+        (name, ratio, c_mb, d_mb)
+        for name, (ratio, c_mb, d_mb) in sorted(
+            results.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    text = format_table(
+        f"Ablation — ratio vs. throughput Pareto (Miranda, REL={REL:g})",
+        ["CR", "comp MB/s", "decomp MB/s"],
+        rows,
+    )
+    print("\n" + text)
+    save_result("ablation_pareto", text)
+
+    szx_cr, szx_c_mb, _ = results["SZx"]
+    # SZx sits on the frontier: no variant is faster AND better.
+    for name, (ratio, c_mb, _) in results.items():
+        if name == "SZx":
+            continue
+        assert not (c_mb > szx_c_mb and ratio > szx_cr), (name, results[name])
+    # SZx-L: strictly better ratio than SZx, at a compression-speed cost.
+    szxl_cr, szxl_c_mb, _ = results["SZx-L"]
+    assert szxl_cr > szx_cr
+    assert szxl_c_mb < szx_c_mb
+    # ZFP fast trades ratio for speed against embedded.
+    assert results["ZFP-fast"][1] > results["ZFP-emb"][1]
+    assert results["ZFP-fast"][0] < results["ZFP-emb"][0]
+    # SZ's lossless stage buys ratio and costs compression speed.
+    assert results["SZ"][0] > results["SZ-noLZ"][0]

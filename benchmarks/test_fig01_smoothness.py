@@ -1,0 +1,63 @@
+"""Figure 1 — high smoothness of scientific datasets.
+
+The paper's Figure 1 shows rendered slices of four fields; the
+quantitative claim behind it is that local value steps are tiny relative
+to the global range.  This bench prints that statistic for the same four
+fields (synthetic stand-ins) and benchmarks the smoothness measurement.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_result
+from repro.metrics import smoothness_summary
+
+from _common import app_fields
+
+
+FIELDS = [
+    ("Miranda", "pressure"),
+    ("Nyx", "temperature"),
+    ("QMCPack", "einspline"),
+    ("Hurricane", "U"),
+]
+
+
+def _field(app, name):
+    for fname, data in app_fields(app):
+        if fname == name:
+            return data
+    raise KeyError(name)
+
+
+def build_table():
+    rows = []
+    for app, name in FIELDS:
+        data = _field(app, name)
+        s = smoothness_summary(data)
+        rows.append(
+            (
+                f"{app}:{name}",
+                s["relative_mean_step"],
+                s["value_range"],
+                float(np.prod(data.shape)),
+            )
+        )
+    return rows
+
+
+def test_fig01_smoothness(benchmark):
+    data = _field(*FIELDS[0])
+    benchmark(smoothness_summary, data)
+
+    rows = build_table()
+    text = format_table(
+        "Figure 1 — local smoothness (mean |neighbour step| / value range)",
+        ["rel. mean step", "value range", "n points"],
+        rows,
+    )
+    print("\n" + text)
+    save_result("fig01_smoothness", text)
+
+    # Figure 1's message: neighbour steps are a tiny fraction of the range.
+    for label, rel_step, *_ in rows:
+        assert rel_step < 0.05, label

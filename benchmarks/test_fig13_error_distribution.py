@@ -1,0 +1,77 @@
+"""Figure 13 — distribution of compression errors under SZx.
+
+For nine fields across the applications and absolute bounds 1E-4 and
+1E-6, verifies that every pointwise error lies strictly inside the
+bound (the figure's purpose) and prints distribution summaries.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_result
+from repro.core.api import compress, decompress
+from repro.metrics import error_histogram
+
+from _common import app_fields
+
+FIELDS = [
+    ("CESM-ATM", "CLDHGH"),
+    ("CESM-ATM", "PHIS"),
+    ("Hurricane", "CLOUD"),
+    ("Hurricane", "QSNOW"),
+    ("Miranda", "pressure"),
+    ("Miranda", "density"),
+    ("Nyx", "baryon_density"),
+    ("QMCPack", "inspline"),
+    ("SCALE-LetKF", "V"),
+]
+BOUNDS = (1e-4, 1e-6)
+
+
+def _field(app, name):
+    for fname, data in app_fields(app):
+        if fname == name:
+            return data
+    raise KeyError((app, name))
+
+
+def distribution_rows(bound):
+    rows = []
+    for app, name in FIELDS:
+        data = _field(app, name)
+        recon = decompress(compress(data, bound, mode="abs"))
+        err = recon.astype(np.float64) - data.astype(np.float64)
+        # error_histogram raises if the bound is violated
+        centers, density = error_histogram(data, recon, bound, bins=41)
+        peak = centers[np.argmax(density)]
+        rows.append(
+            (
+                f"{app}:{name}",
+                float(np.abs(err).max()),
+                float(err.mean()),
+                float(peak),
+                float((np.abs(err) < bound / 10).mean()),
+            )
+        )
+    return rows
+
+
+def test_fig13_error_distribution(benchmark):
+    data = _field("Miranda", "pressure")
+    benchmark(lambda: decompress(compress(data, 1e-4)))
+
+    chunks = []
+    for bound in BOUNDS:
+        rows = distribution_rows(bound)
+        chunks.append(
+            format_table(
+                f"Figure 13 — SZx error distribution (abs bound {bound:g})",
+                ["max |err|", "mean err", "PDF peak", "frac |err|<e/10"],
+                rows,
+            )
+        )
+        for label, max_err, mean_err, _peak, _frac in rows:
+            assert max_err <= bound, (label, bound)   # strict bound
+            assert abs(mean_err) < bound / 2, (label, bound)  # centered
+    text = "\n\n".join(chunks)
+    print("\n" + text)
+    save_result("fig13_error_distribution", text)

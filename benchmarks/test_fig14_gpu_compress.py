@@ -1,0 +1,67 @@
+"""Figure 14 — GPU compression throughput (GB/s) on A100 and V100.
+
+The functional cuSZx simulator proves kernel correctness (byte-identical
+streams; see tests/gpusim); throughput comes from the analytic roofline
+model of repro.gpusim.perfmodel, fed with each application's *measured*
+constant-block fraction (from real SZx compressions at REL=1E-2), which
+is what makes the bars dataset-dependent like the paper's.
+
+Asserted shape: cuSZx is 2~16x the second-fastest on both devices.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_result
+from repro.core.api import compress
+from repro.core.stream import parse_stream
+from repro.gpusim import A100, V100, cuszx_compress_sim, gpu_throughput
+
+from _common import all_apps, app_fields
+
+DIRECTION = "compress"
+
+
+def measured_constant_fraction(app: str, rel: float = 1e-2) -> float:
+    """Fraction of blocks the real codec classifies as constant."""
+    total = 0
+    const = 0
+    for _, d in app_fields(app, limit=3):
+        comp = parse_stream(compress(d, rel, mode="rel"))
+        total += comp.header.n_blocks
+        const += comp.header.n_const
+    return const / total if total else 0.0
+
+
+def build(direction):
+    rows = []
+    checks = []
+    for device in (A100, V100):
+        for app in all_apps():
+            cf = measured_constant_fraction(app)
+            szx = gpu_throughput("cuSZx", direction, device, constant_fraction=cf)
+            sz = gpu_throughput("cuSZ", direction, device, constant_fraction=cf)
+            zfp = gpu_throughput("cuZFP", direction, device, constant_fraction=cf)
+            rows.append((f"{device.name} {app}", cf, szx, sz, zfp, szx / max(sz, zfp)))
+            checks.append((device.name, app, szx, max(sz, zfp)))
+    return rows, checks
+
+
+def test_fig14_gpu_compress(benchmark):
+    data = app_fields("Miranda", limit=1)[0][1]
+    benchmark(cuszx_compress_sim, data, 1e-2, mode="rel")
+
+    rows, checks = build(DIRECTION)
+    text = format_table(
+        "Figure 14 — modeled GPU compression throughput (GB/s)",
+        ["const frac", "cuSZx", "cuSZ", "cuZFP", "speedup"],
+        rows,
+    )
+    print("\n" + text)
+    save_result("fig14_gpu_compress", text)
+
+    for dev, app, szx, second in checks:
+        assert 2 <= szx / second <= 16, (dev, app, szx, second)
+    # Paper bands: overall cuSZx compression 150~216 GB/s on ThetaGPU
+    # (A100) and 140~188 GB/s on Summit (V100), peaks above.
+    a100 = [r[2] for r in rows if r[0].startswith("A100")]
+    assert 135 <= min(a100) and max(a100) <= 270

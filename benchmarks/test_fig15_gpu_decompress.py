@@ -1,0 +1,38 @@
+"""Figure 15 — GPU decompression throughput (GB/s) on A100 and V100.
+
+Same methodology as Figure 14 for the decompression direction.
+Asserted shape: cuSZx is 2~16x the second-fastest on both devices, and
+decompression peaks exceed compression peaks (paper: up to 446 GB/s vs
+264 GB/s).
+"""
+
+from repro.bench import format_table, save_result
+from repro.core.api import compress
+from repro.gpusim import cuszx_decompress_sim
+
+from _common import app_fields
+
+from test_fig14_gpu_compress import build
+
+
+def test_fig15_gpu_decompress(benchmark):
+    data = app_fields("Miranda", limit=1)[0][1]
+    stream = compress(data, 1e-2, mode="rel")
+    benchmark(cuszx_decompress_sim, stream)
+
+    rows, checks = build("decompress")
+    text = format_table(
+        "Figure 15 — modeled GPU decompression throughput (GB/s)",
+        ["const frac", "cuSZx", "cuSZ", "cuZFP", "speedup"],
+        rows,
+    )
+    print("\n" + text)
+    save_result("fig15_gpu_decompress", text)
+
+    for dev, app, szx, second in checks:
+        assert 2 <= szx / second <= 30, (dev, app, szx, second)
+
+    comp_rows, _ = build("compress")
+    peak_decomp = max(r[2] for r in rows)
+    peak_comp = max(r[2] for r in comp_rows)
+    assert peak_decomp > peak_comp

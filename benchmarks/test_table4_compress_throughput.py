@@ -1,0 +1,81 @@
+"""Table 4 — single-core compression throughput (MB/s).
+
+Measures the three codecs on every application at the three REL bounds.
+Absolute MB/s are Python-scale, not C-scale; the asserted shape is the
+paper's: SZx is the fastest compressor on every application and bound,
+by a multiple (paper: 2.5~5x vs ZFP, 5~7x vs SZ).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, measure_throughput_mb_s, save_result
+
+from _common import COMPRESSORS, REL_BOUNDS, all_apps, app_fields
+
+#: One representative field per app keeps the SZ/ZFP runtime tractable.
+FIELDS_PER_APP = 2
+
+
+def _warmup():
+    """First calls pay lazy-import and numpy kernel-dispatch costs."""
+    probe = np.linspace(0, 1, 4096, dtype=np.float32)
+    for compress_fn, decompress_fn in COMPRESSORS.values():
+        decompress_fn(compress_fn(probe, 1e-3))
+
+
+def measure(direction="compress"):
+    """-> {(comp, rel, app): MB/s} aggregated over fields (Formula (2))."""
+    _warmup()
+    out = {}
+    for app in all_apps():
+        fields = app_fields(app, limit=FIELDS_PER_APP)
+        for comp_name, (compress_fn, decompress_fn) in COMPRESSORS.items():
+            for rel in REL_BOUNDS:
+                total_bytes = 0
+                total_time = 0.0
+                for _, d in fields:
+                    if direction == "compress":
+                        mb_s, _ = measure_throughput_mb_s(
+                            compress_fn, d.nbytes, d, rel, repeats=2
+                        )
+                    else:
+                        stream = compress_fn(d, rel)
+                        mb_s, _ = measure_throughput_mb_s(
+                            decompress_fn, d.nbytes, stream, repeats=2
+                        )
+                    total_bytes += d.nbytes
+                    total_time += d.nbytes / 1e6 / mb_s
+                out[(comp_name, rel, app)] = total_bytes / 1e6 / total_time
+    return out
+
+
+def check_szx_fastest(table, factor=1.5):
+    for app in all_apps():
+        for rel in REL_BOUNDS:
+            szx = table[("SZx", rel, app)]
+            second = max(table[("SZ", rel, app)], table[("ZFP", rel, app)])
+            assert szx > factor * second, (app, rel, szx, second)
+
+
+def render(table, title):
+    rows = []
+    for comp_name in COMPRESSORS:
+        for rel in REL_BOUNDS:
+            rows.append(
+                (
+                    f"{comp_name:4s} REL={rel:g}",
+                    *[table[(comp_name, rel, app)] for app in all_apps()],
+                )
+            )
+    return format_table(title, list(all_apps()), rows)
+
+
+def test_table4_compress_throughput(benchmark):
+    data = app_fields("Miranda", limit=1)[0][1]
+    benchmark(COMPRESSORS["SZx"][0], data, 1e-3)
+
+    table = measure("compress")
+    text = render(table, "Table 4 — single-core compression throughput (MB/s)")
+    print("\n" + text)
+    save_result("table4_compress_throughput", text)
+    check_szx_fastest(table)

@@ -1,0 +1,24 @@
+"""Table 5 — single-core decompression throughput (MB/s).
+
+Same setup as Table 4 for the decompression direction.  Asserted shape:
+SZx is the fastest decompressor everywhere (paper: 2~4x vs SZ and ZFP).
+"""
+
+from repro.bench import save_result
+
+from test_table4_compress_throughput import check_szx_fastest, measure, render
+
+from _common import COMPRESSORS, app_fields
+
+
+def test_table5_decompress_throughput(benchmark):
+    name, data = app_fields("Miranda", limit=1)[0]
+    compress_fn, decompress_fn = COMPRESSORS["SZx"]
+    stream = compress_fn(data, 1e-3)
+    benchmark(decompress_fn, stream)
+
+    table = measure("decompress")
+    text = render(table, "Table 5 — single-core decompression throughput (MB/s)")
+    print("\n" + text)
+    save_result("table5_decompress_throughput", text)
+    check_szx_fastest(table)

@@ -1,0 +1,53 @@
+"""Table 7 — multicore decompression throughput (GB/s).
+
+Same methodology as Table 6.  The paper's ZFP row is n/a (omp-ZFP has no
+multithreaded decompressor), which this table reproduces by omitting the
+projection for ZFP.  Asserted shape: omp-SZx beats omp-SZ everywhere
+(paper: 2.3~4.6x).
+"""
+
+import os
+
+from repro.bench import format_table, save_result
+from repro.parallel import omp_compress, omp_decompress
+
+from _common import REL_BOUNDS, all_apps, app_fields
+
+from test_table4_compress_throughput import measure
+from test_table6_omp_compress import N_THREADS, project
+
+
+def test_table7_omp_decompress(benchmark):
+    data = app_fields("Miranda", limit=1)[0][1]
+    n_host = os.cpu_count() or 1
+    stream = omp_compress(data, 1e-3, mode="rel", n_threads=n_host)
+    benchmark(omp_decompress, stream, n_threads=n_host)
+
+    single = measure("decompress")
+    table = project(single)
+
+    rows = []
+    for comp in ("SZx", "SZ"):
+        for rel in REL_BOUNDS:
+            rows.append(
+                (
+                    f"omp-{comp} REL={rel:g}",
+                    *[table[(comp, rel, app)] for app in all_apps()],
+                )
+            )
+    for rel in REL_BOUNDS:
+        rows.append((f"omp-ZFP REL={rel:g}", *["n/a"] * len(list(all_apps()))))
+
+    text = format_table(
+        f"Table 7 — multicore decompression throughput (GB/s), "
+        f"{N_THREADS} threads projected from measured single-core "
+        f"(host cores: {n_host}; ZFP n/a: no multithreaded decompressor)",
+        list(all_apps()),
+        rows,
+    )
+    print("\n" + text)
+    save_result("table7_omp_decompress", text)
+
+    for app in all_apps():
+        for rel in REL_BOUNDS:
+            assert table[("SZx", rel, app)] > table[("SZ", rel, app)], (app, rel)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore the block-size trade-off of Section 5.3 on your own data.
+
+Sweeps SZx block sizes on a Miranda-like field, printing compression
+ratio, PSNR, and throughput per block size — the practical version of
+the paper's Figure 8 study, which concludes that 128 is the sweet spot.
+
+Run:  python examples/blocksize_tuning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import compress, compression_ratio, decompress
+from repro.datasets import get_application
+from repro.metrics import psnr
+
+BLOCK_SIZES = (8, 16, 32, 64, 128, 224, 512)
+REL_BOUND = 1e-3
+
+
+def main():
+    field = get_application("Miranda", "small").field("pressure")
+    print(f"field: Miranda pressure {field.shape} ({field.nbytes/1e6:.1f} MB), "
+          f"REL bound {REL_BOUND:g}\n")
+    print(f"{'block':>6} {'CR':>7} {'PSNR dB':>8} {'comp MB/s':>10} {'const %':>8}")
+
+    best = None
+    for bs in BLOCK_SIZES:
+        t0 = time.perf_counter()
+        stream = compress(field, REL_BOUND, mode="rel", block_size=bs)
+        dt = time.perf_counter() - t0
+        recon = decompress(stream)
+
+        from repro.core import parse_stream
+
+        header = parse_stream(stream).header
+        const_pct = 100 * header.n_const / header.n_blocks
+        ratio = compression_ratio(field, stream)
+        quality = psnr(field, recon)
+        print(f"{bs:>6} {ratio:>7.2f} {quality:>8.1f} "
+              f"{field.nbytes/1e6/dt:>10.1f} {const_pct:>7.1f}%")
+        if best is None or ratio > best[1]:
+            best = (bs, ratio)
+
+    print(f"\nbest ratio at block size {best[0]} — the paper's recommended "
+          f"setting is 128 (ratios converge there while PSNR stays flat).")
+
+
+if __name__ == "__main__":
+    main()

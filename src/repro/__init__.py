@@ -1,0 +1,39 @@
+"""repro — full reproduction of *Ultrafast Error-Bounded Lossy
+Compression for Scientific Datasets* (SZx, HPDC '22).
+
+Public API highlights
+---------------------
+
+* :func:`repro.compress` / :func:`repro.decompress` — the SZx codec;
+* :mod:`repro.baselines` — the SZ and ZFP comparators;
+* :mod:`repro.lossless` — the Zstd-like lossless baseline;
+* :mod:`repro.parallel` — OpenMP-style multicore SZx;
+* :mod:`repro.gpusim` — cuSZx functional simulator + GPU perf model;
+* :mod:`repro.datasets` — synthetic stand-ins for the six SDRBench apps;
+* :mod:`repro.metrics` — PSNR, SSIM, error distributions, CR aggregation;
+* :mod:`repro.iosim` — MPI/PFS dump-load simulation.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    DEFAULT_BLOCK_SIZE,
+    compress,
+    compress_components,
+    compression_ratio,
+    decompress,
+    resolve_error_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "compress",
+    "compress_components",
+    "compression_ratio",
+    "decompress",
+    "resolve_error_bound",
+    "__version__",
+]

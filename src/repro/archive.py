@@ -1,0 +1,148 @@
+"""Multi-field compressed archives.
+
+Scientific applications produce *bundles* of named fields (Table 2: 6-77
+fields per application).  An :class:`SzxArchive` stores many fields in
+one file, each independently SZx-compressed, with a trailing index so
+single fields load without touching the rest — the file-level analogue
+of the codec's block-level random access.
+
+Format::
+
+    'SZXA' | version u8 | reserved x3 |
+    field streams (back to back) |
+    index: count u32, then per field
+        name_len u16 | name utf-8 | offset u64 | length u64 |
+    index_offset u64 | 'SZXA'
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from .core import compress, decompress
+from .core.constants import DEFAULT_BLOCK_SIZE
+
+_MAGIC = b"SZXA"
+_VERSION = 1
+_HEAD = struct.Struct("<4sB3x")
+_TAIL = struct.Struct("<Q4s")
+
+
+class SzxArchive:
+    """Write/read bundles of SZx-compressed named fields."""
+
+    def __init__(self):
+        self._entries: dict[str, bytes] = {}
+
+    # -- building -------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        data: np.ndarray,
+        err_bound: float,
+        *,
+        mode: str = "abs",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        """Compress *data* and store it under *name*."""
+        if not name:
+            raise ValueError("field name must be non-empty")
+        if name in self._entries:
+            raise ValueError(f"duplicate field name {name!r}")
+        if len(name.encode()) > 0xFFFF:
+            raise ValueError("field name too long")
+        self._entries[name] = compress(
+            data, err_bound, mode=mode, block_size=block_size
+        )
+
+    def add_stream(self, name: str, stream: bytes) -> None:
+        """Store an already-compressed SZx stream under *name*."""
+        if not name or name in self._entries:
+            raise ValueError(f"bad or duplicate field name {name!r}")
+        self._entries[name] = bytes(stream)
+
+    # -- serialization --------------------------------------------------
+    def to_bytes(self) -> bytes:
+        out = [_HEAD.pack(_MAGIC, _VERSION)]
+        offset = _HEAD.size
+        index = []
+        for name, stream in self._entries.items():
+            index.append((name, offset, len(stream)))
+            out.append(stream)
+            offset += len(stream)
+        index_offset = offset
+        out.append(struct.pack("<I", len(index)))
+        for name, off, length in index:
+            encoded = name.encode()
+            out.append(struct.pack("<H", len(encoded)))
+            out.append(encoded)
+            out.append(struct.pack("<QQ", off, length))
+        out.append(_TAIL.pack(index_offset, _MAGIC))
+        return b"".join(out)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_bytes(self.to_bytes())
+        return path
+
+    # -- reading --------------------------------------------------------
+    @classmethod
+    def _parse_index(cls, buf: bytes) -> dict[str, tuple[int, int]]:
+        if len(buf) < _HEAD.size + _TAIL.size:
+            raise ValueError("archive too short")
+        magic, version = _HEAD.unpack_from(buf)
+        if magic != _MAGIC:
+            raise ValueError("bad archive magic")
+        if version != _VERSION:
+            raise ValueError(f"unsupported archive version {version}")
+        index_offset, tail_magic = _TAIL.unpack_from(buf, len(buf) - _TAIL.size)
+        if tail_magic != _MAGIC:
+            raise ValueError("archive tail corrupt")
+        pos = index_offset
+        if pos + 4 > len(buf):
+            raise ValueError("archive index offset out of range")
+        (count,) = struct.unpack_from("<I", buf, pos)
+        pos += 4
+        entries = {}
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", buf, pos)
+            pos += 2
+            name = buf[pos : pos + name_len].decode()
+            pos += name_len
+            off, length = struct.unpack_from("<QQ", buf, pos)
+            pos += 16
+            if off + length > index_offset:
+                raise ValueError(f"archive entry {name!r} out of range")
+            entries[name] = (off, length)
+        return entries
+
+    @classmethod
+    def field_names(cls, buf: bytes) -> list:
+        """List field names without decompressing anything."""
+        return list(cls._parse_index(bytes(buf)))
+
+    @classmethod
+    def load_field(cls, buf: bytes, name: str) -> np.ndarray:
+        """Decompress one field from archive bytes."""
+        entries = cls._parse_index(bytes(buf))
+        try:
+            off, length = entries[name]
+        except KeyError:
+            raise KeyError(
+                f"archive has no field {name!r}; available: {list(entries)}"
+            ) from None
+        return decompress(bytes(buf[off : off + length]))
+
+    @classmethod
+    def load_all(cls, buf: bytes) -> dict:
+        """Decompress every field; returns ``{name: array}``."""
+        buf = bytes(buf)
+        return {name: cls.load_field(buf, name) for name in cls._parse_index(buf)}
+
+    @classmethod
+    def open(cls, path) -> bytes:
+        """Read archive bytes from *path* (convenience)."""
+        return Path(path).read_bytes()

@@ -1,0 +1,6 @@
+"""Baseline compressors the paper compares against (Section 2 / Table 3)."""
+
+from .sz.codec import sz_compress, sz_decompress
+from .zfp.codec import zfp_compress, zfp_decompress
+
+__all__ = ["sz_compress", "sz_decompress", "zfp_compress", "zfp_decompress"]

@@ -1,0 +1,13 @@
+"""SZ-family baseline: Lorenzo prediction + quantization + Huffman."""
+
+from .codec import sz_compress, sz_decompress
+from .lorenzo import lorenzo_delta, lorenzo_reconstruct
+from .quantizer import prequantize
+
+__all__ = [
+    "sz_compress",
+    "sz_decompress",
+    "lorenzo_delta",
+    "lorenzo_reconstruct",
+    "prequantize",
+]

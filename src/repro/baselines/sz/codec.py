@@ -1,0 +1,227 @@
+"""SZ baseline codec: prequantize -> Lorenzo -> Huffman (-> lossless).
+
+Follows the SZ-family architecture the paper benchmarks against
+(Section 2): multidimensional Lorenzo prediction, error-controlled
+linear-scale quantization with an "unpredictable data" fallback, Huffman
+encoding of quantization codes, and a final lossless pass (Zstd in SZ 2.1,
+our LZ77+Huffman here) that gives SZ its very high ratios on smooth data.
+
+Stream layout (little-endian)::
+
+    'SZR1' | version u8 | dtype u8 | ndim u8 | flags u8 |
+    n u64 | err_bound f64 | shape u64[ndim] |
+    n_outliers u64 | n_raw u64 | huff_len u64 |
+    regression coefficients i64[] (only when flags bit 1) |
+    huffman payload (lossless-compressed when flags bit 0) |
+    outlier positions u64[] | outlier deltas i64[] |
+    raw positions u64[] | raw values dtype[]
+
+Flags: bit 0 = lossless stage applied to the Huffman payload; bit 1 =
+regression predictor (coefficients present) instead of Lorenzo.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...core.constants import traits_for, traits_for_code
+from ...huffman import huffman_decode, huffman_encode
+from ...lossless import lossless_compress, lossless_decompress
+from . import regression
+from .lorenzo import lorenzo_delta, lorenzo_reconstruct
+from .quantizer import QMAX, dequantize, prequantize
+
+_MAGIC = b"SZR1"
+_FIXED = struct.Struct("<4sBBBBQd")
+_VERSION = 1
+_FLAG_LOSSLESS = 1
+_FLAG_REGRESSION = 2
+
+#: Quantization radius: codes live in [1, 2R-1]; 0 marks an outlier.
+RADIUS = 1 << 15
+ALPHABET = 2 * RADIUS
+
+#: "auto" lossless stage kicks in only below this payload size — the LZ
+#: stage is a Python loop, so unbounded inputs would dominate runtime.
+_AUTO_LOSSLESS_LIMIT = 8 << 20
+
+
+def _lorenzo_residuals(arr, abs_bound):
+    """Dual-quantization + Lorenzo: (int residuals, raw mask, extra bytes)."""
+    ql, raw_mask = prequantize(arr, abs_bound)
+    return lorenzo_delta(ql).reshape(-1), raw_mask.reshape(-1), b""
+
+
+def _regression_residuals(arr, abs_bound, traits):
+    """Regression predictor: (int residuals, raw mask, coefficient bytes).
+
+    Residuals are quantized against the *quantized-coefficient*
+    prediction, so encoder and decoder agree bit-for-bit; positions where
+    the float round trip breaks the bound (or the code overflows) are
+    flagged raw, as in the Lorenzo path.
+    """
+    d64 = np.asarray(arr, dtype=np.float64)
+    intercepts, slopes = regression.fit_tiles(d64)
+    qi, qs, step = regression.quantize_coefficients(intercepts, slopes, abs_bound)
+    pred = regression.predict(arr.shape, qi, qs, step)
+
+    resid = d64 - pred
+    qr = np.rint(resid / (2.0 * abs_bound))
+    overflow = np.abs(qr) > float(QMAX)
+    q = np.where(overflow, 0.0, qr).astype(np.int64)
+    recon = (pred + q * (2.0 * abs_bound)).astype(arr.dtype).astype(np.float64)
+    bad = np.abs(d64 - recon) > abs_bound
+    raw_mask = (overflow | bad).reshape(-1)
+    q = q.reshape(-1)
+    q[raw_mask] = 0
+    coef_bytes = qi.astype("<i8").tobytes() + qs.astype("<i8").tobytes()
+    return q, raw_mask, coef_bytes
+
+
+def sz_compress(
+    data: np.ndarray,
+    err_bound: float,
+    *,
+    mode: str = "abs",
+    lossless_stage: str | bool = "auto",
+    predictor: str = "lorenzo",
+) -> bytes:
+    """Compress *data* with the SZ baseline under an absolute/REL bound.
+
+    *predictor* selects the prediction stage: ``"lorenzo"`` (default),
+    ``"regression"`` (SZ 2.1's hyperplane fit), or ``"auto"`` (try both,
+    keep the smaller stream).
+    """
+    if predictor not in ("lorenzo", "regression", "auto"):
+        raise ValueError(f"unknown predictor {predictor!r}")
+    arr = np.asarray(data)
+    traits = traits_for(arr.dtype)
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError("SZ input must be finite")
+    from ...core.api import resolve_error_bound
+
+    abs_bound = resolve_error_bound(arr, err_bound, mode)
+
+    if predictor == "auto":
+        lorenzo = sz_compress(
+            data, abs_bound, lossless_stage=lossless_stage, predictor="lorenzo"
+        )
+        if arr.size == 0:
+            return lorenzo
+        reg = sz_compress(
+            data, abs_bound, lossless_stage=lossless_stage, predictor="regression"
+        )
+        return min((lorenzo, reg), key=len)
+
+    if predictor == "regression" and arr.size and arr.ndim:
+        flat_delta, raw_flat, coef_bytes = _regression_residuals(
+            arr, abs_bound, traits
+        )
+        flags = _FLAG_REGRESSION
+    else:
+        flat_delta, raw_flat, coef_bytes = _lorenzo_residuals(arr, abs_bound)
+        flags = 0
+
+    outlier_mask = np.abs(flat_delta) >= RADIUS
+    codes = np.where(outlier_mask, 0, flat_delta + RADIUS).astype(np.uint16)
+
+    huff = huffman_encode(codes, alphabet=ALPHABET)
+    if lossless_stage is True or (
+        lossless_stage == "auto" and len(huff) <= _AUTO_LOSSLESS_LIMIT
+    ):
+        packed = lossless_compress(huff)
+        if len(packed) < len(huff):
+            huff = packed
+            flags |= _FLAG_LOSSLESS
+
+    out_pos = np.nonzero(outlier_mask)[0].astype(np.uint64)
+    out_delta = flat_delta[outlier_mask].astype(np.int64)
+    raw_pos = np.nonzero(raw_flat)[0].astype(np.uint64)
+    raw_vals = arr.reshape(-1)[raw_flat]
+
+    header = _FIXED.pack(
+        _MAGIC, _VERSION, traits.code, arr.ndim, flags, arr.size, float(abs_bound)
+    )
+    shape = struct.pack(f"<{arr.ndim}Q", *arr.shape)
+    counts = struct.pack("<QQQ", out_pos.size, raw_pos.size, len(huff))
+    return b"".join(
+        (
+            header,
+            shape,
+            counts,
+            coef_bytes,
+            huff,
+            out_pos.tobytes(),
+            out_delta.tobytes(),
+            raw_pos.tobytes(),
+            np.ascontiguousarray(raw_vals).tobytes(),
+        )
+    )
+
+
+def sz_decompress(buf: bytes) -> np.ndarray:
+    """Reconstruct the array from an SZ baseline stream."""
+    if len(buf) < _FIXED.size:
+        raise ValueError("sz stream too short")
+    magic, version, code, ndim, flags, n, err_bound = _FIXED.unpack_from(buf)
+    if magic != _MAGIC:
+        raise ValueError("bad sz magic")
+    if version != _VERSION:
+        raise ValueError(f"unsupported sz stream version {version}")
+    traits = traits_for_code(code)
+    off = _FIXED.size
+    shape = struct.unpack_from(f"<{ndim}Q", buf, off)
+    off += 8 * ndim
+    n_out, n_raw, huff_len = struct.unpack_from("<QQQ", buf, off)
+    off += 24
+
+    qi = qs = None
+    if flags & _FLAG_REGRESSION:
+        grid = regression._tile_grid(shape)
+        n_tiles = int(np.prod(grid))
+        qi = np.frombuffer(buf, dtype="<i8", count=n_tiles, offset=off)
+        off += 8 * n_tiles
+        qs = np.frombuffer(buf, dtype="<i8", count=n_tiles * ndim, offset=off)
+        qs = qs.reshape(n_tiles, ndim)
+        off += 8 * n_tiles * ndim
+
+    huff = buf[off : off + huff_len]
+    if len(huff) != huff_len:
+        raise ValueError("sz stream truncated in payload")
+    off += huff_len
+    if flags & _FLAG_LOSSLESS:
+        huff = lossless_decompress(huff)
+    codes = huffman_decode(huff)
+    if codes.size != n:
+        raise ValueError("sz payload decodes to wrong length")
+
+    out_pos = np.frombuffer(buf, dtype=np.uint64, count=n_out, offset=off)
+    off += 8 * n_out
+    out_delta = np.frombuffer(buf, dtype=np.int64, count=n_out, offset=off)
+    off += 8 * n_out
+    raw_pos = np.frombuffer(buf, dtype=np.uint64, count=n_raw, offset=off)
+    off += 8 * n_raw
+    raw_vals = np.frombuffer(buf, dtype=traits.dtype, count=n_raw, offset=off)
+
+    delta = codes.astype(np.int64) - RADIUS
+    if n_out:
+        delta[out_pos.astype(np.int64)] = out_delta
+    elif (codes == 0).any():
+        raise ValueError("outlier codes present but no outlier table")
+
+    if flags & _FLAG_REGRESSION:
+        step = regression.COEF_STEP_FRACTION * err_bound
+        pred = regression.predict(shape, qi, qs, step)
+        values = (
+            (pred + delta.reshape(shape) * (2.0 * err_bound))
+            .astype(traits.dtype)
+            .reshape(-1)
+        )
+    else:
+        ql = lorenzo_reconstruct(delta.reshape(shape))
+        values = dequantize(ql, err_bound, traits.dtype).reshape(-1)
+    if n_raw:
+        values[raw_pos.astype(np.int64)] = raw_vals
+    return values.reshape(shape)

@@ -1,0 +1,30 @@
+"""Integer Lorenzo prediction on a prequantized grid.
+
+The Lorenzo predictor estimates each point from its already-visited
+neighbours; on *integers* (the dual-quantization formulation used by cuSZ,
+the paper's GPU comparator) prediction and reconstruction are exact, so
+the whole transform is invertible and fully vectorizable:
+
+* the Lorenzo **delta** is the d-dimensional finite difference;
+* its inverse is a cumulative sum along each axis in turn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lorenzo_delta(grid: np.ndarray) -> np.ndarray:
+    """d-dimensional finite difference of integer *grid* (any ndim >= 1)."""
+    delta = np.asarray(grid, dtype=np.int64)
+    for axis in range(delta.ndim):
+        delta = np.diff(delta, axis=axis, prepend=0)
+    return delta
+
+
+def lorenzo_reconstruct(delta: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`lorenzo_delta`: iterated cumulative sums."""
+    grid = np.asarray(delta, dtype=np.int64)
+    for axis in range(grid.ndim):
+        grid = np.cumsum(grid, axis=axis)
+    return grid

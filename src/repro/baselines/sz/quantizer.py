@@ -1,0 +1,45 @@
+"""Error-controlled linear-scale quantization (the SZ quantizer).
+
+Dual-quantization order (cuSZ): values are *prequantized* onto the grid
+``ql = rint(d / (2e))`` before prediction, so that prediction operates on
+integers and introduces no feedback error.  Reconstruction is
+``d' = 2e * ql`` which satisfies ``|d - d'| <= e`` whenever the float
+arithmetic cooperates; positions where it does not (checked explicitly in
+the target precision) are flagged for raw storage, exactly like SZ's
+"unpredictable data" fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Quantization codes whose magnitude exceeds this are stored raw; keeps
+#: the integer grid well inside int64 even after d-dimensional differencing.
+QMAX = np.int64(1) << 46
+
+
+def prequantize(data: np.ndarray, err_bound: float):
+    """Quantize *data* onto the ``2e`` grid.
+
+    Returns ``(ql, raw_mask)``: int64 codes and a boolean mask of values
+    that must be stored raw (code overflow or bound violation after the
+    float round trip).  ``ql`` is zeroed at raw positions.
+    """
+    if not (err_bound > 0.0) or not np.isfinite(err_bound):
+        raise ValueError(f"error bound must be positive and finite, got {err_bound}")
+    d64 = np.asarray(data, dtype=np.float64)
+    step = 2.0 * float(err_bound)
+    qlf = np.rint(d64 / step)
+    overflow = np.abs(qlf) > float(QMAX)
+    ql = np.where(overflow, 0.0, qlf).astype(np.int64)
+    recon = (ql.astype(np.float64) * step).astype(data.dtype).astype(np.float64)
+    bad = np.abs(d64 - recon) > err_bound
+    raw_mask = overflow | bad
+    ql[raw_mask] = 0
+    return ql, raw_mask
+
+
+def dequantize(ql: np.ndarray, err_bound: float, dtype) -> np.ndarray:
+    """Map codes back to values: ``2e * ql`` in the target dtype."""
+    step = 2.0 * float(err_bound)
+    return (np.asarray(ql, dtype=np.float64) * step).astype(dtype)

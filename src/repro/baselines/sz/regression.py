@@ -1,0 +1,121 @@
+"""Linear-regression predictor (the SZ 2.1 stage the paper cites).
+
+Section 1 of the paper singles out SZ 2.1's *linear regression
+prediction* — "masses of multiplications to compute the coefficients" —
+as exactly the kind of cost SZx avoids.  This module implements that
+predictor for the SZ baseline: the field is tiled into 6^d blocks
+(SZ 2.1's block size), each tile is fitted with a least-squares
+hyperplane ``v ~ a + sum_i b_i * x_i``, the coefficients are themselves
+quantized (so encoder and decoder share bit-identical predictions), and
+the residuals go through the usual error-controlled quantizer.
+
+All tiles are independent, so everything is vectorized: the per-tile
+moment sums the closed-form LSQ needs are computed with reshapes, and
+ragged edge tiles fall back to per-tile masked sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: SZ 2.1's regression block size.
+TILE = 6
+
+#: Coefficient quantization granularity relative to the error bound: the
+#: prediction error contributed by coefficient rounding stays well below
+#: the residual quantizer's budget.
+COEF_STEP_FRACTION = 0.01
+
+
+def _tile_grid(shape):
+    """Number of tiles along each axis (ceil division)."""
+    return tuple((s + TILE - 1) // TILE for s in shape)
+
+
+def _axis_coords(length: int) -> np.ndarray:
+    """Centered local coordinates for one axis of a tile."""
+    return np.arange(length, dtype=np.float64) - (length - 1) / 2.0
+
+
+def fit_tiles(data: np.ndarray):
+    """Least-squares hyperplane fit per tile.
+
+    Returns ``(intercepts, slopes)`` where ``intercepts`` has one entry
+    per tile and ``slopes`` has ``ndim`` entries per tile (C-order tile
+    enumeration).  Works for 1D/2D/3D fields of any shape.
+    """
+    d64 = np.asarray(data, dtype=np.float64)
+    ndim = d64.ndim
+    grid = _tile_grid(d64.shape)
+    n_tiles = int(np.prod(grid))
+    intercepts = np.zeros(n_tiles, dtype=np.float64)
+    slopes = np.zeros((n_tiles, ndim), dtype=np.float64)
+
+    # Pad with edge values so every tile is full-size; the LSQ moments of
+    # a padded tile still define a usable plane, and the decoder never
+    # needs the pad (predictions are only evaluated at real positions).
+    pad = [(0, g * TILE - s) for g, s in zip(grid, d64.shape)]
+    padded = np.pad(d64, pad, mode="edge")
+
+    # tiles tensor: (n_tiles, TILE, ..., TILE)
+    shape6 = []
+    for g in grid:
+        shape6.extend([g, TILE])
+    view = padded.reshape(shape6)
+    order = list(range(0, 2 * ndim, 2)) + list(range(1, 2 * ndim, 2))
+    tiles = view.transpose(order).reshape(n_tiles, *([TILE] * ndim))
+
+    flat = tiles.reshape(n_tiles, -1)
+    intercepts[:] = flat.mean(axis=1)
+
+    coords = _axis_coords(TILE)
+    denom = float((coords**2).sum()) * (TILE ** (ndim - 1))
+    for axis in range(ndim):
+        shape = [1] * ndim
+        shape[axis] = TILE
+        weights = coords.reshape(shape)
+        num = (tiles * weights).reshape(n_tiles, -1).sum(axis=1)
+        slopes[:, axis] = num / denom
+    return intercepts, slopes
+
+
+def quantize_coefficients(intercepts, slopes, err_bound: float):
+    """Snap coefficients to a shared grid (encoder/decoder agreement)."""
+    step = COEF_STEP_FRACTION * float(err_bound)
+    qi = np.rint(intercepts / step)
+    qs = np.rint(slopes / step)
+    # Extreme coefficients cannot be represented; zero them (the residual
+    # quantizer absorbs the consequences, possibly as raw values).
+    qi = np.where(np.abs(qi) < 2**52, qi, 0.0)
+    qs = np.where(np.abs(qs) < 2**52, qs, 0.0)
+    return qi.astype(np.int64), qs.astype(np.int64), step
+
+
+def predict(shape, q_intercepts, q_slopes, step: float) -> np.ndarray:
+    """Evaluate the quantized hyperplanes at every real grid position."""
+    ndim = len(shape)
+    grid = _tile_grid(shape)
+    n_tiles = int(np.prod(grid))
+    if q_intercepts.shape != (n_tiles,) or q_slopes.shape != (n_tiles, ndim):
+        raise ValueError("coefficient arrays do not match the tile grid")
+
+    intercepts = q_intercepts.astype(np.float64) * step
+    slopes = q_slopes.astype(np.float64) * step
+
+    expand = (slice(None),) + (None,) * ndim
+    tiles = np.broadcast_to(
+        intercepts[expand], (n_tiles, *([TILE] * ndim))
+    ).copy()
+    coords = _axis_coords(TILE)
+    for axis in range(ndim):
+        cshape = [1] * (ndim + 1)
+        cshape[axis + 1] = TILE
+        tiles += slopes[:, axis][expand] * coords.reshape(cshape)
+
+    # Reassemble tiles into the padded field, then crop the real extent.
+    view = tiles.reshape(*grid, *([TILE] * ndim))
+    order = []
+    for i in range(ndim):
+        order.extend([i, ndim + i])
+    pred = view.transpose(order).reshape([g * TILE for g in grid])
+    return pred[tuple(slice(0, s) for s in shape)]

@@ -1,0 +1,5 @@
+"""ZFP baseline: block transform + embedded bit-plane coding."""
+
+from .codec import zfp_compress, zfp_decompress
+
+__all__ = ["zfp_compress", "zfp_decompress"]

@@ -1,0 +1,204 @@
+"""ZFP stage 4: bit-plane coding of negabinary coefficients.
+
+Two coders share the same accuracy (both keep exactly the planes at or
+above ``kmin``):
+
+* **embedded** — ZFP's group-testing embedded coder (``encode_ints``):
+  per plane, previously-activated coefficients send their bit verbatim,
+  then the remainder is unary run-length coded.  Faithful to ZFP's
+  format structure, but inherently sequential per block (Python ints).
+* **fast** — a vectorized verbatim-plane coder: each coefficient stores
+  its ``prec`` kept bits directly, where ``prec`` also excludes the
+  block's all-zero leading planes.  Same truncation error, lower ratio,
+  numpy-speed in both directions.
+
+Bit order convention: LSB-first (bit *i* of the stream lives in byte
+``i // 8`` at in-byte position ``i % 8``), matching
+``np.packbits(bitorder="little")``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def plane_words(u: np.ndarray, nplanes: int) -> np.ndarray:
+    """Transpose coefficients to plane words.
+
+    ``u`` is ``(m, size)`` uint64 negabinary coefficients (size <= 64);
+    returns ``(m, nplanes)`` uint64 where word ``k`` carries coefficient
+    *i*'s plane-*k* bit at bit position *i*.
+    """
+    m, size = u.shape
+    if size > 64:
+        raise ValueError("plane words support at most 64 coefficients")
+    weights = (np.uint64(1) << np.arange(size, dtype=np.uint64))[None, :]
+    words = np.zeros((m, nplanes), dtype=np.uint64)
+    for k in range(nplanes):
+        bits = (u >> np.uint64(k)) & np.uint64(1)
+        words[:, k] = (bits * weights).sum(axis=1, dtype=np.uint64)
+    return words
+
+
+def encode_block_embedded(
+    words, kmin: int, nplanes: int, size: int, max_bits: int | None = None
+):
+    """Embedded-encode one block; returns ``(acc, nbits)`` LSB-first.
+
+    With *max_bits* set, the bit budget is enforced exactly the way
+    ZFP's ``encode_ints`` does (the fixed-rate mode cuZFP is limited
+    to): every write checks the remaining budget first, so the decoder
+    — running the mirrored control flow — stays in lockstep.
+    """
+    budget = max_bits if max_bits is not None else 1 << 62
+    acc = 0
+    nb = 0
+    n = 0  # coefficients activated so far
+    for k in range(nplanes - 1, kmin - 1, -1):
+        if nb >= budget:
+            break
+        x = int(words[k])
+        # step 2: verbatim bits of already-activated coefficients
+        m = min(n, budget - nb)
+        acc |= (x & ((1 << m) - 1)) << nb
+        nb += m
+        x >>= n
+        i = n
+        # step 3: unary run-length encode the remainder
+        while i < size and nb < budget:
+            bit = 1 if x else 0
+            acc |= bit << nb
+            nb += 1
+            if not bit:
+                break
+            while i < size - 1 and nb < budget:
+                b = x & 1
+                acc |= b << nb
+                nb += 1
+                if b:
+                    break
+                x >>= 1
+                i += 1
+            x >>= 1
+            i += 1
+        if i > n:
+            n = i
+    return acc, nb
+
+
+def decode_block_embedded(
+    buf: int,
+    pos: int,
+    kmin: int,
+    nplanes: int,
+    size: int,
+    max_bits: int | None = None,
+):
+    """Decode one embedded block from LSB-first bit buffer *buf*.
+
+    Returns ``(coefficients ndarray, new_pos)``.  *max_bits* mirrors the
+    encoder's budget so fixed-rate blocks decode in lockstep.
+    """
+    start = pos
+    budget = max_bits if max_bits is not None else 1 << 62
+    planes = [0] * nplanes
+    n = 0
+    for k in range(nplanes - 1, kmin - 1, -1):
+        if pos - start >= budget:
+            break
+        m = min(n, budget - (pos - start))
+        x = (buf >> pos) & ((1 << m) - 1)
+        pos += m
+        i = n
+        while i < size and pos - start < budget:
+            bit = (buf >> pos) & 1
+            pos += 1
+            if not bit:
+                break
+            while i < size - 1 and pos - start < budget:
+                b = (buf >> pos) & 1
+                pos += 1
+                if b:
+                    break
+                i += 1
+            x |= 1 << i
+            i += 1
+        planes[k] = x
+        n = i if i > n else n
+    u = np.zeros(size, dtype=np.uint64)
+    for k in range(kmin, nplanes):
+        x = planes[k]
+        if x:
+            bits = (x >> np.arange(size, dtype=np.uint64)) & np.uint64(1)
+            u |= bits.astype(np.uint64) << np.uint64(k)
+    return u, pos
+
+
+def effective_precisions(u: np.ndarray, kmin: np.ndarray, nplanes: int) -> np.ndarray:
+    """Fast-mode per-block precision: kept planes minus all-zero top planes."""
+    maxu = u.max(axis=1)
+    # highest set bit + 1 (0 for all-zero blocks)
+    hi = np.zeros(maxu.shape, dtype=np.int64)
+    tmp = maxu.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        step = tmp >= (np.uint64(1) << np.uint64(shift))
+        hi += step * shift
+        tmp = np.where(step, tmp >> np.uint64(shift), tmp)
+    hi += (maxu > 0).astype(np.int64)
+    hi = np.minimum(hi, nplanes)
+    return np.maximum(hi - kmin, 0)
+
+
+def encode_fast(u: np.ndarray, kmin: np.ndarray, prec: np.ndarray):
+    """Vectorized verbatim-plane encode.
+
+    Returns ``(payload_bytes, bit_lengths)`` where block *b* uses
+    ``size * prec[b]`` bits: coefficient-major, LSB-first from plane
+    ``kmin[b]`` upward.
+    """
+    m, size = u.shape
+    bit_lengths = (prec * size).astype(np.int64)
+    offsets = np.concatenate(([0], np.cumsum(bit_lengths)))
+    total = int(offsets[-1])
+    bits = np.zeros(total, dtype=np.uint8)
+    shifted = u >> kmin.astype(np.uint64)[:, None]
+    coeff_idx = np.arange(size, dtype=np.int64)[None, :]
+    max_prec = int(prec.max()) if prec.size else 0
+    for t in range(max_prec):
+        rows = prec > t
+        if not rows.any():
+            continue
+        pos = (
+            offsets[:-1][rows, None]
+            + coeff_idx * prec[rows, None]
+            + t
+        )
+        bits[pos.reshape(-1)] = (
+            (shifted[rows] >> np.uint64(t)) & np.uint64(1)
+        ).reshape(-1)
+    return np.packbits(bits, bitorder="little").tobytes(), bit_lengths
+
+
+def decode_fast(
+    payload: np.ndarray,
+    kmin: np.ndarray,
+    prec: np.ndarray,
+    size: int,
+):
+    """Inverse of :func:`encode_fast`; returns ``(m, size)`` uint64."""
+    m = prec.size
+    bit_lengths = (prec * size).astype(np.int64)
+    offsets = np.concatenate(([0], np.cumsum(bit_lengths)))
+    bits = np.unpackbits(payload, bitorder="little")
+    if bits.size < offsets[-1]:
+        raise ValueError("zfp fast payload truncated")
+    u = np.zeros((m, size), dtype=np.uint64)
+    coeff_idx = np.arange(size, dtype=np.int64)[None, :]
+    max_prec = int(prec.max()) if prec.size else 0
+    for t in range(max_prec):
+        rows = prec > t
+        if not rows.any():
+            continue
+        pos = offsets[:-1][rows, None] + coeff_idx * prec[rows, None] + t
+        u[rows] |= bits[pos].astype(np.uint64) << np.uint64(t)
+    return u << kmin.astype(np.uint64)[:, None]

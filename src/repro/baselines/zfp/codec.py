@@ -1,0 +1,305 @@
+"""ZFP baseline codec: fixed-accuracy compression of float arrays.
+
+Pipeline (Section 2 of the paper; see the stage modules for details):
+4^d blocking -> block-floating-point -> decorrelating transform ->
+negabinary -> bit-plane coding truncated at the tolerance.
+
+Arrays with more than 3 dimensions are folded to 3D (leading axes merged),
+mirroring how the paper's tools treat 4D data as slabs.
+
+Stream layout (little-endian)::
+
+    'ZFR1' | version u8 | dtype u8 | ndim u8 | mode u8 |
+    n u64 | tolerance f64 | shape u64[ndim] |
+    nonzero-block bitmap | raw-block bitmap | raw block values |
+    emax i16[coded] | prec u8[coded] (fast)
+    | bit lengths u32[coded] (embedded) | payload bits
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...core.constants import traits_for, traits_for_code
+from . import bitplane as bp
+from .fixedpoint import (
+    GUARD,
+    INTPREC,
+    block_emax,
+    from_fixed,
+    merge_blocks,
+    pad_to_blocks,
+    split_blocks,
+    to_fixed,
+)
+from .negabinary import int_to_negabinary, negabinary_to_int
+from .transform import from_sequency, fwd_transform, inv_transform, to_sequency
+
+_MAGIC = b"ZFR1"
+_FIXED = struct.Struct("<4sBBBBQd")
+_VERSION = 1
+_MODES = {"fast": 0, "embedded": 1, "fixed-rate": 2}
+_MODE_NAMES = {v: k for k, v in _MODES.items()}
+
+#: Extra top planes beyond INTPREC: the forward transform's output rows
+#: have L1 norm <= 1.25, so coefficients grow by at most a fraction of a
+#: bit; two extra planes are ample.  (Transient intermediates inside a
+#: lifting step can reach 4x, which the int64 container absorbs for
+#: float32 and fixedpoint.GUARD absorbs for float64.)
+_EXTRA_PLANES = 2
+
+
+def _nplanes(traits) -> int:
+    return min(INTPREC[traits.fullbits] + _EXTRA_PLANES, 64)
+
+
+def _kmin(emax: np.ndarray, minexp: int, d: int, traits) -> np.ndarray:
+    """First kept plane per block (ZFP's fixed-accuracy precision rule)."""
+    nplanes = _nplanes(traits)
+    maxprec = np.minimum(
+        nplanes,
+        np.maximum(
+            0,
+            # ZFP's fixed-accuracy precision rule: the inverse transform
+            # amplifies per-coefficient truncation error by at most the
+            # L1 norm of its rows, (15/4)^d ~ 2^(1.9 d), so 2(d+1) guard
+            # planes keep the reconstruction inside the tolerance.
+            emax
+            - minexp
+            + 2 * (d + 1)
+            + _EXTRA_PLANES
+            + GUARD[traits.fullbits],
+        ),
+    )
+    return np.clip(nplanes - maxprec, 0, nplanes).astype(np.int64)
+
+
+def zfp_compress(
+    data: np.ndarray,
+    tolerance: float,
+    *,
+    mode: str = "embedded",
+    bound_mode: str = "abs",
+    rate: float = 8.0,
+) -> bytes:
+    """Compress *data* with absolute error *tolerance* (fixed-accuracy).
+
+    ``mode="embedded"`` uses ZFP's group-testing coder (slow, best ratio);
+    ``mode="fast"`` uses the vectorized verbatim-plane coder;
+    ``mode="fixed-rate"`` emits exactly *rate* bits per value and ignores
+    *tolerance* — the only mode cuZFP supports (Section 2 of the paper),
+    with **no error bound** and the "very low compression ratios" the
+    paper notes.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {tuple(_MODES)}, got {mode!r}")
+    if mode == "fixed-rate" and not 0.5 <= rate <= 60:
+        raise ValueError(f"rate must be in [0.5, 60] bits/value, got {rate}")
+    arr = np.asarray(data)
+    traits = traits_for(arr.dtype)
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError("ZFP input must be finite")
+    from ...core.api import resolve_error_bound
+
+    tol = resolve_error_bound(arr, tolerance, bound_mode)
+
+    orig_shape = arr.shape
+    work = arr.reshape(-1) if arr.ndim == 0 else arr
+    if work.ndim > 3:  # fold leading axes: 4D+ handled as 3D slabs
+        work = work.reshape(-1, *work.shape[-2:])
+    if work.ndim == 0 or work.size == 0:
+        work = work.reshape(max(work.size, 0))
+
+    header = _FIXED.pack(
+        _MAGIC,
+        _VERSION,
+        traits.code,
+        len(orig_shape),
+        _MODES[mode],
+        arr.size,
+        float(tol),
+    )
+    shape_bytes = struct.pack(f"<{len(orig_shape)}Q", *orig_shape)
+    if arr.size == 0:
+        return header + shape_bytes
+
+    padded, padded_shape = pad_to_blocks(work)
+    blocks = split_blocks(padded)
+    d = work.ndim
+    size = 4**d
+
+    emax = block_emax(blocks, traits)
+    nonzero = emax > -(1 << 19)
+    # Raw-block fallback (a deviation from real ZFP, which documents that
+    # fixed-accuracy mode cannot honour tolerances near the transform's
+    # own round-off noise): blocks whose tolerance sits below that noise
+    # floor are stored bit-exact so the error bound is *always* strict.
+    noise_exp = emax - (INTPREC[traits.fullbits] - 2 - GUARD[traits.fullbits]) + 8
+    if mode == "fixed-rate":
+        # Fixed-rate ignores the tolerance entirely (cuZFP semantics):
+        # every non-zero block is coded at the requested rate, bound-free.
+        raw_blocks = np.zeros_like(nonzero)
+    else:
+        raw_blocks = nonzero & (tol < np.ldexp(1.0, noise_exp.clip(-1060, 1060)))
+    coded = nonzero & ~raw_blocks
+
+    q = to_fixed(blocks[coded], emax[coded], traits)
+    fwd_transform(q)
+    u = int_to_negabinary(to_sequency(q))
+
+    minexp = int(np.floor(np.log2(tol)))
+    kmin = _kmin(emax[coded], minexp, d, traits)
+    nplanes = _nplanes(traits)
+
+    bitmap = np.packbits(nonzero.astype(np.uint8), bitorder="little").tobytes()
+    bitmap += np.packbits(raw_blocks.astype(np.uint8), bitorder="little").tobytes()
+    raw_bytes = np.ascontiguousarray(blocks[raw_blocks]).tobytes()
+    emax_bytes = emax[coded].astype("<i2").tobytes()
+
+    if mode == "fast":
+        prec = bp.effective_precisions(u, kmin, nplanes)
+        payload, _ = bp.encode_fast(u, kmin, prec.astype(np.int64))
+        body = prec.astype(np.uint8).tobytes() + payload
+    elif mode == "fixed-rate":
+        max_bits = int(round(rate * size))
+        words = bp.plane_words(u, nplanes)
+        bit_chunks = []
+        for b in range(u.shape[0]):
+            acc, nb = bp.encode_block_embedded(
+                words[b], 0, nplanes, size, max_bits=max_bits
+            )
+            chunk = np.frombuffer(
+                acc.to_bytes((max_bits + 7) // 8, "little"), dtype=np.uint8
+            )
+            bit_chunks.append(np.unpackbits(chunk, bitorder="little")[:max_bits])
+        all_bits = (
+            np.concatenate(bit_chunks) if bit_chunks else np.zeros(0, np.uint8)
+        )
+        payload = np.packbits(all_bits, bitorder="little").tobytes()
+        body = struct.pack("<I", max_bits) + payload
+    else:
+        words = bp.plane_words(u, nplanes)
+        lengths = np.zeros(u.shape[0], dtype=np.uint32)
+        bit_chunks = []
+        for b in range(u.shape[0]):
+            acc, nb = bp.encode_block_embedded(words[b], int(kmin[b]), nplanes, size)
+            lengths[b] = nb
+            chunk = np.frombuffer(
+                acc.to_bytes((nb + 7) // 8, "little"), dtype=np.uint8
+            )
+            bit_chunks.append(np.unpackbits(chunk, bitorder="little")[:nb])
+        all_bits = (
+            np.concatenate(bit_chunks) if bit_chunks else np.zeros(0, np.uint8)
+        )
+        payload = np.packbits(all_bits, bitorder="little").tobytes()
+        body = lengths.tobytes() + payload
+
+    return b"".join((header, shape_bytes, bitmap, raw_bytes, emax_bytes, body))
+
+
+def zfp_decompress(buf: bytes) -> np.ndarray:
+    """Reconstruct the array from a ZFP baseline stream."""
+    if len(buf) < _FIXED.size:
+        raise ValueError("zfp stream too short")
+    magic, version, code, ndim, mode_code, n, tol = _FIXED.unpack_from(buf)
+    if magic != _MAGIC:
+        raise ValueError("bad zfp magic")
+    if version != _VERSION:
+        raise ValueError(f"unsupported zfp stream version {version}")
+    mode = _MODE_NAMES.get(mode_code)
+    if mode is None:
+        raise ValueError(f"unknown zfp mode {mode_code}")
+    traits = traits_for_code(code)
+    off = _FIXED.size
+    orig_shape = struct.unpack_from(f"<{ndim}Q", buf, off)
+    off += 8 * ndim
+    if n == 0:
+        return np.zeros(orig_shape, dtype=traits.dtype)
+
+    work_shape = tuple(orig_shape)
+    if len(work_shape) > 3:
+        work_shape = (int(np.prod(work_shape[:-2])),) + work_shape[-2:]
+    d = max(len(work_shape), 1)
+    size = 4**d
+    padded_shape = tuple(s + ((-s) % 4) for s in work_shape)
+    m = int(np.prod([s // 4 for s in padded_shape]))
+
+    bitmap_bytes = (m + 7) // 8
+    nonzero = np.unpackbits(
+        np.frombuffer(buf, np.uint8, bitmap_bytes, off), bitorder="little"
+    )[:m].astype(bool)
+    off += bitmap_bytes
+    raw_blocks = np.unpackbits(
+        np.frombuffer(buf, np.uint8, bitmap_bytes, off), bitorder="little"
+    )[:m].astype(bool)
+    off += bitmap_bytes
+    coded = nonzero & ~raw_blocks
+    n_raw = int(raw_blocks.sum())
+    raw_vals = np.frombuffer(
+        buf, traits.dtype, n_raw * size, off
+    ).reshape(n_raw, *([4] * d))
+    off += n_raw * size * traits.itemsize
+    nz = int(coded.sum())
+    emax = np.frombuffer(buf, "<i2", nz, off).astype(np.int64)
+    off += 2 * nz
+
+    minexp = int(np.floor(np.log2(tol)))
+    kmin = _kmin(emax, minexp, d, traits)
+    nplanes = _nplanes(traits)
+
+    if mode == "fast":
+        prec = np.frombuffer(buf, np.uint8, nz, off).astype(np.int64)
+        off += nz
+        payload = np.frombuffer(buf, np.uint8, offset=off)
+        u = bp.decode_fast(payload, kmin, prec, size)
+    elif mode == "fixed-rate":
+        (max_bits,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        payload = buf[off:]
+        if len(payload) * 8 < nz * max_bits:
+            raise ValueError("zfp fixed-rate payload truncated")
+        u = np.zeros((nz, size), dtype=np.uint64)
+        for b in range(nz):
+            lo = b * max_bits
+            byte_lo = lo >> 3
+            byte_hi = (lo + max_bits + 7) >> 3
+            block_int = int.from_bytes(payload[byte_lo:byte_hi], "little") >> (
+                lo & 7
+            )
+            u[b], _ = bp.decode_block_embedded(
+                block_int, 0, 0, nplanes, size, max_bits=max_bits
+            )
+    else:
+        lengths = np.frombuffer(buf, "<u4", nz, off).astype(np.int64)
+        off += 4 * nz
+        payload = buf[off:]
+        starts = np.concatenate(([0], np.cumsum(lengths)))
+        if len(payload) * 8 < starts[-1]:
+            raise ValueError("zfp embedded payload truncated")
+        u = np.zeros((nz, size), dtype=np.uint64)
+        for b in range(nz):
+            lo, nb = int(starts[b]), int(lengths[b])
+            byte_lo = lo >> 3
+            byte_hi = (lo + nb + 7) >> 3
+            block_int = int.from_bytes(payload[byte_lo:byte_hi], "little") >> (
+                lo & 7
+            )
+            u[b], end = bp.decode_block_embedded(
+                block_int, 0, int(kmin[b]), nplanes, size
+            )
+            if end != nb:
+                raise ValueError("zfp embedded block decoded to wrong length")
+
+    q = from_sequency(negabinary_to_int(u), d)
+    inv_transform(q)
+    values = from_fixed(q, emax, traits)
+
+    blocks = np.zeros((m, *([4] * d)), dtype=traits.dtype)
+    blocks[coded] = values
+    if n_raw:
+        blocks[raw_blocks] = raw_vals
+    padded = merge_blocks(blocks, padded_shape)
+    out = padded[tuple(slice(0, s) for s in work_shape)]
+    return np.ascontiguousarray(out).reshape(orig_shape)

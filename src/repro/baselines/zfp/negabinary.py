@@ -1,0 +1,25 @@
+"""ZFP stage 3: two's-complement to negabinary mapping.
+
+Negabinary (base -2) representation interleaves positive and negative
+values so that small-magnitude integers have small unsigned codes and
+truncating low bit planes rounds toward zero — the property the embedded
+bit-plane coder relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NBMASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def int_to_negabinary(x: np.ndarray) -> np.ndarray:
+    """Map int64 -> uint64 negabinary (ZFP's ``int2uint``)."""
+    u = np.asarray(x, dtype=np.int64).astype(np.uint64)
+    return (u + NBMASK) ^ NBMASK
+
+
+def negabinary_to_int(u: np.ndarray) -> np.ndarray:
+    """Inverse mapping (ZFP's ``uint2int``)."""
+    u = np.asarray(u, dtype=np.uint64)
+    return ((u ^ NBMASK) - NBMASK).astype(np.int64)

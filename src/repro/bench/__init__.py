@@ -1,0 +1,14 @@
+"""Benchmark harness: timing, paper-style tables, result capture."""
+
+from .timing import measure_throughput_mb_s, time_call
+from .tables import format_table, format_series
+from .results import RESULTS_DIR, save_result
+
+__all__ = [
+    "measure_throughput_mb_s",
+    "time_call",
+    "format_table",
+    "format_series",
+    "RESULTS_DIR",
+    "save_result",
+]

@@ -1,0 +1,17 @@
+"""Benchmark result capture: every bench writes its table under results/."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Default output directory (override with the REPRO_RESULTS env var).
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS", Path(__file__).resolve().parents[3] / "results"))
+
+
+def save_result(name: str, text: str) -> Path:
+    """Write *text* to ``results/<name>.txt`` and return the path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,46 @@
+"""Paper-style table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, col_names, rows) -> str:
+    """Render rows of ``(label, values...)`` as an aligned text table."""
+    header = ["", *[str(c) for c in col_names]]
+    body = [[str(r[0]), *[_fmt(v) for v in r[1:]]] for r in rows]
+    widths = [max(len(line[i]) for line in [header, *body]) for i in range(len(header))]
+    out = [title, "=" * len(title)]
+    out.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for line in body:
+        out.append("  ".join(c.rjust(w) for c, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def format_series(title: str, x_name: str, xs, series: dict) -> str:
+    """Render named series over a shared x axis (figures as text tables).
+
+    ``series`` maps a series name to a list of y values, one per x.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length does not match x axis")
+    rows = [
+        (f"{x_name}={_fmt(x)}", *[series[name][i] for name in series])
+        for i, x in enumerate(xs)
+    ]
+    return format_table(title, list(series.keys()), rows)

@@ -1,0 +1,31 @@
+"""Throughput measurement helpers (Formulas (2)/(3) of the paper)."""
+
+from __future__ import annotations
+
+import time
+
+
+def time_call(fn, *args, repeats: int = 3, **kwargs):
+    """Run ``fn(*args, **kwargs)`` *repeats* times; return (best_s, result)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def measure_throughput_mb_s(fn, data_bytes: int, *args, repeats: int = 3, **kwargs):
+    """Throughput of ``fn`` in MB/s of original data (Formula (2)/(3)).
+
+    Returns ``(mb_s, result)`` using the best of *repeats* runs.
+    """
+    if data_bytes <= 0:
+        raise ValueError("data_bytes must be positive")
+    best, result = time_call(fn, *args, repeats=repeats, **kwargs)
+    return data_bytes / 1e6 / best, result

@@ -1,0 +1,7 @@
+"""Bit-level packing substrate shared by SZx, the Huffman codec and ZFP."""
+
+from .packing import pack_kbit, unpack_kbit, packed_size
+from .writer import BitWriter
+from .reader import BitReader
+
+__all__ = ["pack_kbit", "unpack_kbit", "packed_size", "BitWriter", "BitReader"]

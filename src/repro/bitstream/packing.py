@@ -1,0 +1,44 @@
+"""Vectorized fixed-width bit packing.
+
+Codes are packed LSB-first: bit *t* of code *i* lands at overall bit
+position ``i*k + t``, and overall bit position *p* lives in byte ``p // 8``
+at in-byte position ``p % 8``.  This matches ``np.packbits(...,
+bitorder="little")``, which does all the heavy lifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def packed_size(n: int, k: int) -> int:
+    """Bytes needed to pack *n* codes of *k* bits each."""
+    return (n * k + 7) // 8
+
+
+def pack_kbit(codes: np.ndarray, k: int) -> np.ndarray:
+    """Pack integer *codes* (< 2**k each) into a uint8 array.
+
+    Raises ``ValueError`` if any code does not fit in *k* bits.
+    """
+    if not 1 <= k <= 16:
+        raise ValueError(f"k must be in [1, 16], got {k}")
+    codes = np.ascontiguousarray(codes, dtype=np.uint16)
+    if codes.size and int(codes.max()) >= (1 << k):
+        raise ValueError(f"code out of range for {k}-bit packing")
+    # (n, k) bit matrix, LSB first, then pack the flattened bit string.
+    bits = (codes[:, None] >> np.arange(k, dtype=np.uint16)) & 1
+    return np.packbits(bits.astype(np.uint8).ravel(), bitorder="little")
+
+
+def unpack_kbit(data: np.ndarray, k: int, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_kbit`: recover *n* codes from *data*."""
+    if not 1 <= k <= 16:
+        raise ValueError(f"k must be in [1, 16], got {k}")
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    need = packed_size(n, k)
+    if data.size < need:
+        raise ValueError(f"packed data too short: need {need} bytes, have {data.size}")
+    bits = np.unpackbits(data[:need], bitorder="little")[: n * k]
+    bits = bits.reshape(n, k).astype(np.uint16)
+    return (bits << np.arange(k, dtype=np.uint16)).sum(axis=1, dtype=np.uint16)

@@ -1,0 +1,60 @@
+"""MSB-first bit reader, the mirror of :class:`repro.bitstream.BitWriter`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer."""
+
+    def __init__(self, data: bytes, start_bit: int = 0):
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        self._pos = start_bit
+        if start_bit > self._bits.size:
+            raise ValueError("start bit beyond buffer")
+
+    @property
+    def pos(self) -> int:
+        """Current bit position."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return self._bits.size - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= self._bits.size:
+            raise EOFError("bit stream exhausted")
+        b = int(self._bits[self._pos])
+        self._pos += 1
+        return b
+
+    def read_bits(self, nbits: int) -> int:
+        """Read *nbits* bits MSB-first and return them as an int."""
+        if nbits == 0:
+            return 0
+        end = self._pos + nbits
+        if end > self._bits.size:
+            raise EOFError("bit stream exhausted")
+        chunk = self._bits[self._pos : end]
+        self._pos = end
+        value = 0
+        for bit in chunk.tolist():
+            value = (value << 1) | bit
+        return value
+
+    def peek_bits(self, nbits: int) -> int:
+        """Read without consuming; short reads near EOF are zero-padded."""
+        end = min(self._pos + nbits, self._bits.size)
+        chunk = self._bits[self._pos : end]
+        value = 0
+        for bit in chunk.tolist():
+            value = (value << 1) | bit
+        value <<= nbits - (end - self._pos)
+        return value
+
+    def skip(self, nbits: int) -> None:
+        if self._pos + nbits > self._bits.size:
+            raise EOFError("bit stream exhausted")
+        self._pos += nbits

@@ -1,0 +1,65 @@
+"""MSB-first bit writer used by the Huffman and ZFP codecs.
+
+The writer buffers bits in a Python integer per byte-aligned chunk; it is
+meant for per-block/variable-length control streams, not bulk data —
+bulk packing goes through :mod:`repro.bitstream.packing`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a growing byte buffer."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+        self._acc = 0          # pending bits, MSB side first
+        self._nbits = 0        # number of pending bits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits >= 4096:
+            self._flush_whole_bytes()
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low *nbits* bits of *value*, MSB first."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return
+        self._acc = (self._acc << nbits) | (int(value) & ((1 << nbits) - 1))
+        self._nbits += nbits
+        if self._nbits >= 4096:
+            self._flush_whole_bytes()
+
+    def write_array_bits(self, values: np.ndarray, nbits: np.ndarray) -> None:
+        """Append many (value, nbits) pairs — convenience for codecs."""
+        for v, n in zip(values.tolist(), nbits.tolist()):
+            self.write_bits(v, n)
+
+    def _flush_whole_bytes(self) -> None:
+        whole = self._nbits // 8
+        if whole:
+            keep = self._nbits - whole * 8
+            top = self._acc >> keep
+            self._chunks.append(top.to_bytes(whole, "big"))
+            self._acc &= (1 << keep) - 1
+            self._nbits = keep
+
+    @property
+    def bit_length(self) -> int:
+        """Total bits written so far."""
+        return sum(len(c) for c in self._chunks) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return all bits as bytes, zero-padding the final partial byte."""
+        self._flush_whole_bytes()
+        out = b"".join(self._chunks)
+        if self._nbits:
+            pad = 8 - self._nbits
+            out += bytes([(self._acc << pad) & 0xFF])
+        return out

@@ -1,0 +1,220 @@
+"""Command-line front end: compress / decompress / inspect SZx streams.
+
+Mirrors the reference SZx artifact's usage on raw binary arrays::
+
+    szx compress  data.f32 -o data.szx  --dtype f32 --shape 256,384,384 \\
+                  -e 1e-3 --mode rel
+    szx decompress data.szx -o recon.f32
+    szx inspect   data.szx
+    szx verify    data.szx
+    szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
+    szx bundle    a.szx b.szx -o fields.szxa --names a,b
+    szx extract   fields.szxa a -o a.f32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import compress, decompress, parse_stream
+from .core.constants import DEFAULT_BLOCK_SIZE
+
+_DTYPES = {"f32": np.float32, "f64": np.float64}
+
+
+def _parse_shape(text: str | None):
+    if not text:
+        return None
+    try:
+        shape = tuple(int(s) for s in text.split(","))
+    except ValueError:
+        raise SystemExit(f"bad --shape {text!r}: expected e.g. 256,384,384")
+    if any(s <= 0 for s in shape):
+        raise SystemExit("--shape dimensions must be positive")
+    return shape
+
+
+def _cmd_compress(args) -> int:
+    dtype = _DTYPES[args.dtype]
+    data = np.fromfile(args.input, dtype=dtype)
+    shape = _parse_shape(args.shape)
+    if shape is not None:
+        expected = int(np.prod(shape))
+        if expected != data.size:
+            raise SystemExit(
+                f"--shape {args.shape} needs {expected} values; "
+                f"file holds {data.size}"
+            )
+        data = data.reshape(shape)
+    stream = compress(
+        data, args.error_bound, mode=args.mode, block_size=args.block_size
+    )
+    with open(args.output, "wb") as fh:
+        fh.write(stream)
+    ratio = data.nbytes / len(stream)
+    print(
+        f"{args.input}: {data.nbytes:,} -> {len(stream):,} bytes "
+        f"(CR {ratio:.2f}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from .containers import container_kind, decompress_any
+
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    kind = container_kind(stream)
+    recon = decompress_any(stream)
+    recon.tofile(args.output)
+    print(
+        f"{args.input} ({kind}): reconstructed {recon.size:,} values "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    comp = parse_stream(stream)
+    h = comp.header
+    const_pct = 100 * h.n_const / h.n_blocks if h.n_blocks else 0.0
+    print(f"file          : {args.input}")
+    print(f"dtype         : {h.traits.dtype}")
+    print(f"values        : {h.n:,}")
+    print(f"shape         : {h.shape or '(flat)'}")
+    print(f"block size    : {h.block_size}")
+    print(f"error bound   : {h.err_bound:g} (absolute)")
+    print(f"blocks        : {h.n_blocks:,} ({h.n_const:,} constant, {const_pct:.1f}%)")
+    print(f"payload bytes : {len(comp.payload):,}")
+    raw = h.n * h.traits.itemsize
+    if len(stream):
+        print(f"ratio         : {raw / len(stream):.2f}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .core.verify import verify_stream
+
+    with open(args.input, "rb") as fh:
+        report = verify_stream(fh.read())
+    if report.ok:
+        print(
+            f"{args.input}: OK ({report.n_blocks:,} blocks, "
+            f"{report.n_const:,} constant, {report.payload_bytes:,} payload bytes)"
+        )
+        return 0
+    print(f"{args.input}: CORRUPT — {len(report.errors)} problem(s)")
+    for err in report.errors[:20]:
+        print(f"  - {err}")
+    return 1
+
+
+def _cmd_assess(args) -> int:
+    from .metrics.report import assess, format_report
+
+    dtype = _DTYPES[args.dtype]
+    original = np.fromfile(args.original, dtype=dtype)
+    recon = np.fromfile(args.reconstructed, dtype=dtype)
+    if original.size != recon.size:
+        raise SystemExit(
+            f"size mismatch: {original.size} vs {recon.size} values"
+        )
+    report = assess(original, recon, err_bound=args.error_bound)
+    print(format_report(report, title=f"{args.original} vs {args.reconstructed}"))
+    if args.error_bound is not None and not report["bound_respected"]:
+        return 1
+    return 0
+
+
+def _cmd_bundle(args) -> int:
+    from .archive import SzxArchive
+
+    names = args.names.split(",") if args.names else None
+    if names is not None and len(names) != len(args.inputs):
+        raise SystemExit("--names count must match the number of inputs")
+    arc = SzxArchive()
+    for i, path in enumerate(args.inputs):
+        name = names[i] if names else path
+        with open(path, "rb") as fh:
+            arc.add_stream(name, fh.read())
+    arc.save(args.output)
+    print(f"bundled {len(args.inputs)} stream(s) -> {args.output}")
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from .archive import SzxArchive
+
+    buf = SzxArchive.open(args.archive)
+    if args.field is None:
+        for name in SzxArchive.field_names(buf):
+            print(name)
+        return 0
+    data = SzxArchive.load_field(buf, args.field)
+    data.tofile(args.output)
+    print(f"{args.field}: {data.size:,} values -> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="szx", description="SZx ultrafast error-bounded lossy compressor"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pc = sub.add_parser("compress", help="compress a raw binary float array")
+    pc.add_argument("input")
+    pc.add_argument("-o", "--output", required=True)
+    pc.add_argument("-e", "--error-bound", type=float, required=True)
+    pc.add_argument("--mode", choices=("abs", "rel"), default="abs")
+    pc.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
+    pc.add_argument("--shape", help="comma-separated dims, e.g. 256,384,384")
+    pc.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    pc.set_defaults(fn=_cmd_compress)
+
+    pd = sub.add_parser("decompress", help="reconstruct a raw binary array")
+    pd.add_argument("input")
+    pd.add_argument("-o", "--output", required=True)
+    pd.set_defaults(fn=_cmd_decompress)
+
+    pi = sub.add_parser("inspect", help="print stream metadata")
+    pi.add_argument("input")
+    pi.set_defaults(fn=_cmd_inspect)
+
+    pv = sub.add_parser("verify", help="structurally verify a stream")
+    pv.add_argument("input")
+    pv.set_defaults(fn=_cmd_verify)
+
+    pa = sub.add_parser("assess", help="quality report for a reconstruction")
+    pa.add_argument("original")
+    pa.add_argument("reconstructed")
+    pa.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
+    pa.add_argument("-e", "--error-bound", type=float, default=None)
+    pa.set_defaults(fn=_cmd_assess)
+
+    pb = sub.add_parser("bundle", help="bundle SZx streams into an archive")
+    pb.add_argument("inputs", nargs="+")
+    pb.add_argument("-o", "--output", required=True)
+    pb.add_argument("--names", help="comma-separated field names")
+    pb.set_defaults(fn=_cmd_bundle)
+
+    pe = sub.add_parser("extract", help="list or extract archive fields")
+    pe.add_argument("archive")
+    pe.add_argument("field", nargs="?")
+    pe.add_argument("-o", "--output", default="field.out")
+    pe.set_defaults(fn=_cmd_extract)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

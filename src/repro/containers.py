@@ -1,0 +1,63 @@
+"""Container detection: one decode entry point for every stream type.
+
+The library emits five container formats (see docs/FORMAT.md), each with
+a distinct magic.  :func:`decompress_any` dispatches on it, so tools
+(like ``szx decompress``) need not know how a file was produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import decompress
+from .core.extended import decompress_extended
+from .core.pointwise import decompress_pointwise
+from .core.temporal import decompress_sequence
+
+_DISPATCH = {
+    b"SZX1": ("szx", decompress),
+    b"SZXL": ("szx-l", decompress_extended),
+    b"SZXP": ("szx-pointwise", decompress_pointwise),
+}
+
+
+def container_kind(stream: bytes) -> str:
+    """Name of the container type *stream* holds.
+
+    One of ``szx``, ``szx-l``, ``szx-pointwise``, ``szx-temporal``,
+    ``szx-archive``, ``szx-chunked-file`` — or ``unknown``.
+    """
+    magic = bytes(stream[:4])
+    if magic in _DISPATCH:
+        return _DISPATCH[magic][0]
+    if magic == b"SZXT":
+        return "szx-temporal"
+    if magic == b"SZXA":
+        return "szx-archive"
+    if magic == b"SZXF":
+        return "szx-chunked-file"
+    return "unknown"
+
+
+def decompress_any(stream: bytes) -> np.ndarray:
+    """Decode any single-array container by sniffing its magic.
+
+    Temporal containers decode to a stacked ``(n_frames, ...)`` array;
+    archives and chunked files have their own APIs (`repro.archive`,
+    `repro.io`) and are rejected here with a pointer.
+    """
+    kind = container_kind(stream)
+    if kind in ("szx", "szx-l", "szx-pointwise"):
+        return _DISPATCH[bytes(stream[:4])][1](stream)
+    if kind == "szx-temporal":
+        frames = decompress_sequence(stream)
+        return np.stack(frames) if frames else np.empty(0, dtype=np.float32)
+    if kind == "szx-archive":
+        raise ValueError(
+            "stream is a multi-field archive; use repro.archive.SzxArchive"
+        )
+    if kind == "szx-chunked-file":
+        raise ValueError(
+            "stream is a chunked file container; use repro.io.decompress_file"
+        )
+    raise ValueError(f"unrecognized container magic {bytes(stream[:4])!r}")

@@ -1,0 +1,40 @@
+"""SZx core: the paper's ultrafast error-bounded lossy compressor."""
+
+from .api import (
+    compress,
+    compress_components,
+    compression_ratio,
+    decompress,
+    resolve_error_bound,
+)
+from .constants import DEFAULT_BLOCK_SIZE, FLOAT32, FLOAT64, traits_for
+from .extended import compress_extended, decompress_extended
+from .header import StreamHeader, decode_header
+from .pointwise import compress_pointwise, decompress_pointwise
+from .random_access import decompress_block, decompress_range
+from .temporal import compress_sequence, decompress_sequence
+from .stream import StreamComponents, parse_stream
+
+__all__ = [
+    "compress",
+    "compress_components",
+    "compression_ratio",
+    "decompress",
+    "resolve_error_bound",
+    "DEFAULT_BLOCK_SIZE",
+    "FLOAT32",
+    "FLOAT64",
+    "traits_for",
+    "StreamHeader",
+    "decode_header",
+    "StreamComponents",
+    "parse_stream",
+    "decompress_block",
+    "decompress_range",
+    "compress_extended",
+    "decompress_extended",
+    "compress_pointwise",
+    "decompress_pointwise",
+    "compress_sequence",
+    "decompress_sequence",
+]

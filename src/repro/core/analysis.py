@@ -1,0 +1,103 @@
+"""Instrumentation for the right-shift space-overhead study (Figure 6).
+
+Section 5.2 defines the overhead of Solution C (bitwise right shifting to
+byte-align the necessary bits) as
+
+.. math::
+
+   Overhead = \\frac{\\sum_i (R_k + s - L'_i) - \\sum_i (R_k - L_i)}
+                   {D_{size} / CR}
+
+where :math:`L'_i` are identical leading *bytes* measured on the shifted
+words (what SZx stores) and :math:`L_i` the identical leading *bits*
+capped the same way but measured on the unshifted truncated words (what
+Solutions A/B would store).  This module measures both terms on real
+compressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .api import resolve_error_bound, _check_input
+from .blocks import BlockLayout, block_stats, validate_block_size
+from .constants import traits_for
+from .reqbits import required_bytes, required_length, shift_for, truncation_mask
+from .vectorized import _leading_counts_matrix, compress_vectorized
+
+
+@dataclass(frozen=True)
+class ShiftOverhead:
+    """Result of the Figure 6 measurement for one field."""
+
+    solution_c_bits: int     #: total necessary bits with right shifting
+    solution_ab_bits: int    #: total necessary bits without (Solutions A/B)
+    compressed_bytes: int    #: actual compressed size (denominator)
+
+    @property
+    def overhead(self) -> float:
+        """Fractional space overhead of the right-shift optimization."""
+        extra_bytes = (self.solution_c_bits - self.solution_ab_bits) / 8.0
+        return extra_bytes / self.compressed_bytes
+
+
+def shift_overhead(
+    data: np.ndarray,
+    err_bound: float,
+    block_size: int,
+    *,
+    mode: str = "abs",
+) -> ShiftOverhead:
+    """Measure the Figure 6 space overhead of Solution C on *data*."""
+    arr = _check_input(data)
+    traits = traits_for(arr.dtype)
+    block_size = validate_block_size(block_size)
+    abs_bound = resolve_error_bound(arr, err_bound, mode)
+
+    flat = np.ascontiguousarray(arr).reshape(-1)
+    layout = BlockLayout(flat.size, block_size)
+    mu, radius = block_stats(flat, layout)
+    nonconst = radius > abs_bound
+
+    compressed = len(compress_vectorized(arr, abs_bound, block_size).to_bytes())
+
+    nf = layout.n_full
+    sel = nonconst[:nf]
+    body = flat[: nf * block_size].reshape(nf, block_size)[sel]
+    if body.size == 0:
+        return ShiftOverhead(0, 0, compressed)
+
+    mu_nc = mu[:nf][sel]
+    req = required_length(radius[:nf][sel], abs_bound, traits)
+    mu_nc = np.where(req == traits.fullbits, traits.dtype.type(0), mu_nc)
+    shift = shift_for(req)
+    nbytes = required_bytes(req)
+    masks = truncation_mask(nbytes, traits)
+
+    normalized = (body - mu_nc[:, None]).astype(traits.dtype, copy=False)
+    words = np.ascontiguousarray(normalized).view(traits.utype)
+
+    # Solution C: shifted words, leading identical bytes L'.
+    shifted = (words >> shift.astype(traits.utype)[:, None]) & masks[:, None]
+    xor = shifted.copy()
+    xor[:, 1:] ^= shifted[:, :-1]
+    lead_c = _leading_counts_matrix(xor, traits).astype(np.int64)
+    np.minimum(lead_c, traits.max_lead, out=lead_c)
+    np.minimum(lead_c, nbytes[:, None], out=lead_c)
+    bits_c = int(((req + shift)[:, None] - 8 * lead_c).sum())
+
+    # Solutions A/B: unshifted words truncated to R bits, leading bytes L.
+    drop = (traits.fullbits - req).astype(traits.utype)
+    full = traits.utype.type(np.iinfo(traits.utype).max)
+    mask_r = (full >> drop) << drop
+    trunc = words & mask_r[:, None]
+    xor = trunc.copy()
+    xor[:, 1:] ^= trunc[:, :-1]
+    lead_ab = _leading_counts_matrix(xor, traits).astype(np.int64)
+    np.minimum(lead_ab, traits.max_lead, out=lead_ab)
+    np.minimum(lead_ab, (req // 8)[:, None], out=lead_ab)
+    bits_ab = int((req[:, None] - 8 * lead_ab).sum())
+
+    return ShiftOverhead(bits_c, bits_ab, compressed)

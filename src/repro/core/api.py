@@ -1,0 +1,126 @@
+"""Public compress/decompress API for SZx.
+
+Two error-bound modes (Section 3 / footnote 1 of the paper):
+
+* ``mode="abs"`` — *err_bound* is the absolute bound ``e``;
+* ``mode="rel"`` — *err_bound* is a value-range-based relative bound and
+  the absolute bound applied is ``err_bound * (max(D) - min(D))``.
+
+Engines:
+
+* ``engine="vectorized"`` (default) — production numpy engine;
+* ``engine="scalar"`` — the readable reference implementation.
+
+Both produce byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import DEFAULT_BLOCK_SIZE, traits_for
+from .stream import StreamComponents, parse_stream
+
+_MODES = ("abs", "rel")
+_ENGINES = ("vectorized", "scalar")
+
+
+def resolve_error_bound(data: np.ndarray, err_bound: float, mode: str) -> float:
+    """Translate a REL bound into the ABS bound actually applied."""
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    if not (err_bound > 0.0) or not np.isfinite(err_bound):
+        raise ValueError(f"error bound must be positive and finite, got {err_bound}")
+    if mode == "abs":
+        return float(err_bound)
+    if data.size == 0:
+        return float(err_bound)
+    value_range = float(data.max()) - float(data.min())
+    if value_range == 0.0:
+        # A constant field compresses to constant blocks under any bound.
+        return float(err_bound)
+    return float(err_bound) * value_range
+
+
+def _check_input(data: np.ndarray) -> np.ndarray:
+    arr = np.asarray(data)
+    traits_for(arr.dtype)  # raises TypeError for unsupported dtypes
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError("SZx input must be finite (no NaN/Inf)")
+    return arr
+
+
+def compress_components(
+    data: np.ndarray,
+    err_bound: float,
+    *,
+    mode: str = "abs",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    engine: str = "vectorized",
+) -> StreamComponents:
+    """Compress *data* and return unserialized stream components."""
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    arr = _check_input(data)
+    abs_bound = resolve_error_bound(arr, err_bound, mode)
+    if engine == "scalar":
+        from .scalar import compress_scalar
+
+        return compress_scalar(arr, abs_bound, block_size)
+    from .vectorized import compress_vectorized
+
+    return compress_vectorized(arr, abs_bound, block_size)
+
+
+def compress(
+    data: np.ndarray,
+    err_bound: float,
+    *,
+    mode: str = "abs",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    engine: str = "vectorized",
+) -> bytes:
+    """Compress *data* into an SZx byte stream.
+
+    Parameters
+    ----------
+    data:
+        float32 or float64 array of any shape (compressed in C-order).
+    err_bound:
+        Error bound; interpretation depends on *mode*.
+    mode:
+        ``"abs"`` (absolute) or ``"rel"`` (value-range-based relative).
+    block_size:
+        Values per block; the paper's default/best setting is 128.
+    engine:
+        ``"vectorized"`` or ``"scalar"``.
+    """
+    return compress_components(
+        data, err_bound, mode=mode, block_size=block_size, engine=engine
+    ).to_bytes()
+
+
+def decompress(stream: bytes, *, engine: str = "vectorized") -> np.ndarray:
+    """Reconstruct the array from an SZx byte *stream*.
+
+    The returned array has the dtype and shape recorded in the header
+    (flat if the shape was not recorded).
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    components = parse_stream(bytes(stream))
+    if engine == "scalar":
+        from .scalar import decompress_scalar
+
+        return decompress_scalar(components)
+    from .vectorized import decompress_vectorized
+
+    return decompress_vectorized(components)
+
+
+def compression_ratio(data: np.ndarray, stream: bytes) -> float:
+    """Original bytes divided by compressed bytes."""
+    arr = np.asarray(data)
+    if len(stream) == 0:
+        raise ValueError("empty stream")
+    return (arr.size * arr.dtype.itemsize) / len(stream)

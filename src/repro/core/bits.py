@@ -1,0 +1,95 @@
+"""Bit-level helpers: IEEE-754 exponent extraction and byte splitting.
+
+All helpers are vectorized; scalar use just passes 0-d arrays through.
+These are the only places in the code base that reinterpret float memory,
+so every dtype/endianness subtlety is concentrated here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import DtypeTraits, traits_for
+
+
+def as_uint(values: np.ndarray, traits: DtypeTraits | None = None) -> np.ndarray:
+    """Reinterpret float array *values* as same-width unsigned integers.
+
+    Returns a view when possible (contiguous input), otherwise a copy.
+    """
+    if traits is None:
+        traits = traits_for(values.dtype)
+    arr = np.ascontiguousarray(values)  # note: promotes 0-d input to 1-d
+    out = arr.view(traits.utype)
+    return out.reshape(np.shape(values))
+
+
+def as_float(words: np.ndarray, traits: DtypeTraits) -> np.ndarray:
+    """Reinterpret unsigned integer *words* as floats of the traits dtype."""
+    arr = np.ascontiguousarray(words)
+    return arr.view(traits.dtype)
+
+
+def exponent(values: np.ndarray | float, traits: DtypeTraits | None = None) -> np.ndarray:
+    """``floor(log2(|x|))`` — the paper's ``p(x)`` — exact for subnormals.
+
+    Computed via ``frexp`` in float64 rather than by extracting the IEEE
+    exponent field: the field saturates for subnormal inputs (a float32
+    value of 1e-40 would report -126 instead of its true -133), which
+    would make Formula (4) under-count the required bits.  Zero maps to
+    a very small sentinel exponent so the clamp in Formula (4) takes
+    over (a radius of zero demands no mantissa bits at all).
+    """
+    arr = np.asarray(values)
+    if traits is None:
+        traits = traits_for(arr.dtype)
+    mag = np.abs(arr.astype(np.float64))
+    _mant, exp = np.frexp(mag)
+    exp = exp.astype(np.int64) - 1  # frexp mantissa lives in [0.5, 1)
+    return np.where(mag == 0.0, np.int64(-(1 << 20)), exp)
+
+
+def scalar_exponent(value: float, traits: DtypeTraits) -> int:
+    """Scalar convenience wrapper around :func:`exponent`."""
+    return int(np.ravel(exponent(np.asarray(value, dtype=np.float64), traits))[0])
+
+
+def split_bytes_be(words: np.ndarray, traits: DtypeTraits) -> np.ndarray:
+    """Split each word into big-endian bytes: shape ``(*words.shape, n)``.
+
+    Byte 0 is the most significant byte — the byte order in which SZx
+    compares leading bytes and commits mid-bytes (Figure 4 of the paper).
+    Scalar (0-d) input yields shape ``(n,)``.
+    """
+    n = traits.itemsize
+    flat = np.atleast_1d(np.ascontiguousarray(words, dtype=traits.utype))
+    shape = np.shape(words)
+    by = flat.view(np.uint8).reshape(*shape, n) if shape else flat.view(
+        np.uint8
+    ).reshape(n)
+    # numpy views reflect native (little-endian) layout; flip to big-endian.
+    return by[..., ::-1]
+
+
+def join_bytes_be(by: np.ndarray, traits: DtypeTraits) -> np.ndarray:
+    """Inverse of :func:`split_bytes_be`."""
+    le = np.ascontiguousarray(by[..., ::-1], dtype=np.uint8)
+    return le.view(traits.utype).reshape(by.shape[:-1])
+
+
+def leading_identical_bytes(x: np.ndarray, traits: DtypeTraits) -> np.ndarray:
+    """Number of identical leading (most significant) bytes implied by XOR *x*.
+
+    ``x`` is the XOR of two words; the count of zero top bytes equals the
+    count of identical leading bytes between them.  The result is capped at
+    ``itemsize - 1`` by construction of the sum only when the whole word is
+    identical — callers additionally cap at the code range / required bytes.
+    """
+    n = traits.itemsize
+    x = np.asarray(x, dtype=traits.utype)
+    count = np.zeros(x.shape, dtype=np.int64)
+    # top byte zero?  top two bytes zero? ... accumulate booleans.
+    for k in range(1, n):
+        count += (x >> traits.utype.type((n - k) * 8)) == 0
+    count += x == 0  # all bytes identical
+    return count

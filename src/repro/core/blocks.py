@@ -1,0 +1,113 @@
+"""Block partitioning and per-block statistics (mean-of-min-max, radius).
+
+SZx treats every dataset as a flat sequence of fixed-size 1D blocks
+(Section 4 of the paper); multidimensional arrays are compressed in
+C-order.  The last block may be shorter (a *ragged tail*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import MAX_BLOCK_SIZE, MIN_BLOCK_SIZE, traits_for
+
+
+def validate_block_size(block_size: int) -> int:
+    """Validate and return *block_size*."""
+    bs = int(block_size)
+    if not MIN_BLOCK_SIZE <= bs <= MAX_BLOCK_SIZE:
+        raise ValueError(
+            f"block size must be in [{MIN_BLOCK_SIZE}, {MAX_BLOCK_SIZE}], got {block_size}"
+        )
+    return bs
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Partition of ``n`` values into blocks of ``block_size``."""
+
+    n: int
+    block_size: int
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.n + self.block_size - 1) // self.block_size
+
+    @property
+    def n_full(self) -> int:
+        """Number of full-size blocks."""
+        return self.n // self.block_size
+
+    @property
+    def tail(self) -> int:
+        """Length of the ragged tail block (0 if none)."""
+        return self.n - self.n_full * self.block_size
+
+    def block_length(self, k: int) -> int:
+        """Length of block *k*."""
+        if k < 0 or k >= self.n_blocks:
+            raise IndexError(f"block {k} out of range (n_blocks={self.n_blocks})")
+        if k == self.n_blocks - 1 and self.tail:
+            return self.tail
+        return self.block_size
+
+    def block_slice(self, k: int) -> slice:
+        """Flat-index slice of block *k*."""
+        start = k * self.block_size
+        return slice(start, min(start + self.block_size, self.n))
+
+
+def block_minmax(flat: np.ndarray, layout: BlockLayout):
+    """Per-block (min, max) over *flat*, vectorized.
+
+    Full blocks are reduced with a reshape; the ragged tail (at most one
+    block) is reduced separately.
+    """
+    bs = layout.block_size
+    nf = layout.n_full
+    mins = np.empty(layout.n_blocks, dtype=flat.dtype)
+    maxs = np.empty(layout.n_blocks, dtype=flat.dtype)
+    if nf:
+        body = flat[: nf * bs].reshape(nf, bs)
+        mins[:nf] = body.min(axis=1)
+        maxs[:nf] = body.max(axis=1)
+    if layout.tail:
+        tail = flat[nf * bs :]
+        mins[-1] = tail.min()
+        maxs[-1] = tail.max()
+    return mins, maxs
+
+
+def block_stats(flat: np.ndarray, layout: BlockLayout):
+    """Per-block ``(mu, radius)``.
+
+    ``mu`` is the mean of min and max, computed in float64 then rounded to
+    the data dtype (it is stored in the stream in the data dtype).  The
+    radius is taken against the *rounded* ``mu`` —
+    ``max(max - mu, mu - min)`` — so that it is a true upper bound on
+    ``|d_i - mu|`` for every point of the block regardless of rounding.
+    """
+    traits = traits_for(flat.dtype)
+    mins, maxs = block_minmax(flat, layout)
+    mu = ((mins.astype(np.float64) + maxs.astype(np.float64)) * 0.5).astype(
+        traits.dtype
+    )
+    mu64 = mu.astype(np.float64)
+    radius = np.maximum(maxs.astype(np.float64) - mu64, mu64 - mins.astype(np.float64))
+    return mu, radius
+
+
+def relative_block_ranges(flat: np.ndarray, block_size: int) -> np.ndarray:
+    """Per-block value range divided by the global value range (Figure 2).
+
+    Returns one entry per block; a globally constant field yields zeros.
+    """
+    layout = BlockLayout(flat.size, validate_block_size(block_size))
+    mins, maxs = block_minmax(flat, layout)
+    global_range = float(flat.max()) - float(flat.min())
+    ranges = maxs.astype(np.float64) - mins.astype(np.float64)
+    if global_range == 0.0:
+        return np.zeros_like(ranges)
+    return ranges / global_range

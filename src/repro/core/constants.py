@@ -1,0 +1,116 @@
+"""Dtype traits and framework-wide defaults for the SZx compressor.
+
+SZx analyses IEEE-754 representations directly, so the compressor needs
+the bit-level layout of every supported floating-point type.  The paper's
+reference implementation supports single and double precision; both are
+supported here through the :class:`DtypeTraits` table.
+
+``SE`` is the width of the sign+exponent prefix: the required length
+:math:`R_k` of Formula (4) always keeps the sign and full exponent so a
+truncated word still decodes to a float of the right magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default block size.  Section 5.3 finds 128 to be the sweet spot: the
+#: compression ratio converges above 128 while PSNR is flat in block size.
+DEFAULT_BLOCK_SIZE = 128
+
+#: Largest supported block size.  The per-block compressed size must fit a
+#: uint16 ``zsize_array`` entry (Section 6.1 of the paper), which caps the
+#: block size well above any useful setting.
+MAX_BLOCK_SIZE = 4096
+
+#: Smallest supported block size (a 1-point block is degenerate but legal).
+MIN_BLOCK_SIZE = 1
+
+#: Stream magic, bumped with any layout change.
+STREAM_MAGIC = b"SZX1"
+
+
+@dataclass(frozen=True)
+class DtypeTraits:
+    """Bit-level layout of a supported floating-point dtype."""
+
+    dtype: np.dtype            #: the float dtype
+    utype: np.dtype            #: same-width unsigned integer dtype
+    fullbits: int              #: total bits (Formula (4)'s ``fullbits``)
+    mant_bits: int             #: mantissa width
+    exp_bits: int              #: exponent width
+    exp_bias: int              #: exponent bias
+    se_bits: int               #: sign + exponent prefix width (``SE``)
+    lead_code_bits: int        #: bits per leading-byte code in the stream
+    code: int                  #: dtype code stored in the stream header
+
+    @property
+    def itemsize(self) -> int:
+        return self.fullbits // 8
+
+    @property
+    def max_lead(self) -> int:
+        """Largest representable identical-leading-byte count."""
+        return (1 << self.lead_code_bits) - 1
+
+    @property
+    def exp_mask(self) -> int:
+        return (1 << self.exp_bits) - 1
+
+
+FLOAT32 = DtypeTraits(
+    dtype=np.dtype(np.float32),
+    utype=np.dtype(np.uint32),
+    fullbits=32,
+    mant_bits=23,
+    exp_bits=8,
+    exp_bias=127,
+    se_bits=9,
+    lead_code_bits=2,
+    code=0,
+)
+
+# float64 support is a documented format extension: a 64-bit word has up to
+# 8 bytes, so leading-byte codes widen to 3 bits (0..7) instead of the
+# paper's 2-bit codes for float32.
+FLOAT64 = DtypeTraits(
+    dtype=np.dtype(np.float64),
+    utype=np.dtype(np.uint64),
+    fullbits=64,
+    mant_bits=52,
+    exp_bits=11,
+    exp_bias=1023,
+    se_bits=12,
+    lead_code_bits=3,
+    code=1,
+)
+
+_TRAITS_BY_DTYPE = {
+    FLOAT32.dtype: FLOAT32,
+    FLOAT64.dtype: FLOAT64,
+}
+_TRAITS_BY_CODE = {t.code: t for t in (FLOAT32, FLOAT64)}
+
+
+def traits_for(dtype) -> DtypeTraits:
+    """Return the :class:`DtypeTraits` for *dtype*.
+
+    Raises ``TypeError`` for unsupported dtypes (integers, float16, ...).
+    """
+    dt = np.dtype(dtype)
+    try:
+        return _TRAITS_BY_DTYPE[dt]
+    except KeyError:
+        raise TypeError(
+            f"SZx supports float32 and float64, not {dt}"
+        ) from None
+
+
+def traits_for_code(code: int) -> DtypeTraits:
+    """Return traits for a header dtype *code*."""
+    try:
+        return _TRAITS_BY_CODE[code]
+    except KeyError:
+        raise ValueError(f"unknown dtype code {code} in stream") from None

@@ -1,0 +1,119 @@
+"""SZx-L: optional lossless post-stage (the paper's future work).
+
+Section 8 names "further improve compression ratios of SZx" as future
+work; the follow-up SZx versions add exactly this kind of stage.  SZx-L
+wraps a standard SZx stream and, when it pays off, compresses each
+section (type bitmap, constant-μ array, zsize array, payload) with the
+repository's lossless codec.  Sections that do not shrink are stored
+raw, so SZx-L is never more than a few bytes larger than SZx.
+
+The wrapper preserves SZx's strict error bound (the inner stream is
+reconstructed bit-exactly before decoding) and trades compression and
+decompression speed for ratio — quantified by the ablation benchmark
+``benchmarks/test_ablation_tradeoffs.py``.
+
+Format::
+
+    'SZXL' | flags u8 | 4 x (u64 stored length | u8 is_compressed) |
+    stored sections
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..lossless import lossless_compress, lossless_decompress
+from .api import compress_components
+from .constants import DEFAULT_BLOCK_SIZE
+from .header import decode_header
+from .stream import StreamComponents
+from .vectorized import decompress_vectorized
+
+_MAGIC = b"SZXL"
+_SECTION = struct.Struct("<QB")
+
+
+def _pack_section(raw: bytes) -> bytes:
+    packed = lossless_compress(raw)
+    if len(packed) < len(raw):
+        return _SECTION.pack(len(packed), 1) + packed
+    return _SECTION.pack(len(raw), 0) + raw
+
+
+def _unpack_section(buf: bytes, off: int):
+    if len(buf) < off + _SECTION.size:
+        raise ValueError("szx-l stream truncated in section header")
+    length, is_compressed = _SECTION.unpack_from(buf, off)
+    off += _SECTION.size
+    if len(buf) < off + length:
+        raise ValueError("szx-l stream truncated in section body")
+    body = buf[off : off + length]
+    if is_compressed:
+        body = lossless_decompress(body)
+    return bytes(body), off + length
+
+
+def compress_extended(
+    data: np.ndarray,
+    err_bound: float,
+    *,
+    mode: str = "abs",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> bytes:
+    """Compress with SZx, then losslessly pack each stream section."""
+    comp = compress_components(data, err_bound, mode=mode, block_size=block_size)
+    h = comp.header
+    bitmap = np.packbits(
+        comp.nonconst_mask.astype(np.uint8), bitorder="little"
+    ).tobytes()
+    sections = [
+        bitmap,
+        np.ascontiguousarray(comp.const_mu, dtype=h.traits.dtype).tobytes(),
+        np.ascontiguousarray(comp.zsizes, dtype="<u2").tobytes(),
+        comp.payload,
+    ]
+    out = [_MAGIC, bytes([0]), h.encode()]
+    out.extend(_pack_section(s) for s in sections)
+    return b"".join(out)
+
+
+def decompress_extended(stream: bytes) -> np.ndarray:
+    """Reconstruct the array from an SZx-L stream."""
+    buf = bytes(stream)
+    if buf[:4] != _MAGIC:
+        raise ValueError("bad SZx-L magic; not an extended stream")
+    off = 5
+    header = decode_header(buf[off:])
+    off += header.size
+
+    sections = []
+    for _ in range(4):
+        body, off = _unpack_section(buf, off)
+        sections.append(body)
+    bitmap, mu_bytes, zsize_bytes, payload = sections
+
+    traits = header.traits
+    nonconst_mask = np.unpackbits(
+        np.frombuffer(bitmap, dtype=np.uint8), bitorder="little"
+    )[: header.n_blocks].astype(bool)
+    if int(nonconst_mask.sum()) != header.n_nonconst:
+        raise ValueError("szx-l bitmap disagrees with header counts")
+    comp = StreamComponents(
+        header=header,
+        nonconst_mask=nonconst_mask,
+        const_mu=np.frombuffer(mu_bytes, dtype=traits.dtype, count=header.n_const),
+        zsizes=np.frombuffer(zsize_bytes, dtype="<u2", count=header.n_nonconst).astype(
+            np.uint16
+        ),
+        payload=payload,
+    )
+    if int(comp.zsizes.sum(dtype=np.int64)) != len(payload):
+        raise ValueError("szx-l payload length disagrees with zsize array")
+    return decompress_vectorized(comp)
+
+
+def is_extended_stream(stream: bytes) -> bool:
+    """True when *stream* is SZx-L rather than plain SZx."""
+    return bytes(stream[:4]) == _MAGIC

@@ -1,0 +1,104 @@
+"""SZx stream header encoding/decoding.
+
+The header is deliberately simple and fixed-layout (little-endian
+throughout) so that a cold reader — e.g. a decompression thread that only
+knows the byte offset of its section, as in the OpenMP design of
+Section 6.1 — can locate every section without touching the payload.
+
+Layout::
+
+    offset  size  field
+    0       4     magic  b"SZX1"
+    4       1     version (currently 1)
+    5       1     dtype code (0 = float32, 1 = float64)
+    6       1     flags (reserved, 0)
+    7       1     ndim of the original array (0 for an unknown shape)
+    8       8     n            — number of elements (uint64)
+    16      4     block_size   (uint32)
+    20      8     error bound  — absolute bound actually applied (float64)
+    28      4     n_blocks     (uint32)
+    32      4     n_const      — number of constant blocks (uint32)
+    36      8*ndim  original shape (uint64 each)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .constants import STREAM_MAGIC, DtypeTraits, traits_for_code
+
+_FIXED = struct.Struct("<4sBBBBQIdII")
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Decoded SZx stream header."""
+
+    traits: DtypeTraits
+    n: int
+    block_size: int
+    err_bound: float
+    n_blocks: int
+    n_const: int
+    shape: tuple = field(default=())
+
+    @property
+    def n_nonconst(self) -> int:
+        return self.n_blocks - self.n_const
+
+    @property
+    def size(self) -> int:
+        """Encoded header size in bytes."""
+        return _FIXED.size + 8 * len(self.shape)
+
+    def encode(self) -> bytes:
+        if len(self.shape) > 255:
+            raise ValueError("too many dimensions")
+        fixed = _FIXED.pack(
+            STREAM_MAGIC,
+            VERSION,
+            self.traits.code,
+            0,
+            len(self.shape),
+            self.n,
+            self.block_size,
+            float(self.err_bound),
+            self.n_blocks,
+            self.n_const,
+        )
+        dims = struct.pack(f"<{len(self.shape)}Q", *self.shape)
+        return fixed + dims
+
+
+def decode_header(buf: bytes) -> StreamHeader:
+    """Decode a header from the start of *buf*.
+
+    Raises ``ValueError`` on bad magic, version, or truncated input.
+    """
+    if len(buf) < _FIXED.size:
+        raise ValueError("stream too short for SZx header")
+    magic, version, code, _flags, ndim, n, bs, e, n_blocks, n_const = _FIXED.unpack(
+        buf[: _FIXED.size]
+    )
+    if magic != STREAM_MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not an SZx stream")
+    if version != VERSION:
+        raise ValueError(f"unsupported SZx stream version {version}")
+    end = _FIXED.size + 8 * ndim
+    if len(buf) < end:
+        raise ValueError("stream truncated inside header shape")
+    shape = struct.unpack(f"<{ndim}Q", buf[_FIXED.size : end]) if ndim else ()
+    header = StreamHeader(
+        traits=traits_for_code(code),
+        n=n,
+        block_size=bs,
+        err_bound=e,
+        n_blocks=n_blocks,
+        n_const=n_const,
+        shape=tuple(int(d) for d in shape),
+    )
+    if header.n_const > header.n_blocks:
+        raise ValueError("corrupt header: n_const exceeds n_blocks")
+    return header

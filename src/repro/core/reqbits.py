@@ -1,0 +1,79 @@
+"""Required-length (Formula (4)) and right-shift (Formula (5)) computation.
+
+The required length :math:`R_k` of a non-constant block is the number of
+leading bits of each normalized value's IEEE representation that must be
+kept so truncation error stays within the user error bound *e*:
+
+.. math::
+
+   R_k = \\mathrm{clamp}(SE + p(r_k) - p(e) + 1,\\ SE,\\ fullbits)
+
+where ``SE`` is the sign+exponent prefix width, ``p(x)`` the unbiased IEEE
+exponent, and ``r_k`` the block's variation radius.  The ``+1`` guard bit
+(also present in the reference SZx code base) absorbs the one-exponent
+headroom a normalized value can gain when the subtraction ``d - mu``
+rounds upward past a power of two.  Keeping the top ``R_k`` bits of a word
+with value exponent ``E <= p(r_k) + 1`` zeroes the low ``fullbits - R_k``
+mantissa bits, so the introduced error is strictly below
+``2^(E + SE - R_k) <= 2^(p(e)) <= e``.
+
+The right-shift count *s* (Solution C, Section 5.1) pads ``R_k`` up to the
+next byte boundary so mid-byte commits are plain memory copies:
+
+.. math::
+
+   s = (8 - R_k \\bmod 8) \\bmod 8
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import DtypeTraits
+from .bits import exponent, scalar_exponent
+
+
+def required_length(radius, err_bound: float, traits: DtypeTraits):
+    """Required bit length ``R_k`` for block radius/radii *radius*.
+
+    *radius* may be a scalar or an array (one entry per block); the result
+    matches its shape.  ``err_bound`` must be positive and finite.
+    """
+    if not (err_bound > 0.0) or not np.isfinite(err_bound):
+        raise ValueError(f"error bound must be positive and finite, got {err_bound}")
+    # Both exponents are taken in float64 (no cast to the data dtype —
+    # that would flush subnormal radii/bounds).  The *radius* exponent is
+    # additionally clamped from below at the dtype's minimum normal
+    # exponent: a subnormal word's mantissa bits carry the same absolute
+    # weights as a minimum-exponent normal's, so that is the exponent the
+    # bit-layout analysis must use.  The *bound* exponent stays exact —
+    # saturating it upward would under-count the required bits.
+    rad = np.asarray(radius, dtype=np.float64)
+    emin = 1 - traits.exp_bias
+    p_r = np.maximum(exponent(rad, traits), emin)
+    p_e = scalar_exponent(err_bound, traits)
+    req = traits.se_bits + p_r - p_e + 1
+    req = np.clip(req, traits.se_bits, traits.fullbits)
+    return req.astype(np.int64)
+
+
+def shift_for(req_length):
+    """Right-shift count ``s`` that byte-aligns *req_length* (Formula (5))."""
+    req = np.asarray(req_length, dtype=np.int64)
+    return (8 - req % 8) % 8
+
+
+def required_bytes(req_length):
+    """Bytes kept per value after right shifting: ``(R_k + s) / 8``."""
+    req = np.asarray(req_length, dtype=np.int64)
+    return (req + shift_for(req)) // 8
+
+
+def truncation_mask(req_bytes, traits: DtypeTraits) -> np.ndarray:
+    """Mask keeping the top ``req_bytes`` bytes of a word."""
+    rb = np.asarray(req_bytes, dtype=np.int64)
+    drop = (traits.itemsize - rb) * 8
+    full = np.iinfo(traits.utype).max
+    return (traits.utype.type(full) >> drop.astype(traits.utype)).astype(
+        traits.utype
+    ) << drop.astype(traits.utype)

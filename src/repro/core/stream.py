@@ -1,0 +1,126 @@
+"""SZx stream container: section assembly and parsing.
+
+Both engines (scalar reference and vectorized) produce the same
+:class:`StreamComponents`; this module owns the byte layout so the two
+engines stay byte-identical by construction.
+
+Sections, in order, after the header:
+
+1. **type bitmap** — one bit per block, 1 = non-constant
+   (the paper's ``type_array``), packed LSB-first;
+2. **constant-μ array** — one value (data dtype) per constant block;
+3. **zsize array** — uint16 compressed payload size per non-constant block
+   (Section 6.1's ``zsize_array``: the prefix sum gives every thread its
+   start offset during parallel decompression);
+4. **payloads** — per non-constant block:
+   ``R (1 byte) | μ (itemsize) | packed leading codes | mid-bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import DtypeTraits
+from .header import StreamHeader, decode_header
+
+#: Fixed per-payload prefix: required-length byte + μ.
+def payload_prefix_size(traits: DtypeTraits) -> int:
+    return 1 + traits.itemsize
+
+
+def lead_section_size(block_len: int, traits: DtypeTraits) -> int:
+    """Bytes used by the packed leading-code section of one block."""
+    return (block_len * traits.lead_code_bits + 7) // 8
+
+
+@dataclass
+class StreamComponents:
+    """All sections of an SZx stream, pre-assembly."""
+
+    header: StreamHeader
+    nonconst_mask: np.ndarray  # bool, one per block
+    const_mu: np.ndarray       # data dtype, one per constant block
+    zsizes: np.ndarray         # uint16, one per non-constant block
+    payload: bytes             # concatenated non-constant payloads
+
+    def to_bytes(self) -> bytes:
+        h = self.header
+        if self.nonconst_mask.size != h.n_blocks:
+            raise ValueError("type bitmap length mismatch")
+        if self.const_mu.size != h.n_const:
+            raise ValueError("constant-mu array length mismatch")
+        if self.zsizes.size != h.n_nonconst:
+            raise ValueError("zsize array length mismatch")
+        if int(self.zsizes.sum(dtype=np.int64)) != len(self.payload):
+            raise ValueError("payload length disagrees with zsize array")
+        bitmap = np.packbits(
+            self.nonconst_mask.astype(np.uint8), bitorder="little"
+        ).tobytes()
+        return b"".join(
+            (
+                h.encode(),
+                bitmap,
+                np.ascontiguousarray(self.const_mu, dtype=h.traits.dtype).tobytes(),
+                np.ascontiguousarray(self.zsizes, dtype="<u2").tobytes(),
+                self.payload,
+            )
+        )
+
+
+def parse_stream(buf: bytes) -> StreamComponents:
+    """Split *buf* into its sections (no payload decoding).
+
+    Raises ``ValueError`` on truncation or inconsistent section sizes.
+    """
+    header = decode_header(buf)
+    traits = header.traits
+    off = header.size
+
+    bitmap_bytes = (header.n_blocks + 7) // 8
+    end = off + bitmap_bytes
+    if len(buf) < end:
+        raise ValueError("stream truncated in type bitmap")
+    bitmap = np.frombuffer(buf, dtype=np.uint8, count=bitmap_bytes, offset=off)
+    nonconst_mask = np.unpackbits(bitmap, bitorder="little")[: header.n_blocks].astype(
+        bool
+    )
+    if int(nonconst_mask.sum()) != header.n_nonconst:
+        raise ValueError("type bitmap disagrees with header block counts")
+    off = end
+
+    end = off + header.n_const * traits.itemsize
+    if len(buf) < end:
+        raise ValueError("stream truncated in constant-mu array")
+    const_mu = np.frombuffer(buf, dtype=traits.dtype, count=header.n_const, offset=off)
+    off = end
+
+    end = off + header.n_nonconst * 2
+    if len(buf) < end:
+        raise ValueError("stream truncated in zsize array")
+    zsizes = np.frombuffer(buf, dtype="<u2", count=header.n_nonconst, offset=off)
+    off = end
+
+    total = int(zsizes.sum(dtype=np.int64))
+    if len(buf) < off + total:
+        raise ValueError("stream truncated in payload section")
+    payload = buf[off : off + total]
+    return StreamComponents(
+        header=header,
+        nonconst_mask=nonconst_mask,
+        const_mu=const_mu,
+        zsizes=zsizes.astype(np.uint16),
+        payload=payload,
+    )
+
+
+def payload_offsets(zsizes: np.ndarray) -> np.ndarray:
+    """Start offset of every non-constant payload (exclusive prefix sum).
+
+    This is the prefix-sum step the paper's parallel decompressor performs
+    so each thread can seek to its own blocks (Section 6.1).
+    """
+    out = np.zeros(zsizes.size + 1, dtype=np.int64)
+    np.cumsum(zsizes.astype(np.int64), out=out[1:])
+    return out

@@ -1,0 +1,129 @@
+"""Temporal compression of simulation snapshot sequences.
+
+The paper's datasets are time-evolving (Hurricane ISABEL ships 48 time
+steps per field); consecutive snapshots differ far less than their
+values span.  This module compresses a sequence by choosing, per frame,
+between **direct** SZx compression and compressing the **delta** against
+the previous *reconstructed* frame — whichever is smaller.  Using the
+reconstructed (not original) predecessor keeps the error bound strict
+with no drift across arbitrarily long sequences.
+
+Container format::
+
+    'SZXT' | version u8 | n_frames u32 |
+    per frame: kind u8 (0 direct, 1 delta) | length u64 | SZx stream
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .api import compress, decompress
+from .constants import DEFAULT_BLOCK_SIZE, traits_for
+
+_MAGIC = b"SZXT"
+_VERSION = 1
+_HEAD = struct.Struct("<4sBI")
+_FRAME = struct.Struct("<BQ")
+
+_KIND_DIRECT = 0
+_KIND_DELTA = 1
+
+
+def compress_sequence(
+    frames,
+    err_bound: float,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> bytes:
+    """Compress an iterable of equally-shaped snapshots.
+
+    *err_bound* is the absolute per-point bound applied to **every**
+    frame (temporal prediction cannot loosen it: deltas are taken
+    against reconstructions, so each frame's error is exactly its own
+    codec error).
+    """
+    frames = list(frames)
+    if not frames:
+        return _HEAD.pack(_MAGIC, _VERSION, 0)
+    shape = np.shape(frames[0])
+    dtype = np.asarray(frames[0]).dtype
+    traits = traits_for(dtype)
+
+    out = [_HEAD.pack(_MAGIC, _VERSION, len(frames))]
+    prev_recon = None
+    for i, frame in enumerate(frames):
+        arr = np.asarray(frame)
+        if arr.shape != shape or arr.dtype != dtype:
+            raise ValueError(
+                f"frame {i}: shape/dtype {arr.shape}/{arr.dtype} differs "
+                f"from first frame {shape}/{dtype}"
+            )
+        direct = compress(arr, err_bound, block_size=block_size)
+        best_kind, best = _KIND_DIRECT, direct
+        best_recon = None
+        if prev_recon is not None:
+            delta = (arr.astype(np.float64) - prev_recon.astype(np.float64)).astype(
+                traits.dtype
+            )
+            delta_stream = compress(delta, err_bound, block_size=block_size)
+            if len(delta_stream) < len(direct):
+                # The delta path adds two float casts beyond the codec's
+                # own error, so verify the decoder-identical reconstruction
+                # before committing to it (fall back to direct otherwise).
+                candidate = (
+                    prev_recon.astype(np.float64)
+                    + decompress(delta_stream).astype(np.float64)
+                ).astype(traits.dtype)
+                worst = np.abs(
+                    arr.astype(np.float64) - candidate.astype(np.float64)
+                ).max(initial=0.0)
+                if worst <= err_bound:
+                    best_kind, best = _KIND_DELTA, delta_stream
+                    best_recon = candidate
+        out.append(_FRAME.pack(best_kind, len(best)))
+        out.append(best)
+        # Track the reconstruction the decoder will hold.
+        prev_recon = decompress(best) if best_recon is None else best_recon
+    return b"".join(out)
+
+
+def decompress_sequence(stream: bytes):
+    """Reconstruct the list of snapshots from a temporal container."""
+    buf = bytes(stream)
+    if len(buf) < _HEAD.size:
+        raise ValueError("temporal stream too short")
+    magic, version, n_frames = _HEAD.unpack_from(buf)
+    if magic != _MAGIC:
+        raise ValueError("bad temporal-container magic")
+    if version != _VERSION:
+        raise ValueError(f"unsupported temporal-container version {version}")
+
+    frames = []
+    off = _HEAD.size
+    prev = None
+    for i in range(n_frames):
+        if len(buf) < off + _FRAME.size:
+            raise ValueError(f"temporal stream truncated at frame {i}")
+        kind, length = _FRAME.unpack_from(buf, off)
+        off += _FRAME.size
+        if len(buf) < off + length:
+            raise ValueError(f"temporal stream truncated in frame {i} body")
+        body = buf[off : off + length]
+        off += length
+        if kind == _KIND_DIRECT:
+            frame = decompress(body)
+        elif kind == _KIND_DELTA:
+            if prev is None:
+                raise ValueError("delta frame with no predecessor")
+            delta = decompress(body)
+            frame = (
+                prev.astype(np.float64) + delta.astype(np.float64)
+            ).astype(prev.dtype)
+        else:
+            raise ValueError(f"unknown frame kind {kind}")
+        frames.append(frame)
+        prev = frame
+    return frames

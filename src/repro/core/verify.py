@@ -1,0 +1,116 @@
+"""Structural verification of SZx streams (an ``fsck`` for the format).
+
+``verify_stream`` walks every invariant a well-formed stream must
+satisfy — header consistency, bitmap/count agreement, zsize accounting,
+per-block required-length ranges, leading-code sanity, and payload-size
+arithmetic — and reports them all instead of stopping at the first
+problem.  Useful when debugging writers in other languages against this
+format, and used by the fuzz tests as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .blocks import BlockLayout
+from .constants import MAX_BLOCK_SIZE, MIN_BLOCK_SIZE
+from .header import decode_header
+from .reqbits import required_bytes
+from .stream import lead_section_size, parse_stream, payload_offsets, payload_prefix_size
+from .vectorized import _unpack_lead_rows
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_stream`."""
+
+    ok: bool = True
+    errors: list = field(default_factory=list)
+    n_blocks: int = 0
+    n_const: int = 0
+    payload_bytes: int = 0
+
+    def add(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+
+def verify_stream(stream: bytes) -> VerificationReport:
+    """Check every structural invariant of *stream*; never raises."""
+    report = VerificationReport()
+    buf = bytes(stream)
+
+    try:
+        header = decode_header(buf)
+    except Exception as exc:  # noqa: BLE001 - the point is to report
+        report.add(f"header: {exc}")
+        return report
+
+    if not MIN_BLOCK_SIZE <= header.block_size <= MAX_BLOCK_SIZE:
+        report.add(f"header: block size {header.block_size} out of range")
+    if not (header.err_bound > 0) or not np.isfinite(header.err_bound):
+        report.add(f"header: bad error bound {header.err_bound}")
+    layout = BlockLayout(header.n, max(header.block_size, 1))
+    if layout.n_blocks != header.n_blocks:
+        report.add(
+            f"header: n_blocks {header.n_blocks} inconsistent with "
+            f"n={header.n}, block_size={header.block_size} "
+            f"(expected {layout.n_blocks})"
+        )
+
+    try:
+        comp = parse_stream(buf)
+    except Exception as exc:  # noqa: BLE001
+        report.add(f"sections: {exc}")
+        return report
+
+    report.n_blocks = header.n_blocks
+    report.n_const = header.n_const
+    report.payload_bytes = len(comp.payload)
+
+    traits = header.traits
+    offsets = payload_offsets(comp.zsizes)
+    payload = np.frombuffer(comp.payload, dtype=np.uint8)
+    nonconst_ids = np.nonzero(comp.nonconst_mask)[0]
+
+    for slot, block_id in enumerate(nonconst_ids):
+        start, end = int(offsets[slot]), int(offsets[slot + 1])
+        block_len = layout.block_length(int(block_id))
+        prefix = payload_prefix_size(traits)
+        lead_bytes = lead_section_size(block_len, traits)
+        if end - start < prefix + lead_bytes:
+            report.add(
+                f"block {block_id}: payload {end - start}B shorter than "
+                f"fixed sections ({prefix + lead_bytes}B)"
+            )
+            continue
+        req = int(payload[start])
+        if not traits.se_bits <= req <= traits.fullbits:
+            report.add(f"block {block_id}: required length {req} out of range")
+            continue
+        nbytes = int(required_bytes(req))
+        packed = payload[start + prefix : start + prefix + lead_bytes]
+        leads = _unpack_lead_rows(
+            packed[None, :], traits.lead_code_bits, block_len
+        )[0]
+        if int(leads.max(initial=0)) > nbytes:
+            report.add(
+                f"block {block_id}: leading count exceeds required bytes"
+            )
+            continue
+        expected_mids = int(nbytes * block_len - int(leads.sum()))
+        actual_mids = end - start - prefix - lead_bytes
+        if expected_mids != actual_mids:
+            report.add(
+                f"block {block_id}: mid-byte count {actual_mids} != "
+                f"leading-code accounting {expected_mids}"
+            )
+
+    if int(offsets[-1]) != len(comp.payload):
+        report.add(
+            f"payload: zsize total {int(offsets[-1])} != payload "
+            f"length {len(comp.payload)}"
+        )
+    return report

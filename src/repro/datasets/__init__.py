@@ -1,0 +1,31 @@
+"""Synthetic stand-ins for the six SDRBench applications of Table 2."""
+
+from .registry import (
+    APPLICATION_NAMES,
+    SCALES,
+    Application,
+    FieldSpec,
+    all_applications,
+    get_application,
+)
+from .synthetic import (
+    gaussian_random_field,
+    intermittent_field,
+    lognormal_field,
+    ramp_field,
+    wave_field,
+)
+
+__all__ = [
+    "APPLICATION_NAMES",
+    "SCALES",
+    "Application",
+    "FieldSpec",
+    "all_applications",
+    "get_application",
+    "gaussian_random_field",
+    "intermittent_field",
+    "lognormal_field",
+    "ramp_field",
+    "wave_field",
+]

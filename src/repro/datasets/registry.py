@@ -1,0 +1,321 @@
+"""Registry of the six applications of Table 2 with synthetic stand-ins.
+
+Each application mirrors its SDRBench original in dimensionality, relative
+field count, and smoothness class (see DESIGN.md substitution table).
+Shapes are scaled by a named *scale* so tests and benchmarks can trade
+fidelity for runtime:
+
+========  ==========================================
+scale     per-field size (approximately)
+========  ==========================================
+tiny      ~64 KB    (unit tests)
+small     ~1 MB     (default for benchmarks)
+medium    ~8 MB     (closer-to-paper benchmarks)
+paper     the shapes of Table 2 (hundreds of MB)
+========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from . import synthetic as syn
+
+SCALES = ("tiny", "small", "medium", "paper")
+
+# Per-scale total element-count reduction relative to Table 2's shapes.
+# The LAST axis is never shrunk: SZx blocks run along it (C order), so
+# keeping its resolution preserves the paper's block-level smoothness
+# statistics (Fig. 2) exactly; only the number of rows shrinks.
+_REDUCTION = {"tiny": 512, "small": 64, "medium": 8, "paper": 1}
+
+
+def _scaled(shape, scale):
+    red = _REDUCTION[scale]
+    if red == 1 or len(shape) == 1:
+        return tuple(int(s) for s in shape)
+    lead = shape[:-1]
+    per_axis = red ** (1.0 / len(lead))
+    return tuple(max(4, int(round(s / per_axis))) for s in lead) + (int(shape[-1]),)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named field of an application."""
+
+    name: str
+    shape: tuple
+    generator: object  # callable(shape, seed) -> ndarray
+
+    def generate(self, seed: int) -> np.ndarray:
+        return self.generator(self.shape, seed=seed)
+
+
+@dataclass(frozen=True)
+class Application:
+    """A scientific application dataset: a bundle of named fields."""
+
+    name: str
+    abbrev: str
+    description: str
+    specs: tuple
+
+    @property
+    def field_names(self):
+        return [s.name for s in self.specs]
+
+    def field(self, name: str) -> np.ndarray:
+        """Generate one field by name (deterministic)."""
+        for i, spec in enumerate(self.specs):
+            if spec.name == name:
+                return spec.generate(seed=_seed(self.name, i))
+        raise KeyError(f"{self.name} has no field {name!r}")
+
+    def fields(self):
+        """Yield ``(name, data)`` for every field."""
+        for i, spec in enumerate(self.specs):
+            yield spec.name, spec.generate(seed=_seed(self.name, i))
+
+
+def _seed(app_name: str, index: int) -> int:
+    # zlib.crc32 is stable across processes (unlike built-in str hash,
+    # which is randomized per interpreter and would break determinism).
+    import zlib
+
+    return (zlib.crc32(app_name.encode()) & 0xFFFF) * 1000 + index
+
+
+def _adjusted_slope(slope: float, shape, ref_shape) -> float:
+    """Scale-compensate a spectral slope.
+
+    A block's *relative* value range under a ``k^-slope`` spectrum scales
+    like ``(N / b)^(-slope/2)`` (block scale vs box scale), so a field
+    shrunk from the paper's shape must steepen its spectrum to keep the
+    same block-level smoothness — the property Fig. 2 shows and every
+    compressor in Table 3 exploits.  Solving for equal relative block
+    range at b=8 gives ``slope * ln(N_ref/8) / ln(N/8)``.
+    """
+
+    n, n_ref = float(shape[-1]), float(ref_shape[-1])
+    if n >= n_ref:
+        return slope
+    adj = slope * np.log(max(n_ref / 8.0, 2.0)) / np.log(max(n / 8.0, 2.0))
+    return float(min(adj, 14.0))
+
+
+def _grf(slope, lo=0.0, hi=1.0, ref_shape=None):
+    def gen(shape, seed):
+        eff = _adjusted_slope(slope, shape, ref_shape or shape)
+        f = syn.gaussian_random_field(shape, slope=eff, seed=seed)
+        f -= f.min()
+        peak = f.max()
+        if peak > 0:
+            f /= peak
+        return (lo + (hi - lo) * f).astype(np.float32)
+
+    return gen
+
+
+def _plumes(coverage, amplitude=1.0, slope=3.0, ref_shape=None):
+    def gen(shape, seed):
+        eff = _adjusted_slope(slope, shape, ref_shape or shape)
+        return syn.intermittent_field(
+            shape, coverage=coverage, amplitude=amplitude, slope=eff, seed=seed
+        )
+
+    return gen
+
+
+def _lognormal(sigma, slope=2.5, ref_shape=None):
+    def gen(shape, seed):
+        eff = _adjusted_slope(slope, shape, ref_shape or shape)
+        return syn.lognormal_field(shape, sigma=sigma, slope=eff, seed=seed)
+
+    return gen
+
+
+def _two_phase(lo, hi, width=0.12, fluctuation=3e-4, slope=5.0):
+    def gen(shape, seed):
+        return syn.two_phase_field(
+            shape, lo=lo, hi=hi, width=width, fluctuation=fluctuation,
+            slope=slope, seed=seed,
+        )
+
+    return gen
+
+
+def _envelope(amplitude, width=0.2, turb_slope=4.0):
+    def gen(shape, seed):
+        return syn.enveloped_turbulence(
+            shape, amplitude=amplitude, width=width, turb_slope=turb_slope, seed=seed
+        )
+
+    return gen
+
+
+def _cesm(scale: str) -> Application:
+    ref = (1800, 3600)
+    shape = _scaled(ref, scale)
+    specs = [
+        FieldSpec("CLDHGH", shape, _plumes(0.25, slope=3.0, ref_shape=ref)),
+        FieldSpec("CLDLOW", shape, _plumes(0.35, slope=3.0, ref_shape=ref)),
+        FieldSpec("PHIS", shape, partial(syn.ramp_field, noise=1e-5)),
+        FieldSpec("TS", shape, _two_phase(220.0, 310.0, width=0.30, fluctuation=2e-3)),
+        FieldSpec("PSL", shape, _grf(3.5, 9.5e4, 1.05e5, ref)),
+        FieldSpec("U200", shape, _envelope(60.0, width=0.35, turb_slope=3.2)),
+        FieldSpec("FLNS", shape, _plumes(0.30, amplitude=150.0, ref_shape=ref)),
+        FieldSpec("PRECT", shape, _plumes(0.1, amplitude=1e-7, ref_shape=ref)),
+    ]
+    return Application(
+        "CESM-ATM", "CE.", "Community Earth System Model atmosphere (2D)", tuple(specs)
+    )
+
+
+def _hurricane(scale: str) -> Application:
+    ref = (100, 500, 500)
+    shape = _scaled(ref, scale)
+    specs = [
+        FieldSpec("CLOUD", shape, _plumes(0.07, amplitude=1e-3, ref_shape=ref)),
+        FieldSpec("QSNOW", shape, _plumes(0.05, amplitude=1e-3, ref_shape=ref)),
+        FieldSpec("QVAPOR", shape, _plumes(0.35, amplitude=0.02, ref_shape=ref)),
+        FieldSpec("U", shape, _envelope(40.0, width=0.45, turb_slope=3.5)),
+        FieldSpec("V", shape, _envelope(40.0, width=0.45, turb_slope=3.5)),
+        FieldSpec("W", shape, _envelope(10.0, width=0.35, turb_slope=3.0)),
+        FieldSpec("TC", shape, _two_phase(-60.0, 30.0, width=0.30, fluctuation=2e-3)),
+        FieldSpec("P", shape, _two_phase(-2000.0, 2000.0, width=0.25, fluctuation=1e-3)),
+        FieldSpec("QCLOUD", shape, _plumes(0.06, amplitude=2e-3, ref_shape=ref)),
+        FieldSpec("QRAIN", shape, _plumes(0.04, amplitude=1e-3, ref_shape=ref)),
+        FieldSpec("QICE", shape, _plumes(0.03, amplitude=5e-4, ref_shape=ref)),
+        FieldSpec("QGRAUP", shape, _plumes(0.02, amplitude=5e-4, ref_shape=ref)),
+        FieldSpec("PRECIP", shape, _plumes(0.08, amplitude=1e-4, ref_shape=ref)),
+    ]
+    # 13 fields, matching Table 2's Hurricane field count.
+    return Application(
+        "Hurricane", "Hu.", "Hurricane ISABEL climate simulation (3D)", tuple(specs)
+    )
+
+
+def _miranda(scale: str) -> Application:
+    # Miranda is the smoothest dataset of the six: large-eddy turbulence.
+    ref = (256, 384, 384)
+    shape = _scaled(ref, scale)
+    specs = [
+        FieldSpec("density", shape, _two_phase(1.0, 2.5, width=0.08)),
+        FieldSpec("diffusivity", shape, _envelope(0.4, width=0.16)),
+        FieldSpec("pressure", shape, _two_phase(0.8, 4.0, width=0.10)),
+        FieldSpec("velocity-x", shape, _envelope(1.5, width=0.16)),
+        FieldSpec("velocity-y", shape, _envelope(1.2, width=0.16)),
+        FieldSpec("velocity-z", shape, _envelope(1.0, width=0.17)),
+        FieldSpec("viscocity", shape, _envelope(0.3, width=0.14)),
+    ]
+    return Application(
+        "Miranda", "Mi.", "Large-eddy turbulent-mixing simulation (3D)", tuple(specs)
+    )
+
+
+def _nyx(scale: str) -> Application:
+    ref = (512, 512, 512)
+    shape = _scaled(ref, scale)
+    specs = [
+        FieldSpec("baryon_density", shape, _lognormal(1.8, slope=4.0, ref_shape=ref)),
+        FieldSpec("dark_matter_density", shape, _lognormal(2.2, slope=4.0, ref_shape=ref)),
+        FieldSpec("temperature", shape, _two_phase(2e3, 5e6, width=0.10, fluctuation=1e-4)),
+        FieldSpec("velocity_x", shape, _envelope(3e7, width=0.20, turb_slope=4.0)),
+        FieldSpec("velocity_y", shape, _envelope(3e7, width=0.20, turb_slope=4.0)),
+        FieldSpec("velocity_z", shape, _envelope(3e7, width=0.22, turb_slope=4.0)),
+    ]
+    return Application(
+        "Nyx", "Ny.", "Adaptive-mesh cosmological simulation (3D)", tuple(specs)
+    )
+
+
+_QMC_SHAPES = {
+    "tiny": (2, 16, 69, 69),
+    "small": (8, 29, 69, 69),
+    "medium": (72, 58, 69, 69),
+    "paper": (288, 115, 69, 69),
+}
+
+
+def _qmcpack(scale: str) -> Application:
+    # Spatial planes stay at the paper's 69x69 so the orbital waves remain
+    # smooth at every scale; only orbital/plane counts shrink.
+    shape = _QMC_SHAPES[scale]
+
+    def orbital(shape, seed):
+        # Localized orbital: oscillatory wavefunction under a Gaussian
+        # envelope — near-zero in most of the cell, like einspline data.
+        base = syn.wave_field(shape[1:], modes=16, seed=seed).astype(np.float64)
+        grids = np.meshgrid(
+            *[np.linspace(-1, 1, n) for n in shape[1:]], indexing="ij", sparse=True
+        )
+        r2 = sum(g**2 for g in grids)
+        localized = base * np.exp(-6.0 * r2)
+        scale_per_orbital = np.linspace(0.5, 1.5, shape[0])
+        out = localized[None, ...] * scale_per_orbital[:, None, None, None]
+        return out.astype(np.float32)
+
+    specs = [
+        FieldSpec("einspline", shape, orbital),
+        FieldSpec("inspline", shape, orbital),
+    ]
+    return Application(
+        "QMCPack", "QM.", "Ab initio quantum Monte Carlo orbitals (4D)", tuple(specs)
+    )
+
+
+def _scale_letkf(scale: str) -> Application:
+    ref = (98, 1200, 1200)
+    shape = _scaled(ref, scale)
+    specs = [
+        FieldSpec("U", shape, _envelope(50.0, width=0.40, turb_slope=3.5)),
+        FieldSpec("V", shape, _envelope(50.0, width=0.40, turb_slope=3.5)),
+        FieldSpec("W", shape, _envelope(5.0, width=0.30, turb_slope=3.0)),
+        FieldSpec("T", shape, _two_phase(200.0, 320.0, width=0.22, fluctuation=1e-3)),
+        FieldSpec("PRES", shape, _two_phase(1e4, 1.05e5, width=0.20, fluctuation=3e-4)),
+        FieldSpec("QV", shape, _plumes(0.30, amplitude=0.02, ref_shape=ref)),
+        FieldSpec("QC", shape, _plumes(0.06, amplitude=1e-3, ref_shape=ref)),
+        FieldSpec("QR", shape, _plumes(0.04, amplitude=1e-3, ref_shape=ref)),
+        FieldSpec("QI", shape, _plumes(0.05, amplitude=5e-4, ref_shape=ref)),
+        FieldSpec("QS", shape, _plumes(0.04, amplitude=5e-4, ref_shape=ref)),
+        FieldSpec("QG", shape, _plumes(0.02, amplitude=5e-4, ref_shape=ref)),
+        FieldSpec("RHOT", shape, _two_phase(0.8, 1.3, width=0.25, fluctuation=1e-3)),
+    ]
+    # 12 fields, matching Table 2's SCALE-LetKF field count.
+    return Application(
+        "SCALE-LetKF", "SL.", "SCALE-RM weather with LETKF assimilation (3D)", tuple(specs)
+    )
+
+
+_BUILDERS = {
+    "CESM-ATM": _cesm,
+    "Hurricane": _hurricane,
+    "Miranda": _miranda,
+    "Nyx": _nyx,
+    "QMCPack": _qmcpack,
+    "SCALE-LetKF": _scale_letkf,
+}
+
+APPLICATION_NAMES = tuple(_BUILDERS)
+
+
+def get_application(name: str, scale: str = "small") -> Application:
+    """Build the named application at the given *scale*."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {APPLICATION_NAMES}"
+        ) from None
+    return builder(scale)
+
+
+def all_applications(scale: str = "small"):
+    """Yield every application of Table 2 at the given *scale*."""
+    for name in APPLICATION_NAMES:
+        yield get_application(name, scale)

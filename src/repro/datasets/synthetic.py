@@ -1,0 +1,186 @@
+"""Synthetic scientific-field generators.
+
+The paper evaluates on six SDRBench production datasets that are not
+redistributable here, so this module generates seeded statistical stand-ins
+(see DESIGN.md, substitutions table).  What SZx — and the baselines — care
+about is *local smoothness* (block value ranges, Fig. 2 of the paper) and
+dynamic range, so each generator controls exactly those properties:
+
+* :func:`gaussian_random_field` — power-law spectrum ``P(k) ~ k^-slope``;
+  larger slope = smoother field (most simulation fields look like this);
+* :func:`intermittent_field` — mostly-constant background with smooth
+  plumes (cloud/precipitation fields such as Hurricane CLOUD, QSNOW);
+* :func:`lognormal_field` — exp of a GRF: the huge-dynamic-range density
+  fields of cosmology runs (Nyx baryon density);
+* :func:`wave_field` — smooth oscillatory superposition (QMCPack-like
+  orbital slices);
+* :func:`ramp_field` — near-deterministic large-scale structure with tiny
+  noise, giving the very high CRs some CESM fields show (e.g. PHIS).
+
+All generators are deterministic in ``seed`` and return float32 by
+default (every dataset in Table 2 is single precision).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _wavenumber_grid(shape):
+    """|k| over the rFFT grid of *shape*."""
+    axes = [np.fft.fftfreq(n) for n in shape[:-1]]
+    axes.append(np.fft.rfftfreq(shape[-1]))
+    mesh = np.meshgrid(*axes, indexing="ij", sparse=True)
+    k2 = sum(m.astype(np.float64) ** 2 for m in mesh)
+    return np.sqrt(k2)
+
+
+def gaussian_random_field(
+    shape,
+    slope: float = 3.0,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Zero-mean, unit-std Gaussian random field with ``P(k) ~ k^-slope``."""
+    shape = tuple(int(s) for s in shape)
+    if any(s < 2 for s in shape):
+        raise ValueError(f"each dimension must be >= 2, got {shape}")
+    rng = np.random.default_rng(seed)
+    white = rng.normal(size=shape)
+    spec = np.fft.rfftn(white)
+    k = _wavenumber_grid(shape)
+    k0 = 1.0 / max(shape)  # rolls off the spectrum below the box scale
+    amp = (k + k0) ** (-slope / 2.0)
+    field = np.fft.irfftn(spec * amp, s=shape, axes=tuple(range(len(shape))))
+    field -= field.mean()
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field.astype(dtype)
+
+
+def intermittent_field(
+    shape,
+    coverage: float = 0.08,
+    amplitude: float = 1.0,
+    slope: float = 3.0,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Sparse smooth plumes over a zero background.
+
+    *coverage* is the active volume fraction.  The active region carries a
+    smooth positive signal; everything else is exactly zero — like cloud
+    water / snow mixing-ratio fields, which compress extremely well.
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ValueError("coverage must be in (0, 1)")
+    base = gaussian_random_field(shape, slope=slope, seed=seed, dtype=np.float64)
+    threshold = np.quantile(base, 1.0 - coverage)
+    plume = np.where(base > threshold, (base - threshold) * amplitude, 0.0)
+    return plume.astype(dtype)
+
+
+def lognormal_field(
+    shape,
+    sigma: float = 2.0,
+    slope: float = 2.5,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """exp(sigma * GRF): positive field with a huge dynamic range."""
+    base = gaussian_random_field(shape, slope=slope, seed=seed, dtype=np.float64)
+    return np.exp(sigma * base).astype(dtype)
+
+
+def wave_field(
+    shape,
+    modes: int = 12,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Smooth superposition of low-frequency plane waves."""
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(
+        *[np.linspace(0, 1, n, endpoint=False) for n in shape],
+        indexing="ij",
+        sparse=True,
+    )
+    field = np.zeros(shape, dtype=np.float64)
+    for _ in range(modes):
+        kvec = rng.integers(1, 6, size=len(shape))
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(0.2, 1.0)
+        arg = sum(2 * np.pi * k * c for k, c in zip(kvec, coords)) + phase
+        field += amp * np.sin(arg)
+    return field.astype(dtype)
+
+
+def two_phase_field(
+    shape,
+    lo: float = 1.0,
+    hi: float = 2.5,
+    width: float = 0.12,
+    fluctuation: float = 3e-4,
+    slope: float = 5.0,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Two plateau phases separated by a smooth mixing interface.
+
+    This is the structure of Miranda's mixing-simulation fields (density
+    sits at two material values with a turbulent interface): away from the
+    interface blocks are nearly constant, which is what gives the paper's
+    Fig. 2 its "80+% of blocks below 1% relative range" shape.  *width*
+    controls the interface thickness (smaller = more plateau volume);
+    *fluctuation* adds small in-phase noise relative to the phase contrast.
+    """
+    g = gaussian_random_field(shape, slope=slope, seed=seed, dtype=np.float64)
+    phase = 1.0 / (1.0 + np.exp(-g / width))
+    f = lo + (hi - lo) * phase
+    if fluctuation:
+        noise = gaussian_random_field(shape, slope=3.0, seed=seed + 7919, dtype=np.float64)
+        f = f + fluctuation * (hi - lo) * noise
+    return f.astype(dtype)
+
+
+def enveloped_turbulence(
+    shape,
+    amplitude: float = 1.0,
+    width: float = 0.2,
+    slope: float = 5.0,
+    turb_slope: float = 4.0,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Turbulent fluctuations confined to a mixing layer.
+
+    A Gaussian envelope around the zero level-set of a smooth field gates
+    a rougher turbulence field: quiescent (near-zero) away from the layer,
+    active inside it — the structure of velocity components in mixing and
+    storm simulations.
+    """
+    levelset = gaussian_random_field(shape, slope=slope, seed=seed, dtype=np.float64)
+    turb = gaussian_random_field(
+        shape, slope=turb_slope, seed=seed + 104729, dtype=np.float64
+    )
+    envelope = np.exp(-((levelset / width) ** 2))
+    return (amplitude * envelope * turb).astype(dtype)
+
+
+def ramp_field(
+    shape,
+    noise: float = 1e-4,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Large-scale deterministic ramp plus tiny noise (near-constant blocks)."""
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(
+        *[np.linspace(0, 1, n) for n in shape], indexing="ij", sparse=True
+    )
+    field = sum(c for c in coords) / len(shape)
+    field = np.asarray(field, dtype=np.float64) + noise * rng.normal(size=shape)
+    return field.astype(dtype)

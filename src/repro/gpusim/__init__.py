@@ -1,0 +1,36 @@
+"""GPU execution simulator and performance model for cuSZx.
+
+Two halves (see DESIGN.md substitution table):
+
+* a **functional simulator** (:mod:`warp`, :mod:`scan`,
+  :mod:`index_propagation`, :mod:`kernel`) that executes the cuSZx
+  kernels the way the CUDA implementation does — thread block per data
+  block, warp shuffles, two-level prefix scans (Solution 1), and
+  recursive-doubling index propagation for leading-byte dependence
+  chains (Solution 2, Figure 11) — and is tested to produce streams
+  byte-identical to the CPU engine;
+* an **analytic performance model** (:mod:`perfmodel`) with A100/V100
+  device specs that regenerates the throughput shape of Figures 14-15.
+"""
+
+from .device import A100, V100, DeviceSpec
+from .index_propagation import propagate_indices, resolve_chains_sequential
+from .kernel import cuszx_compress_sim, cuszx_decompress_sim
+from .perfmodel import gpu_throughput
+from .scan import block_prefix_sum
+from .warp import WARP_SIZE, warp_inclusive_scan, warp_shfl_up
+
+__all__ = [
+    "A100",
+    "V100",
+    "DeviceSpec",
+    "propagate_indices",
+    "resolve_chains_sequential",
+    "cuszx_compress_sim",
+    "cuszx_decompress_sim",
+    "gpu_throughput",
+    "block_prefix_sum",
+    "WARP_SIZE",
+    "warp_inclusive_scan",
+    "warp_shfl_up",
+]

@@ -1,0 +1,29 @@
+"""GPU device specifications used by the performance model.
+
+The two devices are the paper's testbeds: NVIDIA A100 (ANL ThetaGPU) and
+V100 (ORNL Summit); Section 7.1 quotes the SM/core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capability summary of one GPU."""
+
+    name: str
+    sms: int                 #: streaming multiprocessors
+    cuda_cores: int          #: total CUDA cores
+    clock_ghz: float         #: boost clock
+    mem_bw_gbs: float        #: HBM bandwidth, GB/s
+
+    @property
+    def peak_iops(self) -> float:
+        """Peak simple-integer operations per second (1 op/core/cycle)."""
+        return self.cuda_cores * self.clock_ghz * 1e9
+
+
+A100 = DeviceSpec(name="A100", sms=108, cuda_cores=6912, clock_ghz=1.41, mem_bw_gbs=1555.0)
+V100 = DeviceSpec(name="V100", sms=80, cuda_cores=5120, clock_ghz=1.53, mem_bw_gbs=900.0)

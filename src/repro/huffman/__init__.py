@@ -1,0 +1,22 @@
+"""Canonical Huffman codec.
+
+This is the entropy stage of the SZ baseline — the paper repeatedly calls
+out Huffman coding as the expensive, GPU-unfriendly step that SZx avoids.
+Encoding is fully vectorized; decoding uses a *gap array* (per-chunk bit
+offsets recorded at encode time) so many chunks decode in lockstep with
+numpy — the same idea the cuSZ literature uses to parallelize Huffman
+decoding on GPUs.
+"""
+
+from .tree import code_lengths
+from .canonical import canonical_codes, build_decode_table
+from .codec import HuffmanCodec, huffman_decode, huffman_encode
+
+__all__ = [
+    "code_lengths",
+    "canonical_codes",
+    "build_decode_table",
+    "HuffmanCodec",
+    "huffman_encode",
+    "huffman_decode",
+]

@@ -1,0 +1,51 @@
+"""Canonical code assignment and decode-table construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes for *lengths* (0 = unused symbol).
+
+    Canonical order: shorter codes first; ties broken by symbol value.
+    Returns a uint32 code per symbol (valid only where length > 0).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.max(initial=0) > 32:
+        raise ValueError("code lengths beyond 32 bits are not supported")
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    code = 0
+    prev_len = 0
+    for length in range(1, int(lengths.max(initial=0)) + 1):
+        code <<= length - prev_len
+        prev_len = length
+        syms = np.nonzero(lengths == length)[0]
+        codes[syms] = code + np.arange(syms.size, dtype=np.uint32)
+        code += int(syms.size)
+    if prev_len and code > (1 << prev_len):
+        raise ValueError("length vector over-subscribes the code space")
+    return codes
+
+
+def build_decode_table(lengths: np.ndarray, max_len: int):
+    """Flat decode table: ``max_len``-bit window -> (symbol, length).
+
+    Entry ``w`` covers every bit window whose leading bits spell a valid
+    code; the table stores the symbol and how many bits to consume.
+    Returns ``(symbols, lens)`` arrays of size ``2**max_len``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.max(initial=0) > max_len:
+        raise ValueError("lengths exceed table window")
+    codes = canonical_codes(lengths)
+    size = 1 << max_len
+    table_sym = np.zeros(size, dtype=np.uint32)
+    table_len = np.zeros(size, dtype=np.uint8)
+    for sym in np.nonzero(lengths)[0]:
+        length = int(lengths[sym])
+        prefix = int(codes[sym]) << (max_len - length)
+        span = 1 << (max_len - length)
+        table_sym[prefix : prefix + span] = sym
+        table_len[prefix : prefix + span] = length
+    return table_sym, table_len

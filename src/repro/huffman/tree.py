@@ -1,0 +1,65 @@
+"""Huffman tree construction: symbol frequencies -> code lengths.
+
+Only code *lengths* matter downstream (codes are assigned canonically), so
+the tree itself is never materialized beyond the merge heap.  Lengths are
+limited to ``max_len`` by iteratively flattening the frequency
+distribution — a standard pragmatic alternative to package-merge that
+stays within a fraction of a bit of optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+def _lengths_once(freqs: np.ndarray) -> np.ndarray:
+    """Unrestricted Huffman code lengths for positive-frequency symbols."""
+    lengths = np.zeros(freqs.size, dtype=np.int64)
+    alive = np.nonzero(freqs)[0]
+    if alive.size == 0:
+        return lengths
+    if alive.size == 1:
+        lengths[alive[0]] = 1
+        return lengths
+    # Heap of (freq, tiebreak, [symbols in subtree]); merging two subtrees
+    # adds one bit to every symbol they contain.
+    heap = [(int(freqs[s]), int(s), [int(s)]) for s in alive]
+    heapq.heapify(heap)
+    counter = int(freqs.size)
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        merged = s1 + s2
+        lengths[merged] += 1
+        heapq.heappush(heap, (f1 + f2, counter, merged))
+        counter += 1
+    return lengths
+
+
+def code_lengths(freqs, max_len: int = 16) -> np.ndarray:
+    """Length-limited Huffman code lengths for frequency vector *freqs*.
+
+    Returns an int64 array of per-symbol code lengths (0 for unused
+    symbols).  Frequencies are flattened (halved, keeping nonzero symbols
+    nonzero) until the longest code fits in *max_len* bits.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if (freqs < 0).any():
+        raise ValueError("frequencies must be non-negative")
+    if max_len < 1:
+        raise ValueError("max_len must be positive")
+    n_alive = int((freqs > 0).sum())
+    if n_alive > (1 << max_len):
+        raise ValueError(
+            f"{n_alive} symbols cannot fit in {max_len}-bit codes"
+        )
+    work = freqs.copy()
+    for _ in range(64):
+        lengths = _lengths_once(work)
+        if lengths.max(initial=0) <= max_len:
+            return lengths
+        # Halve (floor) but keep used symbols alive, then retry.
+        work = np.where(work > 0, np.maximum(work // 2, 1), 0)
+    raise RuntimeError("length limiting failed to converge")  # pragma: no cover

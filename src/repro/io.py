@@ -1,0 +1,141 @@
+"""Streaming file compression for larger-than-memory datasets.
+
+``compress_file`` reads a raw binary float array through a memory map in
+block-aligned chunks, compresses each chunk independently, and writes a
+chunked container; ``decompress_file`` streams it back.  Peak memory is
+one chunk regardless of file size — the mode of operation an instrument
+pipeline (Section 1's LCLS-II case) or a post hoc converter needs.
+
+Because chunks split on block boundaries, the concatenated reconstruction
+is bit-identical to compressing the whole array at once.
+
+Container format::
+
+    'SZXF' | version u8 | dtype u8 | pad x2 | n u64 | err_bound f64 |
+    chunk_values u64 | n_chunks u32 |
+    per chunk: length u64 | SZx stream
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from .core import compress, decompress, resolve_error_bound
+from .core.constants import DEFAULT_BLOCK_SIZE, traits_for, traits_for_code
+
+_MAGIC = b"SZXF"
+_VERSION = 1
+_HEAD = struct.Struct("<4sBB2xQdQI")
+
+#: Default chunk: 4M values (16 MB of float32) — small enough for modest
+#: hosts, large enough to amortize per-chunk overheads.
+DEFAULT_CHUNK_VALUES = 4 << 20
+
+
+def compress_file(
+    input_path,
+    output_path,
+    err_bound: float,
+    *,
+    dtype=np.float32,
+    mode: str = "abs",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+) -> dict:
+    """Compress raw binary *input_path* into chunked *output_path*.
+
+    Returns a summary dict (bytes in/out, chunk count, ratio).  With
+    ``mode="rel"`` the value range is taken over the whole file (one
+    cheap streaming pass) so the bound matches an in-memory compression.
+    """
+    traits = traits_for(dtype)
+    if chunk_values < block_size:
+        raise ValueError("chunk_values must be at least one block")
+    chunk_values -= chunk_values % block_size  # align chunks to blocks
+
+    if Path(input_path).stat().st_size == 0:
+        data = np.empty(0, dtype=traits.dtype)  # mmap rejects empty files
+    else:
+        data = np.memmap(input_path, dtype=traits.dtype, mode="r")
+    n = data.size
+
+    if mode == "rel" and n:
+        lo = min(
+            float(data[i : i + chunk_values].min())
+            for i in range(0, n, chunk_values)
+        )
+        hi = max(
+            float(data[i : i + chunk_values].max())
+            for i in range(0, n, chunk_values)
+        )
+        value_range = hi - lo
+        abs_bound = float(err_bound) * value_range if value_range else float(err_bound)
+    else:
+        abs_bound = resolve_error_bound(np.empty(0, traits.dtype), err_bound, "abs")
+
+    n_chunks = (n + chunk_values - 1) // chunk_values if n else 0
+    total_out = 0
+    with open(output_path, "wb") as out:
+        out.write(
+            _HEAD.pack(
+                _MAGIC, _VERSION, traits.code, n, abs_bound, chunk_values, n_chunks
+            )
+        )
+        total_out += _HEAD.size
+        for i in range(0, n, chunk_values):
+            chunk = np.asarray(data[i : i + chunk_values])
+            stream = compress(chunk, abs_bound, block_size=block_size)
+            out.write(struct.pack("<Q", len(stream)))
+            out.write(stream)
+            total_out += 8 + len(stream)
+    raw_bytes = n * traits.itemsize
+    return {
+        "values": n,
+        "chunks": n_chunks,
+        "raw_bytes": raw_bytes,
+        "compressed_bytes": total_out,
+        "ratio": raw_bytes / total_out if total_out else 0.0,
+        "abs_bound": abs_bound,
+    }
+
+
+def decompress_file(input_path, output_path) -> int:
+    """Stream-decompress a chunked container to a raw binary file.
+
+    Returns the number of values written.
+    """
+    path = Path(input_path)
+    with open(path, "rb") as fh:
+        head = fh.read(_HEAD.size)
+        if len(head) < _HEAD.size:
+            raise ValueError("chunked container too short")
+        magic, version, code, n, _bound, _chunk, n_chunks = _HEAD.unpack(head)
+        if magic != _MAGIC:
+            raise ValueError("bad chunked-container magic")
+        if version != _VERSION:
+            raise ValueError(f"unsupported chunked-container version {version}")
+        traits = traits_for_code(code)
+
+        written = 0
+        with open(output_path, "wb") as out:
+            for i in range(n_chunks):
+                size_raw = fh.read(8)
+                if len(size_raw) < 8:
+                    raise ValueError(f"container truncated at chunk {i}")
+                (length,) = struct.unpack("<Q", size_raw)
+                stream = fh.read(length)
+                if len(stream) < length:
+                    raise ValueError(f"container truncated in chunk {i} body")
+                chunk = decompress(stream)
+                if chunk.dtype != traits.dtype:
+                    raise ValueError("chunk dtype disagrees with container header")
+                chunk.tofile(out)
+                written += chunk.size
+        if written != n:
+            raise ValueError(
+                f"container reconstructed {written} values, header says {n}"
+            )
+    return written

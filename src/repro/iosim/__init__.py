@@ -1,0 +1,12 @@
+"""MPI-rank / parallel-file-system simulator for Figure 16."""
+
+from .pfs import PFSModel, THETAGPU_PFS
+from .ranks import DumpLoadResult, simulate_dump, simulate_load
+
+__all__ = [
+    "PFSModel",
+    "THETAGPU_PFS",
+    "DumpLoadResult",
+    "simulate_dump",
+    "simulate_load",
+]

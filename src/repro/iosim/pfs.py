@@ -1,0 +1,39 @@
+"""Parallel-file-system bandwidth model.
+
+Aggregate bandwidth is shared by all ranks; each rank is additionally
+capped by its node's injection bandwidth.  Effective write/read rate for
+``n`` ranks is therefore ``min(aggregate, n * per_rank)`` — the standard
+first-order PFS model, which is all Figure 16 exercises (the paper's
+observation is that ThetaGPU's I/O is fast enough that compression time,
+not I/O, dominates the dump/load pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PFSModel:
+    """First-order parallel file system."""
+
+    name: str
+    aggregate_gbs: float   #: total filesystem bandwidth, GB/s
+    per_rank_gbs: float    #: per-rank injection cap, GB/s
+
+    def rate(self, n_ranks: int) -> float:
+        """Effective aggregate transfer rate for *n_ranks*, GB/s."""
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        return min(self.aggregate_gbs, n_ranks * self.per_rank_gbs)
+
+    def transfer_time(self, total_bytes: float, n_ranks: int) -> float:
+        """Seconds to move *total_bytes* with *n_ranks* writers/readers."""
+        if total_bytes < 0:
+            raise ValueError("negative byte count")
+        return total_bytes / (self.rate(n_ranks) * 1e9)
+
+
+#: ThetaGPU's Lustre-class filesystem (Section 7's testbed): ~650 GB/s
+#: peak aggregate; per-rank streams cap near 1.5 GB/s.
+THETAGPU_PFS = PFSModel(name="ThetaGPU-Lustre", aggregate_gbs=650.0, per_rank_gbs=1.5)

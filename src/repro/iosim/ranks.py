@@ -1,0 +1,73 @@
+"""Bulk-synchronous dump/load simulation (Figure 16).
+
+Each MPI rank holds one field share, compresses it (dump) or reads and
+decompresses it (load); the pipeline is compute-then-transfer, so
+
+* dump elapsed = per-rank compression time + parallel write time,
+* load elapsed = parallel read time + per-rank decompression time.
+
+Compressor characteristics (throughput, compression ratio) come from
+measurements of the actual codecs in this repository, so the figure's
+message — SZx's dump/load takes 1/3~1/2 the time of SZ/ZFP because the
+compression stage dominates at these scales — emerges from real numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pfs import PFSModel
+
+
+@dataclass(frozen=True)
+class DumpLoadResult:
+    """Elapsed-time breakdown of one simulated collective dump or load."""
+
+    n_ranks: int
+    compute_s: float    #: compression or decompression stage
+    transfer_s: float   #: PFS write or read stage
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.transfer_s
+
+
+def _validate(bytes_per_rank, n_ranks, throughput_mb_s, ratio):
+    if bytes_per_rank <= 0:
+        raise ValueError("bytes_per_rank must be positive")
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if throughput_mb_s <= 0:
+        raise ValueError("throughput must be positive")
+    if ratio < 1e-9:
+        raise ValueError("compression ratio must be positive")
+
+
+def simulate_dump(
+    bytes_per_rank: float,
+    n_ranks: int,
+    compress_mb_s: float,
+    compression_ratio: float,
+    pfs: PFSModel,
+) -> DumpLoadResult:
+    """Compress on every rank, then write compressed data to the PFS."""
+    _validate(bytes_per_rank, n_ranks, compress_mb_s, compression_ratio)
+    compute = bytes_per_rank / (compress_mb_s * 1e6)
+    compressed_total = bytes_per_rank * n_ranks / compression_ratio
+    transfer = pfs.transfer_time(compressed_total, n_ranks)
+    return DumpLoadResult(n_ranks=n_ranks, compute_s=compute, transfer_s=transfer)
+
+
+def simulate_load(
+    bytes_per_rank: float,
+    n_ranks: int,
+    decompress_mb_s: float,
+    compression_ratio: float,
+    pfs: PFSModel,
+) -> DumpLoadResult:
+    """Read compressed data from the PFS, then decompress on every rank."""
+    _validate(bytes_per_rank, n_ranks, decompress_mb_s, compression_ratio)
+    compressed_total = bytes_per_rank * n_ranks / compression_ratio
+    transfer = pfs.transfer_time(compressed_total, n_ranks)
+    compute = bytes_per_rank / (decompress_mb_s * 1e6)
+    return DumpLoadResult(n_ranks=n_ranks, compute_s=compute, transfer_s=transfer)

@@ -1,0 +1,18 @@
+"""Zstd-like lossless codec: LZ77 hash-chain matching + Huffman entropy.
+
+Stands in for Zstd in Table 3's lossless row (see DESIGN.md): the paper
+only needs a competent general-purpose lossless compressor to show that
+float scientific data barely compresses losslessly (CR 1.1~1.5) while SZx
+reaches 3~12.  It is also chained after the SZ baseline's Huffman stage,
+where it crushes the long constant runs that give SZ its very high ratios.
+"""
+
+from .lz77 import lz_compress, lz_decompress
+from .codec import lossless_compress, lossless_decompress
+
+__all__ = [
+    "lz_compress",
+    "lz_decompress",
+    "lossless_compress",
+    "lossless_decompress",
+]

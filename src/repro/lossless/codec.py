@@ -1,0 +1,55 @@
+"""Full lossless pipeline: LZ77 stage followed by a byte-Huffman stage.
+
+Mirrors Zstd's architecture (match stage + entropy stage).  Each stage is
+only kept when it actually shrinks the data, recorded in a flag byte, so
+the codec never expands incompressible input by more than a few bytes.
+"""
+
+from __future__ import annotations
+
+from ..huffman import huffman_decode, huffman_encode
+from .lz77 import lz_compress, lz_decompress
+
+_FLAG_RAW = 0
+_FLAG_LZ = 1
+_FLAG_LZ_HUFF = 2
+_FLAG_HUFF = 3
+
+import numpy as np
+
+
+def lossless_compress(data: bytes) -> bytes:
+    """Compress *data*; output is prefixed with a one-byte stage flag."""
+    data = bytes(data)
+    best_flag, best = _FLAG_RAW, data
+
+    lz = lz_compress(data)
+    if len(lz) < len(best):
+        best_flag, best = _FLAG_LZ, lz
+
+    if data:
+        huff = huffman_encode(np.frombuffer(data, dtype=np.uint8), alphabet=256)
+        if len(huff) < len(best):
+            best_flag, best = _FLAG_HUFF, huff
+        lz_huff = huffman_encode(np.frombuffer(lz, dtype=np.uint8), alphabet=256)
+        if len(lz_huff) < len(best):
+            best_flag, best = _FLAG_LZ_HUFF, lz_huff
+
+    return bytes([best_flag]) + best
+
+
+def lossless_decompress(buf: bytes) -> bytes:
+    """Inverse of :func:`lossless_compress`."""
+    if len(buf) < 1:
+        raise ValueError("empty lossless stream")
+    flag, body = buf[0], buf[1:]
+    if flag == _FLAG_RAW:
+        return bytes(body)
+    if flag == _FLAG_LZ:
+        return lz_decompress(body)
+    if flag == _FLAG_HUFF:
+        return huffman_decode(body).astype(np.uint8).tobytes()
+    if flag == _FLAG_LZ_HUFF:
+        lz = huffman_decode(body).astype(np.uint8).tobytes()
+        return lz_decompress(lz)
+    raise ValueError(f"unknown lossless stage flag {flag}")

@@ -1,0 +1,140 @@
+"""LZ77 with hash-chain matching (LZSS-style token stream).
+
+Token stream layout: groups of up to 8 tokens share one control byte
+(bit *i* set = token *i* is a match).  A literal token is one byte; a
+match token is ``length-MIN_MATCH`` (u8) + ``distance`` (u16 LE).
+
+The matcher is a classic hash chain over 4-byte prefixes with a bounded
+probe depth — the structure Zstd/LZ4 use, scaled down to stay readable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+MIN_MATCH = 4
+MAX_MATCH = MIN_MATCH + 255
+WINDOW = (1 << 16) - 1  # distances must fit a u16
+_HASH_BITS = 15
+_MAX_PROBES = 16
+
+_HEADER = struct.Struct("<4sQ")
+_MAGIC = b"LZR1"
+
+
+def _hash4(data: np.ndarray) -> np.ndarray:
+    """Vectorized 4-byte rolling hash for every position."""
+    if data.size < 4:
+        return np.zeros(0, dtype=np.int64)
+    d = data.astype(np.uint32)
+    word = d[:-3] | (d[1:-2] << 8) | (d[2:-1] << 16) | (d[3:] << 24)
+    return ((word * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)).astype(
+        np.int64
+    )
+
+
+def lz_compress(data: bytes) -> bytes:
+    """Compress *data* into an LZ77 token stream."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n = raw.size
+    out = bytearray(_HEADER.pack(_MAGIC, n))
+    if n == 0:
+        return bytes(out)
+
+    hashes = _hash4(raw)
+    head = {}            # hash -> most recent position
+    prev = np.full(n, -1, dtype=np.int64)  # chain links
+
+    buf = data  # bytes object for fast slicing/comparison
+    tokens = []  # (is_match, payload bytes)
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + MIN_MATCH <= n:
+            h = int(hashes[i])
+            cand = head.get(h, -1)
+            probes = 0
+            limit = min(MAX_MATCH, n - i)
+            while cand >= 0 and i - cand <= WINDOW and probes < _MAX_PROBES:
+                if buf[cand : cand + MIN_MATCH] == buf[i : i + MIN_MATCH]:
+                    length = MIN_MATCH
+                    while length < limit and buf[cand + length] == buf[i + length]:
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = i - cand
+                        if length >= limit:
+                            break
+                cand = int(prev[cand])
+                probes += 1
+        if best_len >= MIN_MATCH:
+            tokens.append((True, struct.pack("<BH", best_len - MIN_MATCH, best_dist)))
+            # Insert chain entries for every covered position.
+            end = min(i + best_len, n - MIN_MATCH + 1)
+            for j in range(i, max(i, end)):
+                h = int(hashes[j])
+                prev[j] = head.get(h, -1)
+                head[h] = j
+            i += best_len
+        else:
+            tokens.append((False, buf[i : i + 1]))
+            if i + MIN_MATCH <= n:
+                h = int(hashes[i])
+                prev[i] = head.get(h, -1)
+                head[h] = i
+            i += 1
+
+    for g in range(0, len(tokens), 8):
+        group = tokens[g : g + 8]
+        control = 0
+        for k, (is_match, _) in enumerate(group):
+            if is_match:
+                control |= 1 << k
+        out.append(control)
+        for _, payload in group:
+            out.extend(payload)
+    return bytes(out)
+
+
+def lz_decompress(buf: bytes) -> bytes:
+    """Inverse of :func:`lz_compress`."""
+    if len(buf) < _HEADER.size:
+        raise ValueError("lz stream too short")
+    magic, n = _HEADER.unpack_from(buf)
+    if magic != _MAGIC:
+        raise ValueError("bad lz magic")
+    out = bytearray()
+    pos = _HEADER.size
+    while len(out) < n:
+        if pos >= len(buf):
+            raise ValueError("lz stream truncated")
+        control = buf[pos]
+        pos += 1
+        for k in range(8):
+            if len(out) >= n:
+                break
+            if control & (1 << k):
+                if pos + 3 > len(buf):
+                    raise ValueError("lz stream truncated in match")
+                length = buf[pos] + MIN_MATCH
+                dist = buf[pos + 1] | (buf[pos + 2] << 8)
+                pos += 3
+                if dist == 0 or dist > len(out):
+                    raise ValueError("lz match distance out of range")
+                start = len(out) - dist
+                if dist >= length:
+                    out.extend(out[start : start + length])
+                else:  # overlapping copy replicates the pattern
+                    for t in range(length):
+                        out.append(out[start + t])
+            else:
+                if pos >= len(buf):
+                    raise ValueError("lz stream truncated in literal")
+                out.append(buf[pos])
+                pos += 1
+    if len(out) != n:
+        raise ValueError("lz stream produced wrong length")
+    return bytes(out)

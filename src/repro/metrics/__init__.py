@@ -1,0 +1,29 @@
+"""Reconstruction-quality and data-characterization metrics.
+
+Implements every metric the paper reports: maximum error and error
+distribution (Fig. 13), PSNR (Formula (7), Figs. 8/12), SSIM (Fig. 12),
+compression-ratio aggregation (Table 3), and the block relative-value-range
+CDF used to motivate the design (Fig. 2).
+"""
+
+from .errors import max_abs_error, mse, nrmse, psnr
+from .ssim import ssim
+from .blockstats import block_range_cdf, fraction_constant_capable, smoothness_summary
+from .distribution import error_histogram
+from .aggregate import harmonic_mean
+from .report import assess, format_report
+
+__all__ = [
+    "max_abs_error",
+    "mse",
+    "nrmse",
+    "psnr",
+    "ssim",
+    "block_range_cdf",
+    "fraction_constant_capable",
+    "smoothness_summary",
+    "error_histogram",
+    "harmonic_mean",
+    "assess",
+    "format_report",
+]

@@ -1,0 +1,20 @@
+"""Aggregation helpers for multi-field results (Table 3's "avg" column)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def harmonic_mean(values) -> float:
+    """Harmonic mean — the paper's "overall" compression ratio per app.
+
+    The harmonic mean of per-field CRs equals the ratio of total original
+    size to total compressed size when fields have equal original sizes,
+    which is why the paper uses it.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("harmonic mean of no values")
+    if (arr <= 0).any():
+        raise ValueError("harmonic mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))

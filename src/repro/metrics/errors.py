@@ -1,0 +1,54 @@
+"""Pointwise error metrics: max error, MSE, NRMSE, PSNR (Formula (7))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray):
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("empty arrays have no error metrics")
+    return a, b
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Maximum pointwise absolute error — the quantity the bound controls."""
+    a, b = _pair(original, reconstructed)
+    return float(np.abs(a - b).max())
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstructed)
+    d = a - b
+    return float(np.mean(d * d))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean squared error normalized by the value range."""
+    a, b = _pair(original, reconstructed)
+    value_range = float(a.max() - a.min())
+    if value_range == 0.0:
+        return 0.0 if np.array_equal(a, b) else float("inf")
+    return float(np.sqrt(mse(a, b)) / value_range)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio per the paper's Formula (7):
+
+    ``psnr = 20 * log10((d_max - d_min) / sqrt(MSE))``
+
+    Lossless reconstruction yields ``inf``.
+    """
+    a, b = _pair(original, reconstructed)
+    m = mse(a, b)
+    value_range = float(a.max() - a.min())
+    if m == 0.0:
+        return float("inf")
+    if value_range == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(value_range / np.sqrt(m)))

@@ -1,0 +1,88 @@
+"""Z-checker-style compression assessment reports.
+
+The paper evaluates reconstruction quality with the metrics popularized
+by Z-checker (Tao et al., its reference [30]): max error, PSNR, NRMSE,
+value-range statistics, plus compression ratio and autocorrelation of
+the error field.  :func:`assess` bundles them into one report for a
+``(original, reconstructed, stream)`` triple, and :func:`format_report`
+renders it like the tool's text output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import max_abs_error, mse, nrmse, psnr
+from .ssim import ssim
+
+
+def _error_autocorrelation(err: np.ndarray, lag: int = 1) -> float:
+    """Lag-*lag* autocorrelation of the flat error signal.
+
+    White (ideal) compression error decorrelates; structured error —
+    which shows up as artifacts — has high autocorrelation.  This is one
+    of Z-checker's signature statistics.
+    """
+    e = err.reshape(-1).astype(np.float64)
+    if e.size <= lag + 1:
+        return 0.0
+    e = e - e.mean()
+    denom = float((e * e).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((e[:-lag] * e[lag:]).sum() / denom)
+
+
+def assess(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    stream: bytes | None = None,
+    err_bound: float | None = None,
+) -> dict:
+    """Full quality assessment; returns a flat dict of named statistics."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot assess empty arrays")
+    err = b - a
+
+    report = {
+        "n_values": int(a.size),
+        "value_min": float(a.min()),
+        "value_max": float(a.max()),
+        "value_range": float(a.max() - a.min()),
+        "max_abs_error": max_abs_error(a, b),
+        "mean_error": float(err.mean()),
+        "mse": mse(a, b),
+        "nrmse": nrmse(a, b),
+        "psnr_db": psnr(a, b),
+        "error_autocorr_lag1": _error_autocorrelation(err),
+    }
+    if a.ndim in (2, 3) and min(a.shape) >= 7:
+        report["ssim"] = ssim(a, b)
+    if stream is not None:
+        original_bytes = np.asarray(original).nbytes
+        report["compressed_bytes"] = len(stream)
+        report["compression_ratio"] = original_bytes / len(stream)
+        report["bit_rate"] = 8.0 * len(stream) / a.size
+    if err_bound is not None:
+        report["err_bound"] = float(err_bound)
+        report["bound_respected"] = bool(report["max_abs_error"] <= err_bound)
+        report["bound_utilization"] = (
+            report["max_abs_error"] / err_bound if err_bound else float("inf")
+        )
+    return report
+
+
+def format_report(report: dict, title: str = "compression assessment") -> str:
+    """Render an :func:`assess` dict as aligned text."""
+    lines = [title, "-" * len(title)]
+    for key, value in report.items():
+        if isinstance(value, float):
+            rendered = f"{value:.6g}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key:<22} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Structural similarity (SSIM) for 2D and 3D scientific fields.
+
+Follows Wang et al. (the reference the paper cites for Fig. 12): local
+means/variances/covariance over a sliding window, with the standard
+stabilizers ``C1 = (k1*L)^2`` and ``C2 = (k2*L)^2`` where ``L`` is the
+data's dynamic range.  A uniform window is used (the common choice for
+scientific-data SSIM, e.g. in Z-checker) rather than a Gaussian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+
+def ssim(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    *,
+    window: int = 7,
+    k1: float = 0.01,
+    k2: float = 0.03,
+) -> float:
+    """Mean SSIM between two fields of identical shape (2D or 3D)."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.ndim not in (1, 2, 3):
+        raise ValueError("ssim supports 1D, 2D, or 3D fields")
+    if min(a.shape) < window:
+        raise ValueError(f"window {window} larger than smallest dimension {min(a.shape)}")
+
+    dynamic_range = float(a.max() - a.min())
+    if dynamic_range == 0.0:
+        return 1.0 if np.array_equal(a, b) else 0.0
+    c1 = (k1 * dynamic_range) ** 2
+    c2 = (k2 * dynamic_range) ** 2
+
+    mu_a = uniform_filter(a, window)
+    mu_b = uniform_filter(b, window)
+    mu_aa = uniform_filter(a * a, window)
+    mu_bb = uniform_filter(b * b, window)
+    mu_ab = uniform_filter(a * b, window)
+
+    var_a = mu_aa - mu_a * mu_a
+    var_b = mu_bb - mu_b * mu_b
+    cov = mu_ab - mu_a * mu_b
+
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2)
+    ssim_map = num / den
+
+    # Only fully interior windows count (crop half a window per edge).
+    half = window // 2
+    interior = tuple(slice(half, s - half) for s in a.shape)
+    return float(ssim_map[interior].mean())

@@ -1,0 +1,12 @@
+"""OpenMP-style multicore harness for SZx (Section 6.1 of the paper).
+
+Blocks are independent, so compression parallelizes by splitting the
+input at block boundaries; decompression uses the prefix sum of the
+``zsize_array`` to hand each worker the byte range of its blocks.  The
+merged parallel stream is byte-identical to the serial one.
+"""
+
+from .omp import omp_compress, omp_decompress
+from .chunking import chunk_block_ranges
+
+__all__ = ["omp_compress", "omp_decompress", "chunk_block_ranges"]

@@ -1,0 +1,25 @@
+"""Block-aligned work partitioning for the thread-parallel codec."""
+
+from __future__ import annotations
+
+
+def chunk_block_ranges(n_blocks: int, n_chunks: int):
+    """Split ``range(n_blocks)`` into at most *n_chunks* contiguous runs.
+
+    Returns a list of ``(first_block, last_block_exclusive)`` tuples with
+    near-equal sizes; never returns empty runs.
+    """
+    if n_chunks < 1:
+        raise ValueError("need at least one chunk")
+    n_chunks = min(n_chunks, n_blocks) or 1
+    base = n_blocks // n_chunks
+    extra = n_blocks % n_chunks
+    ranges = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        ranges.append((start, start + size))
+        start += size
+    return ranges

@@ -1,0 +1,121 @@
+"""Tests for the SZ baseline (Lorenzo + dual-quantization + Huffman)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import sz_compress, sz_decompress
+from repro.baselines.sz import lorenzo_delta, lorenzo_reconstruct, prequantize
+
+RNG = np.random.default_rng(20)
+
+
+class TestLorenzo:
+    @pytest.mark.parametrize("shape", [(100,), (13, 17), (5, 6, 7)])
+    def test_roundtrip(self, shape):
+        grid = RNG.integers(-1000, 1000, size=shape).astype(np.int64)
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_delta(grid)), grid)
+
+    def test_smooth_data_gives_small_deltas(self):
+        grid = np.arange(1000, dtype=np.int64)  # perfectly linear
+        delta = lorenzo_delta(grid)
+        # 1D Lorenzo predicts from the previous value: constant slope -> 1
+        assert (delta[1:] == 1).all()
+
+    def test_2d_predictor_formula(self):
+        # delta[i,j] = q[i,j] - q[i-1,j] - q[i,j-1] + q[i-1,j-1]
+        q = RNG.integers(-10, 10, size=(4, 4)).astype(np.int64)
+        d = lorenzo_delta(q)
+        assert d[2, 2] == q[2, 2] - q[1, 2] - q[2, 1] + q[1, 1]
+        assert d[0, 0] == q[0, 0]
+
+
+class TestPrequantize:
+    def test_bound_holds(self):
+        d = RNG.normal(0, 10, 1000).astype(np.float32)
+        ql, raw = prequantize(d, 1e-3)
+        recon = (ql.astype(np.float64) * 2e-3).astype(np.float32)
+        ok = ~raw
+        assert np.abs(d[ok].astype(np.float64) - recon[ok].astype(np.float64)).max() <= 1e-3
+
+    def test_overflow_goes_raw(self):
+        d = np.array([1e30, 1.0], dtype=np.float32)
+        ql, raw = prequantize(d, 1e-6)
+        assert raw[0] and not raw[1]
+        assert ql[0] == 0
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            prequantize(np.ones(4, np.float32), 0.0)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+class TestSZCodec:
+    def test_roundtrip_bound(self, dtype):
+        d = np.cumsum(RNG.normal(size=5000)).astype(dtype)
+        for e in (1e-1, 1e-3):
+            r = sz_decompress(sz_compress(d, e))
+            assert np.abs(d.astype(np.float64) - r.astype(np.float64)).max() <= e
+
+    def test_multidimensional(self, dtype):
+        d = RNG.normal(size=(13, 21, 17)).astype(dtype)
+        r = sz_decompress(sz_compress(d, 1e-2))
+        assert r.shape == d.shape and r.dtype == d.dtype
+        assert np.abs(d.astype(np.float64) - r.astype(np.float64)).max() <= 1e-2
+
+    def test_empty(self, dtype):
+        d = np.empty(0, dtype=dtype)
+        assert sz_decompress(sz_compress(d, 1e-2)).size == 0
+
+
+class TestSZBehaviour:
+    def test_beats_szx_on_smooth_data(self):
+        """Table 3's central comparison: SZ CR is 3-30x SZx's CR."""
+        from repro.core.api import compress as szx_compress
+        from repro.datasets import get_application
+
+        d = get_application("Miranda", "tiny").field("density")
+        sz_len = len(sz_compress(d, 1e-2, mode="rel"))
+        szx_len = len(szx_compress(d, 1e-2, mode="rel"))
+        assert sz_len < szx_len / 2
+
+    def test_rel_mode(self):
+        d = (RNG.normal(size=3000) * 100).astype(np.float32)
+        r = sz_decompress(sz_compress(d, 1e-3, mode="rel"))
+        bound = 1e-3 * float(d.max() - d.min())
+        assert np.abs(d.astype(np.float64) - r.astype(np.float64)).max() <= bound
+
+    def test_extreme_values_raw_fallback(self):
+        d = np.array([1e38, -1e38, 1.0, 2.0] * 100, dtype=np.float32)
+        r = sz_decompress(sz_compress(d, 1e-6))
+        assert np.abs(d.astype(np.float64) - r.astype(np.float64)).max() <= 1e-6
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            sz_compress(np.array([np.nan], dtype=np.float32), 1e-3)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            sz_decompress(b"XXXX" + b"\x00" * 60)
+
+    def test_lossless_stage_flag(self):
+        d = np.zeros(20000, dtype=np.float32)  # hugely repetitive codes
+        with_stage = len(sz_compress(d, 1e-3, lossless_stage=True))
+        without = len(sz_compress(d, 1e-3, lossless_stage=False))
+        assert with_stage < without
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        st.integers(0, 400),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+    ),
+    err=st.floats(min_value=1e-9, max_value=1e3),
+)
+def test_sz_error_bound_property(data, err):
+    r = sz_decompress(sz_compress(data, err))
+    if data.size:
+        assert np.abs(data.astype(np.float64) - r.astype(np.float64)).max() <= err

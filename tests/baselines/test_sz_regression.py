@@ -1,0 +1,114 @@
+"""Tests for the SZ 2.1 linear-regression predictor stage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import sz_compress, sz_decompress
+from repro.baselines.sz import regression
+
+RNG = np.random.default_rng(120)
+
+
+class TestFit:
+    def test_exact_plane_recovered_2d(self):
+        x, y = np.meshgrid(np.arange(12), np.arange(18), indexing="ij", sparse=True)
+        data = 3.0 + 0.5 * x + 0.25 * y
+        intercepts, slopes = regression.fit_tiles(data)
+        # every full tile of a plane fits exactly: slopes match the plane
+        assert np.allclose(slopes[:, 0], 0.5, atol=1e-9)
+        assert np.allclose(slopes[:, 1], 0.25, atol=1e-9)
+
+    def test_constant_field(self):
+        data = np.full((12, 12), 7.5)
+        intercepts, slopes = regression.fit_tiles(data)
+        assert np.allclose(intercepts, 7.5)
+        assert np.allclose(slopes, 0.0)
+
+    def test_prediction_of_plane_is_near_exact(self):
+        x, y = np.meshgrid(np.arange(24), np.arange(12), indexing="ij", sparse=True)
+        data = 1.0 + 0.1 * x - 0.2 * y
+        intercepts, slopes = regression.fit_tiles(data)
+        qi, qs, step = regression.quantize_coefficients(intercepts, slopes, 1e-3)
+        pred = regression.predict(data.shape, qi, qs, step)
+        assert pred.shape == data.shape
+        assert np.abs(pred - data).max() < 0.05  # coefficient rounding only
+
+    def test_ragged_shapes(self):
+        data = RNG.normal(size=(13, 7)).astype(np.float64)
+        intercepts, slopes = regression.fit_tiles(data)
+        qi, qs, step = regression.quantize_coefficients(intercepts, slopes, 1e-2)
+        assert regression.predict(data.shape, qi, qs, step).shape == data.shape
+
+    def test_predict_validates_coefficients(self):
+        with pytest.raises(ValueError):
+            regression.predict((12, 12), np.zeros(99, np.int64),
+                               np.zeros((99, 2), np.int64), 0.1)
+
+
+@pytest.mark.parametrize("predictor", ["regression", "auto"])
+class TestCodecIntegration:
+    @pytest.mark.parametrize("shape", [(300,), (25, 31), (9, 11, 13)])
+    def test_bound_respected(self, predictor, shape):
+        d = np.cumsum(RNG.normal(size=int(np.prod(shape)))).reshape(shape)
+        d = d.astype(np.float32)
+        for e in (1e-1, 1e-4):
+            r = sz_decompress(sz_compress(d, e, predictor=predictor))
+            assert np.abs(d.astype(np.float64) - r.astype(np.float64)).max() <= e
+
+    def test_float64(self, predictor):
+        d = RNG.normal(size=(20, 20)).astype(np.float64)
+        r = sz_decompress(sz_compress(d, 1e-6, predictor=predictor))
+        assert np.abs(d - r).max() <= 1e-6
+
+
+class TestPredictorSelection:
+    def test_regression_wins_on_piecewise_linear_noise(self):
+        """Regression shines where gradients are strong but locally linear."""
+        x, y = np.meshgrid(
+            np.arange(60, dtype=np.float64),
+            np.arange(60, dtype=np.float64),
+            indexing="ij",
+            sparse=True,
+        )
+        d = (10 * x + 3 * y).astype(np.float32)
+        reg = sz_compress(d, 1e-2, predictor="regression", lossless_stage=False)
+        lor = sz_compress(d, 1e-2, predictor="lorenzo", lossless_stage=False)
+        # A perfect ramp: both are compact; regression must be competitive.
+        assert len(reg) < 2 * len(lor)
+
+    def test_auto_never_worse(self):
+        from repro.datasets import get_application
+
+        for field in ("pressure", "velocity-x"):
+            d = get_application("Miranda", "tiny").field(field)
+            auto = len(sz_compress(d, 1e-3, mode="rel", predictor="auto"))
+            lor = len(sz_compress(d, 1e-3, mode="rel", predictor="lorenzo"))
+            reg = len(sz_compress(d, 1e-3, mode="rel", predictor="regression"))
+            assert auto == min(lor, reg)
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ValueError, match="predictor"):
+            sz_compress(np.ones(10, np.float32), 1e-3, predictor="spline")
+
+    def test_streams_distinguishable(self):
+        d = RNG.normal(size=500).astype(np.float32)
+        reg = sz_compress(d, 1e-2, predictor="regression")
+        lor = sz_compress(d, 1e-2, predictor="lorenzo")
+        assert reg != lor
+        assert np.abs(sz_decompress(reg) - sz_decompress(lor)).max() <= 2e-2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        st.integers(1, 300),
+        elements=st.floats(-1e5, 1e5, allow_nan=False, width=32),
+    ),
+    err=st.floats(min_value=1e-7, max_value=1e3),
+)
+def test_regression_bound_property(data, err):
+    r = sz_decompress(sz_compress(data, err, predictor="regression"))
+    assert np.abs(data.astype(np.float64) - r.astype(np.float64)).max() <= err

@@ -1,0 +1,77 @@
+"""Tests for ZFP's fixed-rate mode (the only mode cuZFP supports)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import zfp_compress, zfp_decompress
+
+RNG = np.random.default_rng(190)
+
+
+class TestFixedRate:
+    @pytest.mark.parametrize("shape", [(200,), (31, 19), (8, 12, 20)])
+    @pytest.mark.parametrize("rate", [4, 8, 16])
+    def test_roundtrip_shape(self, shape, rate):
+        d = np.cumsum(RNG.normal(size=int(np.prod(shape)))).reshape(shape)
+        d = d.astype(np.float32)
+        r = zfp_decompress(zfp_compress(d, 1.0, mode="fixed-rate", rate=rate))
+        assert r.shape == d.shape and r.dtype == d.dtype
+
+    def test_rate_determines_size(self):
+        """The defining property: stream size depends on the rate, not
+        the data content."""
+        smooth = np.linspace(0, 1, 4096, dtype=np.float32)
+        rough = RNG.normal(size=4096).astype(np.float32)
+        a = len(zfp_compress(smooth, 1.0, mode="fixed-rate", rate=8))
+        b = len(zfp_compress(rough, 1.0, mode="fixed-rate", rate=8))
+        assert a == b
+
+    def test_higher_rate_lower_error(self):
+        d = np.cumsum(RNG.normal(size=5000)).astype(np.float32)
+        errs = []
+        for rate in (4, 8, 16, 32):
+            r = zfp_decompress(zfp_compress(d, 1.0, mode="fixed-rate", rate=rate))
+            errs.append(np.abs(d - r).max())
+        assert errs[0] > errs[1] > errs[2] > errs[3]
+
+    def test_cr_tracks_rate(self):
+        d = RNG.normal(size=(40, 40, 40)).astype(np.float32)
+        for rate in (4, 8):
+            c = zfp_compress(d, 1.0, mode="fixed-rate", rate=rate)
+            cr = d.nbytes / len(c)
+            ideal = 32 / rate
+            assert 0.5 * ideal < cr <= ideal + 0.5, (rate, cr)
+
+    def test_no_error_bound(self):
+        """cuZFP 'does not support error-bounded compression' — at a low
+        rate, rough data blows through any modest tolerance."""
+        d = (RNG.normal(size=4096) * 100).astype(np.float32)
+        r = zfp_decompress(zfp_compress(d, 1e-6, mode="fixed-rate", rate=2))
+        assert np.abs(d - r).max() > 1e-6
+
+    def test_low_ratio_vs_error_bounded(self):
+        """The paper's remark: fixed-rate 'suffers from very low
+        compression ratios' on smooth data vs fixed-accuracy."""
+        from repro.datasets import get_application
+
+        d = get_application("Miranda", "tiny").field("density")
+        fixed = len(zfp_compress(d, 1.0, mode="fixed-rate", rate=16))
+        accuracy = len(zfp_compress(d, 1e-2, bound_mode="rel", mode="embedded"))
+        assert accuracy < fixed
+
+    @pytest.mark.parametrize("bad", [0.0, 0.1, 100])
+    def test_rate_validation(self, bad):
+        with pytest.raises(ValueError, match="rate"):
+            zfp_compress(np.ones(8, np.float32), 1.0, mode="fixed-rate", rate=bad)
+
+    def test_truncation_detected(self):
+        c = zfp_compress(RNG.normal(size=500).astype(np.float32), 1.0,
+                         mode="fixed-rate", rate=8)
+        with pytest.raises(ValueError):
+            zfp_decompress(c[: len(c) // 2])
+
+    def test_float64(self):
+        d = RNG.normal(size=300).astype(np.float64)
+        r = zfp_decompress(zfp_compress(d, 1.0, mode="fixed-rate", rate=32))
+        assert r.dtype == np.float64
+        assert np.abs(d - r).max() < 0.5

@@ -1,0 +1,54 @@
+"""Tests for the benchmark harness (timing, tables, result capture)."""
+
+import pytest
+
+from repro.bench import (
+    format_series,
+    format_table,
+    measure_throughput_mb_s,
+    save_result,
+    time_call,
+)
+
+
+class TestTiming:
+    def test_time_call_returns_result(self):
+        best, result = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert best >= 0
+
+    def test_throughput_positive(self):
+        mb_s, _ = measure_throughput_mb_s(lambda: sum(range(1000)), 10_000_000)
+        assert mb_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            measure_throughput_mb_s(lambda: None, 0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [("row1", 1.0, 22.5), ("r2", 3, None)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "n/a" in lines[-1]
+        assert len({len(l) for l in lines[2:]}) == 1  # aligned rows
+
+    def test_format_series(self):
+        text = format_series("F", "x", [1, 2], {"s1": [10, 20], "s2": [1, 2]})
+        assert "x=1" in text and "s2" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("F", "x", [1, 2], {"s": [1]})
+
+
+class TestResults:
+    def test_save_result(self, tmp_path, monkeypatch):
+        import repro.bench.results as results
+
+        monkeypatch.setattr(results, "RESULTS_DIR", tmp_path)
+        path = results.save_result("unit", "hello")
+        assert path.read_text() == "hello\n"

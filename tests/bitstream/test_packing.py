@@ -1,0 +1,53 @@
+"""Unit and property tests for fixed-width bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import pack_kbit, packed_size, unpack_kbit
+
+
+class TestPackKbit:
+    def test_two_bit_example(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        packed = pack_kbit(codes, 2)
+        assert packed.tobytes() == bytes([0b11100100])
+
+    def test_partial_byte_zero_padded(self):
+        packed = pack_kbit(np.array([3], dtype=np.uint8), 2)
+        assert packed.tobytes() == bytes([0b00000011])
+
+    def test_empty(self):
+        assert pack_kbit(np.array([], dtype=np.uint8), 2).size == 0
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ValueError, match="range"):
+            pack_kbit(np.array([4], dtype=np.uint8), 2)
+
+    @pytest.mark.parametrize("k", [0, 17])
+    def test_rejects_bad_width(self, k):
+        with pytest.raises(ValueError):
+            pack_kbit(np.array([0]), k)
+
+    def test_unpack_rejects_short_input(self):
+        with pytest.raises(ValueError, match="short"):
+            unpack_kbit(np.array([0], dtype=np.uint8), 3, 100)
+
+    @pytest.mark.parametrize(
+        "n,k,size", [(0, 2, 0), (4, 2, 1), (5, 2, 2), (8, 3, 3), (3, 3, 2)]
+    )
+    def test_packed_size(self, n, k, size):
+        assert packed_size(n, k) == size
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    k=st.integers(1, 16),
+    codes=st.lists(st.integers(0, 2**16 - 1), max_size=300),
+)
+def test_roundtrip_property(k, codes):
+    codes = np.array([c % (1 << k) for c in codes], dtype=np.uint16)
+    packed = pack_kbit(codes, k)
+    assert packed.size == packed_size(codes.size, k)
+    got = unpack_kbit(packed, k, codes.size)
+    assert np.array_equal(got, codes)

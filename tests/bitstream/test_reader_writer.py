@@ -1,0 +1,81 @@
+"""Tests for the MSB-first bit reader/writer pair."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+
+
+class TestWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write_bits(0b10110010, 8)
+        assert w.getvalue() == bytes([0b10110010])
+
+    def test_partial_byte_padded(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_bit_length(self):
+        w = BitWriter()
+        w.write_bits(0, 13)
+        assert w.bit_length == 13
+
+    def test_zero_width_write(self):
+        w = BitWriter()
+        w.write_bits(123, 0)
+        assert w.getvalue() == b""
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1, -1)
+
+    def test_long_stream_flushes(self):
+        w = BitWriter()
+        for _ in range(10000):
+            w.write_bit(1)
+        assert w.getvalue() == b"\xff" * 1250
+
+
+class TestReader:
+    def test_reads_msb_first(self):
+        r = BitReader(bytes([0b10110010]))
+        assert [r.read_bit() for _ in range(4)] == [1, 0, 1, 1]
+        assert r.read_bits(4) == 0b0010
+
+    def test_eof(self):
+        r = BitReader(b"\x00")
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(bytes([0b11000000]))
+        assert r.peek_bits(2) == 0b11
+        assert r.pos == 0
+        assert r.read_bits(2) == 0b11
+
+    def test_peek_past_eof_zero_pads(self):
+        r = BitReader(bytes([0b10000000]))
+        assert r.peek_bits(16) == 0b1000000000000000
+
+    def test_skip(self):
+        r = BitReader(bytes([0xFF, 0x00]))
+        r.skip(8)
+        assert r.read_bits(8) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(0, 2**24 - 1), st.integers(1, 24)), max_size=100
+    )
+)
+def test_writer_reader_roundtrip(chunks):
+    w = BitWriter()
+    for value, nbits in chunks:
+        w.write_bits(value, nbits)
+    r = BitReader(w.getvalue())
+    for value, nbits in chunks:
+        assert r.read_bits(nbits) == value & ((1 << nbits) - 1)

@@ -1,0 +1,122 @@
+"""Adversarial inputs crafted against the error-bound machinery.
+
+Each case targets a specific failure mode of the IEEE-754 analysis:
+power-of-two crossings (where exponents jump), subnormals, values at
+the extremes of the dtype range, cancellation-prone mu values, and
+bounds that interact badly with value magnitudes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+
+
+def roundtrip_err(data, bound, **kw):
+    recon = decompress(compress(data, bound, **kw))
+    return float(
+        np.abs(data.astype(np.float64) - recon.astype(np.float64)).max(initial=0)
+    )
+
+
+class TestPowerOfTwoBoundaries:
+    def test_values_straddling_powers_of_two(self):
+        # radii just below powers of two make the +1 guard bit earn its keep
+        for k in range(-10, 11):
+            base = 2.0**k
+            d = np.array(
+                [base - base * 2**-20, base + base * 2**-20] * 64,
+                dtype=np.float32,
+            )
+            bound = base * 2**-21
+            assert roundtrip_err(d, bound, block_size=8) <= bound, k
+
+    def test_radius_exactly_power_of_two(self):
+        d = np.tile(np.array([0.0, 2.0], dtype=np.float32), 64)
+        for bound in (0.5, 0.25, 2.0**-10):
+            assert roundtrip_err(d, bound, block_size=8) <= bound
+
+    def test_bound_exactly_power_of_two(self):
+        rng = np.random.default_rng(0)
+        d = rng.normal(0, 100, 1000).astype(np.float32)
+        for bound in (2.0**-3, 2.0**0, 2.0**7):
+            assert roundtrip_err(d, bound) <= bound
+
+
+class TestExtremeMagnitudes:
+    def test_near_float32_max(self):
+        d = np.array([3.0e38, -3.0e38, 1.0e38, 2.9e38] * 32, dtype=np.float32)
+        assert roundtrip_err(d, 1e30, block_size=8) <= 1e30
+
+    def test_subnormal_values(self):
+        tiny = np.float32(1e-40)  # subnormal
+        d = np.array([tiny, -tiny, 0.0, 2 * tiny] * 64, dtype=np.float32)
+        for bound in (1e-38, 1e-45):
+            assert roundtrip_err(d, bound, block_size=8) <= bound
+
+    def test_mixed_tiny_and_huge(self):
+        d = np.array([1e38, 1e-38] * 128, dtype=np.float32)
+        # bound far below ulp at 1e38: only bit-exact storage satisfies it
+        assert roundtrip_err(d, 1e20, block_size=8) <= 1e20
+        assert roundtrip_err(d, 1e-10, block_size=8) <= 1e-10
+
+    def test_ulp_spaced_values(self):
+        base = np.float32(6.7108864e7)  # 2^26, ulp = 8
+        d = base + np.arange(256, dtype=np.float32) * 8
+        assert roundtrip_err(d, 1.0) <= 1.0  # forces bit-exact blocks
+
+
+class TestCancellation:
+    def test_mu_cancellation(self):
+        # min+max cancels to near zero but values are huge
+        d = np.tile(np.array([-1e30, 1e30], dtype=np.float32), 128)
+        assert roundtrip_err(d, 1e22, block_size=16) <= 1e22
+
+    def test_asymmetric_block(self):
+        d = np.tile(
+            np.array([100.0, 100.0001, 100.0002, -50.0], dtype=np.float32), 64
+        )
+        for bound in (1e-3, 1e-5):
+            assert roundtrip_err(d, bound, block_size=16) <= bound
+
+
+class TestBoundEdgeCases:
+    def test_huge_bound(self):
+        d = np.random.default_rng(1).normal(size=1000).astype(np.float32)
+        err = roundtrip_err(d, 1e30)
+        assert err <= 1e30
+        # a huge bound collapses everything to constant blocks
+        assert len(compress(d, 1e30)) < d.nbytes / 20
+
+    def test_tiny_bound_forces_lossless(self):
+        d = np.random.default_rng(2).normal(size=1000).astype(np.float32)
+        recon = decompress(compress(d, 1e-42))
+        assert np.array_equal(recon, d)  # bit-exact under an impossible bound
+
+    def test_denormal_bound(self):
+        d = np.random.default_rng(3).normal(size=500).astype(np.float32)
+        bound = float(np.float64(1e-310))  # subnormal float64 bound
+        assert roundtrip_err(d, bound) == 0.0
+
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 127, 128, 129])
+    def test_pathological_block_sizes(self, block_size):
+        d = np.random.default_rng(4).normal(size=1000).astype(np.float32)
+        assert roundtrip_err(d, 1e-3, block_size=block_size) <= 1e-3
+
+
+class TestStructuredPatterns:
+    def test_alternating_identical_bytes(self):
+        # identical top bytes across values exercise lead-code saturation
+        d = np.full(1024, 1.5, dtype=np.float32)
+        d[::2] += 1e-7  # differ only in low mantissa bits
+        for bound in (1e-8, 1e-6):
+            assert roundtrip_err(d, bound) <= bound
+
+    def test_sawtooth_across_blocks(self):
+        d = np.tile(np.linspace(-1, 1, 7, dtype=np.float32), 200)
+        assert roundtrip_err(d, 1e-4, block_size=8) <= 1e-4
+
+    def test_single_outlier_per_block(self):
+        d = np.zeros(1024, dtype=np.float32)
+        d[::128] = 1e10
+        assert roundtrip_err(d, 1e-3, block_size=128) <= 1e-3

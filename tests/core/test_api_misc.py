@@ -1,0 +1,73 @@
+"""Coverage for API helpers: bound resolution, traits, ratio helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compression_ratio, resolve_error_bound
+from repro.core.constants import (
+    FLOAT32,
+    FLOAT64,
+    traits_for,
+    traits_for_code,
+)
+
+
+class TestResolveErrorBound:
+    def test_abs_passthrough(self):
+        d = np.array([0.0, 10.0], dtype=np.float32)
+        assert resolve_error_bound(d, 0.5, "abs") == 0.5
+
+    def test_rel_scales_by_range(self):
+        d = np.array([-2.0, 8.0], dtype=np.float32)
+        assert resolve_error_bound(d, 0.1, "rel") == pytest.approx(1.0)
+
+    def test_rel_constant_field_falls_back(self):
+        d = np.full(10, 3.0, dtype=np.float32)
+        assert resolve_error_bound(d, 0.1, "rel") == 0.1
+
+    def test_rel_empty(self):
+        assert resolve_error_bound(np.empty(0, np.float32), 0.1, "rel") == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_bounds(self, bad):
+        with pytest.raises(ValueError):
+            resolve_error_bound(np.ones(3, np.float32), bad, "abs")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            resolve_error_bound(np.ones(3, np.float32), 0.1, "relative")
+
+
+class TestTraits:
+    def test_lookup_by_dtype(self):
+        assert traits_for(np.float32) is FLOAT32
+        assert traits_for("float64") is FLOAT64
+
+    def test_lookup_by_code(self):
+        assert traits_for_code(0) is FLOAT32
+        assert traits_for_code(1) is FLOAT64
+
+    def test_unknown_code(self):
+        with pytest.raises(ValueError, match="dtype code"):
+            traits_for_code(9)
+
+    @pytest.mark.parametrize("bad", [np.int32, np.float16, np.complex64])
+    def test_unsupported_dtypes(self, bad):
+        with pytest.raises(TypeError):
+            traits_for(bad)
+
+    def test_derived_properties(self):
+        assert FLOAT32.itemsize == 4 and FLOAT64.itemsize == 8
+        assert FLOAT32.max_lead == 3 and FLOAT64.max_lead == 7
+        assert FLOAT32.se_bits == 1 + FLOAT32.exp_bits
+        assert FLOAT64.se_bits == 1 + FLOAT64.exp_bits
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        d = np.ones(100, dtype=np.float32)
+        assert compression_ratio(d, b"x" * 40) == pytest.approx(10.0)
+
+    def test_empty_stream(self):
+        with pytest.raises(ValueError):
+            compression_ratio(np.ones(4, np.float32), b"")

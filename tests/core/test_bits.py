@@ -1,0 +1,112 @@
+"""Unit tests for IEEE-754 bit helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bits import (
+    as_float,
+    as_uint,
+    exponent,
+    join_bytes_be,
+    leading_identical_bytes,
+    scalar_exponent,
+    split_bytes_be,
+)
+from repro.core.constants import FLOAT32, FLOAT64
+
+
+@pytest.mark.parametrize("traits", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+class TestUintViews:
+    def test_roundtrip(self, traits):
+        x = np.array([1.5, -2.25, 0.0, 3.14159], dtype=traits.dtype)
+        assert np.array_equal(as_float(as_uint(x, traits), traits), x)
+
+    def test_shape_preserved_for_scalars(self, traits):
+        x = np.asarray(1.25, dtype=traits.dtype)
+        assert as_uint(x, traits).shape == ()
+
+    def test_known_pattern_f32(self, traits):
+        if traits is not FLOAT32:
+            pytest.skip("pattern is float32-specific")
+        # 1.0f = 0x3F800000
+        assert int(as_uint(np.asarray(1.0, np.float32), traits)) == 0x3F800000
+
+
+@pytest.mark.parametrize("traits", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+class TestExponent:
+    @pytest.mark.parametrize(
+        "value", [1.0, 1.5, 2.0, 0.5, 0.75, 1e-3, 1234.5, 3.0e10]
+    )
+    def test_matches_log2(self, traits, value):
+        v = traits.dtype.type(value)
+        assert scalar_exponent(v, traits) == math.floor(math.log2(float(v)))
+
+    def test_sign_ignored(self, traits):
+        assert scalar_exponent(traits.dtype.type(-8.0), traits) == 3
+
+    def test_zero_maps_to_sentinel(self, traits):
+        # Zero gets a sentinel far below any representable exponent so
+        # Formula (4)'s lower clamp always takes over.
+        assert scalar_exponent(traits.dtype.type(0.0), traits) < -(1 << 19)
+
+    def test_subnormal_exponent_exact(self, traits):
+        # frexp-based p(x) keeps going below the normal range.
+        sub = traits.dtype.type(np.finfo(traits.dtype).tiny) / traits.dtype.type(8)
+        expected = math.floor(math.log2(float(np.float64(sub))))
+        assert scalar_exponent(sub, traits) == expected
+
+    def test_vector_matches_scalar(self, traits):
+        vals = np.array([0.1, 1.0, 2.5, 1e5], dtype=traits.dtype)
+        vec = exponent(vals, traits)
+        for v, e in zip(vals, vec):
+            assert scalar_exponent(v, traits) == e
+
+
+@pytest.mark.parametrize("traits", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+class TestByteSplitting:
+    def test_roundtrip(self, traits):
+        rng = np.random.default_rng(3)
+        words = rng.integers(
+            0, np.iinfo(traits.utype).max, size=100, dtype=traits.utype
+        )
+        assert np.array_equal(join_bytes_be(split_bytes_be(words, traits), traits), words)
+
+    def test_big_endian_order(self, traits):
+        word = np.asarray(0x12 << (traits.fullbits - 8), dtype=traits.utype)
+        by = split_bytes_be(word, traits)
+        assert by[0] == 0x12
+        assert not by[1:].any()
+
+    def test_scalar_input_gives_1d(self, traits):
+        by = split_bytes_be(traits.utype.type(0), traits)
+        assert by.shape == (traits.itemsize,)
+
+
+class TestLeadingIdenticalBytes:
+    def test_zero_xor_means_all_identical(self):
+        assert leading_identical_bytes(np.uint32(0), FLOAT32) == 4
+
+    def test_top_byte_differs(self):
+        assert leading_identical_bytes(np.uint32(0xFF000000), FLOAT32) == 0
+
+    def test_partial(self):
+        assert leading_identical_bytes(np.uint32(0x0000FF00), FLOAT32) == 2
+        assert leading_identical_bytes(np.uint32(0x000000FF), FLOAT32) == 3
+
+    def test_f64_counts_to_eight(self):
+        assert leading_identical_bytes(np.uint64(0), FLOAT64) == 8
+        assert leading_identical_bytes(np.uint64(0xFF), FLOAT64) == 7
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(4)
+        xs = rng.integers(0, 2**32, size=200, dtype=np.uint32)
+        got = leading_identical_bytes(xs, FLOAT32)
+        for x, g in zip(xs, got):
+            expect = 0
+            for k in range(4):
+                if (int(x) >> (8 * (3 - k))) & 0xFF:
+                    break
+                expect += 1
+            assert g == expect

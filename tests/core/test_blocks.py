@@ -1,0 +1,106 @@
+"""Unit tests for block partitioning and per-block statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    BlockLayout,
+    block_minmax,
+    block_stats,
+    relative_block_ranges,
+    validate_block_size,
+)
+
+
+class TestLayout:
+    def test_exact_partition(self):
+        lo = BlockLayout(n=256, block_size=64)
+        assert lo.n_blocks == 4
+        assert lo.n_full == 4
+        assert lo.tail == 0
+
+    def test_ragged_tail(self):
+        lo = BlockLayout(n=260, block_size=64)
+        assert lo.n_blocks == 5
+        assert lo.n_full == 4
+        assert lo.tail == 4
+        assert lo.block_length(4) == 4
+        assert lo.block_length(0) == 64
+
+    def test_single_short_block(self):
+        lo = BlockLayout(n=3, block_size=64)
+        assert lo.n_blocks == 1
+        assert lo.tail == 3
+
+    def test_empty(self):
+        lo = BlockLayout(n=0, block_size=64)
+        assert lo.n_blocks == 0
+
+    def test_block_slices_cover_everything(self):
+        lo = BlockLayout(n=1000, block_size=128)
+        seen = []
+        for k in range(lo.n_blocks):
+            sl = lo.block_slice(k)
+            seen.extend(range(sl.start, sl.stop))
+        assert seen == list(range(1000))
+
+    def test_out_of_range_block(self):
+        with pytest.raises(IndexError):
+            BlockLayout(n=10, block_size=4).block_length(3)
+
+    @pytest.mark.parametrize("bad", [0, -1, 100000])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_block_size(bad)
+
+
+class TestBlockStats:
+    def test_minmax_matches_loop(self):
+        rng = np.random.default_rng(5)
+        flat = rng.normal(size=1003).astype(np.float32)
+        lo = BlockLayout(flat.size, 64)
+        mins, maxs = block_minmax(flat, lo)
+        for k in range(lo.n_blocks):
+            blk = flat[lo.block_slice(k)]
+            assert mins[k] == blk.min()
+            assert maxs[k] == blk.max()
+
+    def test_mu_is_midrange(self):
+        flat = np.array([1.0, 3.0, 2.0, 5.0], dtype=np.float32)
+        mu, radius = block_stats(flat, BlockLayout(4, 4))
+        assert mu[0] == np.float32(3.0)
+        assert radius[0] == 2.0
+
+    def test_radius_bounds_all_deviations(self):
+        rng = np.random.default_rng(6)
+        flat = (rng.normal(size=999) * 1e20).astype(np.float32)
+        lo = BlockLayout(flat.size, 32)
+        mu, radius = block_stats(flat, lo)
+        for k in range(lo.n_blocks):
+            blk = flat[lo.block_slice(k)].astype(np.float64)
+            assert np.abs(blk - np.float64(mu[k])).max() <= radius[k]
+
+    def test_float64(self):
+        flat = np.linspace(0, 1, 100, dtype=np.float64)
+        mu, radius = block_stats(flat, BlockLayout(100, 100))
+        assert mu.dtype == np.float64
+        assert np.isclose(mu[0], 0.5)
+
+
+class TestRelativeBlockRanges:
+    def test_constant_field(self):
+        flat = np.full(256, 7.0, dtype=np.float32)
+        assert not relative_block_ranges(flat, 32).any()
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(7)
+        flat = rng.normal(size=4096).astype(np.float32)
+        rel = relative_block_ranges(flat, 16)
+        assert (rel >= 0).all() and (rel <= 1 + 1e-12).all()
+
+    def test_smaller_blocks_have_smaller_ranges(self):
+        rng = np.random.default_rng(8)
+        flat = np.cumsum(rng.normal(size=8192)).astype(np.float32)
+        small = relative_block_ranges(flat, 8).mean()
+        large = relative_block_ranges(flat, 128).mean()
+        assert small < large

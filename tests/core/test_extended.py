@@ -1,0 +1,94 @@
+"""Tests for SZx-L, the lossless post-stage extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import compress, decompress
+from repro.core.extended import (
+    compress_extended,
+    decompress_extended,
+    is_extended_stream,
+)
+from repro.datasets import get_application
+
+RNG = np.random.default_rng(90)
+
+
+class TestRoundtrip:
+    def test_reconstruction_identical_to_plain_szx(self):
+        d = get_application("Miranda", "tiny").field("density")
+        plain = decompress(compress(d, 1e-3, mode="rel"))
+        extended = decompress_extended(compress_extended(d, 1e-3, mode="rel"))
+        assert np.array_equal(plain, extended)
+
+    def test_error_bound(self):
+        d = np.cumsum(RNG.normal(size=20_000)).astype(np.float32)
+        r = decompress_extended(compress_extended(d, 1e-4))
+        assert np.abs(d - r).max() <= 1e-4
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+    def test_dtypes_and_shapes(self, dtype):
+        d = RNG.normal(size=(31, 47)).astype(dtype)
+        r = decompress_extended(compress_extended(d, 1e-2))
+        assert r.shape == d.shape and r.dtype == d.dtype
+
+    def test_empty(self):
+        d = np.empty(0, dtype=np.float32)
+        assert decompress_extended(compress_extended(d, 1e-3)).size == 0
+
+
+class TestRatioImprovement:
+    def test_never_much_larger(self):
+        d = RNG.normal(size=5000).astype(np.float32)  # incompressible-ish
+        plain = compress(d, 1e-5)
+        ext = compress_extended(d, 1e-5)
+        assert len(ext) <= len(plain) + 64  # section headers only
+
+    def test_improves_on_smooth_data(self):
+        """The stated purpose: higher CR than plain SZx on smooth fields."""
+        d = get_application("Miranda", "tiny").field("density")
+        plain = compress(d, 1e-2, mode="rel")
+        ext = compress_extended(d, 1e-2, mode="rel")
+        assert len(ext) < len(plain)
+
+    def test_improves_on_constant_heavy_data(self):
+        d = np.zeros(100_000, dtype=np.float32)
+        d[::1000] = RNG.normal(size=100)
+        plain = compress(d, 1e-3)
+        ext = compress_extended(d, 1e-3)
+        assert len(ext) < 0.8 * len(plain)
+
+
+class TestFormat:
+    def test_magic_detection(self):
+        d = np.ones(100, np.float32)
+        assert is_extended_stream(compress_extended(d, 1e-3))
+        assert not is_extended_stream(compress(d, 1e-3))
+
+    def test_rejects_plain_stream(self):
+        d = np.ones(100, np.float32)
+        with pytest.raises(ValueError, match="magic"):
+            decompress_extended(compress(d, 1e-3))
+
+    def test_truncation_detected(self):
+        d = np.cumsum(RNG.normal(size=3000)).astype(np.float32)
+        stream = compress_extended(d, 1e-3)
+        with pytest.raises(ValueError):
+            decompress_extended(stream[: len(stream) // 2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        st.integers(0, 400),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+    ),
+    err=st.floats(min_value=1e-9, max_value=1e3),
+)
+def test_extended_bound_property(data, err):
+    r = decompress_extended(compress_extended(data, err))
+    if data.size:
+        assert np.abs(data.astype(np.float64) - r.astype(np.float64)).max() <= err

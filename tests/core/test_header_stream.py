@@ -1,0 +1,119 @@
+"""Unit tests for the stream header and container sections."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress
+from repro.core.constants import FLOAT32, FLOAT64
+from repro.core.header import StreamHeader, decode_header
+from repro.core.stream import parse_stream, payload_offsets
+
+
+def make_header(**kw):
+    defaults = dict(
+        traits=FLOAT32,
+        n=1000,
+        block_size=128,
+        err_bound=1e-3,
+        n_blocks=8,
+        n_const=3,
+        shape=(10, 100),
+    )
+    defaults.update(kw)
+    return StreamHeader(**defaults)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = make_header()
+        got = decode_header(h.encode())
+        assert got == h
+
+    def test_roundtrip_f64_no_shape(self):
+        h = make_header(traits=FLOAT64, shape=())
+        got = decode_header(h.encode())
+        assert got == h
+
+    def test_bad_magic(self):
+        buf = bytearray(make_header().encode())
+        buf[0] = ord("X")
+        with pytest.raises(ValueError, match="magic"):
+            decode_header(bytes(buf))
+
+    def test_bad_version(self):
+        buf = bytearray(make_header().encode())
+        buf[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            decode_header(bytes(buf))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="short|truncated"):
+            decode_header(make_header().encode()[:10])
+
+    def test_truncated_shape(self):
+        h = make_header(shape=(2, 3, 4))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_header(h.encode()[:-4])
+
+    def test_inconsistent_counts(self):
+        h = make_header(n_const=99, n_blocks=8)
+        with pytest.raises(ValueError, match="n_const"):
+            decode_header(h.encode())
+
+    def test_size_property(self):
+        h = make_header()
+        assert len(h.encode()) == h.size
+
+
+class TestStreamParsing:
+    @pytest.fixture()
+    def stream(self):
+        rng = np.random.default_rng(9)
+        data = np.cumsum(rng.normal(size=2000)).astype(np.float32)
+        data[:256] = 1.0  # some constant blocks
+        return data, compress(data, 1e-2, block_size=64)
+
+    def test_sections_consistent(self, stream):
+        data, buf = stream
+        comp = parse_stream(buf)
+        assert comp.header.n == data.size
+        assert comp.nonconst_mask.size == comp.header.n_blocks
+        assert comp.const_mu.size == comp.header.n_const
+        assert comp.zsizes.size == comp.header.n_nonconst
+        assert int(comp.zsizes.sum()) == len(comp.payload)
+
+    def test_roundtrip_serialization(self, stream):
+        _, buf = stream
+        comp = parse_stream(buf)
+        assert comp.to_bytes() == buf
+
+    def test_payload_offsets_are_prefix_sums(self, stream):
+        _, buf = stream
+        comp = parse_stream(buf)
+        off = payload_offsets(comp.zsizes)
+        assert off[0] == 0
+        assert off[-1] == len(comp.payload)
+        assert np.array_equal(np.diff(off), comp.zsizes)
+
+    @pytest.mark.parametrize("cut", [5, 30, -3, -1])
+    def test_truncation_detected(self, stream, cut):
+        _, buf = stream
+        with pytest.raises(ValueError):
+            parse_stream(buf[:cut])
+
+    def test_trailing_bytes_tolerated(self, stream):
+        # Extra bytes after the payload (e.g. an enclosing container) are
+        # not an error; the parser uses the recorded sizes.
+        _, buf = stream
+        comp = parse_stream(buf + b"junk")
+        assert comp.to_bytes() == buf
+
+    def test_bitmap_count_mismatch_detected(self, stream):
+        _, buf = stream
+        comp = parse_stream(buf)
+        header_end = comp.header.size
+        mutated = bytearray(buf)
+        # Flip a bitmap bit so the bitmap disagrees with header counts.
+        mutated[header_end] ^= 0x01
+        with pytest.raises(ValueError, match="bitmap"):
+            parse_stream(bytes(mutated))

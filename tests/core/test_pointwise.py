@@ -1,0 +1,117 @@
+"""Tests for pointwise-relative error-bounded compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.pointwise import compress_pointwise, decompress_pointwise
+
+RNG = np.random.default_rng(170)
+
+
+def pointwise_error(original, recon):
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(recon, dtype=np.float64)
+    nz = a != 0
+    if not nz.any():
+        return 0.0
+    return float(np.abs(b[nz] / a[nz] - 1).max())
+
+
+class TestRoundtrip:
+    def test_wide_dynamic_range(self):
+        d = (RNG.normal(size=5000) * np.exp(RNG.normal(0, 6, 5000))).astype(
+            np.float32
+        )
+        for rel in (0.1, 1e-3, 1e-5):
+            r = decompress_pointwise(compress_pointwise(d, rel))
+            assert pointwise_error(d, r) <= rel
+
+    def test_zeros_reconstructed_exactly(self):
+        d = RNG.normal(size=1000).astype(np.float32)
+        d[::3] = 0.0
+        r = decompress_pointwise(compress_pointwise(d, 1e-3))
+        assert (r[::3] == 0.0).all()
+
+    def test_signs_preserved(self):
+        d = np.array([-1.0, 2.0, -3.0, 4.0] * 100, dtype=np.float32)
+        r = decompress_pointwise(compress_pointwise(d, 1e-4))
+        assert np.array_equal(np.sign(r), np.sign(d))
+
+    def test_shape_restored(self):
+        d = np.abs(RNG.normal(size=(11, 13)) + 2).astype(np.float32)
+        r = decompress_pointwise(compress_pointwise(d, 1e-3))
+        assert r.shape == d.shape and r.dtype == d.dtype
+
+    def test_float64_tight_bound(self):
+        d = np.exp(RNG.normal(0, 10, 2000)).astype(np.float64)
+        r = decompress_pointwise(compress_pointwise(d, 1e-9))
+        assert pointwise_error(d, r) <= 1e-9
+
+    def test_all_zero(self):
+        d = np.zeros(500, dtype=np.float32)
+        assert np.array_equal(decompress_pointwise(compress_pointwise(d, 1e-3)), d)
+
+    def test_empty(self):
+        d = np.empty(0, dtype=np.float32)
+        assert decompress_pointwise(compress_pointwise(d, 1e-3)).size == 0
+
+
+class TestAdvantageOverAbs:
+    def test_preserves_small_values_where_abs_flattens_them(self):
+        """The point of pointwise bounds: small values keep relative
+        precision that a value-range-based bound would destroy."""
+        from repro.core import compress, decompress
+
+        d = np.concatenate(
+            [np.full(500, 1e6, np.float32), np.full(500, 1e-4, np.float32)]
+        )
+        abs_recon = decompress(compress(d, 1e-2, mode="rel"))
+        pw_recon = decompress_pointwise(compress_pointwise(d, 1e-2))
+        small = slice(500, 1000)
+        assert pointwise_error(d[small], pw_recon[small]) <= 1e-2
+        # the REL-bound reconstruction flattens the small half entirely
+        assert pointwise_error(d[small], abs_recon[small]) > 0.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.0, 2.0])
+    def test_bad_bound(self, bad):
+        with pytest.raises(ValueError):
+            compress_pointwise(np.ones(4, np.float32), bad)
+
+    def test_bound_below_dtype_floor(self):
+        with pytest.raises(ValueError, match="floor"):
+            compress_pointwise(np.ones(4, np.float32), 1e-8)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            decompress_pointwise(b"XXXX" + b"\x00" * 40)
+
+    def test_truncation(self):
+        stream = compress_pointwise(np.abs(RNG.normal(size=500)).astype(np.float32) + 1, 1e-3)
+        with pytest.raises(ValueError):
+            decompress_pointwise(stream[:30])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        st.integers(1, 300),
+        elements=st.floats(
+            min_value=-1.0000000200408773e+20,
+            max_value=1.0000000200408773e+20,
+            allow_nan=False,
+            allow_subnormal=False,
+            width=32,
+        ),
+    ),
+    rel=st.floats(min_value=1e-5, max_value=0.5),
+)
+def test_pointwise_bound_property(data, rel):
+    r = decompress_pointwise(compress_pointwise(data, rel))
+    assert pointwise_error(data, r) <= rel
+    zeros = data == 0
+    assert (r[zeros] == 0).all()

@@ -1,0 +1,101 @@
+"""Hypothesis property tests for the SZx codec invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.api import compress, decompress
+
+finite_f32 = st.floats(
+    min_value=-9.999999933815813e36,
+    max_value=9.999999933815813e36,
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+finite_f64 = st.floats(
+    min_value=-1e300, max_value=1e300, allow_nan=False, allow_infinity=False
+)
+
+arrays_f32 = hnp.arrays(np.float32, st.integers(0, 600), elements=finite_f32)
+arrays_f64 = hnp.arrays(np.float64, st.integers(0, 400), elements=finite_f64)
+
+bounds = st.floats(min_value=1e-12, max_value=1e6, allow_nan=False)
+block_sizes = st.integers(1, 200)
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=arrays_f32, err=bounds, bs=block_sizes)
+def test_error_bound_f32(data, err, bs):
+    stream = compress(data, err, block_size=bs)
+    recon = decompress(stream)
+    if data.size:
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= err
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=arrays_f64, err=bounds, bs=block_sizes)
+def test_error_bound_f64(data, err, bs):
+    stream = compress(data, err, block_size=bs)
+    recon = decompress(stream)
+    if data.size:
+        assert np.abs(data - recon).max() <= err
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=arrays_f32, err=bounds, bs=block_sizes)
+def test_engines_byte_identical(data, err, bs):
+    assert compress(data, err, block_size=bs, engine="scalar") == compress(
+        data, err, block_size=bs, engine="vectorized"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=arrays_f32, err=bounds, bs=block_sizes)
+def test_decoders_agree(data, err, bs):
+    stream = compress(data, err, block_size=bs)
+    assert np.array_equal(
+        decompress(stream, engine="scalar"), decompress(stream, engine="vectorized")
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=arrays_f32, err=bounds, bs=block_sizes)
+def test_reconstruction_is_fixed_point(data, err, bs):
+    """Re-compressing a reconstruction reproduces it bit-exactly.
+
+    Every reconstructed value is either a block mu or a truncated word +
+    mu; compressing again finds radius <= the same bound and truncation is
+    idempotent on already-truncated words.
+    """
+    r1 = decompress(compress(data, err, block_size=bs))
+    r2 = decompress(compress(r1, err, block_size=bs))
+    if data.size:
+        assert np.abs(r1.astype(np.float64) - r2.astype(np.float64)).max() <= err
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        st.integers(1, 300),
+        elements=st.floats(min_value=-100, max_value=100, width=32, allow_nan=False),
+    ),
+    rel=st.floats(min_value=1e-6, max_value=0.5),
+)
+def test_rel_mode_bound(data, rel):
+    stream = compress(data, rel, mode="rel")
+    recon = decompress(stream)
+    value_range = float(data.max()) - float(data.min())
+    bound = rel * value_range if value_range else rel
+    assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= bound
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=arrays_f32, err=bounds)
+def test_stream_parse_roundtrip(data, err):
+    from repro.core.stream import parse_stream
+
+    stream = compress(data, err)
+    assert parse_stream(stream).to_bytes() == stream

@@ -1,0 +1,91 @@
+"""Tests for random-access (range/block) decompression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compress, decompress
+from repro.core.random_access import decompress_block, decompress_range
+
+RNG = np.random.default_rng(80)
+
+
+@pytest.fixture(scope="module")
+def stream_and_data():
+    d = np.cumsum(RNG.normal(size=10_000 + 57)).astype(np.float32)
+    d[3000:4500] = d[3000]  # constant stretch
+    return compress(d, 1e-3, block_size=128), decompress(compress(d, 1e-3, block_size=128))
+
+
+class TestDecompressRange:
+    def test_matches_full_decode(self, stream_and_data):
+        stream, full = stream_and_data
+        got = decompress_range(stream, 1234, 6789)
+        assert np.array_equal(got, full[1234:6789])
+
+    def test_block_aligned_range(self, stream_and_data):
+        stream, full = stream_and_data
+        got = decompress_range(stream, 128, 512)
+        assert np.array_equal(got, full[128:512])
+
+    def test_whole_array(self, stream_and_data):
+        stream, full = stream_and_data
+        assert np.array_equal(decompress_range(stream, 0, full.size), full)
+
+    def test_single_value(self, stream_and_data):
+        stream, full = stream_and_data
+        got = decompress_range(stream, 9999, 10000)
+        assert got.size == 1 and got[0] == full[9999]
+
+    def test_tail_range(self, stream_and_data):
+        stream, full = stream_and_data
+        got = decompress_range(stream, full.size - 30, full.size)
+        assert np.array_equal(got, full[-30:])
+
+    def test_empty_range(self, stream_and_data):
+        stream, _ = stream_and_data
+        assert decompress_range(stream, 500, 500).size == 0
+
+    def test_range_inside_constant_region(self, stream_and_data):
+        stream, full = stream_and_data
+        got = decompress_range(stream, 3100, 4400)
+        assert np.array_equal(got, full[3100:4400])
+
+    @pytest.mark.parametrize("bad", [(-1, 5), (5, 3), (0, 10**9)])
+    def test_out_of_bounds(self, stream_and_data, bad):
+        stream, _ = stream_and_data
+        with pytest.raises(ValueError):
+            decompress_range(stream, *bad)
+
+
+class TestDecompressBlock:
+    def test_every_block_matches(self, stream_and_data):
+        stream, full = stream_and_data
+        from repro.core import decode_header
+
+        header = decode_header(stream)
+        for k in (0, 1, 37, header.n_blocks - 1):
+            got = decompress_block(stream, k)
+            lo = k * header.block_size
+            hi = min(lo + header.block_size, header.n)
+            assert np.array_equal(got, full[lo:hi]), k
+
+    def test_bad_index(self, stream_and_data):
+        stream, _ = stream_and_data
+        with pytest.raises(ValueError):
+            decompress_block(stream, 10**6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(0, 5000),
+    length=st.integers(0, 5000),
+    bs=st.sampled_from([1, 7, 32, 128]),
+)
+def test_range_property(start, length, bs):
+    d = (np.sin(np.linspace(0, 40, 5000)) * 3).astype(np.float32)
+    stream = compress(d, 1e-3, block_size=bs)
+    full = decompress(stream)
+    stop = min(start + length, d.size)
+    start = min(start, stop)
+    assert np.array_equal(decompress_range(stream, start, stop), full[start:stop])

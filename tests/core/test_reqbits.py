@@ -1,0 +1,76 @@
+"""Unit tests for Formula (4)/(5): required length and right shift."""
+
+import numpy as np
+import pytest
+
+from repro.core.constants import FLOAT32, FLOAT64
+from repro.core.reqbits import (
+    required_bytes,
+    required_length,
+    shift_for,
+    truncation_mask,
+)
+
+
+@pytest.mark.parametrize("traits", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+class TestRequiredLength:
+    def test_equal_radius_and_bound(self, traits):
+        # p(r) == p(e): SE + 1 bits are needed (one mantissa guard bit).
+        r = required_length(1.0, 1.0, traits)
+        assert int(r) == traits.se_bits + 1
+
+    def test_grows_with_radius(self, traits):
+        r1 = int(required_length(1.0, 1e-3, traits))
+        r2 = int(required_length(1024.0, 1e-3, traits))
+        assert r2 == r1 + 10
+
+    def test_clamped_to_se_bits(self, traits):
+        # Tiny radius vs huge bound: clamp at the sign+exponent prefix.
+        assert int(required_length(1e-30, 1.0, traits)) == traits.se_bits
+
+    def test_clamped_to_fullbits(self, traits):
+        assert int(required_length(1e30, 1e-38, traits)) == traits.fullbits
+
+    def test_vectorized(self, traits):
+        radii = np.array([1.0, 2.0, 1024.0], dtype=traits.dtype)
+        got = required_length(radii, 1e-3, traits)
+        assert got.shape == (3,)
+        assert all(
+            int(required_length(float(r), 1e-3, traits)) == g
+            for r, g in zip(radii, got)
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad_bound(self, traits, bad):
+        with pytest.raises(ValueError):
+            required_length(1.0, bad, traits)
+
+
+class TestShift:
+    @pytest.mark.parametrize(
+        "req,expected", [(8, 0), (9, 7), (10, 6), (15, 1), (16, 0), (17, 7), (32, 0)]
+    )
+    def test_formula5(self, req, expected):
+        assert int(shift_for(req)) == expected
+
+    def test_alignment_invariant(self):
+        reqs = np.arange(9, 65)
+        assert ((reqs + shift_for(reqs)) % 8 == 0).all()
+
+    @pytest.mark.parametrize("req,nbytes", [(9, 2), (16, 2), (17, 3), (24, 3), (32, 4)])
+    def test_required_bytes(self, req, nbytes):
+        assert int(required_bytes(req)) == nbytes
+
+
+@pytest.mark.parametrize("traits", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+class TestTruncationMask:
+    def test_full_width(self, traits):
+        mask = truncation_mask(np.int64(traits.itemsize), traits)
+        assert int(mask) == np.iinfo(traits.utype).max
+
+    def test_keeps_top_bytes(self, traits):
+        mask = int(truncation_mask(np.int64(2), traits))
+        word = np.iinfo(traits.utype).max
+        kept = word & mask
+        assert kept >> (traits.fullbits - 16) == 0xFFFF
+        assert kept & ((1 << (traits.fullbits - 16)) - 1) == 0

@@ -1,0 +1,105 @@
+"""Tests for temporal (snapshot-sequence) compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.temporal import compress_sequence, decompress_sequence
+from repro.datasets import gaussian_random_field
+
+RNG = np.random.default_rng(150)
+
+
+def make_sequence(n_frames=6, shape=(24, 96), drift=0.01):
+    """Slowly evolving snapshots: base field plus small increments."""
+    base = gaussian_random_field(shape, slope=3.0, seed=1).astype(np.float64)
+    frames = []
+    for t in range(n_frames):
+        wobble = gaussian_random_field(shape, slope=3.0, seed=100 + t)
+        frames.append((base + drift * t + 0.002 * wobble).astype(np.float32))
+    return frames
+
+
+class TestRoundtrip:
+    def test_every_frame_bounded(self):
+        frames = make_sequence()
+        stream = compress_sequence(frames, 1e-3)
+        recon = decompress_sequence(stream)
+        assert len(recon) == len(frames)
+        for orig, rec in zip(frames, recon):
+            assert rec.shape == orig.shape and rec.dtype == orig.dtype
+            err = np.abs(orig.astype(np.float64) - rec.astype(np.float64)).max()
+            assert err <= 1e-3
+
+    def test_no_error_drift_over_long_sequences(self):
+        frames = make_sequence(n_frames=30)
+        recon = decompress_sequence(compress_sequence(frames, 1e-4))
+        last_err = np.abs(
+            frames[-1].astype(np.float64) - recon[-1].astype(np.float64)
+        ).max()
+        assert last_err <= 1e-4  # delta chains never accumulate error
+
+    def test_empty_sequence(self):
+        assert decompress_sequence(compress_sequence([], 1e-3)) == []
+
+    def test_single_frame(self):
+        frames = make_sequence(n_frames=1)
+        recon = decompress_sequence(compress_sequence(frames, 1e-3))
+        assert len(recon) == 1
+
+    def test_float64(self):
+        frames = [f.astype(np.float64) for f in make_sequence(3)]
+        recon = decompress_sequence(compress_sequence(frames, 1e-9))
+        for orig, rec in zip(frames, recon):
+            assert np.abs(orig - rec).max() <= 1e-9
+
+
+class TestDeltaAdvantage:
+    def test_smaller_than_independent_frames(self):
+        """Slowly-varying sequences: temporal deltas beat direct frames."""
+        from repro.core import compress
+
+        frames = make_sequence(n_frames=8, drift=0.0)
+        temporal = len(compress_sequence(frames, 1e-3))
+        independent = sum(len(compress(f, 1e-3)) for f in frames)
+        assert temporal < independent
+
+    def test_static_sequence_compresses_extremely_well(self):
+        frame = make_sequence(1)[0]
+        frames = [frame.copy() for _ in range(10)]
+        stream = compress_sequence(frames, 1e-3)
+        assert len(stream) < 2.2 * len(compress_sequence(frames[:1], 1e-3))
+
+
+class TestValidation:
+    def test_mixed_shapes_rejected(self):
+        frames = [np.ones((4, 4), np.float32), np.ones((5, 4), np.float32)]
+        with pytest.raises(ValueError, match="frame 1"):
+            compress_sequence(frames, 1e-3)
+
+    def test_mixed_dtypes_rejected(self):
+        frames = [np.ones(16, np.float32), np.ones(16, np.float64)]
+        with pytest.raises(ValueError, match="frame 1"):
+            compress_sequence(frames, 1e-3)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            decompress_sequence(b"XXXX" + b"\x00" * 16)
+
+    def test_truncation(self):
+        stream = compress_sequence(make_sequence(3), 1e-3)
+        with pytest.raises(ValueError, match="truncated"):
+            decompress_sequence(stream[: len(stream) - 5])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_frames=st.integers(1, 5),
+    err=st.floats(min_value=1e-6, max_value=1.0),
+    drift=st.floats(min_value=0, max_value=0.5),
+)
+def test_sequence_bound_property(n_frames, err, drift):
+    frames = make_sequence(n_frames=n_frames, shape=(8, 32), drift=drift)
+    recon = decompress_sequence(compress_sequence(frames, err))
+    for orig, rec in zip(frames, recon):
+        assert np.abs(orig.astype(np.float64) - rec.astype(np.float64)).max() <= err

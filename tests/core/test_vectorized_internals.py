@@ -1,0 +1,101 @@
+"""White-box tests of the vectorized engine's internal kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bits import leading_identical_bytes
+from repro.core.constants import FLOAT32, FLOAT64
+from repro.core.vectorized import (
+    _leading_counts_matrix,
+    _pack_lead_rows,
+    _unpack_lead_rows,
+)
+
+RNG = np.random.default_rng(180)
+
+
+class TestPackLeadRows:
+    def test_fast_path_matches_generic(self):
+        """bs % 4 == 0 triggers the 2-bit fast path; it must agree with
+        the generic packbits-based path bit for bit."""
+        codes = RNG.integers(0, 4, size=(50, 128)).astype(np.uint8)
+        fast = _pack_lead_rows(codes, 2)
+        # force the generic path via a bs that misses the fast branch,
+        # then compare against packing each row separately
+        from repro.bitstream import pack_kbit
+
+        for row in range(0, 50, 7):
+            expect = pack_kbit(codes[row], 2)
+            assert np.array_equal(fast[row], expect)
+
+    def test_generic_path_odd_width(self):
+        codes = RNG.integers(0, 4, size=(10, 7)).astype(np.uint8)
+        packed = _pack_lead_rows(codes, 2)
+        got = _unpack_lead_rows(packed, 2, 7)
+        assert np.array_equal(got, codes.astype(np.uint16))
+
+    @pytest.mark.parametrize("bs", [4, 8, 100, 128, 224])
+    def test_roundtrip_2bit(self, bs):
+        codes = RNG.integers(0, 4, size=(20, bs)).astype(np.uint8)
+        packed = _pack_lead_rows(codes, 2)
+        assert np.array_equal(
+            _unpack_lead_rows(packed, 2, bs), codes.astype(np.uint16)
+        )
+
+    @pytest.mark.parametrize("bs", [8, 64, 128])
+    def test_roundtrip_3bit(self, bs):
+        codes = RNG.integers(0, 8, size=(20, bs)).astype(np.uint8)
+        packed = _pack_lead_rows(codes, 3)
+        assert np.array_equal(
+            _unpack_lead_rows(packed, 3, bs), codes.astype(np.uint16)
+        )
+
+
+class TestLeadingCountsMatrix:
+    @pytest.mark.parametrize("traits", [FLOAT32, FLOAT64], ids=["f32", "f64"])
+    def test_matches_scalar_helper(self, traits):
+        xs = RNG.integers(
+            0, np.iinfo(traits.utype).max, size=(6, 32), dtype=traits.utype
+        )
+        # sprinkle zero top bytes to exercise each count level
+        xs[0, :] >>= traits.utype.type(8)
+        xs[1, :] >>= traits.utype.type(24)
+        xs[2, :] = 0
+        got = _leading_counts_matrix(xs, traits)
+        expect = leading_identical_bytes(xs, traits)
+        assert np.array_equal(got.astype(np.int64), expect)
+
+    def test_dtype_is_small(self):
+        xs = np.zeros((2, 4), dtype=np.uint32)
+        assert _leading_counts_matrix(xs, FLOAT32).dtype == np.int8
+
+
+class TestEncodeDecodeEmpty:
+    def test_no_nonconstant_blocks(self):
+        from repro.core.vectorized import _encode_full_blocks
+
+        body = np.empty((0, 128), dtype=np.float32)
+        payload, zsizes = _encode_full_blocks(
+            body, np.empty(0, np.float32), np.empty(0), 1e-3, FLOAT32
+        )
+        assert payload == b"" and zsizes.size == 0
+
+    def test_decode_no_blocks(self):
+        from repro.core.vectorized import _decode_full_blocks
+
+        out = _decode_full_blocks(
+            np.empty(0, np.uint8), np.empty(0, np.int64), 128, FLOAT32
+        )
+        assert out.shape == (0, 128)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bs=st.integers(1, 96),
+    k=st.sampled_from([2, 3]),
+)
+def test_pack_roundtrip_property(bs, k):
+    codes = RNG.integers(0, 1 << k, size=(5, bs)).astype(np.uint8)
+    packed = _pack_lead_rows(codes, k)
+    assert np.array_equal(_unpack_lead_rows(packed, k, bs), codes.astype(np.uint16))

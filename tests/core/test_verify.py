@@ -1,0 +1,86 @@
+"""Tests for the stream structural verifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compress
+from repro.core.verify import verify_stream
+
+RNG = np.random.default_rng(140)
+
+
+@pytest.fixture(scope="module")
+def good_stream():
+    d = np.cumsum(RNG.normal(size=5000 + 17)).astype(np.float32)
+    d[500:900] = d[500]
+    return compress(d, 1e-3, block_size=64)
+
+
+class TestGoodStreams:
+    def test_valid_stream_passes(self, good_stream):
+        report = verify_stream(good_stream)
+        assert report.ok, report.errors
+        assert report.n_blocks > 0
+        assert report.payload_bytes > 0
+
+    @pytest.mark.parametrize("bs", [1, 7, 128])
+    def test_various_block_sizes(self, bs):
+        d = RNG.normal(size=999).astype(np.float32)
+        assert verify_stream(compress(d, 1e-2, block_size=bs)).ok
+
+    def test_all_constant(self):
+        d = np.full(1000, 4.0, dtype=np.float32)
+        report = verify_stream(compress(d, 1e-3))
+        assert report.ok
+        assert report.n_const == report.n_blocks
+
+    def test_float64(self):
+        d = RNG.normal(size=777).astype(np.float64)
+        assert verify_stream(compress(d, 1e-8)).ok
+
+    def test_empty(self):
+        assert verify_stream(compress(np.empty(0, np.float32), 1e-3)).ok
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self, good_stream):
+        bad = b"XXXX" + good_stream[4:]
+        report = verify_stream(bad)
+        assert not report.ok
+        assert any("header" in e for e in report.errors)
+
+    def test_truncated(self, good_stream):
+        report = verify_stream(good_stream[:-10])
+        assert not report.ok
+
+    def test_corrupt_required_length(self, good_stream):
+        from repro.core import parse_stream
+
+        comp = parse_stream(good_stream)
+        # flip the first non-constant block's required-length byte
+        payload_off = len(good_stream) - len(comp.payload)
+        bad = bytearray(good_stream)
+        bad[payload_off] = 200  # > 32 bits
+        report = verify_stream(bytes(bad))
+        assert not report.ok
+        assert any("required length" in e for e in report.errors)
+
+    def test_never_raises_on_garbage(self):
+        for blob in (b"", b"\x00" * 100, RNG.bytes(256)):
+            report = verify_stream(blob)
+            assert not report.ok
+
+    def test_reports_collect_multiple_errors(self, good_stream):
+        # truncating mid-payload typically breaks several invariants
+        report = verify_stream(good_stream[: len(good_stream) - 1])
+        assert not report.ok
+        assert len(report.errors) >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(blob=st.binary(max_size=400))
+def test_verify_total_function(blob):
+    """verify_stream is total: any input yields a report, no exception."""
+    report = verify_stream(blob)
+    assert isinstance(report.ok, bool)

@@ -1,0 +1,100 @@
+"""Tests for the synthetic field generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    gaussian_random_field,
+    intermittent_field,
+    lognormal_field,
+    ramp_field,
+    wave_field,
+)
+from repro.datasets.synthetic import enveloped_turbulence, two_phase_field
+
+
+class TestGaussianRandomField:
+    def test_deterministic(self):
+        a = gaussian_random_field((16, 32), seed=3)
+        b = gaussian_random_field((16, 32), seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = gaussian_random_field((16, 32), seed=3)
+        b = gaussian_random_field((16, 32), seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_normalized(self):
+        f = gaussian_random_field((64, 64), seed=5)
+        assert abs(float(f.mean())) < 1e-3
+        assert float(f.std()) == pytest.approx(1.0, abs=1e-3)
+
+    def test_steeper_slope_is_smoother(self):
+        rough = gaussian_random_field((16, 512), slope=1.0, seed=6).astype(np.float64)
+        smooth = gaussian_random_field((16, 512), slope=5.0, seed=6).astype(np.float64)
+
+        def roughness(f):
+            return np.abs(np.diff(f, axis=-1)).mean() / (f.max() - f.min())
+
+        assert roughness(smooth) < roughness(rough)
+
+    def test_dtype(self):
+        assert gaussian_random_field((8, 8), seed=0).dtype == np.float32
+        assert gaussian_random_field((8, 8), seed=0, dtype=np.float64).dtype == np.float64
+
+    def test_rejects_degenerate_shape(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((1, 8), seed=0)
+
+    @pytest.mark.parametrize("shape", [(33,), (10, 17), (6, 7, 9)])
+    def test_odd_shapes(self, shape):
+        assert gaussian_random_field(shape, seed=1).shape == shape
+
+
+class TestIntermittentField:
+    def test_coverage(self):
+        f = intermittent_field((32, 32, 32), coverage=0.1, seed=7)
+        active = float((f != 0).mean())
+        assert 0.05 < active < 0.15
+
+    def test_nonnegative(self):
+        f = intermittent_field((16, 64), coverage=0.2, seed=8)
+        assert (f >= 0).all()
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ValueError):
+            intermittent_field((8, 8), coverage=1.5)
+
+    def test_compresses_very_well(self):
+        from repro.core.api import compress, compression_ratio
+
+        f = intermittent_field((16, 16, 384), coverage=0.05, seed=9)
+        assert compression_ratio(f, compress(f, 1e-2, mode="rel")) > 8
+
+
+class TestOtherGenerators:
+    def test_lognormal_positive_high_dynamic_range(self):
+        f = lognormal_field((16, 16, 64), sigma=2.0, seed=10)
+        assert (f > 0).all()
+        assert float(f.max() / f.min()) > 1e3
+
+    def test_wave_field_smooth(self):
+        f = wave_field((64, 64), seed=11).astype(np.float64)
+        rel_step = np.abs(np.diff(f, axis=-1)).max() / (f.max() - f.min())
+        assert rel_step < 0.2
+
+    def test_ramp_field_nearly_deterministic(self):
+        f = ramp_field((32, 32), noise=1e-6, seed=12)
+        expect = ramp_field((32, 32), noise=1e-6, seed=99)
+        assert np.abs(f.astype(np.float64) - expect.astype(np.float64)).max() < 1e-4
+
+    def test_two_phase_plateaus(self):
+        f = two_phase_field((8, 16, 384), lo=1.0, hi=2.5, width=0.08, seed=13)
+        near_lo = (np.abs(f - 1.0) < 0.05).mean()
+        near_hi = (np.abs(f - 2.5) < 0.05).mean()
+        assert near_lo + near_hi > 0.5  # most volume sits on the plateaus
+
+    def test_envelope_mostly_quiescent(self):
+        f = enveloped_turbulence((8, 16, 384), width=0.15, seed=14)
+        span = float(f.max() - f.min())
+        assert (np.abs(f) < 0.01 * span).mean() > 0.3

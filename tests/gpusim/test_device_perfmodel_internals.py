@@ -1,0 +1,73 @@
+"""Tests for device specs and performance-model internals."""
+
+import pytest
+
+from repro.gpusim import A100, V100, DeviceSpec
+from repro.gpusim.perfmodel import MIXES, OpMix, gpu_throughput
+
+
+class TestDeviceSpecs:
+    def test_paper_quoted_counts(self):
+        """Section 7.1: V100 has 80 SMs / 5120 cores; A100 108 / 6912."""
+        assert (V100.sms, V100.cuda_cores) == (80, 5120)
+        assert (A100.sms, A100.cuda_cores) == (108, 6912)
+
+    def test_peak_iops(self):
+        assert A100.peak_iops == pytest.approx(6912 * 1.41e9)
+        assert A100.peak_iops > V100.peak_iops
+
+    def test_memory_bandwidth_ordering(self):
+        assert A100.mem_bw_gbs > V100.mem_bw_gbs
+
+    def test_custom_device(self):
+        toy = DeviceSpec("toy", sms=1, cuda_cores=64, clock_ghz=1.0, mem_bw_gbs=10.0)
+        assert toy.peak_iops == 64e9
+        # everything still computes on a tiny device
+        assert gpu_throughput("cuSZx", "compress", toy) > 0
+
+
+class TestOpMixes:
+    def test_all_six_mixes_defined(self):
+        assert set(MIXES) == {
+            (c, d)
+            for c in ("cuSZx", "cuSZ", "cuZFP")
+            for d in ("compress", "decompress")
+        }
+
+    def test_baselines_insensitive_to_constant_fraction(self):
+        for comp in ("cuSZ", "cuZFP"):
+            for direction in ("compress", "decompress"):
+                mix = MIXES[(comp, direction)]
+                assert mix.ops_per_elem == 0  # all cost in ops_fixed
+
+    def test_szx_lighter_than_baselines(self):
+        """The design claim: SZx's op mix is the lightest at any
+        constant-block fraction."""
+        for direction in ("compress", "decompress"):
+            szx = MIXES[("cuSZx", direction)]
+            worst_szx = szx.ops_fixed + szx.ops_per_elem  # cf = 0
+            for comp in ("cuSZ", "cuZFP"):
+                other = MIXES[(comp, direction)]
+                assert worst_szx * szx.serial_penalty < (
+                    other.ops_fixed * other.serial_penalty
+                )
+
+    def test_throughput_scales_with_itemsize(self):
+        f32 = gpu_throughput("cuSZx", "compress", A100, itemsize=4)
+        f64 = gpu_throughput("cuSZx", "compress", A100, itemsize=8)
+        assert f64 != f32  # the roofline moves with element width
+
+
+class TestModelEdges:
+    def test_memory_bound_regime(self):
+        """A device with huge compute but tiny bandwidth pins on memory."""
+        starved = DeviceSpec("starved", 100, 100000, 2.0, mem_bw_gbs=1.0)
+        rich = DeviceSpec("rich", 100, 100000, 2.0, mem_bw_gbs=1000.0)
+        t_starved = gpu_throughput("cuSZx", "compress", starved)
+        t_rich = gpu_throughput("cuSZx", "compress", rich)
+        assert t_rich > 10 * t_starved
+
+    def test_constant_fraction_bounds(self):
+        lo = gpu_throughput("cuSZx", "compress", A100, constant_fraction=0.0)
+        hi = gpu_throughput("cuSZx", "compress", A100, constant_fraction=1.0)
+        assert lo < hi

@@ -1,0 +1,104 @@
+"""Tests for the cuSZx kernel simulator and the GPU performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress, decompress
+from repro.gpusim import (
+    A100,
+    V100,
+    cuszx_compress_sim,
+    cuszx_decompress_sim,
+    gpu_throughput,
+)
+
+RNG = np.random.default_rng(60)
+
+
+class TestKernelSim:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+    @pytest.mark.parametrize("block_size", [32, 64, 128])
+    def test_byte_identical_to_cpu(self, dtype, block_size):
+        d = np.cumsum(RNG.normal(size=20_000 + 11)).astype(dtype)
+        d[500:2000] = d[500]
+        cpu = compress(d, 1e-3, block_size=block_size)
+        gpu = cuszx_compress_sim(d, 1e-3, block_size=block_size)
+        assert cpu == gpu
+
+    def test_decompress_matches_cpu(self):
+        d = (np.sin(np.linspace(0, 60, 30_000)) * 7).astype(np.float32)
+        stream = cuszx_compress_sim(d, 1e-4)
+        assert np.array_equal(decompress(stream), cuszx_decompress_sim(stream))
+
+    def test_rejects_non_warp_block_size(self):
+        with pytest.raises(ValueError, match="warp"):
+            cuszx_compress_sim(np.ones(100, np.float32), 1e-3, block_size=100)
+
+    def test_rel_mode(self):
+        d = (RNG.normal(size=10_000) * 100).astype(np.float32)
+        assert cuszx_compress_sim(d, 1e-3, mode="rel") == compress(d, 1e-3, mode="rel")
+
+    def test_all_constant(self):
+        d = np.full(4096, 3.5, np.float32)
+        stream = cuszx_compress_sim(d, 1e-3)
+        assert stream == compress(d, 1e-3)
+        assert np.array_equal(cuszx_decompress_sim(stream), d)
+
+    def test_gpu_stream_decodable_by_cpu_and_vice_versa(self):
+        d = np.cumsum(RNG.normal(size=15_000)).astype(np.float32)
+        via_gpu = cuszx_decompress_sim(compress(d, 1e-3))
+        via_cpu = decompress(cuszx_compress_sim(d, 1e-3))
+        assert np.array_equal(via_gpu, via_cpu)
+
+
+class TestPerfModel:
+    def test_cuszx_always_fastest(self):
+        """Figures 14-15's headline: cuSZx wins on both devices, both ways."""
+        for device in (A100, V100):
+            for direction in ("compress", "decompress"):
+                szx = gpu_throughput("cuSZx", direction, device)
+                sz = gpu_throughput("cuSZ", direction, device)
+                zfp = gpu_throughput("cuZFP", direction, device)
+                assert szx > 2 * max(sz, zfp)
+
+    def test_speedup_band_matches_paper(self):
+        """2~16x faster than the second-best (Section 7.2)."""
+        for device in (A100, V100):
+            for direction in ("compress", "decompress"):
+                szx = gpu_throughput("cuSZx", direction, device)
+                second = max(
+                    gpu_throughput("cuSZ", direction, device),
+                    gpu_throughput("cuZFP", direction, device),
+                )
+                assert 2 <= szx / second <= 16
+
+    def test_a100_beats_v100(self):
+        for comp in ("cuSZx", "cuSZ", "cuZFP"):
+            assert gpu_throughput(comp, "compress", A100) > gpu_throughput(
+                comp, "compress", V100
+            )
+
+    def test_constant_fraction_helps_only_szx(self):
+        lo = gpu_throughput("cuSZx", "compress", A100, constant_fraction=0.1)
+        hi = gpu_throughput("cuSZx", "compress", A100, constant_fraction=0.9)
+        assert hi > lo
+        assert gpu_throughput("cuSZ", "compress", A100, constant_fraction=0.1) == (
+            gpu_throughput("cuSZ", "compress", A100, constant_fraction=0.9)
+        )
+
+    def test_absolute_bands(self):
+        """Modeled cuSZx sits in the paper's reported GB/s ranges."""
+        a100_c = gpu_throughput("cuSZx", "compress", A100, constant_fraction=0.5)
+        assert 150 <= a100_c <= 264
+        a100_d = gpu_throughput("cuSZx", "decompress", A100, constant_fraction=0.5)
+        assert 150 <= a100_d <= 446
+        v100_c = gpu_throughput("cuSZx", "compress", V100, constant_fraction=0.5)
+        assert 120 <= v100_c <= 236
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpu_throughput("cuSZx", "sideways", A100)
+        with pytest.raises(KeyError):
+            gpu_throughput("gzip", "compress", A100)
+        with pytest.raises(ValueError):
+            gpu_throughput("cuSZx", "compress", A100, constant_fraction=1.5)

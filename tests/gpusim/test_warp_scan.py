@@ -1,0 +1,114 @@
+"""Tests for warp primitives, block scans, and index propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpusim import (
+    WARP_SIZE,
+    block_prefix_sum,
+    propagate_indices,
+    resolve_chains_sequential,
+    warp_inclusive_scan,
+    warp_shfl_up,
+)
+from repro.gpusim.index_propagation import chain_indices_for_byte
+from repro.gpusim.warp import warp_reduce_max, warp_reduce_min, warp_shfl_down
+
+RNG = np.random.default_rng(50)
+
+
+class TestWarpPrimitives:
+    def test_shfl_up(self):
+        lanes = np.arange(WARP_SIZE)[None, :]
+        up = warp_shfl_up(lanes, 1, fill=-1)
+        assert up[0, 0] == -1
+        assert (up[0, 1:] == lanes[0, :-1]).all()
+
+    def test_shfl_down(self):
+        lanes = np.arange(WARP_SIZE)[None, :]
+        down = warp_shfl_down(lanes, 2, fill=-1)
+        assert (down[0, :-2] == lanes[0, 2:]).all()
+        assert (down[0, -2:] == -1).all()
+
+    def test_shfl_wrong_width(self):
+        with pytest.raises(ValueError):
+            warp_shfl_up(np.zeros((2, 16)), 1)
+
+    def test_inclusive_scan_matches_cumsum(self):
+        lanes = RNG.integers(0, 100, size=(10, WARP_SIZE))
+        assert np.array_equal(warp_inclusive_scan(lanes), np.cumsum(lanes, axis=1))
+
+    def test_reduce_max_min(self):
+        lanes = RNG.integers(-1000, 1000, size=(5, WARP_SIZE))
+        mx = warp_reduce_max(lanes)
+        mn = warp_reduce_min(lanes)
+        assert (mx == lanes.max(axis=1, keepdims=True)).all()
+        assert (mn == lanes.min(axis=1, keepdims=True)).all()
+
+    def test_reduce_float(self):
+        lanes = RNG.normal(size=(4, WARP_SIZE)).astype(np.float32)
+        assert np.allclose(warp_reduce_max(lanes)[:, 0], lanes.max(axis=1))
+
+
+class TestBlockPrefixSum:
+    @pytest.mark.parametrize("bs", [32, 64, 128, 1024])
+    def test_matches_exclusive_cumsum(self, bs):
+        values = RNG.integers(0, 5, size=(7, bs)).astype(np.int64)
+        got = block_prefix_sum(values)
+        expect = np.cumsum(values, axis=1) - values
+        assert np.array_equal(got, expect)
+
+    def test_rejects_non_warp_multiple(self):
+        with pytest.raises(ValueError):
+            block_prefix_sum(np.zeros((2, 33), dtype=np.int64))
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            block_prefix_sum(np.zeros((1, 32 * 33), dtype=np.int64))
+
+
+class TestIndexPropagation:
+    def test_figure11_example_semantics(self):
+        # mid-bytes at positions 0, 1, 5 (values know their own index);
+        # leading bytes carry the sentinel -1.
+        initial = np.array([[0, 1, -1, -1, -1, 5, -1, -1]])
+        got = propagate_indices(initial)
+        assert list(got[0]) == [0, 1, 1, 1, 1, 5, 5, 5]
+
+    def test_matches_sequential_reference(self):
+        initial = np.where(
+            RNG.random((20, 64)) < 0.4, np.arange(64)[None, :], -1
+        ).astype(np.int64)
+        assert np.array_equal(
+            propagate_indices(initial), resolve_chains_sequential(initial)
+        )
+
+    def test_matches_maximum_accumulate(self):
+        initial = np.where(
+            RNG.random((50, 128)) < 0.3, np.arange(128)[None, :], -1
+        ).astype(np.int64)
+        assert np.array_equal(
+            propagate_indices(initial), np.maximum.accumulate(initial, axis=1)
+        )
+
+    def test_chain_indices_for_byte(self):
+        lead = np.array([[0, 3, 3, 1, 3]])  # byte 2: values 0 and 3 own it
+        got = chain_indices_for_byte(lead, 2)
+        assert list(got[0]) == [0, 0, 0, 3, 3]
+
+    def test_all_unknown_stays_sentinel(self):
+        initial = np.full((3, 16), -1, dtype=np.int64)
+        assert (propagate_indices(initial) == -1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mask=hnp.arrays(np.bool_, (4, 64)),
+)
+def test_propagation_property(mask):
+    initial = np.where(mask, np.arange(64)[None, :], -1).astype(np.int64)
+    assert np.array_equal(
+        propagate_indices(initial), resolve_chains_sequential(initial)
+    )

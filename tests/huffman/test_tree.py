@@ -1,0 +1,103 @@
+"""Tests for Huffman tree construction and canonical codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.huffman import canonical_codes, code_lengths
+from repro.huffman.canonical import build_decode_table
+
+
+class TestCodeLengths:
+    def test_uniform_four_symbols(self):
+        lengths = code_lengths([10, 10, 10, 10])
+        assert list(lengths) == [2, 2, 2, 2]
+
+    def test_skewed(self):
+        lengths = code_lengths([100, 1, 1])
+        assert lengths[0] == 1
+        assert lengths[1] == 2 and lengths[2] == 2
+
+    def test_single_symbol(self):
+        lengths = code_lengths([5])
+        assert lengths[0] == 1
+
+    def test_unused_symbols_zero_length(self):
+        lengths = code_lengths([0, 7, 0, 3])
+        assert lengths[0] == 0 and lengths[2] == 0
+        assert lengths[1] > 0 and lengths[3] > 0
+
+    def test_empty_frequencies(self):
+        assert not code_lengths([0, 0, 0]).any()
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(0, 1000, size=300)
+        lengths = code_lengths(freqs)
+        kraft = sum(2.0 ** -l for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_length_limiting(self):
+        # Fibonacci-like frequencies force long codes without limiting.
+        freqs = [1]
+        for _ in range(30):
+            freqs.append(max(1, sum(freqs[-2:])))
+        lengths = code_lengths(freqs, max_len=16)
+        assert lengths.max() <= 16
+        kraft = sum(2.0 ** -l for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            code_lengths([-1, 2])
+
+    def test_rejects_impossible_limit(self):
+        with pytest.raises(ValueError):
+            code_lengths([1] * 10, max_len=3)
+
+    def test_optimality_on_known_case(self):
+        # classic example: expected code lengths for these freqs
+        lengths = code_lengths([45, 13, 12, 16, 9, 5])
+        expected_cost = sum(f * l for f, l in zip([45, 13, 12, 16, 9, 5], lengths))
+        assert expected_cost == 224  # the textbook optimum
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lengths = code_lengths([5, 9, 12, 13, 16, 45])
+        codes = canonical_codes(lengths)
+        entries = [
+            format(int(c), f"0{int(l)}b")
+            for c, l in zip(codes, lengths)
+            if l > 0
+        ]
+        for i, a in enumerate(entries):
+            for j, b in enumerate(entries):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_canonical_ordering(self):
+        lengths = np.array([2, 2, 2, 2])
+        codes = canonical_codes(lengths)
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_decode_table_consistent(self):
+        lengths = code_lengths([40, 30, 20, 10])
+        codes = canonical_codes(lengths)
+        sym_table, len_table = build_decode_table(lengths, 8)
+        for sym, (c, l) in enumerate(zip(codes, lengths)):
+            if l == 0:
+                continue
+            window = int(c) << (8 - int(l))
+            assert sym_table[window] == sym
+            assert len_table[window] == l
+
+
+@settings(max_examples=50, deadline=None)
+@given(freqs=st.lists(st.integers(0, 10000), min_size=1, max_size=200))
+def test_lengths_always_decodable(freqs):
+    lengths = code_lengths(freqs)
+    used = lengths[np.asarray(freqs) > 0]
+    if used.size:
+        assert (used > 0).all()
+        assert sum(2.0 ** -l for l in used) <= 1.0 + 1e-12

@@ -1,0 +1,64 @@
+"""Tests for the PFS model and rank-parallel dump/load simulation."""
+
+import pytest
+
+from repro.iosim import PFSModel, THETAGPU_PFS, simulate_dump, simulate_load
+
+
+class TestPFSModel:
+    def test_rate_caps_at_aggregate(self):
+        pfs = PFSModel("toy", aggregate_gbs=100.0, per_rank_gbs=2.0)
+        assert pfs.rate(10) == pytest.approx(20.0)
+        assert pfs.rate(1000) == pytest.approx(100.0)
+
+    def test_transfer_time(self):
+        pfs = PFSModel("toy", aggregate_gbs=10.0, per_rank_gbs=10.0)
+        assert pfs.transfer_time(10e9, 1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            THETAGPU_PFS.rate(0)
+        with pytest.raises(ValueError):
+            THETAGPU_PFS.transfer_time(-1, 4)
+
+
+class TestDumpLoad:
+    def test_compression_dominates_at_small_scale(self):
+        """Figure 16's regime: ThetaGPU I/O is fast, compression is the
+        bottleneck, so a faster compressor wins the total."""
+        r = simulate_dump(512e6, 64, compress_mb_s=700, compression_ratio=6,
+                          pfs=THETAGPU_PFS)
+        assert r.compute_s > r.transfer_s
+
+    def test_faster_compressor_wins_total(self):
+        szx = simulate_dump(512e6, 256, 700, 6, THETAGPU_PFS)
+        sz = simulate_dump(512e6, 256, 150, 60, THETAGPU_PFS)
+        assert szx.total_s < sz.total_s
+        # paper: SZx takes 1/3~1/2 of the others' time in most cases
+        assert szx.total_s < 0.6 * sz.total_s
+
+    def test_write_time_grows_with_ranks_beyond_saturation(self):
+        small = simulate_dump(512e6, 64, 700, 6, THETAGPU_PFS)
+        large = simulate_dump(512e6, 1024, 700, 6, THETAGPU_PFS)
+        assert large.transfer_s > small.transfer_s  # aggregate saturates
+
+    def test_higher_ratio_means_less_write_time(self):
+        lo = simulate_dump(512e6, 512, 700, 3, THETAGPU_PFS)
+        hi = simulate_dump(512e6, 512, 700, 30, THETAGPU_PFS)
+        assert hi.transfer_s < lo.transfer_s
+        assert hi.compute_s == lo.compute_s
+
+    def test_load_mirrors_dump(self):
+        r = simulate_load(512e6, 128, decompress_mb_s=1200, compression_ratio=6,
+                          pfs=THETAGPU_PFS)
+        assert r.total_s == pytest.approx(r.compute_s + r.transfer_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_dump(0, 64, 700, 6, THETAGPU_PFS)
+        with pytest.raises(ValueError):
+            simulate_dump(1e6, 0, 700, 6, THETAGPU_PFS)
+        with pytest.raises(ValueError):
+            simulate_load(1e6, 64, -5, 6, THETAGPU_PFS)
+        with pytest.raises(ValueError):
+            simulate_load(1e6, 64, 700, 0, THETAGPU_PFS)

@@ -1,0 +1,99 @@
+"""Tests for the LZ77 stage and the full lossless pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lossless import (
+    lossless_compress,
+    lossless_decompress,
+    lz_compress,
+    lz_decompress,
+)
+
+
+class TestLZ77:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"aaaaaaaaaaaaaaaaaaaa",
+            b"abcdabcdabcdabcd",
+            bytes(range(256)) * 4,
+            b"the quick brown fox jumps over the lazy dog " * 20,
+        ],
+        ids=["empty", "one", "short", "run", "period4", "bytes", "text"],
+    )
+    def test_roundtrip(self, data):
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_overlapping_match(self):
+        # A run longer than its distance forces the overlapping-copy path.
+        data = b"ab" + b"ab" * 200
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_long_runs_compress_well(self):
+        data = b"\x00" * 100_000
+        c = lz_compress(data)
+        assert len(c) < len(data) / 50
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            lz_decompress(b"XXXX" + b"\x00" * 16)
+
+    def test_truncated(self):
+        c = lz_compress(b"hello world, hello world, hello world")
+        with pytest.raises(ValueError):
+            lz_decompress(c[:-2])
+
+    def test_window_respected(self):
+        # Matches farther than 64 KiB must not be emitted.
+        rng = np.random.default_rng(3)
+        junk = rng.integers(0, 256, 70_000).astype(np.uint8).tobytes()
+        data = b"SENTINEL-PATTERN" + junk + b"SENTINEL-PATTERN"
+        assert lz_decompress(lz_compress(data)) == data
+
+
+class TestLosslessPipeline:
+    def test_float_field_ratio_band(self):
+        """Table 3's zstd row: float scientific data compresses to 1.1~1.5."""
+        from repro.datasets import get_application
+
+        d = get_application("Miranda", "tiny").field("density")
+        raw = d.tobytes()
+        c = lossless_compress(raw)
+        assert lossless_decompress(c) == raw
+        ratio = len(raw) / len(c)
+        assert 1.05 < ratio < 3.0
+
+    def test_incompressible_not_expanded(self):
+        rng = np.random.default_rng(4)
+        raw = rng.integers(0, 256, 50_000).astype(np.uint8).tobytes()
+        c = lossless_compress(raw)
+        assert len(c) <= len(raw) + 1  # flag byte only
+
+    def test_empty(self):
+        assert lossless_decompress(lossless_compress(b"")) == b""
+
+    def test_unknown_flag(self):
+        with pytest.raises(ValueError, match="flag"):
+            lossless_decompress(bytes([99]) + b"x")
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=3000))
+def test_lossless_roundtrip_property(data):
+    assert lossless_decompress(lossless_compress(data)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=st.binary(min_size=1, max_size=40),
+    repeats=st.integers(1, 100),
+    suffix=st.binary(max_size=50),
+)
+def test_lz_repetitive_roundtrip(pattern, repeats, suffix):
+    data = pattern * repeats + suffix
+    assert lz_decompress(lz_compress(data)) == data

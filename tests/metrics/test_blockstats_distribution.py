@@ -1,0 +1,87 @@
+"""Tests for block statistics, error histograms, and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    block_range_cdf,
+    error_histogram,
+    fraction_constant_capable,
+    harmonic_mean,
+)
+
+
+class TestBlockRangeCDF:
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(6)
+        d = np.cumsum(rng.normal(size=4096)).astype(np.float32)
+        grid, cdf = block_range_cdf(d, 16)
+        assert (np.diff(cdf) >= 0).all()
+        assert 0 <= cdf[0] <= cdf[-1] <= 1
+
+    def test_smaller_blocks_shift_cdf_up(self):
+        """Figure 2's key property: smaller block size => smaller ranges."""
+        rng = np.random.default_rng(7)
+        d = np.cumsum(rng.normal(size=8192)).astype(np.float32)
+        grid = np.linspace(0, 0.1, 30)
+        _, cdf8 = block_range_cdf(d, 8, grid)
+        _, cdf128 = block_range_cdf(d, 128, grid)
+        assert (cdf8 >= cdf128 - 1e-12).all()
+        assert cdf8.mean() > cdf128.mean()
+
+    def test_constant_data(self):
+        d = np.ones(1024, dtype=np.float32)
+        _, cdf = block_range_cdf(d, 16)
+        assert cdf[0] == 1.0  # every block has zero relative range
+
+    def test_fraction_helper(self):
+        d = np.ones(1024, dtype=np.float32)
+        assert fraction_constant_capable(d, 16, 0.01) == 1.0
+
+
+class TestErrorHistogram:
+    def test_within_bound(self):
+        rng = np.random.default_rng(8)
+        a = rng.normal(size=5000)
+        b = a + rng.uniform(-1e-3, 1e-3, 5000)
+        centers, density = error_histogram(a, b, 1e-3)
+        assert centers.size == density.size
+        # density integrates to ~1
+        width = centers[1] - centers[0]
+        assert np.isclose(density.sum() * width, 1.0, atol=1e-6)
+
+    def test_detects_violation(self):
+        a = np.zeros(10)
+        b = np.full(10, 2e-3)
+        with pytest.raises(ValueError, match="violated"):
+            error_histogram(a, b, 1e-3)
+
+    def test_szx_errors_bounded_and_centered(self):
+        from repro.core.api import compress, decompress
+        from repro.datasets import gaussian_random_field
+
+        d = gaussian_random_field((32, 256), slope=3.0, seed=9)
+        r = decompress(compress(d, 1e-4))
+        centers, density = error_histogram(d, r, 1e-4)
+        assert density.sum() > 0
+
+
+class TestHarmonicMean:
+    def test_equal_values(self):
+        assert harmonic_mean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_matches_total_ratio_interpretation(self):
+        # equal-size fields: harmonic mean of CRs == total/total ratio
+        sizes = 100.0
+        crs = [2.0, 8.0]
+        compressed = sum(sizes / c for c in crs)
+        assert harmonic_mean(crs) == pytest.approx(2 * sizes / compressed)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 100.0]) < 2.0
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])

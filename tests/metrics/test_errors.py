@@ -1,0 +1,62 @@
+"""Unit tests for pointwise error metrics and PSNR."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import max_abs_error, mse, nrmse, psnr
+
+
+class TestBasics:
+    def test_identical_arrays(self):
+        a = np.linspace(0, 1, 100)
+        assert max_abs_error(a, a) == 0.0
+        assert mse(a, a) == 0.0
+        assert psnr(a, a) == float("inf")
+        assert nrmse(a, a) == 0.0
+
+    def test_known_values(self):
+        a = np.array([0.0, 1.0, 2.0, 3.0])
+        b = a + np.array([0.1, -0.1, 0.1, -0.1])
+        assert np.isclose(max_abs_error(a, b), 0.1)
+        assert np.isclose(mse(a, b), 0.01)
+        # Formula (7): 20*log10(range/rmse) = 20*log10(3/0.1)
+        assert np.isclose(psnr(a, b), 20 * np.log10(30))
+        assert np.isclose(nrmse(a, b), 0.1 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(0), np.zeros(0))
+
+    def test_constant_original_lossy(self):
+        a = np.full(10, 5.0)
+        b = a + 0.5
+        assert psnr(a, b) == float("-inf")
+
+    def test_psnr_improves_with_smaller_error(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=1000)
+        noisy1 = a + rng.normal(0, 0.1, 1000)
+        noisy2 = a + rng.normal(0, 0.01, 1000)
+        assert psnr(a, noisy2) > psnr(a, noisy1) + 10
+
+
+class TestWithCompressor:
+    """PSNR of SZx output should scale ~20 dB per decade of error bound."""
+
+    def test_psnr_ladder(self):
+        from repro.core.api import compress, decompress
+        from repro.datasets import gaussian_random_field
+
+        d = gaussian_random_field((64, 256), slope=3.0, seed=1)
+        values = []
+        for rel in (1e-2, 1e-3, 1e-4):
+            r = decompress(compress(d, rel, mode="rel"))
+            values.append(psnr(d, r))
+        assert values[0] < values[1] < values[2]
+        # each decade of bound is worth roughly 20 dB
+        assert 10 < values[1] - values[0] < 30
+        assert 10 < values[2] - values[1] < 30

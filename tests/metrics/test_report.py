@@ -1,0 +1,95 @@
+"""Tests for the Z-checker-style assessment report."""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress, resolve_error_bound
+from repro.metrics.report import assess, format_report
+
+RNG = np.random.default_rng(130)
+
+
+@pytest.fixture(scope="module")
+def triple():
+    data = np.cumsum(RNG.normal(size=8000)).astype(np.float32).reshape(40, 200)
+    stream = compress(data, 1e-2, mode="rel")
+    recon = decompress(stream)
+    bound = resolve_error_bound(data, 1e-2, "rel")
+    return data, recon, stream, bound
+
+
+class TestAssess:
+    def test_core_fields_present(self, triple):
+        data, recon, stream, bound = triple
+        report = assess(data, recon, stream, bound)
+        for key in (
+            "max_abs_error",
+            "psnr_db",
+            "nrmse",
+            "compression_ratio",
+            "bit_rate",
+            "bound_respected",
+            "ssim",
+        ):
+            assert key in report, key
+
+    def test_bound_check(self, triple):
+        data, recon, stream, bound = triple
+        report = assess(data, recon, stream, bound)
+        assert report["bound_respected"] is True
+        assert 0 < report["bound_utilization"] <= 1
+
+    def test_bound_violation_flagged(self):
+        a = np.zeros(100)
+        b = a + 0.5
+        report = assess(a, b, err_bound=0.1)
+        assert report["bound_respected"] is False
+
+    def test_bit_rate_consistent(self, triple):
+        data, recon, stream, _ = triple
+        report = assess(data, recon, stream)
+        assert report["bit_rate"] == pytest.approx(8 * len(stream) / data.size)
+        assert report["compression_ratio"] == pytest.approx(
+            32 / report["bit_rate"]
+        )
+
+    def test_lossless_reconstruction(self):
+        a = RNG.normal(size=500)
+        report = assess(a, a.copy())
+        assert report["max_abs_error"] == 0.0
+        assert report["psnr_db"] == float("inf")
+
+    def test_white_error_low_autocorrelation(self):
+        a = np.zeros(50_000)
+        b = RNG.uniform(-1, 1, 50_000)
+        report = assess(a, b)
+        assert abs(report["error_autocorr_lag1"]) < 0.05
+
+    def test_structured_error_high_autocorrelation(self):
+        a = np.zeros(10_000)
+        b = np.sin(np.linspace(0, 20, 10_000))  # smooth artifact
+        report = assess(a, b)
+        assert report["error_autocorr_lag1"] > 0.9
+
+    def test_no_ssim_for_1d(self):
+        a = np.ones(100)
+        assert "ssim" not in assess(a, a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assess(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            assess(np.zeros(0), np.zeros(0))
+
+
+class TestFormat:
+    def test_renders_all_keys(self, triple):
+        data, recon, stream, bound = triple
+        report = assess(data, recon, stream, bound)
+        text = format_report(report)
+        for key in report:
+            assert key in text
+
+    def test_title(self):
+        text = format_report({"a": 1.0}, title="T")
+        assert text.splitlines()[0] == "T"

@@ -1,0 +1,55 @@
+"""Unit tests for SSIM."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ssim
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(32, 32))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_noise_lowers_ssim(self):
+        rng = np.random.default_rng(2)
+        a = np.add.outer(np.linspace(0, 1, 64), np.linspace(0, 1, 64))
+        small = ssim(a, a + rng.normal(0, 0.01, a.shape))
+        large = ssim(a, a + rng.normal(0, 0.2, a.shape))
+        assert large < small < 1.0
+
+    def test_range_bounded(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(40, 40))
+        b = rng.normal(size=(40, 40))  # unrelated field
+        v = ssim(a, b)
+        assert -1.0 <= v <= 1.0
+        assert v < 0.3
+
+    def test_3d(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(16, 16, 16))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_constant_fields(self):
+        a = np.full((16, 16), 2.0)
+        assert ssim(a, a.copy()) == 1.0
+        assert ssim(a, a + 1.0) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_window_too_large(self):
+        with pytest.raises(ValueError, match="window"):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)), window=7)
+
+    def test_compressed_quality_ordering(self):
+        from repro.core.api import compress, decompress
+        from repro.datasets import gaussian_random_field
+
+        d = gaussian_random_field((64, 128), slope=3.0, seed=5)
+        loose = ssim(d, decompress(compress(d, 3e-2, mode="rel")))
+        tight = ssim(d, decompress(compress(d, 1e-4, mode="rel")))
+        assert loose < tight <= 1.0

@@ -1,0 +1,101 @@
+"""Tests for the OpenMP-style parallel codec and the scaling model."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress, decompress
+from repro.parallel import chunk_block_ranges, omp_compress, omp_decompress
+from repro.parallel.scaling import modeled_speedup, modeled_throughput
+
+RNG = np.random.default_rng(40)
+
+
+class TestChunking:
+    def test_covers_everything(self):
+        ranges = chunk_block_ranges(100, 7)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 100
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    def test_balanced(self):
+        sizes = [b - a for a, b in chunk_block_ranges(103, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_blocks(self):
+        ranges = chunk_block_ranges(3, 16)
+        assert len(ranges) == 3
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_block_ranges(10, 0)
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4, 7])
+class TestOmpCodec:
+    def test_stream_byte_identical_to_serial(self, n_threads):
+        d = np.cumsum(RNG.normal(size=50_000 + 13)).astype(np.float32)
+        d[1000:3000] = 0.5
+        serial = compress(d, 1e-3)
+        parallel = omp_compress(d, 1e-3, n_threads=n_threads)
+        assert serial == parallel
+
+    def test_parallel_decompress_matches(self, n_threads):
+        d = (np.sin(np.linspace(0, 100, 40_000)) * 3).astype(np.float32)
+        stream = compress(d, 1e-4)
+        assert np.array_equal(
+            decompress(stream), omp_decompress(stream, n_threads=n_threads)
+        )
+
+    def test_rel_mode(self, n_threads):
+        d = (RNG.normal(size=20_000) * 50).astype(np.float32)
+        serial = compress(d, 1e-3, mode="rel")
+        parallel = omp_compress(d, 1e-3, mode="rel", n_threads=n_threads)
+        assert serial == parallel
+
+
+class TestOmpEdgeCases:
+    def test_empty(self):
+        d = np.empty(0, dtype=np.float32)
+        assert omp_decompress(omp_compress(d, 1e-3, n_threads=4)).size == 0
+
+    def test_fewer_blocks_than_threads(self):
+        d = RNG.normal(size=100).astype(np.float32)
+        assert omp_compress(d, 1e-3, n_threads=64) == compress(d, 1e-3)
+
+    def test_shape_restored(self):
+        d = RNG.normal(size=(50, 70)).astype(np.float32)
+        r = omp_decompress(omp_compress(d, 1e-2, n_threads=4), n_threads=4)
+        assert r.shape == d.shape
+
+    def test_float64(self):
+        d = np.cumsum(RNG.normal(size=30_000)).astype(np.float64)
+        assert omp_compress(d, 1e-5, n_threads=4) == compress(d, 1e-5)
+
+
+class TestScalingModel:
+    def test_single_thread_no_speedup(self):
+        for c in ("szx", "sz", "zfp"):
+            assert modeled_speedup(c, 1) == pytest.approx(1.0)
+
+    def test_monotone_in_threads(self):
+        speedups = [modeled_speedup("szx", n) for n in (1, 2, 8, 32, 64)]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_64_thread_bands_match_paper(self):
+        # Paper: SZx ~6-9x, SZ ~12-15x, ZFP ~4-7x at 64 threads.
+        assert 6 <= modeled_speedup("szx", 64) <= 9
+        assert 12 <= modeled_speedup("sz", 64) <= 15
+        assert 4 <= modeled_speedup("zfp", 64) <= 7
+
+    def test_throughput_projection(self):
+        assert modeled_throughput("szx", 100.0, 64) == pytest.approx(
+            100.0 * modeled_speedup("szx", 64)
+        )
+
+    def test_unknown_compressor(self):
+        with pytest.raises(KeyError):
+            modeled_speedup("lz4", 8)
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            modeled_speedup("szx", 0)

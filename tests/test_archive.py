@@ -1,0 +1,101 @@
+"""Tests for the multi-field SZx archive container."""
+
+import numpy as np
+import pytest
+
+from repro.archive import SzxArchive
+from repro.datasets import get_application
+
+RNG = np.random.default_rng(110)
+
+
+@pytest.fixture(scope="module")
+def archive_bytes():
+    arc = SzxArchive()
+    app = get_application("Miranda", "tiny")
+    for name, data in app.fields():
+        arc.add(name, data, 1e-3, mode="rel")
+    return arc.to_bytes(), dict(app.fields())
+
+
+class TestArchive:
+    def test_field_names(self, archive_bytes):
+        buf, originals = archive_bytes
+        assert set(SzxArchive.field_names(buf)) == set(originals)
+
+    def test_single_field_roundtrip(self, archive_bytes):
+        buf, originals = archive_bytes
+        got = SzxArchive.load_field(buf, "pressure")
+        orig = originals["pressure"]
+        assert got.shape == orig.shape
+        bound = 1e-3 * float(orig.max() - orig.min())
+        assert np.abs(orig - got).max() <= bound
+
+    def test_load_all(self, archive_bytes):
+        buf, originals = archive_bytes
+        fields = SzxArchive.load_all(buf)
+        assert set(fields) == set(originals)
+        for name, arr in fields.items():
+            assert arr.shape == originals[name].shape
+
+    def test_missing_field(self, archive_bytes):
+        buf, _ = archive_bytes
+        with pytest.raises(KeyError, match="available"):
+            SzxArchive.load_field(buf, "entropy")
+
+    def test_save_and_open(self, tmp_path, archive_bytes):
+        buf, _ = archive_bytes
+        arc = SzxArchive()
+        arc.add("x", np.ones(100, np.float32), 1e-3)
+        path = arc.save(tmp_path / "fields.szxa")
+        assert SzxArchive.field_names(SzxArchive.open(path)) == ["x"]
+
+    def test_add_stream_passthrough(self):
+        from repro.core import compress
+
+        data = np.linspace(0, 1, 1000, dtype=np.float32)
+        stream = compress(data, 1e-4)
+        arc = SzxArchive()
+        arc.add_stream("pre", stream)
+        got = SzxArchive.load_field(arc.to_bytes(), "pre")
+        assert np.abs(data - got).max() <= 1e-4
+
+    def test_duplicate_name_rejected(self):
+        arc = SzxArchive()
+        arc.add("a", np.ones(10, np.float32), 1e-3)
+        with pytest.raises(ValueError, match="duplicate"):
+            arc.add("a", np.ones(10, np.float32), 1e-3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SzxArchive().add("", np.ones(10, np.float32), 1e-3)
+
+    def test_empty_archive(self):
+        buf = SzxArchive().to_bytes()
+        assert SzxArchive.field_names(buf) == []
+
+    def test_unicode_names(self):
+        arc = SzxArchive()
+        arc.add("champ-électrique", np.ones(50, np.float32), 1e-3)
+        assert "champ-électrique" in SzxArchive.field_names(arc.to_bytes())
+
+
+class TestArchiveCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            SzxArchive.field_names(b"XXXX" + b"\x00" * 40)
+
+    def test_truncated(self):
+        arc = SzxArchive()
+        arc.add("a", np.ones(100, np.float32), 1e-3)
+        buf = arc.to_bytes()
+        with pytest.raises(ValueError):
+            SzxArchive.field_names(buf[: len(buf) // 2])
+
+    def test_tail_corrupt(self):
+        arc = SzxArchive()
+        arc.add("a", np.ones(100, np.float32), 1e-3)
+        buf = bytearray(arc.to_bytes())
+        buf[-1] ^= 0xFF
+        with pytest.raises(ValueError, match="tail"):
+            SzxArchive.field_names(bytes(buf))

@@ -1,0 +1,92 @@
+"""End-to-end tests for the szx command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def field_file(tmp_path):
+    rng = np.random.default_rng(70)
+    data = np.cumsum(rng.normal(size=10000)).astype(np.float32).reshape(20, 500)
+    path = tmp_path / "field.f32"
+    data.tofile(path)
+    return path, data
+
+
+class TestRoundtrip:
+    def test_compress_decompress(self, field_file, tmp_path, capsys):
+        path, data = field_file
+        szx = tmp_path / "field.szx"
+        out = tmp_path / "recon.f32"
+        assert main([
+            "compress", str(path), "-o", str(szx),
+            "-e", "1e-3", "--shape", "20,500",
+        ]) == 0
+        assert "CR" in capsys.readouterr().out
+        assert main(["decompress", str(szx), "-o", str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float32).reshape(20, 500)
+        assert np.abs(data - recon).max() <= 1e-3
+
+    def test_rel_mode_and_block_size(self, field_file, tmp_path):
+        path, data = field_file
+        szx = tmp_path / "f.szx"
+        assert main([
+            "compress", str(path), "-o", str(szx),
+            "-e", "1e-2", "--mode", "rel", "--block-size", "64",
+        ]) == 0
+        from repro.core import decode_header
+
+        header = decode_header(szx.read_bytes())
+        assert header.block_size == 64
+        assert header.err_bound == pytest.approx(
+            1e-2 * float(data.max() - data.min()), rel=1e-6
+        )
+
+    def test_float64(self, tmp_path):
+        data = np.linspace(0, 1, 5000, dtype=np.float64)
+        path = tmp_path / "d.f64"
+        data.tofile(path)
+        szx = tmp_path / "d.szx"
+        out = tmp_path / "d.recon"
+        assert main([
+            "compress", str(path), "-o", str(szx), "-e", "1e-6", "--dtype", "f64",
+        ]) == 0
+        assert main(["decompress", str(szx), "-o", str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float64)
+        assert np.abs(data - recon).max() <= 1e-6
+
+
+class TestInspect:
+    def test_inspect_output(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        szx = tmp_path / "f.szx"
+        main(["compress", str(path), "-o", str(szx), "-e", "1e-3"])
+        capsys.readouterr()
+        assert main(["inspect", str(szx)]) == 0
+        out = capsys.readouterr().out
+        assert "block size" in out
+        assert "float32" in out
+
+
+class TestValidation:
+    def test_bad_shape_product(self, field_file, tmp_path):
+        path, _ = field_file
+        with pytest.raises(SystemExit, match="holds"):
+            main([
+                "compress", str(path), "-o", str(tmp_path / "x.szx"),
+                "-e", "1e-3", "--shape", "3,3",
+            ])
+
+    def test_bad_shape_format(self, field_file, tmp_path):
+        path, _ = field_file
+        with pytest.raises(SystemExit, match="shape"):
+            main([
+                "compress", str(path), "-o", str(tmp_path / "x.szx"),
+                "-e", "1e-3", "--shape", "a,b",
+            ])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

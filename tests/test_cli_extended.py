@@ -1,0 +1,86 @@
+"""Tests for the extended CLI subcommands: verify, assess, bundle, extract."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def compressed(tmp_path):
+    rng = np.random.default_rng(160)
+    data = np.cumsum(rng.normal(size=8000)).astype(np.float32)
+    raw = tmp_path / "data.f32"
+    data.tofile(raw)
+    szx = tmp_path / "data.szx"
+    main(["compress", str(raw), "-o", str(szx), "-e", "1e-3"])
+    return raw, szx, data, tmp_path
+
+
+class TestVerify:
+    def test_good_stream(self, compressed, capsys):
+        _, szx, _, _ = compressed
+        assert main(["verify", str(szx)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_corrupt_stream(self, compressed, capsys):
+        _, szx, _, tmp = compressed
+        bad = tmp / "bad.szx"
+        buf = bytearray(szx.read_bytes())
+        buf[0] = 0
+        bad.write_bytes(bytes(buf))
+        assert main(["verify", str(bad)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+
+class TestAssess:
+    def test_report(self, compressed, capsys):
+        raw, szx, data, tmp = compressed
+        recon = tmp / "recon.f32"
+        main(["decompress", str(szx), "-o", str(recon)])
+        capsys.readouterr()
+        assert main([
+            "assess", str(raw), str(recon), "-e", "1e-3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "psnr_db" in out
+        assert "bound_respected" in out and "True" in out
+
+    def test_violation_exit_code(self, compressed, tmp_path):
+        raw, _, data, _ = compressed
+        shifted = tmp_path / "shifted.f32"
+        (data + 1.0).tofile(shifted)
+        assert main(["assess", str(raw), str(shifted), "-e", "1e-3"]) == 1
+
+    def test_size_mismatch(self, compressed, tmp_path):
+        raw, _, data, _ = compressed
+        short = tmp_path / "short.f32"
+        data[:10].tofile(short)
+        with pytest.raises(SystemExit, match="mismatch"):
+            main(["assess", str(raw), str(short)])
+
+
+class TestBundleExtract:
+    def test_roundtrip(self, compressed, tmp_path, capsys):
+        raw, szx, data, _ = compressed
+        archive = tmp_path / "bundle.szxa"
+        assert main([
+            "bundle", str(szx), "-o", str(archive), "--names", "field-a",
+        ]) == 0
+        capsys.readouterr()
+        # listing
+        assert main(["extract", str(archive)]) == 0
+        assert "field-a" in capsys.readouterr().out
+        # extraction
+        out = tmp_path / "field-a.f32"
+        assert main(["extract", str(archive), "field-a", "-o", str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float32)
+        assert np.abs(data - recon).max() <= 1e-3
+
+    def test_names_count_mismatch(self, compressed, tmp_path):
+        _, szx, _, _ = compressed
+        with pytest.raises(SystemExit, match="count"):
+            main([
+                "bundle", str(szx), "-o", str(tmp_path / "x.szxa"),
+                "--names", "a,b",
+            ])

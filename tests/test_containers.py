@@ -1,0 +1,88 @@
+"""Tests for container detection and the universal decoder."""
+
+import numpy as np
+import pytest
+
+from repro.archive import SzxArchive
+from repro.containers import container_kind, decompress_any
+from repro.core import (
+    compress,
+    compress_extended,
+    compress_pointwise,
+    compress_sequence,
+)
+
+RNG = np.random.default_rng(220)
+DATA = np.cumsum(RNG.normal(size=3000)).astype(np.float32)
+
+
+class TestContainerKind:
+    def test_all_kinds_recognized(self):
+        cases = {
+            "szx": compress(DATA, 1e-3),
+            "szx-l": compress_extended(DATA, 1e-3),
+            "szx-pointwise": compress_pointwise(np.abs(DATA) + 1, 1e-3),
+            "szx-temporal": compress_sequence([DATA, DATA], 1e-3),
+        }
+        for expect, stream in cases.items():
+            assert container_kind(stream) == expect
+
+    def test_archive_kind(self):
+        arc = SzxArchive()
+        arc.add("x", DATA, 1e-3)
+        assert container_kind(arc.to_bytes()) == "szx-archive"
+
+    def test_chunked_file_kind(self, tmp_path):
+        from repro.io import compress_file
+
+        raw = tmp_path / "d.f32"
+        DATA.tofile(raw)
+        out = tmp_path / "d.szxf"
+        compress_file(raw, out, 1e-3)
+        assert container_kind(out.read_bytes()) == "szx-chunked-file"
+
+    def test_unknown(self):
+        assert container_kind(b"GIF89a") == "unknown"
+
+
+class TestDecompressAny:
+    def test_plain(self):
+        r = decompress_any(compress(DATA, 1e-3))
+        assert np.abs(DATA - r).max() <= 1e-3
+
+    def test_extended(self):
+        r = decompress_any(compress_extended(DATA, 1e-3))
+        assert np.abs(DATA - r).max() <= 1e-3
+
+    def test_pointwise(self):
+        d = np.abs(DATA) + 1
+        r = decompress_any(compress_pointwise(d, 1e-3))
+        assert np.abs(r / d - 1).max() <= 1e-3
+
+    def test_temporal_stacked(self):
+        frames = [DATA, DATA + 0.5]
+        r = decompress_any(compress_sequence(frames, 1e-3))
+        assert r.shape == (2, DATA.size)
+
+    def test_archive_rejected_with_pointer(self):
+        arc = SzxArchive()
+        arc.add("x", DATA, 1e-3)
+        with pytest.raises(ValueError, match="SzxArchive"):
+            decompress_any(arc.to_bytes())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            decompress_any(b"\x00\x01\x02\x03rest")
+
+
+class TestCliIntegration:
+    def test_cli_decodes_extended_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        szxl = tmp_path / "d.szxl"
+        szxl.write_bytes(compress_extended(DATA, 1e-3))
+        out = tmp_path / "r.f32"
+        assert main(["decompress", str(szxl), "-o", str(out)]) == 0
+        assert "szx-l" in capsys.readouterr().out
+        recon = np.fromfile(out, dtype=np.float32)
+        assert np.abs(DATA - recon).max() <= 1e-3

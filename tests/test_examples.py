@@ -1,0 +1,52 @@
+"""End-to-end smoke tests: every example script must run cleanly.
+
+Each example is executed in-process (faster than subprocesses and the
+assertion failures surface directly).  Examples print to stdout; the
+tests assert on their key output lines so regressions in behaviour —
+not just crashes — are caught.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "error bound respected" in out
+        assert "ratio" in out
+
+    def test_instrument_stream(self, capsys):
+        out = run_example("instrument_stream.py", capsys)
+        assert "sustained rate" in out
+        assert "overall ratio" in out
+
+    def test_inmemory_quantum(self, capsys):
+        out = run_example("inmemory_quantum.py", capsys)
+        assert "qubits" in out
+        assert "x smaller" in out
+
+    def test_blocksize_tuning(self, capsys):
+        out = run_example("blocksize_tuning.py", capsys)
+        assert "best ratio at block size" in out
+
+    def test_parallel_dump(self, capsys):
+        out = run_example("parallel_dump.py", capsys)
+        assert "simulated dump+load" in out
+
+    def test_field_bundle(self, capsys):
+        out = run_example("field_bundle.py", capsys)
+        assert "random access" in out and "OK" in out

@@ -1,0 +1,101 @@
+"""Tests for streaming file compression."""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.io import compress_file, decompress_file
+
+RNG = np.random.default_rng(200)
+
+
+@pytest.fixture()
+def raw_file(tmp_path):
+    data = np.cumsum(RNG.normal(size=300_000)).astype(np.float32)
+    path = tmp_path / "data.f32"
+    data.tofile(path)
+    return path, data, tmp_path
+
+
+class TestFileRoundtrip:
+    def test_bound_respected(self, raw_file):
+        path, data, tmp = raw_file
+        out = tmp / "data.szxf"
+        recon_path = tmp / "recon.f32"
+        summary = compress_file(path, out, 1e-3, chunk_values=65536)
+        assert summary["values"] == data.size
+        assert summary["chunks"] == (data.size + 65535) // 65536
+        assert decompress_file(out, recon_path) == data.size
+        recon = np.fromfile(recon_path, dtype=np.float32)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3
+
+    def test_matches_in_memory_compression(self, raw_file):
+        """Chunks split on block boundaries, so the streamed reconstruction
+        equals the whole-array reconstruction bit for bit."""
+        path, data, tmp = raw_file
+        out = tmp / "d.szxf"
+        recon_path = tmp / "r.f32"
+        compress_file(path, out, 1e-3, chunk_values=128 * 100)
+        decompress_file(out, recon_path)
+        streamed = np.fromfile(recon_path, dtype=np.float32)
+        whole = decompress(compress(data, 1e-3))
+        assert np.array_equal(streamed, whole)
+
+    def test_rel_mode_uses_global_range(self, raw_file):
+        path, data, tmp = raw_file
+        out = tmp / "d.szxf"
+        summary = compress_file(path, out, 1e-3, mode="rel", chunk_values=65536)
+        from repro.core import resolve_error_bound
+
+        assert summary["abs_bound"] == pytest.approx(
+            resolve_error_bound(data, 1e-3, "rel"), rel=1e-9
+        )
+
+    def test_float64(self, tmp_path):
+        data = RNG.normal(size=50_000).astype(np.float64)
+        path = tmp_path / "d.f64"
+        data.tofile(path)
+        out = tmp_path / "d.szxf"
+        recon_path = tmp_path / "r.f64"
+        compress_file(path, out, 1e-8, dtype=np.float64, chunk_values=8192)
+        decompress_file(out, recon_path)
+        recon = np.fromfile(recon_path, dtype=np.float64)
+        assert np.abs(data - recon).max() <= 1e-8
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.f32"
+        path.write_bytes(b"")
+        out = tmp_path / "e.szxf"
+        summary = compress_file(path, out, 1e-3)
+        assert summary["values"] == 0
+        recon_path = tmp_path / "e.f32"
+        assert decompress_file(out, recon_path) == 0
+
+    def test_single_chunk(self, raw_file):
+        path, data, tmp = raw_file
+        out = tmp / "one.szxf"
+        summary = compress_file(path, out, 1e-2, chunk_values=1 << 22)
+        assert summary["chunks"] == 1
+
+
+class TestFileValidation:
+    def test_chunk_smaller_than_block(self, raw_file):
+        path, _, tmp = raw_file
+        with pytest.raises(ValueError, match="block"):
+            compress_file(path, tmp / "x", 1e-3, chunk_values=4)
+
+    def test_truncated_container(self, raw_file):
+        path, _, tmp = raw_file
+        out = tmp / "d.szxf"
+        compress_file(path, out, 1e-3, chunk_values=65536)
+        blob = out.read_bytes()
+        bad = tmp / "bad.szxf"
+        bad.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            decompress_file(bad, tmp / "r.f32")
+
+    def test_bad_magic(self, tmp_path):
+        bad = tmp_path / "bad.szxf"
+        bad.write_bytes(b"XXXX" + b"\x00" * 40)
+        with pytest.raises(ValueError, match="magic"):
+            decompress_file(bad, tmp_path / "r.f32")
