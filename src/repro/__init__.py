@@ -19,6 +19,7 @@ paper-vs-measured record of every table and figure.
 
 from .core import (
     DEFAULT_BLOCK_SIZE,
+    StreamFormatError,
     compress,
     compress_components,
     compression_ratio,
@@ -30,6 +31,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "StreamFormatError",
     "compress",
     "compress_components",
     "compression_ratio",

@@ -24,6 +24,7 @@ import numpy as np
 
 from .core import compress, decompress
 from .core.constants import DEFAULT_BLOCK_SIZE
+from .core.errors import ContainerFormatError
 
 _MAGIC = b"SZXA"
 _VERSION = 1
@@ -46,6 +47,7 @@ class SzxArchive:
         *,
         mode: str = "abs",
         block_size: int = DEFAULT_BLOCK_SIZE,
+        checksum: bool = False,
     ) -> None:
         """Compress *data* and store it under *name*."""
         if not name:
@@ -55,7 +57,7 @@ class SzxArchive:
         if len(name.encode()) > 0xFFFF:
             raise ValueError("field name too long")
         self._entries[name] = compress(
-            data, err_bound, mode=mode, block_size=block_size
+            data, err_bound, mode=mode, block_size=block_size, checksum=checksum
         )
 
     def add_stream(self, name: str, stream: bytes) -> None:
@@ -92,30 +94,65 @@ class SzxArchive:
     @classmethod
     def _parse_index(cls, buf: bytes) -> dict[str, tuple[int, int]]:
         if len(buf) < _HEAD.size + _TAIL.size:
-            raise ValueError("archive too short")
+            raise ContainerFormatError("archive too short", section="archive")
         magic, version = _HEAD.unpack_from(buf)
         if magic != _MAGIC:
-            raise ValueError("bad archive magic")
+            raise ContainerFormatError(
+                "bad archive magic", section="archive header", offset=0
+            )
         if version != _VERSION:
-            raise ValueError(f"unsupported archive version {version}")
+            raise ContainerFormatError(
+                f"unsupported archive version {version}",
+                section="archive header",
+                offset=4,
+            )
         index_offset, tail_magic = _TAIL.unpack_from(buf, len(buf) - _TAIL.size)
         if tail_magic != _MAGIC:
-            raise ValueError("archive tail corrupt")
+            raise ContainerFormatError(
+                "archive tail corrupt",
+                section="archive tail",
+                offset=len(buf) - 4,
+            )
         pos = index_offset
-        if pos + 4 > len(buf):
-            raise ValueError("archive index offset out of range")
+        index_end = len(buf) - _TAIL.size
+        if pos < _HEAD.size or pos + 4 > index_end:
+            raise ContainerFormatError(
+                "archive index offset out of range", section="archive index"
+            )
         (count,) = struct.unpack_from("<I", buf, pos)
         pos += 4
         entries = {}
-        for _ in range(count):
+        for i in range(count):
+            if pos + 2 > index_end:
+                raise ContainerFormatError(
+                    f"archive index truncated at entry {i}",
+                    section="archive index",
+                    offset=pos,
+                )
             (name_len,) = struct.unpack_from("<H", buf, pos)
             pos += 2
-            name = buf[pos : pos + name_len].decode()
+            if pos + name_len + 16 > index_end:
+                raise ContainerFormatError(
+                    f"archive index entry {i} overruns the index section",
+                    section="archive index",
+                    offset=pos,
+                )
+            try:
+                name = buf[pos : pos + name_len].decode()
+            except UnicodeDecodeError as exc:
+                raise ContainerFormatError(
+                    f"archive index entry {i} has a non-UTF-8 name",
+                    section="archive index",
+                    offset=pos,
+                ) from exc
             pos += name_len
             off, length = struct.unpack_from("<QQ", buf, pos)
             pos += 16
-            if off + length > index_offset:
-                raise ValueError(f"archive entry {name!r} out of range")
+            if off < _HEAD.size or off + length > index_offset:
+                raise ContainerFormatError(
+                    f"archive entry {name!r} out of range",
+                    section="archive index",
+                )
             entries[name] = (off, length)
         return entries
 

@@ -7,22 +7,46 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
     szx decompress data.szx -o recon.f32
     szx inspect   data.szx
     szx verify    data.szx
+    szx validate  data.szx
+    szx fuzz      --seed 0 --iters 50
     szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
     szx bundle    a.szx b.szx -o fields.szxa --names a,b
     szx extract   fields.szxa a -o a.f32
+
+Commands that read compressed input exit with status 2 and a one-line
+diagnostic on malformed streams (never a raw traceback).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 import numpy as np
 
 from .core import compress, decompress, parse_stream
 from .core.constants import DEFAULT_BLOCK_SIZE
+from .core.errors import StreamFormatError
 
 _DTYPES = {"f32": np.float32, "f64": np.float64}
+
+#: Exit status for malformed compressed input (0=ok, 1=check failed).
+EXIT_CORRUPT = 2
+
+
+def _guard_format_errors(fn):
+    """Turn StreamFormatError into a one-line message + exit status 2."""
+
+    @functools.wraps(fn)
+    def wrapper(args):
+        try:
+            return fn(args)
+        except StreamFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_CORRUPT
+
+    return wrapper
 
 
 def _parse_shape(text: str | None):
@@ -50,7 +74,8 @@ def _cmd_compress(args) -> int:
             )
         data = data.reshape(shape)
     stream = compress(
-        data, args.error_bound, mode=args.mode, block_size=args.block_size
+        data, args.error_bound, mode=args.mode, block_size=args.block_size,
+        checksum=args.checksum,
     )
     with open(args.output, "wb") as fh:
         fh.write(stream)
@@ -62,6 +87,7 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+@_guard_format_errors
 def _cmd_decompress(args) -> int:
     from .containers import container_kind, decompress_any
 
@@ -77,6 +103,7 @@ def _cmd_decompress(args) -> int:
     return 0
 
 
+@_guard_format_errors
 def _cmd_inspect(args) -> int:
     with open(args.input, "rb") as fh:
         stream = fh.read()
@@ -114,6 +141,74 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_validate(args) -> int:
+    """Hardened end-to-end validation of one SZx stream file.
+
+    Runs the strict parse (all section/payload invariants plus the CRC32
+    footer when present), a full decode through the production engine,
+    and the structural ``verify_stream`` walk, reporting every problem
+    found.  Exit 0 = valid, 1 = corrupt.
+    """
+    from .core.verify import verify_stream
+
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+
+    problems = []
+    comp = None
+    try:
+        comp = parse_stream(stream)
+    except StreamFormatError as exc:
+        problems.append(f"parse: {exc}")
+    except Exception as exc:  # noqa: BLE001 - escaping raw error is itself a bug
+        problems.append(f"parse: unexpected {type(exc).__name__}: {exc}")
+
+    if comp is not None:
+        try:
+            recon = decompress(stream)
+            print(
+                f"decode        : ok ({recon.size:,} values, {recon.dtype})"
+            )
+        except StreamFormatError as exc:
+            problems.append(f"decode: {exc}")
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"decode: unexpected {type(exc).__name__}: {exc}")
+
+    report = verify_stream(stream)
+    for err in report.errors:
+        problems.append(f"verify: {err}")
+
+    if not problems:
+        h = comp.header
+        print(
+            f"{args.input}: VALID ({h.n:,} values, {h.n_blocks:,} blocks, "
+            f"{'with' if h.flags & 0x01 else 'no'} checksum footer)"
+        )
+        return 0
+    print(f"{args.input}: INVALID — {len(problems)} problem(s)")
+    for p in problems[:20]:
+        print(f"  - {p}")
+    return 1
+
+
+def _cmd_fuzz(args) -> int:
+    """Run the differential fuzz harness (repro.testing)."""
+    from .testing import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        max_n=args.max_n,
+        mutants_per_iter=args.mutants_per_iter,
+        log=print if args.verbose else None,
+    )
+    print(report.summary())
+    if not report.ok and not args.verbose:
+        for failure in report.failures[:20]:
+            print(f"  - {failure}")
+    return 0 if report.ok else 1
+
+
 def _cmd_assess(args) -> int:
     from .metrics.report import assess, format_report
 
@@ -147,6 +242,7 @@ def _cmd_bundle(args) -> int:
     return 0
 
 
+@_guard_format_errors
 def _cmd_extract(args) -> int:
     from .archive import SzxArchive
 
@@ -175,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
     pc.add_argument("--shape", help="comma-separated dims, e.g. 256,384,384")
     pc.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    pc.add_argument(
+        "--checksum",
+        action="store_true",
+        help="append a CRC32 integrity footer to the stream",
+    )
     pc.set_defaults(fn=_cmd_compress)
 
     pd = sub.add_parser("decompress", help="reconstruct a raw binary array")
@@ -189,6 +290,23 @@ def build_parser() -> argparse.ArgumentParser:
     pv = sub.add_parser("verify", help="structurally verify a stream")
     pv.add_argument("input")
     pv.set_defaults(fn=_cmd_verify)
+
+    pval = sub.add_parser(
+        "validate",
+        help="strict validation: hardened parse + full decode + fsck walk",
+    )
+    pval.add_argument("input")
+    pval.set_defaults(fn=_cmd_validate)
+
+    pf = sub.add_parser(
+        "fuzz", help="run the differential fuzz harness (repro.testing)"
+    )
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--iters", type=int, default=50)
+    pf.add_argument("--max-n", type=int, default=2048)
+    pf.add_argument("--mutants-per-iter", type=int, default=8)
+    pf.add_argument("-v", "--verbose", action="store_true")
+    pf.set_defaults(fn=_cmd_fuzz)
 
     pa = sub.add_parser("assess", help="quality report for a reconstruction")
     pa.add_argument("original")

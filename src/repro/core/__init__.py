@@ -8,6 +8,15 @@ from .api import (
     resolve_error_bound,
 )
 from .constants import DEFAULT_BLOCK_SIZE, FLOAT32, FLOAT64, traits_for
+from .errors import (
+    ChecksumError,
+    ContainerFormatError,
+    HeaderFormatError,
+    PayloadFormatError,
+    SectionFormatError,
+    StreamFormatError,
+    TruncatedStreamError,
+)
 from .extended import compress_extended, decompress_extended
 from .header import StreamHeader, decode_header
 from .pointwise import compress_pointwise, decompress_pointwise
@@ -29,6 +38,13 @@ __all__ = [
     "decode_header",
     "StreamComponents",
     "parse_stream",
+    "StreamFormatError",
+    "TruncatedStreamError",
+    "HeaderFormatError",
+    "SectionFormatError",
+    "PayloadFormatError",
+    "ChecksumError",
+    "ContainerFormatError",
     "decompress_block",
     "decompress_range",
     "compress_extended",

@@ -57,6 +57,7 @@ def compress_components(
     mode: str = "abs",
     block_size: int = DEFAULT_BLOCK_SIZE,
     engine: str = "vectorized",
+    checksum: bool = False,
 ) -> StreamComponents:
     """Compress *data* and return unserialized stream components."""
     if engine not in _ENGINES:
@@ -66,10 +67,10 @@ def compress_components(
     if engine == "scalar":
         from .scalar import compress_scalar
 
-        return compress_scalar(arr, abs_bound, block_size)
+        return compress_scalar(arr, abs_bound, block_size, checksum=checksum)
     from .vectorized import compress_vectorized
 
-    return compress_vectorized(arr, abs_bound, block_size)
+    return compress_vectorized(arr, abs_bound, block_size, checksum=checksum)
 
 
 def compress(
@@ -79,6 +80,7 @@ def compress(
     mode: str = "abs",
     block_size: int = DEFAULT_BLOCK_SIZE,
     engine: str = "vectorized",
+    checksum: bool = False,
 ) -> bytes:
     """Compress *data* into an SZx byte stream.
 
@@ -94,9 +96,15 @@ def compress(
         Values per block; the paper's default/best setting is 128.
     engine:
         ``"vectorized"`` or ``"scalar"``.
+    checksum:
+        When true, append a CRC32 integrity footer (flagged in the
+        header) so any later corruption of the stream — including of
+        payload bytes no structural check can see — is detected at
+        decode time.
     """
     return compress_components(
-        data, err_bound, mode=mode, block_size=block_size, engine=engine
+        data, err_bound, mode=mode, block_size=block_size, engine=engine,
+        checksum=checksum,
     ).to_bytes()
 
 
@@ -104,7 +112,10 @@ def decompress(stream: bytes, *, engine: str = "vectorized") -> np.ndarray:
     """Reconstruct the array from an SZx byte *stream*.
 
     The returned array has the dtype and shape recorded in the header
-    (flat if the shape was not recorded).
+    (flat if the shape was not recorded).  Malformed input raises
+    :class:`~repro.core.errors.StreamFormatError` (a ``ValueError``
+    subclass) naming the offending section — never a raw struct or
+    numpy error.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
@@ -121,6 +132,10 @@ def decompress(stream: bytes, *, engine: str = "vectorized") -> np.ndarray:
 def compression_ratio(data: np.ndarray, stream: bytes) -> float:
     """Original bytes divided by compressed bytes."""
     arr = np.asarray(data)
+    if arr.size == 0:
+        raise ValueError(
+            "compression_ratio is undefined for a zero-size input array"
+        )
     if len(stream) == 0:
         raise ValueError("empty stream")
     return (arr.size * arr.dtype.itemsize) / len(stream)

@@ -31,6 +31,15 @@ MIN_BLOCK_SIZE = 1
 #: Stream magic, bumped with any layout change.
 STREAM_MAGIC = b"SZX1"
 
+#: Header flag bit: stream carries a CRC32 integrity footer (4 bytes,
+#: little-endian, over every stream byte before the footer).  Optional so
+#: the default hot path stays checksum-free; the fuzzing harness and any
+#: service decoding untrusted bytes turn it on.
+FLAG_CHECKSUM = 0x01
+
+#: All header flag bits this implementation understands.
+KNOWN_FLAGS = FLAG_CHECKSUM
+
 
 @dataclass(frozen=True)
 class DtypeTraits:

@@ -1,0 +1,72 @@
+"""Typed decode errors for SZx streams and containers.
+
+Decoding untrusted bytes must fail loudly and precisely: every validation
+failure in the decode path raises a :class:`StreamFormatError` naming the
+offending section and, where known, the byte offset.  The hierarchy
+subclasses :class:`ValueError`, so callers that predate it keep working,
+while hardened callers (the CLI, services) can catch the family in one
+``except StreamFormatError`` clause and distinguish truncation from
+corruption.
+
+Hierarchy::
+
+    ValueError
+    └── StreamFormatError          any malformed stream or container
+        ├── TruncatedStreamError   input ends before a section does
+        ├── HeaderFormatError      bad magic/version/dtype/field arithmetic
+        ├── SectionFormatError     bitmap / const-mu / zsize inconsistency
+        ├── PayloadFormatError     per-block payload invariant violated
+        ├── ChecksumError          CRC32 footer does not match the content
+        └── ContainerFormatError   enclosing container (file/archive) bad
+"""
+
+from __future__ import annotations
+
+
+class StreamFormatError(ValueError):
+    """A stream or container failed structural validation.
+
+    Attributes
+    ----------
+    section:
+        Name of the offending section (``"header"``, ``"type-bitmap"``,
+        ``"const-mu"``, ``"zsize"``, ``"payload"``, ``"checksum"``, or a
+        container section), or ``None`` when not attributable.
+    offset:
+        Byte offset into the input where the problem was detected, or
+        ``None`` when not meaningful.
+    """
+
+    def __init__(self, message: str, *, section: str | None = None,
+                 offset: int | None = None):
+        self.section = section
+        self.offset = offset
+        if section is not None and offset is not None:
+            message = f"[{section} @ byte {offset}] {message}"
+        elif section is not None:
+            message = f"[{section}] {message}"
+        super().__init__(message)
+
+
+class TruncatedStreamError(StreamFormatError):
+    """The input ends before the section being decoded does."""
+
+
+class HeaderFormatError(StreamFormatError):
+    """The fixed header is malformed or internally inconsistent."""
+
+
+class SectionFormatError(StreamFormatError):
+    """A metadata section disagrees with the header or its neighbours."""
+
+
+class PayloadFormatError(StreamFormatError):
+    """A non-constant block payload violates a format invariant."""
+
+
+class ChecksumError(StreamFormatError):
+    """The stream's CRC32 integrity footer does not match its content."""
+
+
+class ContainerFormatError(StreamFormatError):
+    """An enclosing container (chunked file, archive, ...) is malformed."""

@@ -11,7 +11,7 @@ Layout::
     0       4     magic  b"SZX1"
     4       1     version (currently 1)
     5       1     dtype code (0 = float32, 1 = float64)
-    6       1     flags (reserved, 0)
+    6       1     flags (bit 0 = CRC32 footer present; others reserved, 0)
     7       1     ndim of the original array (0 for an unknown shape)
     8       8     n            — number of elements (uint64)
     16      4     block_size   (uint32)
@@ -19,14 +19,29 @@ Layout::
     28      4     n_blocks     (uint32)
     32      4     n_const      — number of constant blocks (uint32)
     36      8*ndim  original shape (uint64 each)
+
+``decode_header`` validates every field before returning: the decode path
+treats the input as untrusted bytes, so all arithmetic a later section
+relies on (block counts, shape product, block-size range) is checked here
+and failures raise a precise :class:`~repro.core.errors.StreamFormatError`
+subclass instead of surfacing raw struct/numpy errors downstream.
 """
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass, field
 
-from .constants import STREAM_MAGIC, DtypeTraits, traits_for_code
+from .constants import (
+    KNOWN_FLAGS,
+    MAX_BLOCK_SIZE,
+    MIN_BLOCK_SIZE,
+    STREAM_MAGIC,
+    DtypeTraits,
+    traits_for_code,
+)
+from .errors import HeaderFormatError, TruncatedStreamError
 
 _FIXED = struct.Struct("<4sBBBBQIdII")
 VERSION = 1
@@ -43,6 +58,7 @@ class StreamHeader:
     n_blocks: int
     n_const: int
     shape: tuple = field(default=())
+    flags: int = 0
 
     @property
     def n_nonconst(self) -> int:
@@ -60,7 +76,7 @@ class StreamHeader:
             STREAM_MAGIC,
             VERSION,
             self.traits.code,
-            0,
+            self.flags,
             len(self.shape),
             self.n,
             self.block_size,
@@ -73,32 +89,85 @@ class StreamHeader:
 
 
 def decode_header(buf: bytes) -> StreamHeader:
-    """Decode a header from the start of *buf*.
+    """Decode and validate a header from the start of *buf*.
 
-    Raises ``ValueError`` on bad magic, version, or truncated input.
+    Raises a :class:`~repro.core.errors.StreamFormatError` subclass
+    (``HeaderFormatError`` / ``TruncatedStreamError``, both ``ValueError``
+    subclasses) on bad magic, version, dtype code, unknown flags, or any
+    internally inconsistent field arithmetic.
     """
     if len(buf) < _FIXED.size:
-        raise ValueError("stream too short for SZx header")
-    magic, version, code, _flags, ndim, n, bs, e, n_blocks, n_const = _FIXED.unpack(
+        raise TruncatedStreamError(
+            f"stream too short for SZx header: {len(buf)} < {_FIXED.size} bytes",
+            section="header", offset=len(buf),
+        )
+    magic, version, code, flags, ndim, n, bs, e, n_blocks, n_const = _FIXED.unpack(
         buf[: _FIXED.size]
     )
     if magic != STREAM_MAGIC:
-        raise ValueError(f"bad magic {magic!r}; not an SZx stream")
+        raise HeaderFormatError(
+            f"bad magic {magic!r}; not an SZx stream", section="header", offset=0
+        )
     if version != VERSION:
-        raise ValueError(f"unsupported SZx stream version {version}")
+        raise HeaderFormatError(
+            f"unsupported SZx stream version {version}", section="header", offset=4
+        )
+    try:
+        traits = traits_for_code(code)
+    except ValueError as exc:
+        raise HeaderFormatError(str(exc), section="header", offset=5) from None
+    if flags & ~KNOWN_FLAGS:
+        raise HeaderFormatError(
+            f"unknown header flag bits 0x{flags & ~KNOWN_FLAGS:02x}",
+            section="header", offset=6,
+        )
     end = _FIXED.size + 8 * ndim
     if len(buf) < end:
-        raise ValueError("stream truncated inside header shape")
+        raise TruncatedStreamError(
+            f"stream truncated inside header shape ({len(buf)} < {end} bytes)",
+            section="header", offset=len(buf),
+        )
     shape = struct.unpack(f"<{ndim}Q", buf[_FIXED.size : end]) if ndim else ()
-    header = StreamHeader(
-        traits=traits_for_code(code),
+
+    if not MIN_BLOCK_SIZE <= bs <= MAX_BLOCK_SIZE:
+        raise HeaderFormatError(
+            f"block size {bs} outside [{MIN_BLOCK_SIZE}, {MAX_BLOCK_SIZE}]",
+            section="header", offset=16,
+        )
+    if not (e > 0.0) or not math.isfinite(e):
+        raise HeaderFormatError(
+            f"error bound {e!r} is not positive and finite",
+            section="header", offset=20,
+        )
+    expected_blocks = (n + bs - 1) // bs
+    if n_blocks != expected_blocks:
+        raise HeaderFormatError(
+            f"n_blocks {n_blocks} inconsistent with n={n}, block_size={bs} "
+            f"(expected {expected_blocks})",
+            section="header", offset=28,
+        )
+    if n_const > n_blocks:
+        raise HeaderFormatError(
+            f"corrupt header: n_const {n_const} exceeds n_blocks {n_blocks}",
+            section="header", offset=32,
+        )
+    if shape:
+        product = 1
+        for dim in shape:
+            product *= int(dim)
+        if product != n:
+            raise HeaderFormatError(
+                f"shape {tuple(int(d) for d in shape)} holds {product} values "
+                f"but header says n={n}",
+                section="header", offset=_FIXED.size,
+            )
+    return StreamHeader(
+        traits=traits,
         n=n,
         block_size=bs,
         err_bound=e,
         n_blocks=n_blocks,
         n_const=n_const,
         shape=tuple(int(d) for d in shape),
+        flags=flags,
     )
-    if header.n_const > header.n_blocks:
-        raise ValueError("corrupt header: n_const exceeds n_blocks")
-    return header

@@ -13,7 +13,8 @@ import numpy as np
 from ..bitstream.packing import pack_kbit, unpack_kbit
 from .bits import as_uint, leading_identical_bytes, split_bytes_be
 from .blocks import BlockLayout, block_stats, validate_block_size
-from .constants import traits_for
+from .constants import FLAG_CHECKSUM, traits_for
+from .errors import PayloadFormatError
 from .header import StreamHeader
 from .reqbits import required_bytes, required_length, shift_for, truncation_mask
 from .stream import StreamComponents, lead_section_size, payload_offsets
@@ -58,7 +59,7 @@ def _encode_nonconstant_block(block: np.ndarray, mu, radius: float, err_bound: f
 
 
 def compress_scalar(
-    data: np.ndarray, err_bound: float, block_size: int
+    data: np.ndarray, err_bound: float, block_size: int, *, checksum: bool = False
 ) -> StreamComponents:
     """Compress *data* with absolute error bound *err_bound* (Algorithm 1)."""
     traits = traits_for(data.dtype)
@@ -92,6 +93,7 @@ def compress_scalar(
         n_blocks=layout.n_blocks,
         n_const=layout.n_blocks - int(nonconst_mask.sum()),
         shape=tuple(int(s) for s in np.shape(data)),
+        flags=FLAG_CHECKSUM if checksum else 0,
     )
     return StreamComponents(
         header=header,
@@ -103,14 +105,33 @@ def compress_scalar(
 
 
 def _decode_nonconstant_block(payload: bytes, block_len: int, traits):
-    """Decode one non-constant payload into its values."""
+    """Decode one non-constant payload into its values.
+
+    Validates every invariant of the payload before touching it: the
+    decode path treats its input as untrusted, so malformed payloads
+    raise :class:`~repro.core.errors.PayloadFormatError` instead of raw
+    numpy index/broadcast errors.
+    """
+    lead_bytes = lead_section_size(block_len, traits)
+    fixed = 1 + traits.itemsize + lead_bytes
+    if len(payload) < fixed:
+        raise PayloadFormatError(
+            f"payload {len(payload)}B shorter than its fixed sections "
+            f"({fixed}B)",
+            section="payload",
+        )
     req = payload[0]
+    if not traits.se_bits <= req <= traits.fullbits:
+        raise PayloadFormatError(
+            f"required length byte {req} out of range "
+            f"[{traits.se_bits}, {traits.fullbits}]",
+            section="payload", offset=0,
+        )
     shift = int(shift_for(req))
     nbytes = int(required_bytes(req))
     off = 1
     mu = np.frombuffer(payload, dtype=traits.dtype, count=1, offset=off)[0]
     off += traits.itemsize
-    lead_bytes = lead_section_size(block_len, traits)
     leads = unpack_kbit(
         np.frombuffer(payload, dtype=np.uint8, count=lead_bytes, offset=off),
         traits.lead_code_bits,
@@ -118,6 +139,19 @@ def _decode_nonconstant_block(payload: bytes, block_len: int, traits):
     )
     off += lead_bytes
     mids = np.frombuffer(payload, dtype=np.uint8, offset=off)
+
+    if int(leads.max(initial=0)) > nbytes:
+        raise PayloadFormatError(
+            "leading count exceeds the required byte count",
+            section="payload", offset=1 + traits.itemsize,
+        )
+    expected_mids = nbytes * block_len - int(leads.sum(dtype=np.int64))
+    if mids.size != expected_mids:
+        raise PayloadFormatError(
+            f"payload holds {mids.size} mid-bytes but the leading codes "
+            f"account for {expected_mids}",
+            section="payload", offset=off,
+        )
 
     values = np.empty(block_len, dtype=traits.dtype)
     prev_bytes = np.zeros(traits.itemsize, dtype=np.uint8)
@@ -140,8 +174,6 @@ def _decode_nonconstant_block(payload: bytes, block_len: int, traits):
         word = traits.utype.type(word << traits.utype.type(shift))
         values[i] = word.view(traits.dtype) + mu
         prev_bytes = cur
-    if mpos != mids.size:
-        raise ValueError("non-constant payload has trailing mid-bytes")
     return values
 
 

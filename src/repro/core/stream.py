@@ -13,16 +13,32 @@ Sections, in order, after the header:
    (Section 6.1's ``zsize_array``: the prefix sum gives every thread its
    start offset during parallel decompression);
 4. **payloads** — per non-constant block:
-   ``R (1 byte) | μ (itemsize) | packed leading codes | mid-bytes``.
+   ``R (1 byte) | μ (itemsize) | packed leading codes | mid-bytes``;
+5. **CRC32 footer** (only when the header's checksum flag is set) —
+   4 bytes, little-endian, over every preceding stream byte.
+
+``parse_stream`` treats its input as untrusted: every section boundary,
+count, and cheap per-payload invariant is validated before any of it is
+used, and violations raise :class:`~repro.core.errors.StreamFormatError`
+subclasses naming the offending section and offset.  All offset
+arithmetic is done in Python integers / int64, so adversarial headers
+cannot overflow it.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from .constants import DtypeTraits
+from .constants import FLAG_CHECKSUM, DtypeTraits
+from .errors import (
+    ChecksumError,
+    PayloadFormatError,
+    SectionFormatError,
+    TruncatedStreamError,
+)
 from .header import StreamHeader, decode_header
 
 #: Fixed per-payload prefix: required-length byte + μ.
@@ -58,7 +74,7 @@ class StreamComponents:
         bitmap = np.packbits(
             self.nonconst_mask.astype(np.uint8), bitorder="little"
         ).tobytes()
-        return b"".join(
+        body = b"".join(
             (
                 h.encode(),
                 bitmap,
@@ -67,13 +83,95 @@ class StreamComponents:
                 self.payload,
             )
         )
+        if h.flags & FLAG_CHECKSUM:
+            body += (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+        return body
 
 
-def parse_stream(buf: bytes) -> StreamComponents:
-    """Split *buf* into its sections (no payload decoding).
+def _check_payload_invariants(
+    header: StreamHeader,
+    nonconst_mask: np.ndarray,
+    zsizes: np.ndarray,
+    payload_view: np.ndarray,
+    payload_base: int,
+) -> None:
+    """Cheap vectorized per-payload checks (no lead-code unpacking).
 
-    Raises ``ValueError`` on truncation or inconsistent section sizes.
+    Validates, for every non-constant block: the payload is large enough
+    for its fixed sections, the ``R`` byte is in ``[SE, fullbits]``, and
+    the recorded ``zsize`` is consistent with the mid-byte count range
+    that ``R`` and the lead-code width permit.  The exact mid-byte
+    accounting (which needs the unpacked lead codes) is re-checked by the
+    decoders; these bounds reject structurally impossible payloads before
+    any decoding starts.
     """
+    traits = header.traits
+    n_nonconst = int(zsizes.size)
+    if n_nonconst == 0:
+        return
+    z64 = zsizes.astype(np.int64)
+    offsets = np.zeros(n_nonconst, dtype=np.int64)
+    np.cumsum(z64[:-1], out=offsets[1:])
+
+    block_lens = np.full(n_nonconst, header.block_size, dtype=np.int64)
+    tail = header.n % header.block_size if header.n_blocks else 0
+    if tail and bool(nonconst_mask[-1]):
+        block_lens[-1] = tail
+
+    prefix = payload_prefix_size(traits)
+    lead_bytes = (block_lens * traits.lead_code_bits + 7) // 8
+    fixed = prefix + lead_bytes
+
+    def _fail(bad: np.ndarray, message: str) -> None:
+        slot = int(np.argmax(bad))
+        block_id = int(np.nonzero(nonconst_mask)[0][slot])
+        raise PayloadFormatError(
+            message.format(slot=slot, block=block_id, zsize=int(z64[slot])),
+            section="payload", offset=payload_base + int(offsets[slot]),
+        )
+
+    too_small = z64 < fixed
+    if too_small.any():
+        _fail(
+            too_small,
+            "block {block}: zsize {zsize}B smaller than its fixed sections",
+        )
+
+    req = payload_view[offsets].astype(np.int64)
+    bad_req = (req < traits.se_bits) | (req > traits.fullbits)
+    if bad_req.any():
+        _fail(
+            bad_req,
+            "block {block}: required length byte out of range "
+            f"[{traits.se_bits}, {traits.fullbits}]",
+        )
+
+    nbytes = (req + (8 - req % 8) % 8) // 8
+    mids = z64 - fixed
+    max_mids = nbytes * block_lens
+    min_mids = np.maximum(nbytes - traits.max_lead, 0) * block_lens
+    impossible = (mids > max_mids) | (mids < min_mids)
+    if impossible.any():
+        _fail(
+            impossible,
+            "block {block}: zsize {zsize}B inconsistent with its "
+            "required-length byte (mid-byte count out of range)",
+        )
+
+
+def parse_stream(buf: bytes, *, verify_checksum: bool = True) -> StreamComponents:
+    """Split *buf* into its validated sections (no payload decoding).
+
+    Raises a :class:`~repro.core.errors.StreamFormatError` subclass (all
+    ``ValueError`` subclasses) on truncation, inconsistent section sizes,
+    or structurally impossible payloads.  Bytes after the stream's
+    recorded end are tolerated (enclosing containers rely on this).
+
+    ``verify_checksum=False`` skips CRC verification of checksummed
+    streams (used by the structural verifier, which reports the mismatch
+    instead of raising).
+    """
+    buf = bytes(buf)
     header = decode_header(buf)
     traits = header.traits
     off = header.size
@@ -81,31 +179,77 @@ def parse_stream(buf: bytes) -> StreamComponents:
     bitmap_bytes = (header.n_blocks + 7) // 8
     end = off + bitmap_bytes
     if len(buf) < end:
-        raise ValueError("stream truncated in type bitmap")
+        raise TruncatedStreamError(
+            f"stream truncated in type bitmap ({len(buf)} < {end} bytes)",
+            section="type-bitmap", offset=len(buf),
+        )
     bitmap = np.frombuffer(buf, dtype=np.uint8, count=bitmap_bytes, offset=off)
-    nonconst_mask = np.unpackbits(bitmap, bitorder="little")[: header.n_blocks].astype(
-        bool
-    )
+    all_bits = np.unpackbits(bitmap, bitorder="little")
+    if bool(all_bits[header.n_blocks :].any()):
+        raise SectionFormatError(
+            "type bitmap has nonzero padding bits past the last block",
+            section="type-bitmap", offset=off + bitmap_bytes - 1,
+        )
+    nonconst_mask = all_bits[: header.n_blocks].astype(bool)
     if int(nonconst_mask.sum()) != header.n_nonconst:
-        raise ValueError("type bitmap disagrees with header block counts")
+        raise SectionFormatError(
+            f"type bitmap has {int(nonconst_mask.sum())} non-constant blocks "
+            f"but header counts say {header.n_nonconst}",
+            section="type-bitmap", offset=off,
+        )
     off = end
 
     end = off + header.n_const * traits.itemsize
     if len(buf) < end:
-        raise ValueError("stream truncated in constant-mu array")
+        raise TruncatedStreamError(
+            f"stream truncated in constant-mu array ({len(buf)} < {end} bytes)",
+            section="const-mu", offset=len(buf),
+        )
     const_mu = np.frombuffer(buf, dtype=traits.dtype, count=header.n_const, offset=off)
     off = end
 
     end = off + header.n_nonconst * 2
     if len(buf) < end:
-        raise ValueError("stream truncated in zsize array")
+        raise TruncatedStreamError(
+            f"stream truncated in zsize array ({len(buf)} < {end} bytes)",
+            section="zsize", offset=len(buf),
+        )
     zsizes = np.frombuffer(buf, dtype="<u2", count=header.n_nonconst, offset=off)
     off = end
 
     total = int(zsizes.sum(dtype=np.int64))
     if len(buf) < off + total:
-        raise ValueError("stream truncated in payload section")
+        raise TruncatedStreamError(
+            f"stream truncated in payload section "
+            f"({len(buf)} < {off + total} bytes)",
+            section="payload", offset=len(buf),
+        )
     payload = buf[off : off + total]
+    _check_payload_invariants(
+        header,
+        nonconst_mask,
+        zsizes,
+        np.frombuffer(payload, dtype=np.uint8),
+        off,
+    )
+
+    if header.flags & FLAG_CHECKSUM:
+        footer_end = off + total + 4
+        if len(buf) < footer_end:
+            raise TruncatedStreamError(
+                "stream truncated in CRC32 footer",
+                section="checksum", offset=len(buf),
+            )
+        if verify_checksum:
+            stored = int.from_bytes(buf[off + total : footer_end], "little")
+            actual = zlib.crc32(memoryview(buf)[: off + total]) & 0xFFFFFFFF
+            if stored != actual:
+                raise ChecksumError(
+                    f"CRC32 mismatch: footer 0x{stored:08x}, "
+                    f"content 0x{actual:08x}",
+                    section="checksum", offset=off + total,
+                )
+
     return StreamComponents(
         header=header,
         nonconst_mask=nonconst_mask,
@@ -113,6 +257,21 @@ def parse_stream(buf: bytes) -> StreamComponents:
         zsizes=zsizes.astype(np.uint16),
         payload=payload,
     )
+
+
+def stream_end_offset(header: StreamHeader, zsize_total: int) -> int:
+    """Total encoded size of a stream with *header* and *zsize_total*
+    payload bytes (including the CRC footer when flagged)."""
+    size = (
+        header.size
+        + (header.n_blocks + 7) // 8
+        + header.n_const * header.traits.itemsize
+        + header.n_nonconst * 2
+        + zsize_total
+    )
+    if header.flags & FLAG_CHECKSUM:
+        size += 4
+    return size
 
 
 def payload_offsets(zsizes: np.ndarray) -> np.ndarray:

@@ -20,7 +20,8 @@ import numpy as np
 
 from .bits import split_bytes_be
 from .blocks import BlockLayout, block_stats, validate_block_size
-from .constants import DtypeTraits, traits_for
+from .constants import FLAG_CHECKSUM, DtypeTraits, traits_for
+from .errors import PayloadFormatError
 from .header import StreamHeader
 from .reqbits import required_bytes, required_length, shift_for, truncation_mask
 from .scalar import _decode_nonconstant_block, _encode_nonconstant_block
@@ -150,13 +151,14 @@ def _encode_full_blocks(
 
 
 def compress_vectorized(
-    data: np.ndarray, err_bound: float, block_size: int
+    data: np.ndarray, err_bound: float, block_size: int, *, checksum: bool = False
 ) -> StreamComponents:
     """Vectorized SZx compression with absolute bound *err_bound*."""
     traits = traits_for(data.dtype)
     block_size = validate_block_size(block_size)
     flat = np.ascontiguousarray(data).reshape(-1)
     layout = BlockLayout(flat.size, block_size)
+    flags = FLAG_CHECKSUM if checksum else 0
 
     if flat.size == 0:
         header = StreamHeader(
@@ -167,6 +169,7 @@ def compress_vectorized(
             n_blocks=0,
             n_const=0,
             shape=tuple(int(s) for s in np.shape(data)),
+            flags=flags,
         )
         return StreamComponents(
             header,
@@ -204,6 +207,7 @@ def compress_vectorized(
         n_blocks=layout.n_blocks,
         n_const=layout.n_blocks - int(nonconst_mask.sum()),
         shape=tuple(int(s) for s in np.shape(data)),
+        flags=flags,
     )
     return StreamComponents(
         header=header,
@@ -219,8 +223,17 @@ def _decode_full_blocks(
     starts: np.ndarray,
     bs: int,
     traits: DtypeTraits,
+    *,
+    ends: np.ndarray | None = None,
 ):
-    """Decode all full-size non-constant blocks; returns an (m, bs) array."""
+    """Decode all full-size non-constant blocks; returns an (m, bs) array.
+
+    *starts*/*ends* are each block's payload boundaries.  Every invariant
+    the gather below relies on is validated first, so corrupt payloads
+    raise :class:`~repro.core.errors.PayloadFormatError` rather than
+    reading out of bounds.  *ends* may be omitted by trusted callers
+    that already know the payload is self-consistent.
+    """
     m = starts.size
     itemsize = traits.itemsize
     if m == 0:
@@ -228,7 +241,9 @@ def _decode_full_blocks(
 
     req = payload_u8[starts].astype(np.int64)
     if (req < traits.se_bits).any() or (req > traits.fullbits).any():
-        raise ValueError("corrupt stream: required length out of range")
+        raise PayloadFormatError(
+            "required length byte out of range", section="payload"
+        )
     shift = shift_for(req)
     nbytes = required_bytes(req).astype(np.int8)
 
@@ -242,9 +257,19 @@ def _decode_full_blocks(
         np.ascontiguousarray(payload_u8[idx]), traits.lead_code_bits, bs
     ).astype(np.int8)
     if (lead > nbytes[:, None]).any():
-        raise ValueError("corrupt stream: leading count exceeds required bytes")
+        raise PayloadFormatError(
+            "leading count exceeds the required byte count", section="payload"
+        )
 
     counts = nbytes[:, None] - lead
+    if ends is not None:
+        expected_mids = counts.sum(axis=1, dtype=np.int64)
+        actual_mids = ends - starts - prefix - lead_bytes
+        if (expected_mids != actual_mids).any():
+            raise PayloadFormatError(
+                "mid-byte count disagrees with the leading-code accounting",
+                section="payload",
+            )
     mid_starts = starts + prefix + lead_bytes
     pos_dtype = np.int32 if payload_u8.size < 2**31 else np.int64
     # Global payload position of every value's first mid-byte, minus its
@@ -312,7 +337,11 @@ def decompress_vectorized(components: StreamComponents) -> np.ndarray:
     n_full_nc = nonconst_ids.size - (1 if tail_is_nonconst else 0)
 
     decoded = _decode_full_blocks(
-        payload_u8, offsets[:n_full_nc].astype(np.int64), bs, traits
+        payload_u8,
+        offsets[:n_full_nc].astype(np.int64),
+        bs,
+        traits,
+        ends=offsets[1 : n_full_nc + 1].astype(np.int64),
     )
     if n_full_nc:
         view = out[: layout.n_full * bs].reshape(layout.n_full, bs)

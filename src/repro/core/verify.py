@@ -10,15 +10,22 @@ format, and used by the fuzz tests as an oracle.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .blocks import BlockLayout
-from .constants import MAX_BLOCK_SIZE, MIN_BLOCK_SIZE
+from .constants import FLAG_CHECKSUM, MAX_BLOCK_SIZE, MIN_BLOCK_SIZE
 from .header import decode_header
 from .reqbits import required_bytes
-from .stream import lead_section_size, parse_stream, payload_offsets, payload_prefix_size
+from .stream import (
+    lead_section_size,
+    parse_stream,
+    payload_offsets,
+    payload_prefix_size,
+    stream_end_offset,
+)
 from .vectorized import _unpack_lead_rows
 
 
@@ -61,7 +68,7 @@ def verify_stream(stream: bytes) -> VerificationReport:
         )
 
     try:
-        comp = parse_stream(buf)
+        comp = parse_stream(buf, verify_checksum=False)
     except Exception as exc:  # noqa: BLE001
         report.add(f"sections: {exc}")
         return report
@@ -69,6 +76,16 @@ def verify_stream(stream: bytes) -> VerificationReport:
     report.n_blocks = header.n_blocks
     report.n_const = header.n_const
     report.payload_bytes = len(comp.payload)
+
+    if header.flags & FLAG_CHECKSUM:
+        end = stream_end_offset(header, len(comp.payload)) - 4
+        stored = int.from_bytes(buf[end : end + 4], "little")
+        actual = zlib.crc32(memoryview(buf)[:end]) & 0xFFFFFFFF
+        if stored != actual:
+            report.add(
+                f"checksum: CRC32 footer 0x{stored:08x} does not match "
+                f"content 0x{actual:08x}"
+            )
 
     traits = header.traits
     offsets = payload_offsets(comp.zsizes)

@@ -25,6 +25,7 @@ import numpy as np
 
 from .core import compress, decompress, resolve_error_bound
 from .core.constants import DEFAULT_BLOCK_SIZE, traits_for, traits_for_code
+from .core.errors import ContainerFormatError, StreamFormatError, TruncatedStreamError
 
 _MAGIC = b"SZXF"
 _VERSION = 1
@@ -44,6 +45,7 @@ def compress_file(
     mode: str = "abs",
     block_size: int = DEFAULT_BLOCK_SIZE,
     chunk_values: int = DEFAULT_CHUNK_VALUES,
+    checksum: bool = False,
 ) -> dict:
     """Compress raw binary *input_path* into chunked *output_path*.
 
@@ -87,7 +89,7 @@ def compress_file(
         total_out += _HEAD.size
         for i in range(0, n, chunk_values):
             chunk = np.asarray(data[i : i + chunk_values])
-            stream = compress(chunk, abs_bound, block_size=block_size)
+            stream = compress(chunk, abs_bound, block_size=block_size, checksum=checksum)
             out.write(struct.pack("<Q", len(stream)))
             out.write(stream)
             total_out += 8 + len(stream)
@@ -111,31 +113,62 @@ def decompress_file(input_path, output_path) -> int:
     with open(path, "rb") as fh:
         head = fh.read(_HEAD.size)
         if len(head) < _HEAD.size:
-            raise ValueError("chunked container too short")
+            raise TruncatedStreamError(
+                "chunked container too short (truncated header)",
+                section="container header",
+            )
         magic, version, code, n, _bound, _chunk, n_chunks = _HEAD.unpack(head)
         if magic != _MAGIC:
-            raise ValueError("bad chunked-container magic")
+            raise ContainerFormatError(
+                "bad chunked-container magic", section="container header", offset=0
+            )
         if version != _VERSION:
-            raise ValueError(f"unsupported chunked-container version {version}")
-        traits = traits_for_code(code)
+            raise ContainerFormatError(
+                f"unsupported chunked-container version {version}",
+                section="container header",
+                offset=4,
+            )
+        try:
+            traits = traits_for_code(code)
+        except Exception as exc:
+            raise ContainerFormatError(
+                f"unknown dtype code {code}", section="container header", offset=5
+            ) from exc
 
         written = 0
         with open(output_path, "wb") as out:
             for i in range(n_chunks):
                 size_raw = fh.read(8)
                 if len(size_raw) < 8:
-                    raise ValueError(f"container truncated at chunk {i}")
+                    raise TruncatedStreamError(
+                        f"container truncated at chunk {i} length field",
+                        section="chunk table",
+                    )
                 (length,) = struct.unpack("<Q", size_raw)
                 stream = fh.read(length)
                 if len(stream) < length:
-                    raise ValueError(f"container truncated in chunk {i} body")
-                chunk = decompress(stream)
+                    raise TruncatedStreamError(
+                        f"container truncated in chunk {i} body "
+                        f"({len(stream)} of {length} bytes)",
+                        section="chunk body",
+                    )
+                try:
+                    chunk = decompress(stream)
+                except StreamFormatError as exc:
+                    raise ContainerFormatError(
+                        f"chunk {i} holds a malformed SZx stream: {exc}",
+                        section="chunk body",
+                    ) from exc
                 if chunk.dtype != traits.dtype:
-                    raise ValueError("chunk dtype disagrees with container header")
+                    raise ContainerFormatError(
+                        "chunk dtype disagrees with container header",
+                        section="chunk body",
+                    )
                 chunk.tofile(out)
                 written += chunk.size
         if written != n:
-            raise ValueError(
-                f"container reconstructed {written} values, header says {n}"
+            raise ContainerFormatError(
+                f"container reconstructed {written} values, header says {n}",
+                section="container header",
             )
     return written

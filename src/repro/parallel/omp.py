@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.api import resolve_error_bound, _check_input
 from ..core.blocks import BlockLayout, validate_block_size
-from ..core.constants import DEFAULT_BLOCK_SIZE, traits_for
+from ..core.constants import DEFAULT_BLOCK_SIZE, FLAG_CHECKSUM, traits_for
 from ..core.header import StreamHeader
 from ..core.stream import StreamComponents, parse_stream, payload_offsets
 from ..core.vectorized import compress_vectorized, decompress_vectorized
@@ -30,6 +30,7 @@ def omp_compress(
     mode: str = "abs",
     block_size: int = DEFAULT_BLOCK_SIZE,
     n_threads: int = 4,
+    checksum: bool = False,
 ) -> bytes:
     """Parallel SZx compression; byte-identical to the serial stream."""
     arr = _check_input(data)
@@ -39,7 +40,7 @@ def omp_compress(
     layout = BlockLayout(flat.size, block_size)
 
     if layout.n_blocks == 0 or n_threads <= 1:
-        comp = compress_vectorized(arr, abs_bound, block_size)
+        comp = compress_vectorized(arr, abs_bound, block_size, checksum=checksum)
         return comp.to_bytes()
 
     ranges = chunk_block_ranges(layout.n_blocks, n_threads)
@@ -62,6 +63,7 @@ def omp_compress(
             n_blocks=layout.n_blocks,
             n_const=sum(p.header.n_const for p in parts),
             shape=tuple(int(s) for s in np.shape(data)),
+            flags=FLAG_CHECKSUM if checksum else 0,
         ),
         nonconst_mask=np.concatenate([p.nonconst_mask for p in parts]),
         const_mu=np.concatenate([p.const_mu for p in parts]),

@@ -1,0 +1,169 @@
+"""Seeded generators of adversarial float fields.
+
+Every generator has the signature ``gen(rng, n, dtype) -> np.ndarray``
+where *rng* is a :class:`numpy.random.Generator`; output is always
+finite (the codec rejects NaN/Inf at the API boundary) and exactly *n*
+values of *dtype*.  The registry :data:`GENERATORS` maps a stable name
+to each generator so a fuzz iteration can be replayed from its log line.
+
+The fields target specific weak points of the SZx pipeline:
+
+* ``denormals`` / ``tiny_exponents`` — subnormal and near-subnormal
+  magnitudes, where the radius-normalization exponent math bottoms out;
+* ``huge_exponents`` — values near the top of the exponent range, where
+  ``2 * radius`` or ``mu + radius`` could overflow to Inf if computed
+  carelessly;
+* ``signed_zeros`` — ``+0.0``/``-0.0`` mixes, identical in value but not
+  in bit pattern, probing the XOR-leading-byte stage;
+* ``constant`` / ``constant_runs`` — exercise the constant-block
+  classifier and the const-μ section;
+* ``step_edges`` — discontinuities that fall mid-block, stressing the
+  block mean / radius split;
+* ``ulp_ladder`` — consecutive representable values, the worst case for
+  leading-zero-byte prediction;
+* ``mixed_magnitude`` — exponents spanning ~60 decades in one block so
+  a single shared required-length byte is maximally wasteful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GENERATORS", "generate_field"]
+
+
+def _finite(arr: np.ndarray, dtype) -> np.ndarray:
+    """Clamp to the finite range of *dtype* (codec rejects NaN/Inf)."""
+    info = np.finfo(dtype)
+    out = np.nan_to_num(
+        arr.astype(dtype), nan=0.0, posinf=info.max, neginf=info.min
+    )
+    return np.clip(out, info.min, info.max)
+
+
+def gen_random_walk(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    steps = rng.standard_normal(n)
+    return _finite(np.cumsum(steps), dtype)
+
+
+def gen_smooth(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    x = np.linspace(0.0, rng.uniform(1.0, 20.0), n)
+    phase = rng.uniform(0.0, 2 * np.pi)
+    field = np.sin(x + phase) + 0.01 * rng.standard_normal(n)
+    return _finite(field, dtype)
+
+
+def gen_constant(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    value = rng.uniform(-1e6, 1e6)
+    return np.full(n, value, dtype=dtype)
+
+
+def gen_constant_runs(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    """Random values interleaved with runs of an exactly repeated value."""
+    out = rng.standard_normal(n)
+    pos = 0
+    while pos < n:
+        run = int(rng.integers(1, 200))
+        if rng.random() < 0.5:
+            out[pos : pos + run] = out[pos]
+        pos += run
+    return _finite(out, dtype)
+
+
+def gen_step_edges(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    """Piecewise-constant steps whose edges land at arbitrary offsets."""
+    n_steps = max(1, int(rng.integers(1, max(2, n // 7 + 1))))
+    levels = rng.uniform(-1e3, 1e3, size=n_steps)
+    edges = np.sort(rng.integers(0, n + 1, size=n_steps - 1)) if n_steps > 1 else []
+    out = np.empty(n)
+    prev = 0
+    for i, edge in enumerate(list(edges) + [n]):
+        out[prev:edge] = levels[i]
+        prev = edge
+    return _finite(out, dtype)
+
+
+def gen_denormals(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    info = np.finfo(dtype)
+    # Uniform over [0, smallest normal): almost everything is subnormal.
+    vals = rng.uniform(0.0, float(info.tiny), size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return _finite(vals * signs, dtype)
+
+
+def gen_signed_zeros(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    out = np.where(rng.random(n) < 0.5, 0.0, -0.0).astype(dtype)
+    if n == 0:
+        return out
+    # Sprinkle a few tiny values so not every block is constant.
+    k = max(1, n // 16)
+    idx = rng.integers(0, n, size=k)
+    out[idx] = (rng.standard_normal(k) * np.finfo(dtype).tiny * 4).astype(dtype)
+    return out
+
+
+def gen_huge_exponents(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    info = np.finfo(dtype)
+    # Mantissas in [0.1, 1) scaled near (not at) the max: headroom for
+    # the codec's 2*radius computation without tripping its Inf check.
+    mant = rng.uniform(0.1, 1.0, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return _finite(mant * signs * float(info.max) * 0.25, dtype)
+
+
+def gen_tiny_exponents(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    info = np.finfo(dtype)
+    exp_span = rng.uniform(0.0, 8.0, size=n)
+    vals = float(info.tiny) * np.power(2.0, exp_span)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return _finite(vals * signs, dtype)
+
+
+def gen_mixed_magnitude(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    # Exponents spanning ~±30 decades for f32 (clipped), more for f64.
+    max_dec = 30 if np.dtype(dtype) == np.float32 else 200
+    exponents = rng.uniform(-max_dec, max_dec, size=n)
+    mant = rng.uniform(1.0, 10.0, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return _finite(signs * mant * np.power(10.0, exponents), dtype)
+
+
+def gen_ulp_ladder(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    """Consecutive representable values around a random base."""
+    dtype = np.dtype(dtype)
+    utype = np.uint32 if dtype == np.float32 else np.uint64
+    base = np.array([rng.uniform(0.5, 2.0)], dtype=dtype)
+    bits = base.view(utype)[0]
+    ladder = (bits + np.arange(n, dtype=np.int64) % 4096).astype(utype)
+    return _finite(ladder.view(dtype), dtype)
+
+
+GENERATORS = {
+    "random_walk": gen_random_walk,
+    "smooth": gen_smooth,
+    "constant": gen_constant,
+    "constant_runs": gen_constant_runs,
+    "step_edges": gen_step_edges,
+    "denormals": gen_denormals,
+    "signed_zeros": gen_signed_zeros,
+    "huge_exponents": gen_huge_exponents,
+    "tiny_exponents": gen_tiny_exponents,
+    "mixed_magnitude": gen_mixed_magnitude,
+    "ulp_ladder": gen_ulp_ladder,
+}
+
+
+def generate_field(
+    name: str, rng: np.random.Generator, n: int, dtype
+) -> np.ndarray:
+    """Generate *n* values of *dtype* with the named generator."""
+    try:
+        gen = GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown generator {name!r}; known: {sorted(GENERATORS)}"
+        ) from None
+    out = gen(rng, int(n), np.dtype(dtype))
+    if out.shape != (n,) or out.dtype != np.dtype(dtype):
+        raise AssertionError(f"generator {name!r} violated its contract")
+    return out

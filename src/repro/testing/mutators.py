@@ -1,0 +1,166 @@
+"""Seeded stream corruptions for exercising the hardened decode path.
+
+Every mutator has the signature ``mut(rng, stream) -> bytes`` and
+returns a new byte string (the input is never modified).  The registry
+:data:`MUTATORS` maps stable names to mutators so a failing fuzz
+iteration can be replayed.
+
+``stream_layout`` computes the byte span of each section of a
+well-formed stream, letting section-targeted mutators (and the
+exhaustive corruption tests) aim at the bitmap, the zsize table, or the
+payload specifically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.constants import FLAG_CHECKSUM
+from ..core.header import decode_header
+from ..core.stream import parse_stream
+
+__all__ = ["MUTATORS", "mutate_stream", "stream_layout"]
+
+
+def stream_layout(stream: bytes) -> dict:
+    """Byte span ``{section: (start, end)}`` of each section of *stream*.
+
+    Sections: ``header``, ``bitmap``, ``const_mu``, ``zsizes``,
+    ``payload`` and (when the checksum flag is set) ``checksum``.
+    Raises ``StreamFormatError`` if the stream does not parse.
+    """
+    comp = parse_stream(bytes(stream), verify_checksum=False)
+    h = comp.header
+    spans = {}
+    off = h.size
+    spans["header"] = (0, off)
+    bitmap_bytes = (h.n_blocks + 7) // 8
+    spans["bitmap"] = (off, off + bitmap_bytes)
+    off += bitmap_bytes
+    spans["const_mu"] = (off, off + h.n_const * h.traits.itemsize)
+    off = spans["const_mu"][1]
+    n_nonconst = h.n_blocks - h.n_const
+    spans["zsizes"] = (off, off + 2 * n_nonconst)
+    off = spans["zsizes"][1]
+    spans["payload"] = (off, off + len(comp.payload))
+    off = spans["payload"][1]
+    if h.flags & FLAG_CHECKSUM:
+        spans["checksum"] = (off, off + 4)
+    return spans
+
+
+def mut_truncate(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Cut the stream at a random point (possibly to nothing)."""
+    if not stream:
+        return stream
+    k = int(rng.integers(0, len(stream)))
+    return stream[:k]
+
+
+def mut_bit_flip(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Flip one random bit anywhere in the stream."""
+    if not stream:
+        return stream
+    buf = bytearray(stream)
+    pos = int(rng.integers(0, len(buf)))
+    buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def mut_byte_rewrite(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Overwrite one random byte with a random value."""
+    if not stream:
+        return stream
+    buf = bytearray(stream)
+    pos = int(rng.integers(0, len(buf)))
+    buf[pos] = int(rng.integers(0, 256))
+    return bytes(buf)
+
+
+def mut_section_swap(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Swap the contents of two equally-long slices of two sections.
+
+    Targets structural confusion (zsize bytes interpreted as payload and
+    vice versa).  Falls back to swapping two arbitrary chunks when the
+    stream has no parseable layout.
+    """
+    if len(stream) < 2:
+        return stream
+    buf = bytearray(stream)
+    try:
+        spans = stream_layout(stream)
+        nonempty = [(s, e) for s, e in spans.values() if e > s]
+    except Exception:  # noqa: BLE001 - already-corrupt input
+        nonempty = []
+    if len(nonempty) >= 2:
+        ia, ib = rng.choice(len(nonempty), size=2, replace=False)
+        (a0, a1), (b0, b1) = nonempty[int(ia)], nonempty[int(ib)]
+        size = min(a1 - a0, b1 - b0, int(rng.integers(1, 9)))
+        buf[a0 : a0 + size], buf[b0 : b0 + size] = (
+            buf[b0 : b0 + size],
+            buf[a0 : a0 + size],
+        )
+        return bytes(buf)
+    half = len(buf) // 2
+    size = int(rng.integers(1, half + 1))
+    buf[:size], buf[half : half + size] = buf[half : half + size], buf[:size]
+    return bytes(buf)
+
+
+def mut_extend(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Append random junk bytes (parsers tolerate trailing data)."""
+    extra = int(rng.integers(1, 64))
+    return bytes(stream) + bytes(rng.integers(0, 256, size=extra, dtype=np.uint8))
+
+
+def mut_zsize_scramble(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Randomize one zsize entry — payload offsets go inconsistent."""
+    try:
+        spans = stream_layout(stream)
+    except Exception:  # noqa: BLE001
+        return mut_byte_rewrite(rng, stream)
+    z0, z1 = spans["zsizes"]
+    if z1 - z0 < 2:
+        return mut_byte_rewrite(rng, stream)
+    buf = bytearray(stream)
+    entry = int(rng.integers(0, (z1 - z0) // 2))
+    value = int(rng.integers(0, 1 << 16))
+    buf[z0 + 2 * entry : z0 + 2 * entry + 2] = value.to_bytes(2, "little")
+    return bytes(buf)
+
+
+def mut_header_field(rng: np.random.Generator, stream: bytes) -> bytes:
+    """Rewrite one byte inside the fixed header specifically."""
+    try:
+        h = decode_header(bytes(stream))
+        hdr_end = h.size
+    except Exception:  # noqa: BLE001
+        hdr_end = min(len(stream), 36)
+    if hdr_end == 0:
+        return stream
+    buf = bytearray(stream)
+    pos = int(rng.integers(0, hdr_end))
+    buf[pos] = int(rng.integers(0, 256))
+    return bytes(buf)
+
+
+MUTATORS = {
+    "truncate": mut_truncate,
+    "bit_flip": mut_bit_flip,
+    "byte_rewrite": mut_byte_rewrite,
+    "section_swap": mut_section_swap,
+    "extend": mut_extend,
+    "zsize_scramble": mut_zsize_scramble,
+    "header_field": mut_header_field,
+}
+
+
+def mutate_stream(name: str, rng: np.random.Generator, stream: bytes) -> bytes:
+    """Apply the named mutator to *stream* and return the mutant."""
+    try:
+        mut = MUTATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutator {name!r}; known: {sorted(MUTATORS)}"
+        ) from None
+    return mut(rng, bytes(stream))

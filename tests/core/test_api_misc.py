@@ -71,3 +71,43 @@ class TestCompressionRatio:
     def test_empty_stream(self):
         with pytest.raises(ValueError):
             compression_ratio(np.ones(4, np.float32), b"")
+
+
+class TestCompressionRatioZeroSize:
+    def test_zero_size_raises(self):
+        with pytest.raises(ValueError, match="zero-size"):
+            compression_ratio(np.empty(0, np.float32), b"stream")
+
+    def test_zero_size_nd_raises(self):
+        with pytest.raises(ValueError, match="zero-size"):
+            compression_ratio(np.empty((0, 4), np.float64), b"stream")
+
+
+class TestResolveErrorBoundRelEdges:
+    def test_rel_denormal_range(self):
+        """A range entirely inside the subnormals still scales finitely."""
+        tiny = np.finfo(np.float32).tiny
+        d = np.array([0.0, tiny / 4], dtype=np.float32)
+        bound = resolve_error_bound(d, 0.1, "rel")
+        assert bound > 0 and np.isfinite(bound)
+        assert bound == pytest.approx(0.1 * float(d.max()))
+
+    def test_rel_huge_range_stays_finite(self):
+        big = np.finfo(np.float32).max
+        d = np.array([-big / 2, big / 2], dtype=np.float32)
+        bound = resolve_error_bound(d, 1e-3, "rel")
+        assert np.isfinite(bound)
+        assert bound == pytest.approx(1e-3 * float(big))
+
+    def test_rel_signed_zero_range_falls_back(self):
+        d = np.array([0.0, -0.0, 0.0], dtype=np.float32)
+        assert resolve_error_bound(d, 0.25, "rel") == 0.25
+
+    def test_rel_single_value(self):
+        d = np.array([42.0], dtype=np.float64)
+        assert resolve_error_bound(d, 0.5, "rel") == 0.5
+
+    def test_rel_f64_wide_range(self):
+        d = np.array([-1e300, 1e300])
+        bound = resolve_error_bound(d, 1e-6, "rel")
+        assert np.isfinite(bound) and bound == pytest.approx(2e294)

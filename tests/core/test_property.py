@@ -99,3 +99,63 @@ def test_stream_parse_roundtrip(data, err):
 
     stream = compress(data, err)
     assert parse_stream(stream).to_bytes() == stream
+
+
+# ---------------------------------------------------------------------------
+# Deterministic round-trip sweep: dtype x block size x mode x boundary sizes.
+# Complements the hypothesis tests above with exact, named boundary cases
+# (empty input, single value, one-off-block-edge sizes) on both dtypes.
+# ---------------------------------------------------------------------------
+
+_SWEEP_RNG = np.random.default_rng(0xC0FFEE)
+_SWEEP_FIELDS = {}
+
+
+def _sweep_field(dtype, n):
+    key = (np.dtype(dtype).name, n)
+    if key not in _SWEEP_FIELDS:
+        _SWEEP_FIELDS[key] = np.cumsum(
+            _SWEEP_RNG.standard_normal(n)
+        ).astype(dtype)
+    return _SWEEP_FIELDS[key]
+
+
+def _sweep_sizes(bs):
+    return sorted({0, 1, max(bs - 1, 0), bs, bs + 1, 3 * bs + 5})
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("bs", [1, 7, 128, 1000])
+@pytest.mark.parametrize(
+    "mode,err", [("abs", 1e-3), ("abs", 1e-6), ("rel", 1e-3)]
+)
+def test_round_trip_sweep(dtype, bs, mode, err):
+    from repro.core.api import resolve_error_bound
+
+    for n in _sweep_sizes(bs):
+        data = _sweep_field(dtype, n)
+        vec = compress(data, err, mode=mode, block_size=bs, engine="vectorized")
+        sca = compress(data, err, mode=mode, block_size=bs, engine="scalar")
+        assert sca == vec, f"engines diverge at n={n}"
+        recon = decompress(vec)
+        assert recon.dtype == np.dtype(dtype) and recon.size == n
+        if n:
+            abs_bound = resolve_error_bound(data, err, mode)
+            worst = np.abs(
+                data.astype(np.float64) - recon.astype(np.float64)
+            ).max()
+            assert worst <= abs_bound, f"bound violated at n={n}"
+        assert np.array_equal(decompress(vec, engine="scalar"), recon)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("bs", [1, 7, 128, 1000])
+def test_checksum_sweep_round_trips(dtype, bs):
+    """The CRC32 footer never perturbs the decoded data."""
+    for n in _sweep_sizes(bs):
+        data = _sweep_field(dtype, n)
+        plain = compress(data, 1e-3, block_size=bs)
+        footed = compress(data, 1e-3, block_size=bs, checksum=True)
+        assert footed != plain  # flags bit + 4-byte footer
+        assert len(footed) == len(plain) + 4
+        assert np.array_equal(decompress(footed), decompress(plain))

@@ -99,3 +99,62 @@ class TestScalingModel:
     def test_bad_thread_count(self):
         with pytest.raises(ValueError):
             modeled_speedup("szx", 0)
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 3, 16])
+class TestOmpDifferential:
+    """Block counts smaller than, equal to, and coprime with the thread
+    count — the chunk-boundary cases where a merge bug would hide."""
+
+    _BS = 32
+
+    def _block_counts(self, n_threads):
+        return sorted(
+            {
+                max(n_threads - 1, 1),  # fewer blocks than threads
+                n_threads,  # exactly one block per thread
+                n_threads + 1,
+                2 * n_threads + 1,  # coprime with n_threads
+                7 if n_threads != 7 else 9,  # coprime, fixed small count
+            }
+        )
+
+    def _field(self, n_blocks, tail):
+        n = n_blocks * self._BS - (self._BS - tail if tail else 0)
+        d = np.cumsum(RNG.normal(size=max(n, 0))).astype(np.float32)
+        if n >= 2 * self._BS:
+            d[self._BS : 2 * self._BS] = 1.25  # force one constant block
+        return d
+
+    def test_compress_bytes_match_serial(self, n_threads):
+        for n_blocks in self._block_counts(n_threads):
+            for tail in (0, 1, self._BS - 1):
+                d = self._field(n_blocks, tail)
+                serial = compress(d, 1e-3, block_size=self._BS)
+                parallel = omp_compress(
+                    d, 1e-3, block_size=self._BS, n_threads=n_threads
+                )
+                assert serial == parallel, (
+                    f"n_blocks={n_blocks}, tail={tail}"
+                )
+
+    def test_decompress_matches_serial(self, n_threads):
+        for n_blocks in self._block_counts(n_threads):
+            for tail in (0, 1, self._BS - 1):
+                d = self._field(n_blocks, tail)
+                stream = compress(d, 1e-3, block_size=self._BS)
+                assert np.array_equal(
+                    decompress(stream),
+                    omp_decompress(stream, n_threads=n_threads),
+                ), f"n_blocks={n_blocks}, tail={tail}"
+
+    def test_checksummed_stream_matches_serial(self, n_threads):
+        d = np.cumsum(RNG.normal(size=5 * self._BS + 3)).astype(np.float32)
+        serial = compress(d, 1e-3, block_size=self._BS, checksum=True)
+        parallel = omp_compress(
+            d, 1e-3, block_size=self._BS, n_threads=n_threads, checksum=True
+        )
+        assert serial == parallel
+        assert np.array_equal(
+            decompress(serial), omp_decompress(serial, n_threads=n_threads)
+        )

@@ -1,0 +1,188 @@
+"""Tests for the differential fuzzing harness itself."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamFormatError, compress, decompress
+from repro.testing import (
+    GENERATORS,
+    MUTATORS,
+    check_error_bound,
+    check_mutation,
+    check_round_trip,
+    generate_field,
+    mutate_stream,
+    run_fuzz,
+)
+from repro.testing.mutators import stream_layout
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_contract(self, name, dtype):
+        """Every generator: right size/dtype, all finite, deterministic."""
+        for n in (0, 1, 5, 257):
+            a = generate_field(name, np.random.default_rng(7), n, dtype)
+            b = generate_field(name, np.random.default_rng(7), n, dtype)
+            assert a.shape == (n,) and a.dtype == np.dtype(dtype)
+            assert np.isfinite(a).all()
+            assert np.array_equal(a, b, equal_nan=True)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_output_compresses(self, name):
+        """Adversarial fields still satisfy the codec's input contract."""
+        data = generate_field(name, np.random.default_rng(3), 300, np.float32)
+        recon = decompress(compress(data, 1e-3))
+        assert recon.size == 300
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            generate_field("nope", np.random.default_rng(0), 8, np.float32)
+
+
+class TestMutators:
+    @pytest.fixture()
+    def stream(self):
+        data = np.cumsum(
+            np.random.default_rng(11).standard_normal(500)
+        ).astype(np.float32)
+        return compress(data, 1e-3, block_size=64, checksum=True)
+
+    @pytest.mark.parametrize("name", sorted(MUTATORS))
+    def test_deterministic_and_pure(self, name, stream):
+        before = bytes(stream)
+        a = mutate_stream(name, np.random.default_rng(5), stream)
+        b = mutate_stream(name, np.random.default_rng(5), stream)
+        assert a == b
+        assert stream == before  # input untouched
+
+    def test_layout_covers_stream(self, stream):
+        spans = stream_layout(stream)
+        assert spans["header"][0] == 0
+        assert spans["checksum"][1] == len(stream)
+        ordered = [
+            spans[k]
+            for k in ("header", "bitmap", "const_mu", "zsizes", "payload",
+                      "checksum")
+        ]
+        for (_, a1), (b0, _) in zip(ordered, ordered[1:]):
+            assert a1 == b0  # contiguous, no gaps
+
+    def test_layout_rejects_garbage(self):
+        with pytest.raises(StreamFormatError):
+            stream_layout(b"not a stream at all")
+
+    def test_unknown_name(self, stream):
+        with pytest.raises(ValueError, match="unknown mutator"):
+            mutate_stream("nope", np.random.default_rng(0), stream)
+
+
+class TestOracles:
+    def test_round_trip_clean_on_good_data(self):
+        data = np.linspace(0, 1, 777, dtype=np.float32)
+        assert check_round_trip(data, 1e-3, block_size=64) == []
+
+    def test_error_bound_catches_violation(self):
+        orig = np.zeros(10, np.float32)
+        bad = orig.copy()
+        bad[3] = 1.0
+        problems = check_error_bound(orig, bad, 1e-3)
+        assert len(problems) == 1 and "bound violated" in problems[0]
+
+    def test_mutation_accepts_clean_rejection(self):
+        data = np.arange(100, dtype=np.float32)
+        stream = compress(data, 1e-3, checksum=True)
+        ref = decompress(stream)
+        assert check_mutation(stream[:10], ref) == []
+
+    def test_mutation_accepts_benign_trailing_junk(self):
+        data = np.arange(100, dtype=np.float32)
+        stream = compress(data, 1e-3, checksum=True)
+        ref = decompress(stream)
+        assert check_mutation(stream + b"junk", ref) == []
+
+    def test_mutation_flags_raw_exception(self):
+        def bad_decoder(_):
+            raise IndexError("boom")
+
+        problems = check_mutation(
+            b"x", np.zeros(1, np.float32), decoder=bad_decoder
+        )
+        assert len(problems) == 1 and "IndexError" in problems[0]
+
+    def test_mutation_flags_silent_divergence(self):
+        def lying_decoder(_):
+            return np.ones(4, np.float32)
+
+        problems = check_mutation(
+            b"x", np.zeros(4, np.float32), decoder=lying_decoder
+        )
+        assert len(problems) == 1 and "silently" in problems[0]
+
+
+class TestRunFuzz:
+    def test_deterministic(self):
+        a = run_fuzz(seed=123, iters=4)
+        b = run_fuzz(seed=123, iters=4)
+        assert a.summary() == b.summary()
+        assert [str(f) for f in a.failures] == [str(f) for f in b.failures]
+
+    def test_clean_run(self):
+        report = run_fuzz(seed=0, iters=6)
+        assert report.ok, [str(f) for f in report.failures]
+        assert report.iterations == 6
+        assert report.mutants_tested == 6 * 8
+
+    def test_summary_mentions_seed(self):
+        assert "seed=9" in run_fuzz(seed=9, iters=1).summary()
+
+
+class TestCliIntegration:
+    def test_fuzz_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seed", "0", "--iters", "2"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = np.linspace(0, 1, 1000, dtype=np.float32)
+        good = tmp_path / "good.szx"
+        good.write_bytes(compress(data, 1e-3, checksum=True))
+        assert main(["validate", str(good)]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+        raw = bytearray(good.read_bytes())
+        raw[len(raw) // 2] ^= 0x10
+        bad = tmp_path / "bad.szx"
+        bad.write_bytes(bytes(raw))
+        assert main(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_decompress_corrupt_exits_cleanly(self, tmp_path, capsys):
+        from repro.cli import EXIT_CORRUPT, main
+
+        data = np.linspace(0, 1, 1000, dtype=np.float32)
+        raw = bytearray(compress(data, 1e-3))
+        raw = raw[: len(raw) - 5]  # truncate
+        bad = tmp_path / "bad.szx"
+        bad.write_bytes(bytes(raw))
+        out = tmp_path / "out.f32"
+        assert main(["decompress", str(bad), "-o", str(out)]) == EXIT_CORRUPT
+        assert "error:" in capsys.readouterr().err
+
+    def test_compress_checksum_flag(self, tmp_path):
+        from repro.cli import main
+
+        data = np.linspace(0, 1, 500, dtype=np.float32)
+        src = tmp_path / "d.f32"
+        data.tofile(src)
+        out = tmp_path / "d.szx"
+        assert main([
+            "compress", str(src), "-o", str(out), "-e", "1e-3", "--checksum",
+        ]) == 0
+        from repro.core.header import decode_header
+
+        assert decode_header(out.read_bytes()).flags & 0x01
