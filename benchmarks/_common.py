@@ -3,6 +3,10 @@
 Scale control: set ``REPRO_SCALE`` to tiny / small / medium / paper
 (default ``tiny`` so the whole bench suite runs in minutes; use ``small``
 or ``medium`` to approach paper-scale statistics — see EXPERIMENTS.md).
+
+Per-stage breakdowns: set ``REPRO_STAGE_JSON`` to a directory and call
+:func:`dump_stage_breakdown` from a benchmark to write a traced
+per-stage JSON document next to the table rows (repro.observe spans).
 """
 
 from __future__ import annotations
@@ -12,8 +16,8 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.baselines import sz_compress, sz_decompress, zfp_compress, zfp_decompress
-from repro.core.api import compress as szx_compress, decompress as szx_decompress
+from repro.baselines import SZBaselineCodec, ZFPBaselineCodec
+from repro.codec import Codec, CodecConfig, SZxCodec
 from repro.datasets import APPLICATION_NAMES, get_application
 
 SCALE = os.environ.get("REPRO_SCALE", "tiny")
@@ -39,21 +43,52 @@ def all_apps():
     return APPLICATION_NAMES
 
 
-#: Uniform (compress, decompress) interface per compressor, REL mode.
-COMPRESSORS = {
-    "SZx": (
-        lambda d, rel: szx_compress(d, rel, mode="rel"),
-        szx_decompress,
-    ),
-    "SZ": (
-        lambda d, rel: sz_compress(d, rel, mode="rel"),
-        sz_decompress,
-    ),
-    "ZFP": (
-        lambda d, rel: zfp_compress(d, rel, bound_mode="rel"),
-        zfp_decompress,
-    ),
+#: One factory per compressor; every factory yields a `repro.codec.Codec`
+#: configured for a REL bound, so benchmarks iterate them uniformly
+#: (no per-baseline branches).
+CODEC_FACTORIES = {
+    "SZx": lambda rel: SZxCodec(CodecConfig(err_bound=rel, mode="rel")),
+    "SZ": lambda rel: SZBaselineCodec(rel, mode="rel"),
+    "ZFP": lambda rel: ZFPBaselineCodec(rel, bound_mode="rel"),
 }
+
+
+@lru_cache(maxsize=None)
+def codec_for(name: str, rel: float) -> Codec:
+    """A protocol-conformant codec instance for *name* at REL bound."""
+    return CODEC_FACTORIES[name](rel)
+
+
+#: Uniform (compress, decompress) interface per compressor, REL mode —
+#: built from the one codec registry above.
+COMPRESSORS = {
+    name: (
+        lambda d, rel, _n=name: codec_for(_n, rel).compress(d),
+        lambda stream, _n=name: codec_for(_n, 1e-3).decompress(stream),
+    )
+    for name in CODEC_FACTORIES
+}
+
+
+def dump_stage_breakdown(table_name: str, fn, *args, meta=None, **kwargs):
+    """Run *fn* traced and write a per-stage JSON if REPRO_STAGE_JSON set.
+
+    Returns *fn*'s result either way, so benchmarks can call this in
+    place of a direct call.
+    """
+    out_dir = os.environ.get("REPRO_STAGE_JSON")
+    if not out_dir:
+        return fn(*args, **kwargs)
+    from repro.bench import stage_breakdown, write_stage_json
+
+    result, spans = stage_breakdown(fn, *args, **kwargs)
+    doc_meta = {"table": table_name, "scale": SCALE}
+    if meta:
+        doc_meta.update(meta)
+    write_stage_json(
+        os.path.join(out_dir, f"{table_name}.stages.json"), spans, meta=doc_meta
+    )
+    return result
 
 
 def cr(data: np.ndarray, stream: bytes) -> float:

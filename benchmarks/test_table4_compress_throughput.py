@@ -10,7 +10,13 @@ import numpy as np
 
 from repro.bench import format_table, measure_throughput_mb_s, save_result
 
-from _common import COMPRESSORS, REL_BOUNDS, all_apps, app_fields
+from _common import (
+    COMPRESSORS,
+    REL_BOUNDS,
+    all_apps,
+    app_fields,
+    dump_stage_breakdown,
+)
 
 #: One representative field per app keeps the SZ/ZFP runtime tractable.
 FIELDS_PER_APP = 2
@@ -73,6 +79,14 @@ def render(table, title):
 def test_table4_compress_throughput(benchmark):
     data = app_fields("Miranda", limit=1)[0][1]
     benchmark(COMPRESSORS["SZx"][0], data, 1e-3)
+    # Per-stage breakdown next to the table rows (set REPRO_STAGE_JSON).
+    dump_stage_breakdown(
+        "table4_compress_throughput",
+        COMPRESSORS["SZx"][0],
+        data,
+        1e-3,
+        meta={"app": "Miranda", "rel": 1e-3},
+    )
 
     table = measure("compress")
     text = render(table, "Table 4 — single-core compression throughput (MB/s)")

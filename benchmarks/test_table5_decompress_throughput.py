@@ -8,7 +8,7 @@ from repro.bench import save_result
 
 from test_table4_compress_throughput import check_szx_fastest, measure, render
 
-from _common import COMPRESSORS, app_fields
+from _common import COMPRESSORS, app_fields, dump_stage_breakdown
 
 
 def test_table5_decompress_throughput(benchmark):
@@ -16,6 +16,12 @@ def test_table5_decompress_throughput(benchmark):
     compress_fn, decompress_fn = COMPRESSORS["SZx"]
     stream = compress_fn(data, 1e-3)
     benchmark(decompress_fn, stream)
+    dump_stage_breakdown(
+        "table5_decompress_throughput",
+        decompress_fn,
+        stream,
+        meta={"app": "Miranda", "rel": 1e-3},
+    )
 
     table = measure("decompress")
     text = render(table, "Table 5 — single-core decompression throughput (MB/s)")

@@ -4,7 +4,11 @@ Compression for Scientific Datasets* (SZx, HPDC '22).
 Public API highlights
 ---------------------
 
-* :func:`repro.compress` / :func:`repro.decompress` — the SZx codec;
+* :class:`repro.SZxCodec` + :class:`repro.CodecConfig` — the unified
+  codec API (all tuning state in one frozen config);
+* :func:`repro.compress` / :func:`repro.decompress` — functional
+  wrappers over it;
+* :mod:`repro.observe` — tracing spans, metrics registry, sinks;
 * :mod:`repro.baselines` — the SZ and ZFP comparators;
 * :mod:`repro.lossless` — the Zstd-like lossless baseline;
 * :mod:`repro.parallel` — OpenMP-style multicore SZx;
@@ -26,12 +30,16 @@ from .core import (
     decompress,
     resolve_error_bound,
 )
+from .codec import Codec, CodecConfig, SZxCodec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "StreamFormatError",
+    "Codec",
+    "CodecConfig",
+    "SZxCodec",
     "compress",
     "compress_components",
     "compression_ratio",

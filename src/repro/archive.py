@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from . import observe
 from .core import compress, decompress
 from .core.constants import DEFAULT_BLOCK_SIZE
 from .core.errors import ContainerFormatError
@@ -56,9 +57,15 @@ class SzxArchive:
             raise ValueError(f"duplicate field name {name!r}")
         if len(name.encode()) > 0xFFFF:
             raise ValueError("field name too long")
-        self._entries[name] = compress(
-            data, err_bound, mode=mode, block_size=block_size, checksum=checksum
-        )
+        arr = np.asarray(data)
+        with observe.span(
+            "archive.add", bytes_in=int(arr.nbytes), field=name
+        ) as sp:
+            stream = compress(
+                arr, err_bound, mode=mode, block_size=block_size, checksum=checksum
+            )
+            sp.set(bytes_out=len(stream))
+        self._entries[name] = stream
 
     def add_stream(self, name: str, stream: bytes) -> None:
         """Store an already-compressed SZx stream under *name*."""
@@ -171,7 +178,10 @@ class SzxArchive:
             raise KeyError(
                 f"archive has no field {name!r}; available: {list(entries)}"
             ) from None
-        return decompress(bytes(buf[off : off + length]))
+        with observe.span("archive.load_field", bytes_in=length, field=name) as sp:
+            out = decompress(bytes(buf[off : off + length]))
+            sp.set(bytes_out=int(out.nbytes))
+        return out
 
     @classmethod
     def load_all(cls, buf: bytes) -> dict:

@@ -1,6 +1,144 @@
-"""Baseline compressors the paper compares against (Section 2 / Table 3)."""
+"""Baseline compressors the paper compares against (Section 2 / Table 3).
 
+Besides the functional entry points, each baseline has a class adapter
+conforming to the :class:`repro.codec.Codec` protocol (``name``,
+``compress(arr) -> bytes``, ``decompress(stream) -> ndarray``), so
+benchmarks iterate SZx and the baselines uniformly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..core.constants import traits_for, traits_for_code
 from .sz.codec import sz_compress, sz_decompress
 from .zfp.codec import zfp_compress, zfp_decompress
 
-__all__ = ["sz_compress", "sz_decompress", "zfp_compress", "zfp_decompress"]
+__all__ = [
+    "sz_compress",
+    "sz_decompress",
+    "zfp_compress",
+    "zfp_decompress",
+    "SZBaselineCodec",
+    "ZFPBaselineCodec",
+    "LosslessBaselineCodec",
+    "baseline_codecs",
+]
+
+
+class SZBaselineCodec:
+    """SZ baseline behind the uniform :class:`repro.codec.Codec` protocol."""
+
+    name = "sz"
+
+    def __init__(
+        self,
+        err_bound: float,
+        *,
+        mode: str = "abs",
+        lossless_stage="auto",
+        predictor: str = "lorenzo",
+    ):
+        self.err_bound = float(err_bound)
+        self.mode = mode
+        self.lossless_stage = lossless_stage
+        self.predictor = predictor
+
+    def compress(self, data) -> bytes:
+        return sz_compress(
+            data,
+            self.err_bound,
+            mode=self.mode,
+            lossless_stage=self.lossless_stage,
+            predictor=self.predictor,
+        )
+
+    def decompress(self, stream) -> np.ndarray:
+        return sz_decompress(bytes(stream))
+
+
+class ZFPBaselineCodec:
+    """ZFP baseline behind the uniform :class:`repro.codec.Codec` protocol."""
+
+    name = "zfp"
+
+    def __init__(
+        self,
+        tolerance: float,
+        *,
+        mode: str = "embedded",
+        bound_mode: str = "abs",
+        rate: float = 8.0,
+    ):
+        self.tolerance = float(tolerance)
+        self.mode = mode
+        self.bound_mode = bound_mode
+        self.rate = rate
+
+    def compress(self, data) -> bytes:
+        return zfp_compress(
+            data,
+            self.tolerance,
+            mode=self.mode,
+            bound_mode=self.bound_mode,
+            rate=self.rate,
+        )
+
+    def decompress(self, stream) -> np.ndarray:
+        return zfp_decompress(bytes(stream))
+
+
+_LL_MAGIC = b"LLA1"
+_LL_HEAD = struct.Struct("<4sBB2x")
+
+
+class LosslessBaselineCodec:
+    """Lossless baseline (LZ77 + Huffman) on arrays.
+
+    The byte codec (:mod:`repro.lossless`) works on raw bytes; this
+    adapter records dtype and shape in a small header so the protocol's
+    ``decompress`` can return the original ndarray bit-exactly.
+    """
+
+    name = "lossless"
+
+    def compress(self, data) -> bytes:
+        from ..lossless import lossless_compress
+
+        arr = np.ascontiguousarray(data)
+        traits = traits_for(arr.dtype)
+        if arr.ndim > 255:
+            raise ValueError("too many dimensions")
+        header = _LL_HEAD.pack(_LL_MAGIC, traits.code, arr.ndim)
+        shape = struct.pack(f"<{arr.ndim}Q", *arr.shape)
+        return header + shape + lossless_compress(arr.tobytes())
+
+    def decompress(self, stream) -> np.ndarray:
+        from ..lossless import lossless_decompress
+
+        buf = bytes(stream)
+        if len(buf) < _LL_HEAD.size:
+            raise ValueError("lossless-array stream too short")
+        magic, code, ndim = _LL_HEAD.unpack_from(buf)
+        if magic != _LL_MAGIC:
+            raise ValueError("bad lossless-array magic")
+        traits = traits_for_code(code)
+        off = _LL_HEAD.size
+        if len(buf) < off + 8 * ndim:
+            raise ValueError("lossless-array stream truncated in shape")
+        shape = struct.unpack_from(f"<{ndim}Q", buf, off)
+        off += 8 * ndim
+        raw = lossless_decompress(buf[off:])
+        arr = np.frombuffer(raw, dtype=traits.dtype)
+        return arr.reshape(tuple(int(s) for s in shape))
+
+
+def baseline_codecs(err_bound: float, *, mode: str = "abs") -> list:
+    """The three baseline codec instances configured for one bound."""
+    return [
+        SZBaselineCodec(err_bound, mode=mode),
+        ZFPBaselineCodec(err_bound, bound_mode=mode),
+        LosslessBaselineCodec(),
+    ]

@@ -26,6 +26,7 @@ import struct
 
 import numpy as np
 
+from ... import observe
 from ...core.constants import traits_for, traits_for_code
 from ...huffman import huffman_decode, huffman_encode
 from ...lossless import lossless_compress, lossless_decompress
@@ -80,6 +81,7 @@ def _regression_residuals(arr, abs_bound, traits):
     return q, raw_mask, coef_bytes
 
 
+@observe.traced("sz.compress")
 def sz_compress(
     data: np.ndarray,
     err_bound: float,
@@ -116,18 +118,22 @@ def sz_compress(
         return min((lorenzo, reg), key=len)
 
     if predictor == "regression" and arr.size and arr.ndim:
-        flat_delta, raw_flat, coef_bytes = _regression_residuals(
-            arr, abs_bound, traits
-        )
+        with observe.span("sz.predict.regression"):
+            flat_delta, raw_flat, coef_bytes = _regression_residuals(
+                arr, abs_bound, traits
+            )
         flags = _FLAG_REGRESSION
     else:
-        flat_delta, raw_flat, coef_bytes = _lorenzo_residuals(arr, abs_bound)
+        with observe.span("sz.predict.lorenzo"):
+            flat_delta, raw_flat, coef_bytes = _lorenzo_residuals(arr, abs_bound)
         flags = 0
 
     outlier_mask = np.abs(flat_delta) >= RADIUS
     codes = np.where(outlier_mask, 0, flat_delta + RADIUS).astype(np.uint16)
 
-    huff = huffman_encode(codes, alphabet=ALPHABET)
+    with observe.span("sz.huffman_encode", bytes_in=int(codes.nbytes)) as sp:
+        huff = huffman_encode(codes, alphabet=ALPHABET)
+        sp.set(bytes_out=len(huff))
     if lossless_stage is True or (
         lossless_stage == "auto" and len(huff) <= _AUTO_LOSSLESS_LIMIT
     ):
@@ -161,6 +167,7 @@ def sz_compress(
     )
 
 
+@observe.traced("sz.decompress")
 def sz_decompress(buf: bytes) -> np.ndarray:
     """Reconstruct the array from an SZ baseline stream."""
     if len(buf) < _FIXED.size:

@@ -22,6 +22,7 @@ import struct
 
 import numpy as np
 
+from ... import observe
 from ...core.constants import traits_for, traits_for_code
 from . import bitplane as bp
 from .fixedpoint import (
@@ -76,6 +77,7 @@ def _kmin(emax: np.ndarray, minexp: int, d: int, traits) -> np.ndarray:
     return np.clip(nplanes - maxprec, 0, nplanes).astype(np.int64)
 
 
+@observe.traced("zfp.compress")
 def zfp_compress(
     data: np.ndarray,
     tolerance: float,
@@ -199,6 +201,7 @@ def zfp_compress(
     return b"".join((header, shape_bytes, bitmap, raw_bytes, emax_bytes, body))
 
 
+@observe.traced("zfp.decompress")
 def zfp_decompress(buf: bytes) -> np.ndarray:
     """Reconstruct the array from a ZFP baseline stream."""
     if len(buf) < _FIXED.size:

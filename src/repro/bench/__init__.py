@@ -1,12 +1,19 @@
 """Benchmark harness: timing, paper-style tables, result capture."""
 
-from .timing import measure_throughput_mb_s, time_call
+from .timing import (
+    measure_throughput_mb_s,
+    stage_breakdown,
+    time_call,
+    write_stage_json,
+)
 from .tables import format_table, format_series
 from .results import RESULTS_DIR, save_result
 
 __all__ = [
     "measure_throughput_mb_s",
     "time_call",
+    "stage_breakdown",
+    "write_stage_json",
     "format_table",
     "format_series",
     "RESULTS_DIR",

@@ -8,10 +8,16 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
     szx inspect   data.szx
     szx verify    data.szx
     szx validate  data.szx
+    szx stats     data.szx
     szx fuzz      --seed 0 --iters 50
     szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
     szx bundle    a.szx b.szx -o fields.szxa --names a,b
     szx extract   fields.szxa a -o a.f32
+
+``compress``/``decompress`` accept ``--trace`` (print the per-stage span
+tree), ``--trace-json PATH`` (dump span trees as JSON lines), ``--engine``
+and ``--threads``; ``stats`` decodes a stream under the metrics registry
+and dumps it as JSON.
 
 Commands that read compressed input exit with status 2 and a one-line
 diagnostic on malformed streams (never a raw traceback).
@@ -20,14 +26,20 @@ diagnostic on malformed streams (never a raw traceback).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
+import json
 import sys
 
 import numpy as np
 
-from .core import compress, decompress, parse_stream
+from . import observe
+from .codec import CodecConfig, SZxCodec
+from .core import parse_stream
+from .core.api import resolve_error_bound_info
 from .core.constants import DEFAULT_BLOCK_SIZE
 from .core.errors import StreamFormatError
+from .core.stream import payload_offsets
 
 _DTYPES = {"f32": np.float32, "f64": np.float64}
 
@@ -61,6 +73,36 @@ def _parse_shape(text: str | None):
     return shape
 
 
+def _codec_config(args, *, err_bound=None) -> CodecConfig:
+    """One CodecConfig from CLI flags — the single kwargs plumbing point."""
+    return CodecConfig(
+        err_bound=err_bound,
+        mode=getattr(args, "mode", "abs"),
+        block_size=getattr(args, "block_size", DEFAULT_BLOCK_SIZE),
+        engine=getattr(args, "engine", "vectorized"),
+        checksum=getattr(args, "checksum", False),
+        threads=getattr(args, "threads", 1),
+    )
+
+
+@contextlib.contextmanager
+def _maybe_traced(args):
+    """Enable tracing for a command when --trace/--trace-json was given;
+    print the span tree (and dump the JSON lines) afterwards."""
+    if not (getattr(args, "trace", False) or getattr(args, "trace_json", None)):
+        yield
+        return
+    with observe.trace() as sink:
+        yield
+    for root in sink.spans:
+        print(observe.render_tree(root))
+    if getattr(args, "trace_json", None):
+        with observe.JsonLinesSink(args.trace_json) as js:
+            for root in sink.spans:
+                js.emit(root)
+        print(f"trace written to {args.trace_json}")
+
+
 def _cmd_compress(args) -> int:
     dtype = _DTYPES[args.dtype]
     data = np.fromfile(args.input, dtype=dtype)
@@ -73,16 +115,19 @@ def _cmd_compress(args) -> int:
                 f"file holds {data.size}"
             )
         data = data.reshape(shape)
-    stream = compress(
-        data, args.error_bound, mode=args.mode, block_size=args.block_size,
-        checksum=args.checksum,
-    )
+    codec = SZxCodec(_codec_config(args, err_bound=args.error_bound))
+    with _maybe_traced(args):
+        stream = codec.compress(data)
+    resolution = resolve_error_bound_info(data, args.error_bound, args.mode)
+    if resolution.note:
+        print(f"note: {resolution.note}", file=sys.stderr)
     with open(args.output, "wb") as fh:
         fh.write(stream)
     ratio = data.nbytes / len(stream)
     print(
         f"{args.input}: {data.nbytes:,} -> {len(stream):,} bytes "
-        f"(CR {ratio:.2f}) -> {args.output}"
+        f"(CR {ratio:.2f}, abs bound {resolution.abs_bound:g}) "
+        f"-> {args.output}"
     )
     return 0
 
@@ -94,7 +139,11 @@ def _cmd_decompress(args) -> int:
     with open(args.input, "rb") as fh:
         stream = fh.read()
     kind = container_kind(stream)
-    recon = decompress_any(stream)
+    with _maybe_traced(args):
+        if kind == "szx":
+            recon = SZxCodec(_codec_config(args)).decompress(stream)
+        else:
+            recon = decompress_any(stream)
     recon.tofile(args.output)
     print(
         f"{args.input} ({kind}): reconstructed {recon.size:,} values "
@@ -115,7 +164,13 @@ def _cmd_inspect(args) -> int:
     print(f"values        : {h.n:,}")
     print(f"shape         : {h.shape or '(flat)'}")
     print(f"block size    : {h.block_size}")
-    print(f"error bound   : {h.err_bound:g} (absolute)")
+    bound_note = ""
+    if h.n_blocks and h.n_const == h.n_blocks:
+        # All-constant streams are the REL-degradation case the header
+        # cannot distinguish: the reconstruction error is exactly 0
+        # whatever bound is recorded.
+        bound_note = "; all blocks constant, max reconstruction error 0"
+    print(f"error bound   : {h.err_bound:g} (absolute, as applied{bound_note})")
     print(f"blocks        : {h.n_blocks:,} ({h.n_const:,} constant, {const_pct:.1f}%)")
     print(f"payload bytes : {len(comp.payload):,}")
     raw = h.n * h.traits.itemsize
@@ -165,7 +220,7 @@ def _cmd_validate(args) -> int:
 
     if comp is not None:
         try:
-            recon = decompress(stream)
+            recon = SZxCodec(_codec_config(args)).decompress(stream)
             print(
                 f"decode        : ok ({recon.size:,} values, {recon.dtype})"
             )
@@ -189,6 +244,53 @@ def _cmd_validate(args) -> int:
     for p in problems[:20]:
         print(f"  - {p}")
     return 1
+
+
+@_guard_format_errors
+def _cmd_stats(args) -> int:
+    """Dump the metrics registry as JSON.
+
+    With an input stream, parses and fully decodes it under the metrics
+    registry first, so the dump holds the decode-side counters plus the
+    stream-derived statistics (constant-block ratio, required-bits
+    distribution, per-stage span summaries).
+    """
+    observe.reset_metrics()
+    sink = observe.InMemorySink()
+    observe.enable(sink)
+    try:
+        if args.input:
+            with open(args.input, "rb") as fh:
+                stream = fh.read()
+            comp = parse_stream(stream)
+            h = comp.header
+            if h.n_blocks:
+                observe.gauge("szx.stream.const_block_ratio").set(
+                    h.n_const / h.n_blocks
+                )
+            observe.counter("szx.stream.bytes").inc(len(stream))
+            observe.counter("szx.stream.payload_bytes").inc(len(comp.payload))
+            if comp.zsizes.size:
+                # Required-bits distribution straight from the payload:
+                # the first byte of every non-constant block is its R.
+                offsets = payload_offsets(comp.zsizes)[:-1]
+                payload_u8 = np.frombuffer(comp.payload, dtype=np.uint8)
+                observe.histogram("szx.stream.reqbits").observe_many(
+                    payload_u8[offsets]
+                )
+            SZxCodec(_codec_config(args)).decompress(stream)
+        snapshot = observe.metrics_snapshot()
+        snapshot["spans"] = sink.to_dicts()
+    finally:
+        observe.disable()
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"stats written to {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_fuzz(args) -> int:
@@ -263,6 +365,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_opts(p):
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="print the per-stage tracing span tree after the run",
+        )
+        p.add_argument(
+            "--trace-json",
+            metavar="PATH",
+            help="dump the span trees as JSON lines to PATH",
+        )
+
+    def add_engine_opts(p):
+        p.add_argument(
+            "--engine", choices=("vectorized", "scalar"), default="vectorized"
+        )
+        p.add_argument(
+            "--threads",
+            type=int,
+            default=1,
+            help="worker threads (>1 uses the OpenMP-style pool)",
+        )
+
     pc = sub.add_parser("compress", help="compress a raw binary float array")
     pc.add_argument("input")
     pc.add_argument("-o", "--output", required=True)
@@ -276,11 +401,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append a CRC32 integrity footer to the stream",
     )
+    add_engine_opts(pc)
+    add_trace_opts(pc)
     pc.set_defaults(fn=_cmd_compress)
 
     pd = sub.add_parser("decompress", help="reconstruct a raw binary array")
     pd.add_argument("input")
     pd.add_argument("-o", "--output", required=True)
+    add_engine_opts(pd)
+    add_trace_opts(pd)
     pd.set_defaults(fn=_cmd_decompress)
 
     pi = sub.add_parser("inspect", help="print stream metadata")
@@ -297,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pval.add_argument("input")
     pval.set_defaults(fn=_cmd_validate)
+
+    ps = sub.add_parser(
+        "stats",
+        help="decode a stream under the metrics registry, dump it as JSON",
+    )
+    ps.add_argument("input", nargs="?")
+    ps.add_argument("-o", "--output", help="write the JSON here instead of stdout")
+    ps.set_defaults(fn=_cmd_stats)
 
     pf = sub.add_parser(
         "fuzz", help="run the differential fuzz harness (repro.testing)"

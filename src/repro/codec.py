@@ -1,0 +1,167 @@
+"""Unified codec configuration API: ``CodecConfig`` + ``SZxCodec``.
+
+All tuning state that used to travel as ad-hoc kwargs (`mode`,
+`block_size`, `engine`, `checksum`, thread count) lives in one frozen
+:class:`CodecConfig`; :class:`SZxCodec` binds a config to the
+``compress(arr) -> bytes`` / ``decompress(stream) -> ndarray`` pair.
+``repro.core.api.compress``/``decompress`` and ``repro.parallel.omp``
+are thin wrappers over this class, so every entry point produces
+byte-identical streams by construction.
+
+:class:`Codec` is the minimal protocol the baselines also implement
+(see :mod:`repro.baselines`), letting benchmarks iterate compressors
+uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from . import observe
+from .core.constants import DEFAULT_BLOCK_SIZE
+
+_MODES = ("abs", "rel")
+_ENGINES = ("vectorized", "scalar")
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """Minimal interface every compressor in this repo exposes."""
+
+    name: str
+
+    def compress(self, data) -> bytes: ...
+
+    def decompress(self, stream) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Immutable SZx tuning state.
+
+    ``err_bound`` may stay ``None`` for decompress-only codecs; every
+    other field has the library-wide default.  ``threads > 1`` routes
+    both directions through the OpenMP-style pool
+    (:mod:`repro.parallel.omp`), still byte-identical to serial.
+    """
+
+    err_bound: float | None = None
+    mode: str = "abs"
+    block_size: int = DEFAULT_BLOCK_SIZE
+    engine: str = "vectorized"
+    checksum: bool = False
+    threads: int = 1
+
+    def __post_init__(self):
+        if self.err_bound is not None and (
+            not (float(self.err_bound) > 0.0) or not math.isfinite(self.err_bound)
+        ):
+            raise ValueError(
+                f"err_bound must be positive and finite, got {self.err_bound}"
+            )
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
+            raise ValueError(f"block_size must be an int, got {self.block_size!r}")
+        if not isinstance(self.threads, int) or self.threads < 1:
+            raise ValueError(f"threads must be a positive int, got {self.threads!r}")
+
+    def replace(self, **changes) -> "CodecConfig":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+class SZxCodec:
+    """The SZx compressor bound to one :class:`CodecConfig`."""
+
+    name = "szx"
+
+    def __init__(self, config: CodecConfig | None = None):
+        if config is None:
+            config = CodecConfig()
+        if not isinstance(config, CodecConfig):
+            raise TypeError(f"expected CodecConfig, got {type(config).__name__}")
+        self.config = config
+
+    def __repr__(self):
+        return f"SZxCodec({self.config!r})"
+
+    def compress(self, data) -> bytes:
+        """Compress *data* into an SZx byte stream under ``self.config``."""
+        cfg = self.config
+        if cfg.err_bound is None:
+            raise ValueError(
+                "this SZxCodec has no err_bound configured; "
+                "use CodecConfig(err_bound=...) to compress"
+            )
+        arr = np.asarray(data)
+        with observe.span(
+            "szx.compress", bytes_in=int(arr.nbytes),
+            engine=cfg.engine, threads=cfg.threads,
+        ) as sp:
+            if cfg.threads > 1:
+                from .parallel.omp import compress_components_parallel
+
+                components = compress_components_parallel(
+                    arr,
+                    cfg.err_bound,
+                    mode=cfg.mode,
+                    block_size=cfg.block_size,
+                    n_threads=cfg.threads,
+                    checksum=cfg.checksum,
+                )
+            else:
+                from .core.api import compress_components
+
+                components = compress_components(
+                    arr,
+                    cfg.err_bound,
+                    mode=cfg.mode,
+                    block_size=cfg.block_size,
+                    engine=cfg.engine,
+                    checksum=cfg.checksum,
+                )
+            out = components.to_bytes()
+            sp.set(bytes_out=len(out))
+        return out
+
+    def decompress(self, stream) -> np.ndarray:
+        """Reconstruct the array from an SZx byte *stream*."""
+        cfg = self.config
+        stream = bytes(stream)
+        with observe.span(
+            "szx.decompress", bytes_in=len(stream),
+            engine=cfg.engine, threads=cfg.threads,
+        ) as sp:
+            if cfg.threads > 1:
+                from .core.stream import parse_stream
+                from .parallel.omp import decompress_components_parallel
+
+                out = decompress_components_parallel(
+                    parse_stream(stream), n_threads=cfg.threads
+                )
+            else:
+                from .core.stream import parse_stream
+
+                components = parse_stream(stream)
+                if cfg.engine == "scalar":
+                    from .core.scalar import decompress_scalar
+
+                    with observe.span("engine.scalar.decompress"):
+                        out = decompress_scalar(components)
+                else:
+                    from .core.vectorized import decompress_vectorized
+
+                    with observe.span("engine.vectorized.decompress"):
+                        out = decompress_vectorized(components)
+            sp.set(bytes_out=int(out.nbytes))
+        return out

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .core import decompress
+from .core.errors import ContainerFormatError
 from .core.extended import decompress_extended
 from .core.pointwise import decompress_pointwise
 from .core.temporal import decompress_sequence
@@ -53,11 +54,13 @@ def decompress_any(stream: bytes) -> np.ndarray:
         frames = decompress_sequence(stream)
         return np.stack(frames) if frames else np.empty(0, dtype=np.float32)
     if kind == "szx-archive":
-        raise ValueError(
+        raise ContainerFormatError(
             "stream is a multi-field archive; use repro.archive.SzxArchive"
         )
     if kind == "szx-chunked-file":
-        raise ValueError(
+        raise ContainerFormatError(
             "stream is a chunked file container; use repro.io.decompress_file"
         )
-    raise ValueError(f"unrecognized container magic {bytes(stream[:4])!r}")
+    raise ContainerFormatError(
+        f"unrecognized container magic {bytes(stream[:4])!r}"
+    )

@@ -1,11 +1,13 @@
 """SZx core: the paper's ultrafast error-bounded lossy compressor."""
 
 from .api import (
+    BoundResolution,
     compress,
     compress_components,
     compression_ratio,
     decompress,
     resolve_error_bound,
+    resolve_error_bound_info,
 )
 from .constants import DEFAULT_BLOCK_SIZE, FLOAT32, FLOAT64, traits_for
 from .errors import (
@@ -25,11 +27,13 @@ from .temporal import compress_sequence, decompress_sequence
 from .stream import StreamComponents, parse_stream
 
 __all__ = [
+    "BoundResolution",
     "compress",
     "compress_components",
     "compression_ratio",
     "decompress",
     "resolve_error_bound",
+    "resolve_error_bound_info",
     "DEFAULT_BLOCK_SIZE",
     "FLOAT32",
     "FLOAT64",

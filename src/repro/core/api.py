@@ -12,12 +12,19 @@ Engines:
 * ``engine="scalar"`` — the readable reference implementation.
 
 Both produce byte-identical streams.
+
+:func:`compress`/:func:`decompress` are thin wrappers over
+:class:`repro.codec.SZxCodec` — the class API and these functions emit
+byte-identical streams by construction.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from .. import observe
 from .constants import DEFAULT_BLOCK_SIZE, traits_for
 from .stream import StreamComponents, parse_stream
 
@@ -25,21 +32,66 @@ _MODES = ("abs", "rel")
 _ENGINES = ("vectorized", "scalar")
 
 
-def resolve_error_bound(data: np.ndarray, err_bound: float, mode: str) -> float:
-    """Translate a REL bound into the ABS bound actually applied."""
+@dataclass(frozen=True)
+class BoundResolution:
+    """How a user-specified error bound became the applied ABS bound.
+
+    ``degraded`` is true when a REL bound could not be scaled by the
+    value range (empty or constant input) and fell back to the raw
+    *err_bound* value — the case a user would otherwise never see.
+    """
+
+    raw_bound: float
+    mode: str
+    abs_bound: float
+    value_range: float | None = None
+    degraded: bool = False
+
+    @property
+    def note(self) -> str | None:
+        """One-line human explanation of a degraded resolution."""
+        if not self.degraded:
+            return None
+        kind = "empty" if self.value_range is None else "constant (zero-range)"
+        return (
+            f"REL bound {self.raw_bound:g} could not be scaled on {kind} "
+            f"input; raw value {self.abs_bound:g} was applied as the "
+            f"absolute bound"
+        )
+
+
+def resolve_error_bound_info(
+    data: np.ndarray, err_bound: float, mode: str
+) -> BoundResolution:
+    """Resolve *err_bound* under *mode*, recording how it was resolved."""
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
     if not (err_bound > 0.0) or not np.isfinite(err_bound):
         raise ValueError(f"error bound must be positive and finite, got {err_bound}")
+    raw = float(err_bound)
     if mode == "abs":
-        return float(err_bound)
+        return BoundResolution(raw_bound=raw, mode=mode, abs_bound=raw)
     if data.size == 0:
-        return float(err_bound)
+        return BoundResolution(
+            raw_bound=raw, mode=mode, abs_bound=raw, value_range=None, degraded=True
+        )
     value_range = float(data.max()) - float(data.min())
     if value_range == 0.0:
-        # A constant field compresses to constant blocks under any bound.
-        return float(err_bound)
-    return float(err_bound) * value_range
+        # A constant field compresses to constant blocks under any bound,
+        # so the reconstruction is exact — but the header still records
+        # the raw value; the degraded flag makes that visible.
+        return BoundResolution(
+            raw_bound=raw, mode=mode, abs_bound=raw, value_range=0.0, degraded=True
+        )
+    return BoundResolution(
+        raw_bound=raw, mode=mode, abs_bound=raw * value_range,
+        value_range=value_range,
+    )
+
+
+def resolve_error_bound(data: np.ndarray, err_bound: float, mode: str) -> float:
+    """Translate a REL bound into the ABS bound actually applied."""
+    return resolve_error_bound_info(data, err_bound, mode).abs_bound
 
 
 def _check_input(data: np.ndarray) -> np.ndarray:
@@ -59,18 +111,32 @@ def compress_components(
     engine: str = "vectorized",
     checksum: bool = False,
 ) -> StreamComponents:
-    """Compress *data* and return unserialized stream components."""
+    """Compress *data* and return unserialized stream components.
+
+    The returned components carry the :class:`BoundResolution` in their
+    ``bound`` field, so callers can see the absolute bound actually
+    applied (and whether a REL bound degraded on empty/constant input).
+    """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     arr = _check_input(data)
-    abs_bound = resolve_error_bound(arr, err_bound, mode)
+    with observe.span("resolve_bound"):
+        resolution = resolve_error_bound_info(arr, err_bound, mode)
+    abs_bound = resolution.abs_bound
     if engine == "scalar":
         from .scalar import compress_scalar
 
-        return compress_scalar(arr, abs_bound, block_size, checksum=checksum)
-    from .vectorized import compress_vectorized
+        with observe.span("engine.scalar.compress", bytes_in=int(arr.nbytes)):
+            components = compress_scalar(arr, abs_bound, block_size, checksum=checksum)
+    else:
+        from .vectorized import compress_vectorized
 
-    return compress_vectorized(arr, abs_bound, block_size, checksum=checksum)
+        with observe.span("engine.vectorized.compress", bytes_in=int(arr.nbytes)):
+            components = compress_vectorized(
+                arr, abs_bound, block_size, checksum=checksum
+            )
+    components.bound = resolution
+    return components
 
 
 def compress(
@@ -102,10 +168,17 @@ def compress(
         payload bytes no structural check can see — is detected at
         decode time.
     """
-    return compress_components(
-        data, err_bound, mode=mode, block_size=block_size, engine=engine,
-        checksum=checksum,
-    ).to_bytes()
+    from ..codec import CodecConfig, SZxCodec
+
+    return SZxCodec(
+        CodecConfig(
+            err_bound=err_bound,
+            mode=mode,
+            block_size=block_size,
+            engine=engine,
+            checksum=checksum,
+        )
+    ).compress(data)
 
 
 def decompress(stream: bytes, *, engine: str = "vectorized") -> np.ndarray:
@@ -117,16 +190,9 @@ def decompress(stream: bytes, *, engine: str = "vectorized") -> np.ndarray:
     subclass) naming the offending section — never a raw struct or
     numpy error.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
-    components = parse_stream(bytes(stream))
-    if engine == "scalar":
-        from .scalar import decompress_scalar
+    from ..codec import CodecConfig, SZxCodec
 
-        return decompress_scalar(components)
-    from .vectorized import decompress_vectorized
-
-    return decompress_vectorized(components)
+    return SZxCodec(CodecConfig(engine=engine)).decompress(stream)
 
 
 def compression_ratio(data: np.ndarray, stream: bytes) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import observe
 from ..bitstream.packing import pack_kbit, unpack_kbit
 from .bits import as_uint, leading_identical_bytes, split_bytes_be
 from .blocks import BlockLayout, block_stats, validate_block_size
@@ -66,24 +67,31 @@ def compress_scalar(
     block_size = validate_block_size(block_size)
     flat = np.ascontiguousarray(data).reshape(-1)
     layout = BlockLayout(flat.size, block_size)
-    mu, radius = block_stats(flat, layout) if flat.size else (
-        np.empty(0, traits.dtype),
-        np.empty(0, np.float64),
-    )
+    with observe.span("block_stats", bytes_in=int(flat.nbytes)):
+        mu, radius = block_stats(flat, layout) if flat.size else (
+            np.empty(0, traits.dtype),
+            np.empty(0, np.float64),
+        )
 
     nonconst_mask = np.zeros(layout.n_blocks, dtype=bool)
     const_mu = []
     zsizes = []
     payloads = []
-    for k in range(layout.n_blocks):
-        block = flat[layout.block_slice(k)]
-        if radius[k] <= err_bound:
-            const_mu.append(mu[k])
-        else:
-            nonconst_mask[k] = True
-            payload = _encode_nonconstant_block(block, mu[k], radius[k], err_bound)
-            payloads.append(payload)
-            zsizes.append(len(payload))
+    with observe.span("encode_blocks") as sp:
+        for k in range(layout.n_blocks):
+            block = flat[layout.block_slice(k)]
+            if radius[k] <= err_bound:
+                const_mu.append(mu[k])
+            else:
+                nonconst_mask[k] = True
+                payload = _encode_nonconstant_block(block, mu[k], radius[k], err_bound)
+                payloads.append(payload)
+                zsizes.append(len(payload))
+        sp.set(bytes_out=sum(zsizes))
+    if observe.enabled():
+        n_nonconst = int(nonconst_mask.sum())
+        observe.counter("szx.blocks.nonconstant").inc(n_nonconst)
+        observe.counter("szx.blocks.constant").inc(layout.n_blocks - n_nonconst)
 
     header = StreamHeader(
         traits=traits,
@@ -187,17 +195,18 @@ def decompress_scalar(components: StreamComponents) -> np.ndarray:
 
     const_i = 0
     nonconst_i = 0
-    for k in range(layout.n_blocks):
-        sl = layout.block_slice(k)
-        if components.nonconst_mask[k]:
-            start, end = offsets[nonconst_i], offsets[nonconst_i + 1]
-            out[sl] = _decode_nonconstant_block(
-                components.payload[start:end], layout.block_length(k), traits
-            )
-            nonconst_i += 1
-        else:
-            out[sl] = components.const_mu[const_i]
-            const_i += 1
+    with observe.span("decode_blocks", bytes_in=len(components.payload)):
+        for k in range(layout.n_blocks):
+            sl = layout.block_slice(k)
+            if components.nonconst_mask[k]:
+                start, end = offsets[nonconst_i], offsets[nonconst_i + 1]
+                out[sl] = _decode_nonconstant_block(
+                    components.payload[start:end], layout.block_length(k), traits
+                )
+                nonconst_i += 1
+            else:
+                out[sl] = components.const_mu[const_i]
+                const_i += 1
     if header.shape:
         return out.reshape(header.shape)
     return out

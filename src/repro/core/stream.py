@@ -28,10 +28,11 @@ cannot overflow it.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import observe
 from .constants import FLAG_CHECKSUM, DtypeTraits
 from .errors import (
     ChecksumError,
@@ -60,6 +61,9 @@ class StreamComponents:
     const_mu: np.ndarray       # data dtype, one per constant block
     zsizes: np.ndarray         # uint16, one per non-constant block
     payload: bytes             # concatenated non-constant payloads
+    #: How the user's bound resolved to the applied ABS bound (set by
+    #: the compress path only — not serialized, None after parsing).
+    bound: object | None = field(default=None, compare=False)
 
     def to_bytes(self) -> bytes:
         h = self.header
@@ -71,20 +75,22 @@ class StreamComponents:
             raise ValueError("zsize array length mismatch")
         if int(self.zsizes.sum(dtype=np.int64)) != len(self.payload):
             raise ValueError("payload length disagrees with zsize array")
-        bitmap = np.packbits(
-            self.nonconst_mask.astype(np.uint8), bitorder="little"
-        ).tobytes()
-        body = b"".join(
-            (
-                h.encode(),
-                bitmap,
-                np.ascontiguousarray(self.const_mu, dtype=h.traits.dtype).tobytes(),
-                np.ascontiguousarray(self.zsizes, dtype="<u2").tobytes(),
-                self.payload,
+        with observe.span("szx.assemble") as sp:
+            bitmap = np.packbits(
+                self.nonconst_mask.astype(np.uint8), bitorder="little"
+            ).tobytes()
+            body = b"".join(
+                (
+                    h.encode(),
+                    bitmap,
+                    np.ascontiguousarray(self.const_mu, dtype=h.traits.dtype).tobytes(),
+                    np.ascontiguousarray(self.zsizes, dtype="<u2").tobytes(),
+                    self.payload,
+                )
             )
-        )
-        if h.flags & FLAG_CHECKSUM:
-            body += (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+            if h.flags & FLAG_CHECKSUM:
+                body += (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+            sp.set(bytes_out=len(body))
         return body
 
 
@@ -172,6 +178,11 @@ def parse_stream(buf: bytes, *, verify_checksum: bool = True) -> StreamComponent
     instead of raising).
     """
     buf = bytes(buf)
+    with observe.span("szx.parse", bytes_in=len(buf)):
+        return _parse_stream_impl(buf, verify_checksum=verify_checksum)
+
+
+def _parse_stream_impl(buf: bytes, *, verify_checksum: bool) -> StreamComponents:
     header = decode_header(buf)
     traits = header.traits
     off = header.size

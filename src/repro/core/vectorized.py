@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import observe
 from .bits import split_bytes_be
 from .blocks import BlockLayout, block_stats, validate_block_size
 from .constants import FLAG_CHECKSUM, DtypeTraits, traits_for
@@ -91,6 +92,8 @@ def _encode_full_blocks(
         return b"", np.empty(0, dtype=np.int64)
 
     req = required_length(radius, err_bound, traits)
+    if observe.enabled():
+        observe.histogram("szx.reqbits").observe_many(req)
     # Lossless fallback (as in the reference SZx): when every bit is kept,
     # mu is forced to zero so the normalization round trip is exact.
     mu = np.where(req == traits.fullbits, traits.dtype.type(0), mu)
@@ -179,22 +182,30 @@ def compress_vectorized(
             b"",
         )
 
-    mu, radius = block_stats(flat, layout)
+    with observe.span("block_stats", bytes_in=int(flat.nbytes)):
+        mu, radius = block_stats(flat, layout)
     nonconst_mask = radius > err_bound
+    if observe.enabled():
+        n_nonconst = int(nonconst_mask.sum())
+        observe.counter("szx.blocks.nonconstant").inc(n_nonconst)
+        observe.counter("szx.blocks.constant").inc(layout.n_blocks - n_nonconst)
 
     nf = layout.n_full
     body_mask = nonconst_mask[:nf]
     body = flat[: nf * block_size].reshape(nf, block_size)[body_mask]
-    payload, zsizes = _encode_full_blocks(
-        body, mu[:nf][body_mask], radius[:nf][body_mask], err_bound, traits
-    )
+    with observe.span("encode_blocks", bytes_in=int(body.nbytes)) as sp:
+        payload, zsizes = _encode_full_blocks(
+            body, mu[:nf][body_mask], radius[:nf][body_mask], err_bound, traits
+        )
+        sp.set(bytes_out=len(payload))
 
     payload_parts = [payload]
     zsize_list = [zsizes]
     if layout.tail and nonconst_mask[-1]:
-        tail_payload = _encode_nonconstant_block(
-            flat[nf * block_size :], mu[-1], radius[-1], err_bound
-        )
+        with observe.span("encode_tail"):
+            tail_payload = _encode_nonconstant_block(
+                flat[nf * block_size :], mu[-1], radius[-1], err_bound
+            )
         payload_parts.append(tail_payload)
         zsize_list.append(np.asarray([len(tail_payload)], dtype=np.int64))
 
@@ -320,15 +331,22 @@ def decompress_vectorized(components: StreamComponents) -> np.ndarray:
     payload_u8 = np.frombuffer(components.payload, dtype=np.uint8)
 
     nonconst = components.nonconst_mask
+    if observe.enabled():
+        n_nonconst = int(nonconst.sum())
+        observe.counter("szx.decode.blocks.nonconstant").inc(n_nonconst)
+        observe.counter("szx.decode.blocks.constant").inc(
+            layout.n_blocks - n_nonconst
+        )
     # Broadcast constant blocks: every value of a constant block is mu.
-    const_ids = np.nonzero(~nonconst)[0]
-    if const_ids.size:
-        full_const = const_ids[const_ids < layout.n_full]
-        if full_const.size:
-            view = out[: layout.n_full * bs].reshape(layout.n_full, bs)
-            view[full_const] = components.const_mu[: full_const.size, None]
-        if layout.tail and const_ids.size and const_ids[-1] == layout.n_blocks - 1:
-            out[layout.n_full * bs :] = components.const_mu[-1]
+    with observe.span("broadcast_const"):
+        const_ids = np.nonzero(~nonconst)[0]
+        if const_ids.size:
+            full_const = const_ids[const_ids < layout.n_full]
+            if full_const.size:
+                view = out[: layout.n_full * bs].reshape(layout.n_full, bs)
+                view[full_const] = components.const_mu[: full_const.size, None]
+            if layout.tail and const_ids.size and const_ids[-1] == layout.n_blocks - 1:
+                out[layout.n_full * bs :] = components.const_mu[-1]
 
     nonconst_ids = np.nonzero(nonconst)[0]
     tail_is_nonconst = (
@@ -336,22 +354,25 @@ def decompress_vectorized(components: StreamComponents) -> np.ndarray:
     )
     n_full_nc = nonconst_ids.size - (1 if tail_is_nonconst else 0)
 
-    decoded = _decode_full_blocks(
-        payload_u8,
-        offsets[:n_full_nc].astype(np.int64),
-        bs,
-        traits,
-        ends=offsets[1 : n_full_nc + 1].astype(np.int64),
-    )
+    with observe.span("decode_blocks", bytes_in=len(components.payload)) as sp:
+        decoded = _decode_full_blocks(
+            payload_u8,
+            offsets[:n_full_nc].astype(np.int64),
+            bs,
+            traits,
+            ends=offsets[1 : n_full_nc + 1].astype(np.int64),
+        )
+        sp.set(bytes_out=int(decoded.nbytes))
     if n_full_nc:
         view = out[: layout.n_full * bs].reshape(layout.n_full, bs)
         view[nonconst_ids[:n_full_nc]] = decoded
 
     if tail_is_nonconst:
-        start, end = int(offsets[-2]), int(offsets[-1])
-        out[layout.n_full * bs :] = _decode_nonconstant_block(
-            components.payload[start:end], layout.tail, traits
-        )
+        with observe.span("decode_tail"):
+            start, end = int(offsets[-2]), int(offsets[-1])
+            out[layout.n_full * bs :] = _decode_nonconstant_block(
+                components.payload[start:end], layout.tail, traits
+            )
 
     if header.shape:
         return out.reshape(header.shape)

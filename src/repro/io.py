@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from . import observe
 from .core import compress, decompress, resolve_error_bound
 from .core.constants import DEFAULT_BLOCK_SIZE, traits_for, traits_for_code
 from .core.errors import ContainerFormatError, StreamFormatError, TruncatedStreamError
@@ -80,19 +81,26 @@ def compress_file(
 
     n_chunks = (n + chunk_values - 1) // chunk_values if n else 0
     total_out = 0
-    with open(output_path, "wb") as out:
+    with observe.span(
+        "io.compress_file", bytes_in=n * traits.itemsize, chunks=n_chunks
+    ) as iosp, open(output_path, "wb") as out:
         out.write(
             _HEAD.pack(
                 _MAGIC, _VERSION, traits.code, n, abs_bound, chunk_values, n_chunks
             )
         )
         total_out += _HEAD.size
-        for i in range(0, n, chunk_values):
+        for idx, i in enumerate(range(0, n, chunk_values)):
             chunk = np.asarray(data[i : i + chunk_values])
-            stream = compress(chunk, abs_bound, block_size=block_size, checksum=checksum)
+            with observe.span(f"chunk[{idx}]", bytes_in=int(chunk.nbytes)) as csp:
+                stream = compress(
+                    chunk, abs_bound, block_size=block_size, checksum=checksum
+                )
+                csp.set(bytes_out=len(stream))
             out.write(struct.pack("<Q", len(stream)))
             out.write(stream)
             total_out += 8 + len(stream)
+        iosp.set(bytes_out=total_out)
     raw_bytes = n * traits.itemsize
     return {
         "values": n,
@@ -136,7 +144,9 @@ def decompress_file(input_path, output_path) -> int:
             ) from exc
 
         written = 0
-        with open(output_path, "wb") as out:
+        with observe.span(
+            "io.decompress_file", chunks=n_chunks
+        ) as iosp, open(output_path, "wb") as out:
             for i in range(n_chunks):
                 size_raw = fh.read(8)
                 if len(size_raw) < 8:
@@ -166,6 +176,7 @@ def decompress_file(input_path, output_path) -> int:
                     )
                 chunk.tofile(out)
                 written += chunk.size
+            iosp.set(bytes_out=written * traits.itemsize)
         if written != n:
             raise ContainerFormatError(
                 f"container reconstructed {written} values, header says {n}",

@@ -7,6 +7,7 @@ the codec never expands incompressible input by more than a few bytes.
 
 from __future__ import annotations
 
+from .. import observe
 from ..huffman import huffman_decode, huffman_encode
 from .lz77 import lz_compress, lz_decompress
 
@@ -18,6 +19,7 @@ _FLAG_HUFF = 3
 import numpy as np
 
 
+@observe.traced("lossless.compress")
 def lossless_compress(data: bytes) -> bytes:
     """Compress *data*; output is prefixed with a one-byte stage flag."""
     data = bytes(data)
@@ -38,6 +40,7 @@ def lossless_compress(data: bytes) -> bytes:
     return bytes([best_flag]) + best
 
 
+@observe.traced("lossless.decompress")
 def lossless_decompress(buf: bytes) -> bytes:
     """Inverse of :func:`lossless_compress`."""
     if len(buf) < 1:

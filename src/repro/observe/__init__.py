@@ -1,0 +1,66 @@
+"""repro.observe — zero-dependency observability substrate.
+
+Three pieces (see docs/ARCHITECTURE.md §Observability):
+
+* **spans** — hierarchical tracing (:func:`span`, :func:`trace`,
+  :func:`traced`) with wall/CPU time, byte counts, and nesting;
+* **metrics** — a process-wide registry of counters, gauges, and
+  histograms (:func:`counter`, :func:`gauge`, :func:`histogram`,
+  :func:`metrics_snapshot`);
+* **sinks** — destinations for finished root spans
+  (:class:`InMemorySink`, :class:`JsonLinesSink`,
+  :class:`TreePrinterSink`, :func:`render_tree`).
+
+Everything is off by default: ``span()`` returns a shared no-op object
+and hot-path metric updates are guarded by :func:`enabled`, so the
+disabled overhead is one global read per instrumentation point.
+"""
+
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    reset_metrics,
+)
+from .sinks import InMemorySink, JsonLinesSink, TreePrinterSink, render_tree
+from .spans import (
+    Span,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    span,
+    trace,
+    traced,
+)
+
+__all__ = [
+    "Span",
+    "span",
+    "trace",
+    "traced",
+    "current_span",
+    "enable",
+    "disable",
+    "enabled",
+    "InMemorySink",
+    "JsonLinesSink",
+    "TreePrinterSink",
+    "render_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "reset_metrics",
+]

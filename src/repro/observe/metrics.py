@@ -1,0 +1,159 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Instrumentation points call ``counter("szx.blocks.constant").inc(n)``
+etc.; ``snapshot()`` returns everything as a plain JSON-ready dict
+(the payload of ``szx stats``).  All operations are thread-safe.
+
+Hot paths guard updates with :func:`repro.observe.enabled` so the
+disabled cost is a single global read; the registry itself is always
+live — enabling tracing simply makes call sites start feeding it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import Counter as _TallyCounter
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += int(amount)
+
+
+class Gauge:
+    """Last-written value (e.g. current ratio, worker count)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+        self._lock = threading.Lock()
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+def _bucket_label(value) -> str:
+    """Exact label for small non-negative ints, decade bucket otherwise."""
+    if value == 0:
+        return "0"
+    f = float(value)
+    if f.is_integer() and 0 <= f <= 4096:
+        return str(int(f))
+    exp = math.floor(math.log10(abs(f)))
+    return f"{'-' if f < 0 else ''}1e{exp}"
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus bucket tallies.
+
+    Small non-negative integer observations (e.g. the required-bits
+    values, block sizes) keep exact per-value buckets; everything else
+    falls into signed decade buckets.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = _TallyCounter()
+        self._lock = threading.Lock()
+
+    def observe(self, value) -> None:
+        self.observe_many((value,))
+
+    def observe_many(self, values) -> None:
+        """Record an iterable (or numpy array) of observations at once."""
+        values = getattr(values, "tolist", lambda: values)()
+        with self._lock:
+            for v in values:
+                f = float(v)
+                self.count += 1
+                self.total += f
+                if self.min is None or f < self.min:
+                    self.min = f
+                if self.max is None or f > self.max:
+                    self.max = f
+                self.buckets[_bucket_label(v)] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, name: str, cls):
+        with self._lock:
+            inst = table.get(name)
+            if inst is None:
+                inst = table[name] = cls(name)
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    def snapshot(self) -> dict:
+        """All metrics as a JSON-ready dict."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "count": h.count,
+                        "sum": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                        "mean": h.mean,
+                        "buckets": dict(sorted(h.buckets.items())),
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every instrumentation point feeds.
+REGISTRY = MetricsRegistry()
+
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+metrics_snapshot = REGISTRY.snapshot
+reset_metrics = REGISTRY.reset

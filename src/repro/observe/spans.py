@@ -1,0 +1,258 @@
+"""Hierarchical tracing spans with a no-op fast path.
+
+A span measures one named stage of work: wall time, CPU time, and
+optional byte counts.  Spans nest — each thread keeps a stack, so
+
+::
+
+    with span("szx.compress", bytes_in=data.nbytes):
+        with span("block_stats"):
+            ...
+
+produces a tree.  When tracing is disabled (the default) ``span()``
+returns a shared singleton whose ``__enter__``/``__exit__`` do nothing,
+so instrumentation left in hot paths costs one global read plus a call.
+
+Finished *root* spans (spans with no parent) are delivered to every
+registered sink.  Worker threads can attach their spans to a span owned
+by another thread with ``span(name, parent=root)`` (the parent must
+still be open when the child finishes, as in a fork/join pool).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+
+_lock = threading.Lock()
+_tls = threading.local()
+_sinks: list = []
+_enabled = False
+
+
+def enabled() -> bool:
+    """True when tracing/metrics collection is on."""
+    return _enabled
+
+
+def enable(*sinks) -> None:
+    """Turn tracing on, registering *sinks* for finished root spans."""
+    global _enabled
+    with _lock:
+        _sinks.extend(sinks)
+        _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off and drop all registered sinks."""
+    global _enabled
+    with _lock:
+        _enabled = False
+        _sinks.clear()
+
+
+class _NullSpan:
+    """Do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **fields):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed stage.  Use via :func:`span`, not directly."""
+
+    __slots__ = (
+        "name", "parent", "children", "bytes_in", "bytes_out", "extra",
+        "thread", "t0", "t1", "cpu0", "cpu1", "error",
+    )
+
+    def __init__(self, name, bytes_in=None, bytes_out=None, parent=None, extra=None):
+        self.name = str(name)
+        self.parent = parent if isinstance(parent, Span) else None
+        self.children: list[Span] = []
+        self.bytes_in = bytes_in
+        self.bytes_out = bytes_out
+        self.extra = dict(extra) if extra else {}
+        self.thread = threading.current_thread().name
+        self.t0 = self.t1 = self.cpu0 = self.cpu1 = 0.0
+        self.error = None
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self):
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        if self.parent is None and stack:
+            self.parent = stack[-1]
+        stack.append(self)
+        self.cpu0 = time.process_time()
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.t1 = time.perf_counter()
+        self.cpu1 = time.process_time()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = getattr(_tls, "stack", [])
+        if stack and stack[-1] is self:
+            stack.pop()
+        if self.parent is not None:
+            with _lock:
+                self.parent.children.append(self)
+        else:
+            self._deliver()
+        return False
+
+    def _deliver(self):
+        with _lock:
+            sinks = list(_sinks)
+        for sink in sinks:
+            sink.emit(self)
+
+    # -- recording ------------------------------------------------------
+    def set(self, *, bytes_in=None, bytes_out=None, **extra):
+        """Record byte counts / extra fields discovered mid-span."""
+        if bytes_in is not None:
+            self.bytes_in = int(bytes_in)
+        if bytes_out is not None:
+            self.bytes_out = int(bytes_out)
+        if extra:
+            self.extra.update(extra)
+        return self
+
+    # -- derived --------------------------------------------------------
+    @property
+    def wall_s(self) -> float:
+        end = self.t1 if self.t1 else time.perf_counter()
+        return end - self.t0
+
+    @property
+    def cpu_s(self) -> float:
+        end = self.cpu1 if self.cpu1 else time.process_time()
+        return end - self.cpu0
+
+    @property
+    def throughput_mb_s(self):
+        """MB/s of *bytes_in* over wall time (None when unknown)."""
+        if not self.bytes_in or self.wall_s <= 0:
+            return None
+        return self.bytes_in / 1e6 / self.wall_s
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "thread": self.thread,
+        }
+        if self.bytes_in is not None:
+            d["bytes_in"] = int(self.bytes_in)
+        if self.bytes_out is not None:
+            d["bytes_out"] = int(self.bytes_out)
+        if self.error:
+            d["error"] = self.error
+        if self.extra:
+            d["extra"] = dict(self.extra)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, wall={self.wall_s * 1e3:.3f}ms)"
+
+
+def span(name, *, bytes_in=None, bytes_out=None, parent=None, **extra):
+    """Open a timed span (context manager).
+
+    Returns the shared no-op span when tracing is disabled, so the call
+    is safe (and nearly free) in hot paths.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return Span(name, bytes_in=bytes_in, bytes_out=bytes_out, parent=parent,
+                extra=extra)
+
+
+def current_span():
+    """The innermost open span of this thread (None outside any span)."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def traced(name):
+    """Decorator: run the function under ``span(name)``.
+
+    Byte counts are inferred: *bytes_in* from the first bytes-like or
+    array argument, *bytes_out* from a bytes-like or array result.  The
+    wrapped function is called directly (no span) while tracing is off.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            bytes_in = None
+            for a in args:
+                if isinstance(a, (bytes, bytearray, memoryview)):
+                    bytes_in = len(a)
+                    break
+                nbytes = getattr(a, "nbytes", None)
+                if nbytes is not None:
+                    bytes_in = int(nbytes)
+                    break
+            with span(name, bytes_in=bytes_in) as sp:
+                out = fn(*args, **kwargs)
+                if isinstance(out, (bytes, bytearray)):
+                    sp.set(bytes_out=len(out))
+                else:
+                    nbytes = getattr(out, "nbytes", None)
+                    if nbytes is not None:
+                        sp.set(bytes_out=int(nbytes))
+                return out
+
+        return wrapper
+
+    return deco
+
+
+@contextmanager
+def trace(*extra_sinks):
+    """Enable tracing for a block, collecting root spans in memory.
+
+    Yields an :class:`~repro.observe.sinks.InMemorySink`; the previous
+    enabled state and sink registration are restored on exit::
+
+        with trace() as sink:
+            compress(data, 1e-3)
+        print(render_tree(sink.spans[0]))
+    """
+    from .sinks import InMemorySink
+
+    global _enabled
+    sink = InMemorySink()
+    with _lock:
+        prev_enabled = _enabled
+        prev_sinks = list(_sinks)
+        _sinks.extend((sink, *extra_sinks))
+        _enabled = True
+    try:
+        yield sink
+    finally:
+        with _lock:
+            _enabled = prev_enabled
+            _sinks[:] = prev_sinks

@@ -6,6 +6,12 @@ speedup on multicore machines.  The compressor's merged output is
 byte-identical to the serial engine (tested), and the decompressor seeks
 each worker to its blocks with the ``zsize_array`` prefix sum — the exact
 mechanism of Section 6.1.
+
+The public :func:`omp_compress`/:func:`omp_decompress` are thin wrappers
+over :class:`repro.codec.SZxCodec` with ``threads > 1``; the pool logic
+itself lives in :func:`compress_components_parallel` /
+:func:`decompress_components_parallel`, with one tracing span per worker
+(``worker[i]``) so ``szx compress --trace`` shows the per-thread split.
 """
 
 from __future__ import annotations
@@ -14,16 +20,17 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..core.api import resolve_error_bound, _check_input
+from .. import observe
+from ..core.api import resolve_error_bound_info, _check_input
 from ..core.blocks import BlockLayout, validate_block_size
 from ..core.constants import DEFAULT_BLOCK_SIZE, FLAG_CHECKSUM, traits_for
 from ..core.header import StreamHeader
-from ..core.stream import StreamComponents, parse_stream, payload_offsets
+from ..core.stream import StreamComponents, payload_offsets
 from ..core.vectorized import compress_vectorized, decompress_vectorized
 from .chunking import chunk_block_ranges
 
 
-def omp_compress(
+def compress_components_parallel(
     data: np.ndarray,
     err_bound: float,
     *,
@@ -31,28 +38,39 @@ def omp_compress(
     block_size: int = DEFAULT_BLOCK_SIZE,
     n_threads: int = 4,
     checksum: bool = False,
-) -> bytes:
-    """Parallel SZx compression; byte-identical to the serial stream."""
+) -> StreamComponents:
+    """Parallel SZx compression to merged (byte-identical) components."""
     arr = _check_input(data)
     block_size = validate_block_size(block_size)
-    abs_bound = resolve_error_bound(arr, err_bound, mode)
+    resolution = resolve_error_bound_info(arr, err_bound, mode)
+    abs_bound = resolution.abs_bound
     flat = np.ascontiguousarray(arr).reshape(-1)
     layout = BlockLayout(flat.size, block_size)
 
     if layout.n_blocks == 0 or n_threads <= 1:
         comp = compress_vectorized(arr, abs_bound, block_size, checksum=checksum)
-        return comp.to_bytes()
+        comp.bound = resolution
+        return comp
 
     ranges = chunk_block_ranges(layout.n_blocks, n_threads)
 
-    def work(rng):
-        first, last = rng
-        lo = first * block_size
-        hi = min(last * block_size, flat.size)
-        return compress_vectorized(flat[lo:hi], abs_bound, block_size)
+    with observe.span(
+        "szx.omp.compress", bytes_in=int(flat.nbytes), workers=len(ranges)
+    ) as root:
+        def work(item):
+            i, (first, last) = item
+            lo = first * block_size
+            hi = min(last * block_size, flat.size)
+            with observe.span(
+                f"worker[{i}]", bytes_in=(hi - lo) * flat.itemsize,
+                parent=root if isinstance(root, observe.Span) else None,
+            ) as sp:
+                part = compress_vectorized(flat[lo:hi], abs_bound, block_size)
+                sp.set(bytes_out=len(part.payload))
+            return part
 
-    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-        parts = list(pool.map(work, ranges))
+        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+            parts = list(pool.map(work, enumerate(ranges)))
 
     merged = StreamComponents(
         header=StreamHeader(
@@ -70,12 +88,37 @@ def omp_compress(
         zsizes=np.concatenate([p.zsizes for p in parts]),
         payload=b"".join(p.payload for p in parts),
     )
-    return merged.to_bytes()
+    merged.bound = resolution
+    return merged
 
 
-def omp_decompress(stream: bytes, *, n_threads: int = 4) -> np.ndarray:
-    """Parallel SZx decompression using the zsize prefix sum."""
-    comp = parse_stream(bytes(stream))
+def omp_compress(
+    data: np.ndarray,
+    err_bound: float,
+    *,
+    mode: str = "abs",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    n_threads: int = 4,
+    checksum: bool = False,
+) -> bytes:
+    """Parallel SZx compression; byte-identical to the serial stream."""
+    from ..codec import CodecConfig, SZxCodec
+
+    return SZxCodec(
+        CodecConfig(
+            err_bound=err_bound,
+            mode=mode,
+            block_size=block_size,
+            checksum=checksum,
+            threads=max(int(n_threads), 1),
+        )
+    ).compress(data)
+
+
+def decompress_components_parallel(
+    comp: StreamComponents, *, n_threads: int = 4
+) -> np.ndarray:
+    """Parallel decode of parsed *comp* using the zsize prefix sum."""
     header = comp.header
     if header.n_blocks == 0 or n_threads <= 1:
         return decompress_vectorized(comp)
@@ -87,32 +130,49 @@ def omp_decompress(stream: bytes, *, n_threads: int = 4) -> np.ndarray:
     ranges = chunk_block_ranges(layout.n_blocks, n_threads)
     out = np.empty(header.n, dtype=header.traits.dtype)
 
-    def work(rng):
-        first, last = rng
-        lo = first * header.block_size
-        hi = min(last * header.block_size, header.n)
-        nc_lo, nc_hi = int(nonconst_cum[first]), int(nonconst_cum[last])
-        c_lo, c_hi = int(const_cum[first]), int(const_cum[last])
-        sub = StreamComponents(
-            header=StreamHeader(
-                traits=header.traits,
-                n=hi - lo,
-                block_size=header.block_size,
-                err_bound=header.err_bound,
-                n_blocks=last - first,
-                n_const=c_hi - c_lo,
-                shape=(),
-            ),
-            nonconst_mask=comp.nonconst_mask[first:last],
-            const_mu=comp.const_mu[c_lo:c_hi],
-            zsizes=comp.zsizes[nc_lo:nc_hi],
-            payload=comp.payload[int(offsets[nc_lo]) : int(offsets[nc_hi])],
-        )
-        out[lo:hi] = decompress_vectorized(sub)
+    with observe.span(
+        "szx.omp.decompress", bytes_in=len(comp.payload), workers=len(ranges)
+    ) as root:
+        def work(item):
+            i, (first, last) = item
+            lo = first * header.block_size
+            hi = min(last * header.block_size, header.n)
+            nc_lo, nc_hi = int(nonconst_cum[first]), int(nonconst_cum[last])
+            c_lo, c_hi = int(const_cum[first]), int(const_cum[last])
+            sub = StreamComponents(
+                header=StreamHeader(
+                    traits=header.traits,
+                    n=hi - lo,
+                    block_size=header.block_size,
+                    err_bound=header.err_bound,
+                    n_blocks=last - first,
+                    n_const=c_hi - c_lo,
+                    shape=(),
+                ),
+                nonconst_mask=comp.nonconst_mask[first:last],
+                const_mu=comp.const_mu[c_lo:c_hi],
+                zsizes=comp.zsizes[nc_lo:nc_hi],
+                payload=comp.payload[int(offsets[nc_lo]) : int(offsets[nc_hi])],
+            )
+            with observe.span(
+                f"worker[{i}]", bytes_in=len(sub.payload),
+                parent=root if isinstance(root, observe.Span) else None,
+            ) as sp:
+                out[lo:hi] = decompress_vectorized(sub)
+                sp.set(bytes_out=(hi - lo) * header.traits.itemsize)
 
-    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-        list(pool.map(work, ranges))
+        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+            list(pool.map(work, enumerate(ranges)))
 
     if header.shape:
         return out.reshape(header.shape)
     return out
+
+
+def omp_decompress(stream: bytes, *, n_threads: int = 4) -> np.ndarray:
+    """Parallel SZx decompression using the zsize prefix sum."""
+    from ..codec import CodecConfig, SZxCodec
+
+    return SZxCodec(
+        CodecConfig(threads=max(int(n_threads), 1))
+    ).decompress(stream)

@@ -1,0 +1,116 @@
+"""Shared Codec-protocol conformance suite over every compressor.
+
+One parameterized round-trip battery runs against SZx and all three
+baselines, proving benchmarks can iterate them uniformly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Codec, CodecConfig, SZxCodec
+from repro.baselines import (
+    LosslessBaselineCodec,
+    SZBaselineCodec,
+    ZFPBaselineCodec,
+    baseline_codecs,
+)
+
+BOUND = 1e-2
+
+
+def make_codecs():
+    return [
+        SZxCodec(CodecConfig(err_bound=BOUND)),
+        SZBaselineCodec(BOUND),
+        ZFPBaselineCodec(BOUND),
+        LosslessBaselineCodec(),
+    ]
+
+
+def codec_ids():
+    return [c.name for c in make_codecs()]
+
+
+def smooth_field(shape=(64, 64), dtype=np.float32, seed=3):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 4 * np.pi, int(np.prod(shape)), dtype=np.float64)
+    data = np.sin(x) + 0.01 * rng.standard_normal(x.size)
+    return data.reshape(shape).astype(dtype)
+
+
+@pytest.mark.parametrize("codec", make_codecs(), ids=codec_ids())
+class TestCodecProtocol:
+    def test_satisfies_protocol(self, codec):
+        assert isinstance(codec, Codec)
+        assert isinstance(codec.name, str) and codec.name
+
+    def test_roundtrip_shape_dtype_bound(self, codec):
+        data = smooth_field()
+        stream = codec.compress(data)
+        assert isinstance(stream, bytes) and stream
+        out = codec.decompress(stream)
+        assert out.shape == data.shape
+        assert out.dtype == data.dtype
+        if codec.name == "lossless":
+            np.testing.assert_array_equal(out, data)
+        else:
+            assert np.abs(out.astype(np.float64) - data).max() <= BOUND + 1e-12
+
+    def test_roundtrip_float64(self, codec):
+        data = smooth_field(shape=(32, 32), dtype=np.float64)
+        out = codec.decompress(codec.compress(data))
+        assert out.dtype == np.float64
+        if codec.name == "lossless":
+            np.testing.assert_array_equal(out, data)
+        else:
+            assert np.abs(out - data).max() <= BOUND + 1e-12
+
+    def test_roundtrip_constant_field(self, codec):
+        data = np.full((16, 16), 2.5, dtype=np.float32)
+        out = codec.decompress(codec.compress(data))
+        assert np.abs(out - data).max() <= BOUND
+
+    def test_accepts_memoryview_stream(self, codec):
+        data = smooth_field(shape=(16, 16))
+        stream = codec.compress(data)
+        out = codec.decompress(memoryview(stream))
+        assert out.shape == data.shape
+
+    def test_rejects_garbage_stream(self, codec):
+        with pytest.raises(ValueError):
+            codec.decompress(b"\x00" * 16)
+
+
+class TestBaselineFactory:
+    def test_baseline_codecs_returns_all_three(self):
+        codecs = baseline_codecs(BOUND)
+        assert [c.name for c in codecs] == ["sz", "zfp", "lossless"]
+        assert all(isinstance(c, Codec) for c in codecs)
+
+    def test_rel_mode_propagates(self):
+        sz, zfp, _ = baseline_codecs(1e-3, mode="rel")
+        assert sz.mode == "rel"
+        assert zfp.bound_mode == "rel"
+
+
+class TestLosslessAdapter:
+    def test_bit_exact_multi_dim(self):
+        data = smooth_field(shape=(4, 8, 16))
+        codec = LosslessBaselineCodec()
+        out = codec.decompress(codec.compress(data))
+        np.testing.assert_array_equal(out, data)
+
+    def test_bad_magic(self):
+        codec = LosslessBaselineCodec()
+        stream = bytearray(codec.compress(np.zeros(8, dtype=np.float32)))
+        stream[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            codec.decompress(bytes(stream))
+
+    def test_truncated_header(self):
+        codec = LosslessBaselineCodec()
+        stream = codec.compress(np.zeros(8, dtype=np.float32))
+        with pytest.raises(ValueError):
+            codec.decompress(stream[:4])
+        with pytest.raises(ValueError):
+            codec.decompress(stream[:10])

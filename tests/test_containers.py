@@ -74,6 +74,26 @@ class TestDecompressAny:
         with pytest.raises(ValueError, match="unrecognized"):
             decompress_any(b"\x00\x01\x02\x03rest")
 
+    def test_rejections_are_container_format_errors(self):
+        # ContainerFormatError is what the CLI guard turns into exit 2.
+        from repro.core.errors import ContainerFormatError
+
+        with pytest.raises(ContainerFormatError):
+            decompress_any(b"\x00\x01\x02\x03rest")
+        arc = SzxArchive()
+        arc.add("x", DATA, 1e-3)
+        with pytest.raises(ContainerFormatError):
+            decompress_any(arc.to_bytes())
+
+    def test_cli_unknown_magic_exits_corrupt(self, tmp_path, capsys):
+        from repro.cli import EXIT_CORRUPT, main
+
+        bad = tmp_path / "junk.szx"
+        bad.write_bytes(b"\x00" * 64)
+        out = tmp_path / "x.f32"
+        assert main(["decompress", str(bad), "-o", str(out)]) == EXIT_CORRUPT
+        assert "unrecognized container magic" in capsys.readouterr().err
+
 
 class TestCliIntegration:
     def test_cli_decodes_extended_stream(self, tmp_path, capsys):
