@@ -8,6 +8,7 @@ from .timing import (
 )
 from .tables import format_table, format_series
 from .results import RESULTS_DIR, save_result
+from .serve_load import format_serve_report, run_serve_load
 
 __all__ = [
     "measure_throughput_mb_s",
@@ -18,4 +19,6 @@ __all__ = [
     "format_series",
     "RESULTS_DIR",
     "save_result",
+    "run_serve_load",
+    "format_serve_report",
 ]

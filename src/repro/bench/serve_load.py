@@ -1,0 +1,248 @@
+"""Synthetic open-loop load driver for the compression service.
+
+``szx serve-bench`` runs this: a seeded fleet of small compression jobs
+is thrown at a :class:`repro.serve.CompressionService` twice — once
+with micro-batching, once with one-engine-call-per-job on the same
+pool — and the latency/throughput numbers are compared.  A third phase
+bursts jobs at a deliberately tiny queue to demonstrate that overload
+fails fast with ``ServiceOverloadedError`` instead of growing memory.
+
+The report is a plain JSON-ready dict (the CI stress-smoke job uploads
+it as an artifact); :func:`format_serve_report` renders the human
+summary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import observe
+from ..codec import CodecConfig
+from ..core.constants import DEFAULT_BLOCK_SIZE
+from ..serve import CompressionService, ServiceOverloadedError
+
+
+def _make_jobs(n_jobs: int, values_per_job: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        np.cumsum(rng.normal(size=values_per_job)).astype(np.float32)
+        for _ in range(n_jobs)
+    ]
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    arr = np.asarray(latencies, dtype=np.float64)
+    if arr.size == 0:
+        return {}
+    return {
+        "p50_ms": float(np.percentile(arr, 50)) * 1e3,
+        "p95_ms": float(np.percentile(arr, 95)) * 1e3,
+        "p99_ms": float(np.percentile(arr, 99)) * 1e3,
+        "mean_ms": float(arr.mean()) * 1e3,
+        "max_ms": float(arr.max()) * 1e3,
+    }
+
+
+def _run_phase(
+    fields: list[np.ndarray],
+    cfg: CodecConfig,
+    *,
+    batching: bool,
+    workers: int,
+    queue_capacity: int,
+    window_s: float,
+    rate_jobs_s: float,
+) -> dict:
+    """Submit every field open-loop, wait for all, summarize."""
+    done_at: list = [None] * len(fields)
+    submitted_at: list = [None] * len(fields)
+    interarrival = 1.0 / rate_jobs_s if rate_jobs_s > 0 else 0.0
+
+    with CompressionService(
+        workers=workers,
+        queue_capacity=queue_capacity,
+        overflow="block",
+        submit_timeout_s=None,
+        batching=batching,
+        batch_window_s=window_s,
+    ) as svc:
+        t_start = time.monotonic()
+        futures = []
+        for i, field in enumerate(fields):
+            if interarrival:
+                pace = t_start + i * interarrival - time.monotonic()
+                if pace > 0:
+                    time.sleep(pace)
+            submitted_at[i] = time.monotonic()
+
+            def _stamp(fut, i=i):
+                done_at[i] = time.monotonic()
+
+            fut = svc.submit_compress(field, cfg)
+            fut.add_done_callback(_stamp)
+            futures.append(fut)
+        streams = [f.result() for f in futures]
+        t_end = time.monotonic()
+        stats = svc.stats()
+
+    makespan = t_end - t_start
+    bytes_in = sum(int(f.nbytes) for f in fields)
+    latencies = [d - s for s, d in zip(submitted_at, done_at)]
+    return {
+        "batching": batching,
+        "jobs": len(fields),
+        "makespan_s": makespan,
+        "jobs_per_s": len(fields) / makespan if makespan > 0 else float("inf"),
+        "mb_per_s": bytes_in / 1e6 / makespan if makespan > 0 else float("inf"),
+        "bytes_in": bytes_in,
+        "bytes_out": sum(len(s) for s in streams),
+        "latency": _percentiles(latencies),
+        "service": stats,
+    }
+
+
+def _run_overload(
+    cfg: CodecConfig,
+    *,
+    workers: int,
+    burst: int,
+    queue_capacity: int,
+    values_per_job: int,
+    seed: int,
+) -> dict:
+    """Burst-submit against a tiny queue; count fast rejections."""
+    fields = _make_jobs(burst, values_per_job, seed + 1)
+    rejected = 0
+    futures = []
+    with CompressionService(
+        workers=workers,
+        queue_capacity=queue_capacity,
+        overflow="reject",
+        batching=True,
+        batch_max_jobs=8,
+    ) as svc:
+        for field in fields:
+            try:
+                futures.append(svc.submit_compress(field, cfg))
+            except ServiceOverloadedError:
+                rejected += 1
+        served = 0
+        for fut in futures:
+            try:
+                fut.result()
+                served += 1
+            except Exception:
+                pass
+        stats = svc.stats()
+    return {
+        "burst": burst,
+        "queue_capacity": queue_capacity,
+        "rejected": rejected,
+        "served": served,
+        "fail_fast": rejected > 0,
+        "service": stats,
+    }
+
+
+def run_serve_load(
+    *,
+    jobs: int = 400,
+    values_per_job: int = 256,
+    err_bound: float = 1e-3,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 4,
+    queue_capacity: int = 512,
+    window_s: float = 0.002,
+    rate_jobs_s: float = 0.0,
+    seed: int = 0,
+    overload_burst: int = 256,
+    overload_capacity: int = 4,
+    overload_values: int = 65536,
+) -> dict:
+    """Run the batched/unbatched/overload phases; return the report."""
+    cfg = CodecConfig(err_bound=err_bound, block_size=block_size)
+    fields = _make_jobs(jobs, values_per_job, seed)
+    phase_kw = dict(
+        workers=workers,
+        queue_capacity=queue_capacity,
+        window_s=window_s,
+        rate_jobs_s=rate_jobs_s,
+    )
+    batched = _run_phase(fields, cfg, batching=True, **phase_kw)
+    unbatched = _run_phase(fields, cfg, batching=False, **phase_kw)
+    overload = _run_overload(
+        cfg,
+        workers=workers,
+        burst=overload_burst,
+        queue_capacity=overload_capacity,
+        values_per_job=overload_values,
+        seed=seed,
+    )
+    report = {
+        "config": {
+            "jobs": jobs,
+            "values_per_job": values_per_job,
+            "err_bound": err_bound,
+            "block_size": block_size,
+            "workers": workers,
+            "queue_capacity": queue_capacity,
+            "batch_window_ms": window_s * 1e3,
+            "rate_jobs_s": rate_jobs_s,
+            "seed": seed,
+        },
+        "batched": batched,
+        "unbatched": unbatched,
+        "batching_speedup": (
+            unbatched["makespan_s"] / batched["makespan_s"]
+            if batched["makespan_s"] > 0 else float("inf")
+        ),
+        "overload": overload,
+    }
+    if observe.enabled():
+        snapshot = observe.metrics_snapshot()
+        report["metrics"] = {
+            "gauges": {
+                k: v for k, v in snapshot["gauges"].items()
+                if k.startswith("serve.")
+            },
+            "counters": {
+                k: v for k, v in snapshot["counters"].items()
+                if k.startswith("serve.")
+            },
+            "histograms": {
+                k: v for k, v in snapshot["histograms"].items()
+                if k.startswith("serve.")
+            },
+        }
+    return report
+
+
+def format_serve_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_serve_load` report."""
+    lines = []
+    c = report["config"]
+    lines.append(
+        f"serve-bench: {c['jobs']} jobs x {c['values_per_job']} values, "
+        f"{c['workers']} worker(s), queue {c['queue_capacity']}, "
+        f"window {c['batch_window_ms']:g} ms"
+    )
+    for key in ("batched", "unbatched"):
+        p = report[key]
+        lat = p["latency"]
+        lines.append(
+            f"  {key:<9}: {p['jobs_per_s']:>9.0f} jobs/s  "
+            f"{p['mb_per_s']:>7.1f} MB/s  "
+            f"p50 {lat['p50_ms']:.2f} ms  p95 {lat['p95_ms']:.2f} ms  "
+            f"p99 {lat['p99_ms']:.2f} ms  "
+            f"(batches: {p['service']['batches']})"
+        )
+    lines.append(f"  batching speedup: {report['batching_speedup']:.2f}x")
+    o = report["overload"]
+    lines.append(
+        f"  overload: burst {o['burst']} into queue {o['queue_capacity']} -> "
+        f"{o['rejected']} rejected fast, {o['served']} served "
+        f"({'fail-fast OK' if o['fail_fast'] else 'NO rejections'})"
+    )
+    return "\n".join(lines)

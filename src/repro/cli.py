@@ -10,6 +10,7 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
     szx validate  data.szx
     szx stats     data.szx
     szx fuzz      --seed 0 --iters 50
+    szx serve-bench --jobs 400 --workers 4 --report serve.json
     szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
     szx bundle    a.szx b.szx -o fields.szxa --names a,b
     szx extract   fields.szxa a -o a.f32
@@ -311,6 +312,49 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_bench(args) -> int:
+    """Drive a synthetic open-loop load through the compression service.
+
+    Runs the micro-batched and one-call-per-job phases on identical
+    pools, plus an overload burst against a tiny queue, and prints the
+    latency/throughput comparison.  Metrics are always collected (the
+    report embeds the ``serve.*`` slice of the registry); ``--trace``
+    additionally prints the span trees and ``--report`` writes the full
+    JSON artifact (what the CI stress-smoke job uploads).
+    """
+    from .bench.serve_load import format_serve_report, run_serve_load
+
+    observe.reset_metrics()
+    kwargs = dict(
+        jobs=args.jobs,
+        values_per_job=args.values,
+        err_bound=args.error_bound,
+        block_size=args.block_size,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        window_s=args.window_ms / 1e3,
+        rate_jobs_s=args.rate,
+        seed=args.seed,
+        overload_burst=args.overload_burst,
+    )
+    if getattr(args, "trace", False) or getattr(args, "trace_json", None):
+        with _maybe_traced(args):
+            report = run_serve_load(**kwargs)
+    else:
+        observe.enable()
+        try:
+            report = run_serve_load(**kwargs)
+        finally:
+            observe.disable()
+    print(format_serve_report(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    return 0
+
+
 def _cmd_assess(args) -> int:
     from .metrics.report import assess, format_report
 
@@ -444,6 +488,33 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--mutants-per-iter", type=int, default=8)
     pf.add_argument("-v", "--verbose", action="store_true")
     pf.set_defaults(fn=_cmd_fuzz)
+
+    psb = sub.add_parser(
+        "serve-bench",
+        help="open-loop load benchmark of the concurrent compression service",
+    )
+    psb.add_argument("--jobs", type=int, default=400)
+    psb.add_argument(
+        "--values", type=int, default=256, help="values per job (small = batchable)"
+    )
+    psb.add_argument("-e", "--error-bound", type=float, default=1e-3)
+    psb.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    psb.add_argument("--workers", type=int, default=4)
+    psb.add_argument("--queue-capacity", type=int, default=512)
+    psb.add_argument(
+        "--window-ms", type=float, default=2.0, help="micro-batch coalescing window"
+    )
+    psb.add_argument(
+        "--rate", type=float, default=0.0,
+        help="offered load in jobs/s (0 = submit as fast as possible)",
+    )
+    psb.add_argument("--seed", type=int, default=0)
+    psb.add_argument("--overload-burst", type=int, default=256)
+    psb.add_argument(
+        "--report", metavar="PATH", help="write the full JSON report here"
+    )
+    add_trace_opts(psb)
+    psb.set_defaults(fn=_cmd_serve_bench)
 
     pa = sub.add_parser("assess", help="quality report for a reconstruction")
     pa.add_argument("original")

@@ -9,6 +9,14 @@ pipeline (Section 1's LCLS-II case) or a post hoc converter needs.
 Because chunks split on block boundaries, the concatenated reconstruction
 is bit-identical to compressing the whole array at once.
 
+With ``workers > 1`` (or an explicit ``service=``) the chunk loop runs
+on the :class:`repro.serve.CompressionService` scheduling substrate:
+chunks are submitted ahead through
+:func:`repro.serve.streaming.map_pipelined`, so chunk *k+1* compresses
+(or decodes) on the pool while chunk *k* is being written.  Results are
+consumed strictly in submission order, which keeps the container bytes
+**bit-identical** to the sequential loop.
+
 Container format::
 
     'SZXF' | version u8 | dtype u8 | pad x2 | n u64 | err_bound f64 |
@@ -18,6 +26,7 @@ Container format::
 
 from __future__ import annotations
 
+import contextlib
 import struct
 from pathlib import Path
 
@@ -37,6 +46,33 @@ _HEAD = struct.Struct("<4sBB2xQdQI")
 DEFAULT_CHUNK_VALUES = 4 << 20
 
 
+@contextlib.contextmanager
+def _chunk_service(service, workers, window):
+    """Yield ``(service, window)`` — a caller-supplied service, a
+    temporary one for this call, or ``(None, 1)`` for the sequential
+    fallback."""
+    if service is not None:
+        yield service, max(window, 2)
+        return
+    if workers <= 1:
+        yield None, 1
+        return
+    from .serve import CompressionService
+
+    window = max(window, workers + 1)
+    svc = CompressionService(
+        workers=workers,
+        queue_capacity=window,
+        overflow="block",
+        submit_timeout_s=None,
+        batching=False,
+    )
+    try:
+        yield svc, window
+    finally:
+        svc.close()
+
+
 def compress_file(
     input_path,
     output_path,
@@ -47,12 +83,20 @@ def compress_file(
     block_size: int = DEFAULT_BLOCK_SIZE,
     chunk_values: int = DEFAULT_CHUNK_VALUES,
     checksum: bool = False,
+    workers: int = 1,
+    service=None,
 ) -> dict:
     """Compress raw binary *input_path* into chunked *output_path*.
 
     Returns a summary dict (bytes in/out, chunk count, ratio).  With
     ``mode="rel"`` the value range is taken over the whole file (one
     cheap streaming pass) so the bound matches an in-memory compression.
+
+    ``workers > 1`` pipelines chunk compression through a temporary
+    :class:`repro.serve.CompressionService` (double-buffered: the next
+    chunks compress while the current stream is written); pass
+    ``service=`` to reuse a long-lived one.  The container bytes are
+    bit-identical to the sequential path either way.
     """
     traits = traits_for(dtype)
     if chunk_values < block_size:
@@ -83,20 +127,24 @@ def compress_file(
     total_out = 0
     with observe.span(
         "io.compress_file", bytes_in=n * traits.itemsize, chunks=n_chunks
-    ) as iosp, open(output_path, "wb") as out:
+    ) as iosp, open(output_path, "wb") as out, _chunk_service(
+        service, workers, 2
+    ) as (svc, window):
         out.write(
             _HEAD.pack(
                 _MAGIC, _VERSION, traits.code, n, abs_bound, chunk_values, n_chunks
             )
         )
         total_out += _HEAD.size
-        for idx, i in enumerate(range(0, n, chunk_values)):
-            chunk = np.asarray(data[i : i + chunk_values])
-            with observe.span(f"chunk[{idx}]", bytes_in=int(chunk.nbytes)) as csp:
-                stream = compress(
-                    chunk, abs_bound, block_size=block_size, checksum=checksum
-                )
-                csp.set(bytes_out=len(stream))
+        if svc is not None:
+            streams = _pipelined_chunk_streams(
+                svc, data, n, chunk_values, abs_bound, block_size, checksum, window
+            )
+        else:
+            streams = _sequential_chunk_streams(
+                data, n, chunk_values, abs_bound, block_size, checksum
+            )
+        for stream in streams:
             out.write(struct.pack("<Q", len(stream)))
             out.write(stream)
             total_out += 8 + len(stream)
@@ -112,10 +160,44 @@ def compress_file(
     }
 
 
-def decompress_file(input_path, output_path) -> int:
+def _sequential_chunk_streams(data, n, chunk_values, abs_bound, block_size, checksum):
+    for idx, i in enumerate(range(0, n, chunk_values)):
+        chunk = np.asarray(data[i : i + chunk_values])
+        with observe.span(f"chunk[{idx}]", bytes_in=int(chunk.nbytes)) as csp:
+            stream = compress(
+                chunk, abs_bound, block_size=block_size, checksum=checksum
+            )
+            csp.set(bytes_out=len(stream))
+        yield stream
+
+
+def _pipelined_chunk_streams(
+    svc, data, n, chunk_values, abs_bound, block_size, checksum, window
+):
+    """Chunk compression through the service, results in chunk order."""
+    from .codec import CodecConfig
+    from .serve.streaming import map_pipelined
+
+    cfg = CodecConfig(
+        err_bound=abs_bound, mode="abs", block_size=block_size, checksum=checksum
+    )
+    chunks = (
+        np.asarray(data[i : i + chunk_values]) for i in range(0, n, chunk_values)
+    )
+    return map_pipelined(
+        lambda chunk: svc.submit_compress(chunk, cfg, block=True),
+        chunks,
+        window=window,
+    )
+
+
+def decompress_file(input_path, output_path, *, workers: int = 1, service=None) -> int:
     """Stream-decompress a chunked container to a raw binary file.
 
-    Returns the number of values written.
+    Returns the number of values written.  ``workers > 1`` (or an
+    explicit ``service=``) pipelines chunk decoding through the
+    :class:`repro.serve.CompressionService` pool while reconstructed
+    chunks are written in order.
     """
     path = Path(input_path)
     with open(path, "rb") as fh:
@@ -143,10 +225,7 @@ def decompress_file(input_path, output_path) -> int:
                 f"unknown dtype code {code}", section="container header", offset=5
             ) from exc
 
-        written = 0
-        with observe.span(
-            "io.decompress_file", chunks=n_chunks
-        ) as iosp, open(output_path, "wb") as out:
+        def raw_streams():
             for i in range(n_chunks):
                 size_raw = fh.read(8)
                 if len(size_raw) < 8:
@@ -162,9 +241,36 @@ def decompress_file(input_path, output_path) -> int:
                         f"({len(stream)} of {length} bytes)",
                         section="chunk body",
                     )
+                yield stream
+
+        written = 0
+        with observe.span(
+            "io.decompress_file", chunks=n_chunks
+        ) as iosp, open(output_path, "wb") as out, _chunk_service(
+            service, workers, 2
+        ) as (svc, window):
+            if svc is not None:
+                from .serve.streaming import map_pipelined
+
+                chunks = map_pipelined(
+                    lambda s: svc.submit_decompress(s, block=True),
+                    raw_streams(),
+                    window=window,
+                )
+            else:
+                chunks = map(decompress, raw_streams())
+            i = 0
+            while True:
                 try:
-                    chunk = decompress(stream)
+                    chunk = next(chunks)
+                except StopIteration:
+                    break
                 except StreamFormatError as exc:
+                    if exc.section in ("chunk table", "chunk body"):
+                        raise  # container-level truncation, already precise
+                    # Chunk results arrive in submission order, so the
+                    # consumer index names the offending chunk exactly,
+                    # pipelined or not.
                     raise ContainerFormatError(
                         f"chunk {i} holds a malformed SZx stream: {exc}",
                         section="chunk body",
@@ -176,6 +282,7 @@ def decompress_file(input_path, output_path) -> int:
                     )
                 chunk.tofile(out)
                 written += chunk.size
+                i += 1
             iosp.set(bytes_out=written * traits.itemsize)
         if written != n:
             raise ContainerFormatError(

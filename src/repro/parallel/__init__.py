@@ -6,7 +6,12 @@ input at block boundaries; decompression uses the prefix sum of the
 merged parallel stream is byte-identical to the serial one.
 """
 
-from .omp import omp_compress, omp_decompress
+from .omp import omp_compress, omp_decompress, resolve_thread_count
 from .chunking import chunk_block_ranges
 
-__all__ = ["omp_compress", "omp_decompress", "chunk_block_ranges"]
+__all__ = [
+    "omp_compress",
+    "omp_decompress",
+    "resolve_thread_count",
+    "chunk_block_ranges",
+]

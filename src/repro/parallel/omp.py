@@ -16,6 +16,7 @@ itself lives in :func:`compress_components_parallel` /
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -30,6 +31,21 @@ from ..core.vectorized import compress_vectorized, decompress_vectorized
 from .chunking import chunk_block_ranges
 
 
+def resolve_thread_count(n_threads) -> int:
+    """Validate *n_threads* and clamp it to the CPUs actually available.
+
+    Oversubscribing a GIL-releasing numpy pool past the core count only
+    adds scheduling noise, so requests are capped at ``os.cpu_count()``;
+    zero/negative/non-integer requests are programming errors and raise
+    ``ValueError`` instead of silently falling back to one worker.
+    """
+    if not isinstance(n_threads, int) or isinstance(n_threads, bool):
+        raise ValueError(f"n_threads must be an int, got {n_threads!r}")
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    return min(n_threads, os.cpu_count() or 1)
+
+
 def compress_components_parallel(
     data: np.ndarray,
     err_bound: float,
@@ -40,6 +56,7 @@ def compress_components_parallel(
     checksum: bool = False,
 ) -> StreamComponents:
     """Parallel SZx compression to merged (byte-identical) components."""
+    n_threads = resolve_thread_count(n_threads)
     arr = _check_input(data)
     block_size = validate_block_size(block_size)
     resolution = resolve_error_bound_info(arr, err_bound, mode)
@@ -110,7 +127,7 @@ def omp_compress(
             mode=mode,
             block_size=block_size,
             checksum=checksum,
-            threads=max(int(n_threads), 1),
+            threads=resolve_thread_count(n_threads),
         )
     ).compress(data)
 
@@ -119,6 +136,7 @@ def decompress_components_parallel(
     comp: StreamComponents, *, n_threads: int = 4
 ) -> np.ndarray:
     """Parallel decode of parsed *comp* using the zsize prefix sum."""
+    n_threads = resolve_thread_count(n_threads)
     header = comp.header
     if header.n_blocks == 0 or n_threads <= 1:
         return decompress_vectorized(comp)
@@ -174,5 +192,5 @@ def omp_decompress(stream: bytes, *, n_threads: int = 4) -> np.ndarray:
     from ..codec import CodecConfig, SZxCodec
 
     return SZxCodec(
-        CodecConfig(threads=max(int(n_threads), 1))
+        CodecConfig(threads=resolve_thread_count(n_threads))
     ).decompress(stream)

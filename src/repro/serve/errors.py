@@ -1,0 +1,39 @@
+"""Exception hierarchy for the compression service.
+
+Every service-level failure is a :class:`ServeError` so callers can
+catch the whole family with one clause; the subclasses distinguish the
+three ways a job can fail *without* the codec itself being at fault:
+admission (queue full / service closed), deadline (job timed out before
+a worker finished it), and transient worker faults that exhausted their
+retry budget.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class for all compression-service errors."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The bounded submission queue is full (or stayed full past the
+    submit deadline).  Raised at submit time — the job was never
+    admitted, so the caller can shed load or retry later."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is shut down (or shutting down without draining);
+    the job was not — or will not be — executed."""
+
+
+class JobTimeoutError(ServeError):
+    """The job's deadline expired before a worker started it."""
+
+
+class TransientError(ServeError):
+    """A retryable worker fault (I/O hiccup, injected fault, ...).
+
+    The service retries jobs failing with this class up to its retry
+    budget with jittered backoff; anything else fails the job
+    immediately.
+    """

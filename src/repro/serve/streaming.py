@@ -1,0 +1,57 @@
+"""Pipelined streaming through the service: overlap compute with I/O.
+
+:func:`map_pipelined` is the double-buffering primitive the chunked
+file path (:mod:`repro.io`) runs on: it submits up to *window* items
+ahead of the consumer and yields results strictly in submission order,
+so while chunk *k*'s stream is being written to disk, chunks
+*k+1 … k+window* are already compressing on the pool.  Results arrive
+in order, which is what keeps the chunked container byte-identical to
+the sequential loop.
+
+On failure the generator stops submitting, waits for the in-flight
+tail (so no work keeps running behind the caller's back), and re-raises
+the first error in submission order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .. import observe
+
+
+def map_pipelined(submit, items, *, window: int = 2):
+    """Yield ``submit(item).result()`` for each item, in order.
+
+    *submit* maps an item to a ``concurrent.futures.Future``; up to
+    *window* futures are kept in flight.  ``window=1`` degenerates to
+    the sequential loop (submit, wait, yield).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    inflight: deque = deque()
+    iterator = iter(items)
+    try:
+        while True:
+            while iterator is not None and len(inflight) < window:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    iterator = None
+                    break
+                inflight.append(submit(item))
+            if not inflight:
+                return
+            if observe.enabled():
+                observe.gauge("serve.stream.inflight").set(len(inflight))
+            yield inflight.popleft().result()
+    finally:
+        # Abandoned or failed mid-stream: drain what is already running.
+        for fut in inflight:
+            fut.cancel()
+        for fut in inflight:
+            if not fut.cancelled():
+                try:
+                    fut.result()
+                except Exception:
+                    pass

@@ -14,16 +14,23 @@ Three layers, composable or driven end to end by :func:`run_fuzz`:
   cross-engine decode equality, and fail-closed handling of corrupted
   streams.
 
+:mod:`repro.testing.faults` is the deterministic fault-injection
+registry: production code exposes named sites via
+``faults.maybe_fail("site")`` and tests arm them with
+``faults.inject(...)`` (used by the ``repro.serve`` robustness tests).
+
 Runnable from the CLI as ``szx fuzz --seed N --iters M``; byte-for-byte
 reproducible given the seed.
 """
 
+from . import faults
 from .fuzz import FuzzFailure, FuzzReport, run_fuzz
 from .generators import GENERATORS, generate_field
 from .mutators import MUTATORS, mutate_stream
 from .oracles import check_error_bound, check_mutation, check_round_trip
 
 __all__ = [
+    "faults",
     "FuzzFailure",
     "FuzzReport",
     "run_fuzz",

@@ -1,0 +1,97 @@
+"""Deterministic fault injection for concurrency/robustness tests.
+
+Production code sprinkles named *fault sites* — ``maybe_fail("site")``
+calls that are a single global read when nothing is armed — and tests
+arm them with :func:`inject`:
+
+::
+
+    from repro.serve.errors import TransientError
+    from repro.testing import faults
+
+    with faults.inject("serve.worker.compress", TransientError, times=3):
+        ...  # the first 3 executions raise; later ones succeed
+
+``times`` bounds how many calls raise (so retry loops terminate
+deterministically); ``every`` makes only each *k*-th call raise.  The
+exception spec may be an exception class, an instance, or a zero-arg
+factory.  All bookkeeping is thread-safe, and :func:`reset` disarms
+everything (autouse it in fixtures).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+_lock = threading.Lock()
+_plans: dict[str, "_Plan"] = {}
+_armed = False
+
+
+class _Plan:
+    __slots__ = ("spec", "times", "every", "calls", "raised")
+
+    def __init__(self, spec, times: int, every: int):
+        self.spec = spec
+        self.times = times
+        self.every = every
+        self.calls = 0
+        self.raised = 0
+
+    def make(self) -> BaseException:
+        exc = self.spec() if callable(self.spec) else self.spec
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fault spec produced {type(exc).__name__}, not an exception")
+        return exc
+
+
+def maybe_fail(site: str) -> None:
+    """Raise the armed fault for *site*, if any (near-free when idle)."""
+    if not _armed:
+        return
+    with _lock:
+        plan = _plans.get(site)
+        if plan is None or plan.raised >= plan.times:
+            return
+        plan.calls += 1
+        if plan.calls % plan.every:
+            return
+        plan.raised += 1
+        exc = plan.make()
+    raise exc
+
+
+def fault_count(site: str) -> int:
+    """How many faults *site* has raised so far (test assertions)."""
+    with _lock:
+        plan = _plans.get(site)
+        return plan.raised if plan else 0
+
+
+@contextmanager
+def inject(site: str, spec, *, times: int = 1, every: int = 1):
+    """Arm *site* to raise *spec* for the next *times* matching calls."""
+    global _armed
+    if times < 1 or every < 1:
+        raise ValueError("times and every must be >= 1")
+    plan = _Plan(spec, times, every)
+    with _lock:
+        if site in _plans:
+            raise RuntimeError(f"fault site {site!r} is already armed")
+        _plans[site] = plan
+        _armed = True
+    try:
+        yield plan
+    finally:
+        with _lock:
+            _plans.pop(site, None)
+            _armed = bool(_plans)
+
+
+def reset() -> None:
+    """Disarm every fault site."""
+    global _armed
+    with _lock:
+        _plans.clear()
+        _armed = False

@@ -158,3 +158,41 @@ class TestOmpDifferential:
         assert np.array_equal(
             decompress(serial), omp_decompress(serial, n_threads=n_threads)
         )
+
+
+class TestThreadCountValidation:
+    def test_rejects_zero_and_negative(self):
+        from repro.parallel import resolve_thread_count
+
+        for bad in (0, -1, -100):
+            with pytest.raises(ValueError, match=">= 1"):
+                resolve_thread_count(bad)
+
+    def test_rejects_non_int(self):
+        from repro.parallel import resolve_thread_count
+
+        for bad in (2.0, "4", None, True):
+            with pytest.raises(ValueError, match="int"):
+                resolve_thread_count(bad)
+
+    def test_clamps_to_cpu_count(self):
+        import os
+
+        from repro.parallel import resolve_thread_count
+
+        ncpu = os.cpu_count() or 1
+        assert resolve_thread_count(1) == 1
+        assert resolve_thread_count(ncpu) == ncpu
+        assert resolve_thread_count(10_000) == ncpu
+
+    def test_omp_entrypoints_reject_bad_counts(self):
+        d = np.cumsum(RNG.normal(size=1024)).astype(np.float32)
+        stream = compress(d, 1e-3)
+        with pytest.raises(ValueError):
+            omp_compress(d, 1e-3, n_threads=0)
+        with pytest.raises(ValueError):
+            omp_decompress(stream, n_threads=-2)
+
+    def test_oversubscribed_request_still_correct(self):
+        d = np.cumsum(RNG.normal(size=2048)).astype(np.float32)
+        assert omp_compress(d, 1e-3, n_threads=10_000) == compress(d, 1e-3)

@@ -1,0 +1,54 @@
+"""CLI surface of `szx serve-bench`."""
+
+import json
+
+from repro.cli import main
+
+
+def _small_args(report_path=None):
+    args = [
+        "serve-bench",
+        "--jobs", "24",
+        "--values", "256",
+        "--workers", "2",
+        "--overload-burst", "32",
+        "--seed", "3",
+    ]
+    if report_path is not None:
+        args += ["--report", str(report_path)]
+    return args
+
+
+class TestServeBench:
+    def test_prints_report(self, capsys):
+        assert main(_small_args()) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out
+        assert "speedup" in out
+        assert "overload" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        report_path = tmp_path / "serve.json"
+        assert main(_small_args(report_path)) == 0
+        report = json.loads(report_path.read_text())
+        assert report["config"]["jobs"] == 24
+        for phase in ("batched", "unbatched"):
+            assert report[phase]["jobs_per_s"] > 0
+            assert report[phase]["service"]["failed"] == 0
+            assert report[phase]["service"]["served"] == 24
+        assert report["batching_speedup"] > 0
+        # Overload phase must have exercised fail-fast rejection.
+        assert report["overload"]["rejected"] > 0
+        assert (
+            report["overload"]["rejected"] + report["overload"]["served"]
+            == report["overload"]["burst"]
+        )
+        assert report["overload"]["fail_fast"]
+
+    def test_metrics_in_report(self, tmp_path):
+        report_path = tmp_path / "serve.json"
+        assert main(_small_args(report_path)) == 0
+        metrics = json.loads(report_path.read_text())["metrics"]
+        assert any(n.startswith("serve.jobs.") for n in metrics["counters"])
+        assert "serve.queue.depth" in metrics["gauges"]
+        assert "serve.job.wait_s" in metrics["histograms"]

@@ -1,0 +1,153 @@
+"""map_pipelined tests: ordering, window discipline, failure semantics."""
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.streaming import map_pipelined
+
+
+def _threaded_submit(pool, fn):
+    return lambda item: pool.submit(fn, item)
+
+
+class TestOrdering:
+    def test_results_in_submission_order(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            out = list(
+                map_pipelined(_threaded_submit(pool, lambda x: x * x),
+                              range(20), window=4)
+            )
+        assert out == [x * x for x in range(20)]
+
+    def test_order_held_even_when_later_items_finish_first(self):
+        events = [threading.Event() for _ in range(4)]
+
+        def work(i):
+            events[i].wait(timeout=10)
+            return i
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            gen = map_pipelined(_threaded_submit(pool, work), range(4), window=4)
+            # Release out of order: 3, 2, 1, 0.
+            for e in reversed(events):
+                e.set()
+            assert list(gen) == [0, 1, 2, 3]
+
+    def test_empty_items(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert list(map_pipelined(_threaded_submit(pool, str), [], window=2)) == []
+
+    def test_window_one_is_sequential(self):
+        calls = []
+
+        def submit(item):
+            calls.append(item)
+            fut = Future()
+            fut.set_result(item)
+            return fut
+
+        gen = map_pipelined(submit, [1, 2, 3], window=1)
+        assert next(gen) == 1
+        # Sequential: nothing beyond the yielded item has been submitted.
+        assert calls == [1]
+        assert list(gen) == [2, 3]
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            list(map_pipelined(lambda x: Future(), [1], window=0))
+
+
+class TestWindowDiscipline:
+    def test_never_more_than_window_in_flight(self):
+        lock = threading.Lock()
+        inflight = 0
+        peak = 0
+
+        def work(i):
+            nonlocal inflight, peak
+            with lock:
+                inflight += 1
+                peak = max(peak, inflight)
+            threading.Event().wait(0.002)
+            with lock:
+                inflight -= 1
+            return i
+
+        window = 3
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(map_pipelined(_threaded_submit(pool, work), range(30), window=window))
+        assert peak <= window
+
+    def test_lazy_item_consumption(self):
+        # Items are pulled from the iterator only as window space frees.
+        pulled = []
+
+        def items():
+            for i in range(10):
+                pulled.append(i)
+                yield i
+
+        def submit(item):
+            fut = Future()
+            fut.set_result(item)
+            return fut
+
+        gen = map_pipelined(submit, items(), window=2)
+        next(gen)
+        assert len(pulled) <= 3
+        list(gen)
+        assert pulled == list(range(10))
+
+
+class TestFailures:
+    def test_error_surfaces_at_failed_index(self):
+        def work(i):
+            if i == 5:
+                raise RuntimeError("boom at 5")
+            return i
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            gen = map_pipelined(_threaded_submit(pool, work), range(10), window=4)
+            got = []
+            with pytest.raises(RuntimeError, match="boom at 5"):
+                for val in gen:
+                    got.append(val)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_failure_stops_further_submissions(self):
+        submitted = []
+
+        def work(i):
+            if i == 2:
+                raise RuntimeError("early failure")
+            return i
+
+        def submit(item):
+            submitted.append(item)
+            fut = Future()
+            try:
+                fut.set_result(work(item))
+            except RuntimeError as exc:
+                fut.set_exception(exc)
+            return fut
+
+        with pytest.raises(RuntimeError):
+            list(map_pipelined(submit, range(100), window=2))
+        # window=2: at most a couple of items past the failing one.
+        assert max(submitted) <= 4
+
+    def test_abandoned_generator_drains_inflight(self):
+        finished = []
+
+        def work(i):
+            finished.append(i)
+            return i
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            gen = map_pipelined(_threaded_submit(pool, work), range(50), window=2)
+            next(gen)
+            gen.close()  # abandon mid-stream; finally-block must not hang
+        # Nothing is left running behind the caller's back.
+        assert len(finished) <= 4

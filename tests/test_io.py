@@ -99,3 +99,79 @@ class TestFileValidation:
         bad.write_bytes(b"XXXX" + b"\x00" * 40)
         with pytest.raises(ValueError, match="magic"):
             decompress_file(bad, tmp_path / "r.f32")
+
+class TestPipelinedChunking:
+    """The workers>1 path must produce bit-identical containers and output."""
+
+    def _roundtrip(self, tmp_path, data, *, chunk_values, workers=3, **kw):
+        path = tmp_path / "in.f32"
+        data.tofile(path)
+        seq_out = tmp_path / "seq.szxf"
+        par_out = tmp_path / "par.szxf"
+        compress_file(path, seq_out, 1e-3, chunk_values=chunk_values, **kw)
+        compress_file(
+            path, par_out, 1e-3, chunk_values=chunk_values, workers=workers, **kw
+        )
+        assert par_out.read_bytes() == seq_out.read_bytes()
+        seq_recon = tmp_path / "seq.f32"
+        par_recon = tmp_path / "par.f32"
+        decompress_file(par_out, seq_recon)
+        decompress_file(par_out, par_recon, workers=workers)
+        assert par_recon.read_bytes() == seq_recon.read_bytes()
+        return np.fromfile(par_recon, dtype=data.dtype)
+
+    def test_length_not_multiple_of_chunk_or_block(self, tmp_path):
+        # 300_001 = 4 full 65536-value chunks + ragged tail; the tail is
+        # also not a multiple of the 128-value block size.
+        data = np.cumsum(RNG.normal(size=300_001)).astype(np.float32)
+        recon = self._roundtrip(tmp_path, data, chunk_values=65536)
+        assert recon.size == data.size
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3
+
+    def test_exact_chunk_multiple(self, tmp_path):
+        data = np.cumsum(RNG.normal(size=4 * 8192)).astype(np.float32)
+        recon = self._roundtrip(tmp_path, data, chunk_values=8192)
+        assert recon.size == data.size
+
+    def test_single_chunk(self, tmp_path):
+        data = np.cumsum(RNG.normal(size=5_000)).astype(np.float32)
+        recon = self._roundtrip(tmp_path, data, chunk_values=1 << 20)
+        assert recon.size == data.size
+
+    def test_empty_file(self, tmp_path):
+        data = np.empty(0, dtype=np.float32)
+        recon = self._roundtrip(tmp_path, data, chunk_values=8192)
+        assert recon.size == 0
+
+    def test_checksummed_container(self, tmp_path):
+        data = np.cumsum(RNG.normal(size=50_000)).astype(np.float32)
+        recon = self._roundtrip(tmp_path, data, chunk_values=8192, checksum=True)
+        assert recon.size == data.size
+
+    def test_external_service_reused(self, tmp_path):
+        from repro.serve import CompressionService
+
+        data = np.cumsum(RNG.normal(size=100_000)).astype(np.float32)
+        path = tmp_path / "in.f32"
+        data.tofile(path)
+        seq_out = tmp_path / "seq.szxf"
+        svc_out = tmp_path / "svc.szxf"
+        compress_file(path, seq_out, 1e-3, chunk_values=8192)
+        with CompressionService(workers=2, overflow="block",
+                                submit_timeout_s=None, batching=False) as svc:
+            compress_file(path, svc_out, 1e-3, chunk_values=8192, service=svc)
+            assert svc_out.read_bytes() == seq_out.read_bytes()
+            recon_path = tmp_path / "r.f32"
+            assert decompress_file(svc_out, recon_path, service=svc) == data.size
+        recon = np.fromfile(recon_path, dtype=np.float32)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3
+
+    def test_rel_mode_pipelined_matches_sequential(self, tmp_path):
+        data = np.cumsum(RNG.normal(size=70_000)).astype(np.float32)
+        path = tmp_path / "in.f32"
+        data.tofile(path)
+        seq_out = tmp_path / "seq.szxf"
+        par_out = tmp_path / "par.szxf"
+        compress_file(path, seq_out, 1e-4, mode="rel", chunk_values=8192)
+        compress_file(path, par_out, 1e-4, mode="rel", chunk_values=8192, workers=2)
+        assert par_out.read_bytes() == seq_out.read_bytes()
