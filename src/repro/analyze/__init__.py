@@ -1,0 +1,66 @@
+"""repro.analyze — project-specific static analysis, pure stdlib.
+
+The codebase has invariants that hold only by convention: SZx hot paths
+are float32-exact (paper Formulas (4)/(5)), hand-rolled binary decoders
+never read past their buffers, and the serve/observe subsystems only
+touch shared state under their locks.  This package encodes them as
+machine-checked rules over the ``ast`` module — no third-party
+dependency, no importing of the analyzed code.
+
+Pieces:
+
+* :mod:`~repro.analyze.registry` — rule registry (``Rule``,
+  ``register``, ``all_rules``);
+* :mod:`~repro.analyze.rules` — the built-in ruleset (lock discipline,
+  dtype discipline, decode safety, hygiene);
+* :mod:`~repro.analyze.pragmas` — ``# analyze: ignore[...]`` /
+  ``hot-path`` / ``holds-lock`` source pragmas;
+* :mod:`~repro.analyze.baseline` — committed grandfathered-findings
+  file with line-number-free fingerprints;
+* :mod:`~repro.analyze.runner` — the driver behind ``szx lint``.
+
+Quickstart::
+
+    szx lint                       # analyze src/repro against the baseline
+    szx lint --format json -o r.json
+    szx lint --write-baseline      # snapshot current findings
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .findings import Finding, Report, sort_findings
+from .pragmas import SourcePragmas, parse_pragmas
+from .registry import RULES, ModuleInfo, Rule, all_rules, register
+from .runner import (
+    analyze_paths,
+    analyze_source,
+    format_text,
+    iter_python_files,
+    run,
+)
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "ModuleInfo",
+    "RULES",
+    "SourcePragmas",
+    "DEFAULT_BASELINE",
+    "register",
+    "all_rules",
+    "parse_pragmas",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "run",
+    "format_text",
+    "sort_findings",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

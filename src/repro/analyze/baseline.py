@@ -1,0 +1,84 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline file maps finding fingerprints (line-number free, see
+:meth:`repro.analyze.findings.Finding.fingerprint`) to an allowed
+occurrence count.  ``szx lint`` subtracts baselined occurrences before
+reporting, so pre-existing debt does not block CI while *new* findings
+— and new occurrences of a baselined finding — still fail the run.
+
+Workflow:
+
+* ``szx lint --write-baseline`` snapshots the current findings;
+* commit ``.analyze-baseline.json``;
+* fix debt over time — entries whose code is gone are reported as
+  *stale* so the file shrinks monotonically instead of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+#: Default baseline path, relative to the analysis root.
+DEFAULT_BASELINE = ".analyze-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path) -> dict:
+    """Read a baseline file -> ``{fingerprint: entry_dict}`` (may be empty)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline file format in {path}")
+    entries = data.get("findings", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    return entries
+
+
+def write_baseline(findings, path) -> dict:
+    """Snapshot *findings* to *path*; returns the entry mapping written."""
+    counts = Counter(f.fingerprint() for f in findings)
+    by_fp = {}
+    for f in findings:
+        fp = f.fingerprint()
+        if fp not in by_fp:
+            by_fp[fp] = {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "symbol": f.symbol,
+                "count": counts[fp],
+            }
+    payload = {"version": _VERSION, "findings": dict(sorted(by_fp.items()))}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return by_fp
+
+
+def apply_baseline(findings, entries):
+    """Split findings into (new, baselined_count, stale_fingerprints).
+
+    The first ``count`` occurrences of each baselined fingerprint are
+    absorbed; anything beyond that is new.  Fingerprints in the baseline
+    that no longer occur at all are stale (fixed code — the entry should
+    be deleted).
+    """
+    allowance = {fp: int(e.get("count", 1)) for fp, e in entries.items()}
+    seen = Counter()
+    fresh = []
+    absorbed = 0
+    for f in findings:
+        fp = f.fingerprint()
+        seen[fp] += 1
+        if seen[fp] <= allowance.get(fp, 0):
+            absorbed += 1
+        else:
+            fresh.append(f)
+    stale = sorted(fp for fp in allowance if fp not in seen)
+    return fresh, absorbed, stale

@@ -1,0 +1,93 @@
+"""Finding data model for the static-analysis framework.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`~Finding.fingerprint` deliberately excludes the line number, so a
+committed baseline (:mod:`repro.analyze.baseline`) keeps matching after
+unrelated edits move code around; the ``(rule, path, symbol, message)``
+tuple is stable as long as the offending code itself is unchanged.
+Rule messages must therefore never embed line numbers or other
+position-dependent text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Ordered severities, most severe first (report sort order).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          #: rule id, e.g. ``"lock-discipline"``
+    severity: str      #: ``"error"`` or ``"warning"``
+    path: str          #: repo-relative posix path of the file
+    line: int          #: 1-based source line
+    col: int           #: 0-based column
+    message: str       #: human-readable, position-independent description
+    symbol: str = ""   #: enclosing ``Class.function`` scope, for fingerprints
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        key = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col + 1}"
+        scope = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.severity}: {self.message} ({self.rule}){scope}"
+
+
+def sort_findings(findings) -> list:
+    """Severity-major, then path/line — the canonical report order."""
+    rank = {sev: i for i, sev in enumerate(SEVERITIES)}
+    return sorted(
+        findings,
+        key=lambda f: (rank.get(f.severity, len(SEVERITIES)), f.path, f.line, f.rule),
+    )
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run, pre-formatted for the CLI."""
+
+    findings: list = field(default_factory=list)   #: non-baselined, sorted
+    baselined: int = 0                             #: findings absorbed by the baseline
+    stale_baseline: list = field(default_factory=list)  #: fingerprints no longer seen
+    files: int = 0                                 #: files analyzed
+    rules: tuple = ()                              #: rule ids that ran
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "rules": list(self.rules),
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
+            "findings": [f.to_dict() for f in self.findings],
+        }

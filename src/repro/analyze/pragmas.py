@@ -1,0 +1,89 @@
+"""In-source pragmas steering the analyzer.
+
+All pragmas are ordinary comments beginning with ``# analyze:`` so they
+survive formatters and need no runtime support:
+
+``# analyze: ignore``
+    Suppress every rule on this physical line.
+``# analyze: ignore[rule-a, rule-b]``
+    Suppress only the named rules on this physical line.
+``# analyze: hot-path``
+    Module-level marker (conventionally right under the docstring):
+    this module is a performance-critical path, enabling the numpy
+    dtype-discipline rules (:mod:`repro.analyze.rules.dtypes`).
+``# analyze: holds-lock``
+    On a ``def`` line: the function is only ever called with the
+    owning lock already held, so the lock-discipline rule treats its
+    body as guarded (:mod:`repro.analyze.rules.locks`).
+
+Comments are collected with :mod:`tokenize`, so pragmas inside string
+literals are never misread as directives.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA_RE = re.compile(r"#\s*analyze:\s*(?P<body>.+?)\s*$")
+_IGNORE_RE = re.compile(r"ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+
+@dataclass
+class SourcePragmas:
+    """All pragmas of one module, indexed for O(1) rule lookups."""
+
+    #: line -> set of suppressed rule ids; empty set means "all rules".
+    ignores: dict = field(default_factory=dict)
+    #: lines carrying ``# analyze: holds-lock``.
+    holds_lock_lines: set = field(default_factory=set)
+    #: module carries ``# analyze: hot-path``.
+    hot_path: bool = False
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.ignores.get(line)
+        if rules is None:
+            return False
+        return not rules or rule_id in rules
+
+    def holds_lock(self, line: int) -> bool:
+        return line in self.holds_lock_lines
+
+
+def parse_pragmas(source: str) -> SourcePragmas:
+    """Extract every ``# analyze:`` pragma from *source*."""
+    pragmas = SourcePragmas()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas
+    for line, text in comments:
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        body = m.group("body")
+        im = _IGNORE_RE.match(body)
+        if im:
+            names = im.group("rules")
+            rules = (
+                frozenset(r.strip() for r in names.split(",") if r.strip())
+                if names is not None
+                else frozenset()
+            )
+            existing = pragmas.ignores.get(line)
+            if existing is not None and (not existing or not rules):
+                pragmas.ignores[line] = frozenset()
+            else:
+                pragmas.ignores[line] = (existing or frozenset()) | rules
+        elif body.startswith("hot-path"):
+            pragmas.hot_path = True
+        elif body.startswith("holds-lock"):
+            pragmas.holds_lock_lines.add(line)
+    return pragmas

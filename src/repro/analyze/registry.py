@@ -1,0 +1,93 @@
+"""Rule registry: every check is a registered :class:`Rule` singleton.
+
+Rules are small classes with a stable ``id``, a default ``severity``,
+and a ``check(module)`` generator producing
+:class:`~repro.analyze.findings.Finding` objects.  ``applies_to``
+lets path-scoped rules (the decode-safety family) skip modules
+cheaply before parsing cost is spent on them.
+
+Registration happens at import time via the :func:`register` decorator;
+importing :mod:`repro.analyze.rules` pulls in the whole built-in
+ruleset.  Tests can instantiate rules directly or restrict a run with
+``analyze_source(..., rules=[...])``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .findings import SEVERITIES, Finding
+from .pragmas import SourcePragmas
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module handed to every rule."""
+
+    relpath: str          #: repo-relative posix path
+    source: str
+    tree: ast.Module
+    pragmas: SourcePragmas
+
+    def lines(self) -> list:
+        return self.source.splitlines()
+
+
+class Rule:
+    """Base class for one analysis rule.
+
+    Subclasses set ``id`` (kebab-case, stable — baselines and
+    suppression comments reference it), ``severity``, and
+    ``description``, and implement :meth:`check`.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Cheap path filter; default is every module."""
+        return True
+
+    def check(self, module: ModuleInfo):
+        """Yield :class:`Finding` objects for *module*."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str, *, symbol: str = ""
+    ) -> Finding:
+        """Build a finding anchored at *node* with this rule's identity."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+#: id -> rule instance, in registration order.
+RULES: dict = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"{cls.__name__}: bad severity {rule.severity!r}")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list:
+    """Every registered rule, importing the built-in set on first use."""
+    from . import rules as _builtin  # noqa: F401 - import triggers registration
+
+    return [RULES[k] for k in sorted(RULES)]

@@ -1,0 +1,24 @@
+"""Built-in ruleset — importing this package registers every rule.
+
+Rule catalogue (see docs/ARCHITECTURE.md §Static analysis):
+
+========================  ========  =============================================
+rule id                   severity  invariant enforced
+========================  ========  =============================================
+``lock-discipline``       error     state mutated under a lock is always
+                                    accessed with the lock held
+``hot-float64``           warning   no float64 upcasts in ``# analyze:
+                                    hot-path`` modules
+``frombuffer-mutation``   error     ``np.frombuffer`` results are not mutated
+                                    without ``.copy()``
+``unchecked-unpack``      error     binary decodes in ``baselines/`` and
+                                    ``core/stream.py`` are bounds-checked
+``swallowed-exception``   warning   broad excepts re-raise, use, or record
+                                    the exception
+``mutable-default``       error     no mutable default arguments
+========================  ========  =============================================
+"""
+
+from . import decode, dtypes, hygiene, locks  # noqa: F401 - registration imports
+
+__all__ = ["decode", "dtypes", "hygiene", "locks"]

@@ -1,0 +1,108 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(call: ast.Call) -> str:
+    """Dotted name of a call's callee (``""`` for computed callees)."""
+    return dotted_name(call.func)
+
+
+def symbol_map(tree: ast.Module) -> dict:
+    """Map every node to its enclosing ``Class.function`` symbol string."""
+    out: dict = {}
+
+    def walk(node, stack):
+        name = getattr(node, "name", None)
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack = stack + [name]
+        symbol = ".".join(stack)
+        for child in ast.iter_child_nodes(node):
+            out[child] = symbol
+            walk(child, stack)
+
+    out[tree] = ""
+    walk(tree, [])
+    return out
+
+
+def is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    """True for ``self.X`` (or ``self.<attr>`` when *attr* is given)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+#: Method names that mutate their receiver in place — used to decide
+#: whether an attribute/global holds *mutable shared state*.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "pop", "popleft",
+        "popitem", "clear", "add", "discard", "remove", "update",
+        "setdefault", "sort", "reverse",
+    }
+)
+
+#: Constructor-like scopes exempt from lock discipline: the object is
+#: not yet (or no longer) shared when they run.
+CONSTRUCTOR_METHODS = frozenset({"__init__", "__new__", "__del__", "__post_init__"})
+
+
+def function_locals(fn) -> set:
+    """Names bound locally in *fn*'s own scope (nested defs excluded).
+
+    ``global``/``nonlocal`` declarations remove a name from the local
+    set, so module-state reads/writes resolve correctly.
+    """
+    names: set = set()
+    declared_global: set = set()
+
+    args = fn.args
+    for a in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(a.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+
+    def walk(node):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+            ):
+                if hasattr(child, "name"):
+                    names.add(child.name)
+                continue
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                declared_global.update(child.names)
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(child.id)
+            elif isinstance(child, (ast.comprehension,)):
+                for t in ast.walk(child.target):
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+            walk(child)
+
+    walk(fn)
+    return names - declared_global

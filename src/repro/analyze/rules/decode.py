@@ -1,0 +1,168 @@
+"""Decode-safety rules for the hand-rolled binary decoders.
+
+Scope: the baseline codecs (``baselines/``) and the SZx stream module
+(``core/stream.py``) — everywhere untrusted bytes are turned into
+numbers.  Raw ``struct.unpack_from`` / ``np.frombuffer(..., count=)``
+reads over attacker-controlled offsets either raise the wrong exception
+type (``struct.error``, numpy ``ValueError``) on truncated input or,
+worse, read stale bytes.  Every such read must be
+
+* routed through the shared bounds-checked helpers
+  (:mod:`repro.core.safebytes`: ``checked_unpack`` / ``checked_slice``
+  / ``checked_frombuffer``), which raise
+  :class:`~repro.core.errors.TruncatedStreamError`; or
+* *dominated by a length check*: an earlier ``if``-statement in the
+  same function that tests ``len(<buffer>)`` and raises.  A static
+  check can only vouch for reads at *static* offsets (the fixed
+  header); reads at computed offsets or with computed counts are
+  beyond what any single up-front ``len()`` test can validate, so
+  they must always go through the helpers.
+
+The helper module itself is exempt (it is the one place allowed to do
+the raw read, right after its own bounds check).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import ModuleInfo, Rule, register
+from ._util import dotted_name
+
+_UNPACK_METHODS = frozenset({"unpack", "unpack_from"})
+_HELPER_MODULE_SUFFIX = "core/safebytes.py"
+
+
+def _keyword(call: ast.Call, name: str):
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_static(node) -> bool:
+    """An absent offset/count, a literal, or a negated literal."""
+    if node is None:
+        return True
+    if isinstance(node, ast.Constant):
+        return True
+    return isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant)
+
+
+def _length_checks(fn) -> list:
+    """(lineno, checked_name_or_None) for len() guards that raise."""
+    checks = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        if not any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+            continue
+        for call in ast.walk(node.test):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "len"
+                and call.args
+            ):
+                arg = call.args[0]
+                name = arg.id if isinstance(arg, ast.Name) else None
+                checks.append((node.lineno, name))
+    return checks
+
+
+def _dominated(call: ast.Call, buffer_arg, checks) -> bool:
+    """A matching length check appears before *call* in the function."""
+    buf_name = buffer_arg.id if isinstance(buffer_arg, ast.Name) else None
+    for line, checked in checks:
+        if line >= call.lineno:
+            continue
+        if checked is None or buf_name is None or checked == buf_name:
+            return True
+    return False
+
+
+@register
+class UncheckedUnpackRule(Rule):
+    id = "unchecked-unpack"
+    severity = "error"
+    description = (
+        "struct/frombuffer decode of untrusted bytes without a dominating "
+        "length check — route through repro.core.safebytes"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        rel = relpath.replace("\\", "/")
+        if rel.endswith(_HELPER_MODULE_SUFFIX):
+            return False
+        return "baselines/" in rel or rel.endswith("core/stream.py")
+
+    def check(self, module: ModuleInfo):
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checks = None  # computed lazily, once per function
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind, buffer_arg, dynamic = self._raw_read(node)
+                if kind is None:
+                    continue
+                if dynamic:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{kind} at a computed offset/count — no static "
+                        "length check can validate it; use "
+                        "repro.core.safebytes.checked_* instead",
+                        symbol=fn.name,
+                    )
+                    continue
+                if checks is None:
+                    checks = _length_checks(fn)
+                if _dominated(node, buffer_arg, checks):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{kind} on untrusted bytes without a dominating length "
+                    "check — use repro.core.safebytes.checked_* instead",
+                    symbol=fn.name,
+                )
+
+    @staticmethod
+    def _raw_read(call: ast.Call):
+        """(description, buffer_arg, dynamic) for a raw decode read.
+
+        *dynamic* is True when the read's offset or count is a computed
+        expression, which an up-front ``len()`` guard cannot cover.
+        """
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _UNPACK_METHODS:
+            base = dotted_name(func.value)
+            # struct.unpack_from(fmt, buf, off) vs <Struct>.unpack_from(buf, off)
+            buf_index = 1 if base == "struct" else 0
+            buffer_arg = (
+                call.args[buf_index] if len(call.args) > buf_index else None
+            )
+            offset_arg = (
+                call.args[buf_index + 1]
+                if len(call.args) > buf_index + 1
+                else _keyword(call, "offset")
+            )
+            label = f"{base}.{func.attr}" if base else func.attr
+            return f"{label}()", buffer_arg, not _is_static(offset_arg)
+        name = dotted_name(func)
+        if name.rpartition(".")[2] == "frombuffer":
+            count_arg = (
+                call.args[2] if len(call.args) > 2 else _keyword(call, "count")
+            )
+            if count_arg is not None:
+                buffer_arg = call.args[0] if call.args else None
+                offset_arg = (
+                    call.args[3]
+                    if len(call.args) > 3
+                    else _keyword(call, "offset")
+                )
+                dynamic = not (_is_static(count_arg) and _is_static(offset_arg))
+                return "np.frombuffer(count=...)", buffer_arg, dynamic
+        return None, None, False

@@ -1,0 +1,190 @@
+"""Numpy dtype-discipline rules.
+
+The SZx hot paths (paper Section 4, Formulas (4)/(5)) are float32-exact
+by design: a silent float64 upcast doubles memory traffic and can move
+results off the byte-identical stream contract.  Modules opt in with a
+``# analyze: hot-path`` pragma; deliberate, documented upcasts (e.g. the
+``frexp`` exponent extraction that must not flush subnormals) carry
+``# analyze: ignore[hot-float64]`` on the offending line, so every
+float64 appearance on a hot path is an explicit, reviewed decision.
+
+``frombuffer-mutation`` is module-independent: ``np.frombuffer`` over a
+``bytes`` object yields a read-only view, so mutating it raises at
+runtime — and when the buffer *is* writable, mutation silently
+corrupts the caller's data.  Results that get mutated must be
+``.copy()``-ed first.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import ModuleInfo, Rule, register
+from ._util import dotted_name
+
+_F64_NAMES = frozenset({"float64", "double"})
+_NP_MODULES = frozenset({"np", "numpy"})
+#: In-place ndarray methods that mutate the receiver.
+_INPLACE_METHODS = frozenset(
+    {"sort", "fill", "partition", "put", "resize", "byteswap", "setfield"}
+)
+#: Chained calls that make a frombuffer result safe to mutate.
+_SAFE_CHAIN = frozenset({"copy", "astype"})
+
+
+def _is_float64_ref(node: ast.AST) -> bool:
+    """True for ``np.float64`` / ``numpy.double`` / ``"float64"``."""
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return node.attr in _F64_NAMES and base in _NP_MODULES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _F64_NAMES
+    return False
+
+
+@register
+class HotFloat64Rule(Rule):
+    id = "hot-float64"
+    severity = "warning"
+    description = (
+        "explicit float64 construction in a module marked '# analyze: "
+        "hot-path' (SZx hot paths are float32-exact by design)"
+    )
+
+    def check(self, module: ModuleInfo):
+        if not module.pragmas.hot_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._float64_use(node)
+            if label:
+                yield self.finding(
+                    module,
+                    node,
+                    f"float64 upcast via {label} on a hot path "
+                    "(keep float32, or document with "
+                    "'# analyze: ignore[hot-float64]')",
+                )
+
+    @staticmethod
+    def _float64_use(call: ast.Call) -> str | None:
+        func = call.func
+        name = dotted_name(func)
+        # np.float64(x) — direct scalar/array construction.
+        if _is_float64_ref(func):
+            return f"{name}(...)"
+        # x.astype(np.float64) / x.astype(dtype=np.float64)
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            for arg in call.args[:1]:
+                if _is_float64_ref(arg):
+                    return "astype(float64)"
+            for kw in call.keywords:
+                if kw.arg == "dtype" and _is_float64_ref(kw.value):
+                    return "astype(dtype=float64)"
+            return None
+        # np.<ctor>(..., dtype=np.float64) or positional dtype argument.
+        root = name.split(".")[0] if name else ""
+        if root in _NP_MODULES:
+            for kw in call.keywords:
+                if kw.arg == "dtype" and _is_float64_ref(kw.value):
+                    return f"{name}(dtype=float64)"
+            for arg in call.args:
+                if _is_float64_ref(arg):
+                    return f"{name}(float64)"
+        return None
+
+
+@register
+class FrombufferMutationRule(Rule):
+    id = "frombuffer-mutation"
+    severity = "error"
+    description = (
+        "np.frombuffer result mutated without an intervening .copy() "
+        "(frombuffer views are read-only or alias the caller's buffer)"
+    )
+
+    def check(self, module: ModuleInfo):
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ModuleInfo, fn):
+        tainted: dict = {}  # name -> assignment node
+        reported: set = set()
+
+        def base_name(expr) -> str | None:
+            if isinstance(expr, ast.Name):
+                return expr.id
+            if isinstance(expr, ast.Subscript) and isinstance(expr.value, ast.Name):
+                return expr.value.id
+            return None
+
+        def visit(stmt):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, stmt)
+                return
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._is_raw_frombuffer(stmt.value):
+                        tainted[target.id] = stmt
+                    else:
+                        tainted.pop(target.id, None)
+                    return
+            for name, target_node in self._mutations(stmt, base_name):
+                origin = tainted.get(name)
+                if origin is not None and name not in reported:
+                    reported.add(name)
+                    yield self.finding(
+                        module,
+                        target_node,
+                        f"'{name}' comes from np.frombuffer but is mutated "
+                        "in place — call .copy() on the frombuffer result "
+                        "first",
+                        symbol=fn.name,
+                    )
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    yield from visit(child)
+
+        for stmt in fn.body:
+            yield from visit(stmt)
+
+    @staticmethod
+    def _is_raw_frombuffer(value: ast.AST) -> bool:
+        """A frombuffer call not neutralized by .copy()/.astype()."""
+        node = value
+        # unwrap safe/laundering chains: f(...).reshape(...).view(...)
+        while isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _SAFE_CHAIN:
+                return False
+            if node.func.attr in {"reshape", "view", "ravel"}:
+                node = node.func.value
+                continue
+            break
+        return (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func).rpartition(".")[2] == "frombuffer"
+        )
+
+    @staticmethod
+    def _mutations(stmt, base_name):
+        """(name, node) pairs this statement mutates in place."""
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for t in targets:
+                if isinstance(t, ast.Subscript):
+                    name = base_name(t)
+                    if name:
+                        yield name, t
+                elif isinstance(stmt, ast.AugAssign) and isinstance(t, ast.Name):
+                    yield t.id, t
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _INPLACE_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                yield func.value.id, stmt.value

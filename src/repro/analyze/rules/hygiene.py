@@ -1,0 +1,105 @@
+"""General hygiene rules: silent exception swallows, mutable defaults."""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import ModuleInfo, Rule, register
+from ._util import dotted_name
+
+_BROAD = frozenset({"Exception", "BaseException"})
+#: Callee-name fragments that count as recording the failure.
+_RECORDING_MARKERS = ("observe.", "print", "warn", "record")
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:
+        return True
+    if isinstance(t, ast.Name):
+        return t.id in _BROAD
+    if isinstance(t, ast.Tuple):
+        return any(isinstance(el, ast.Name) and el.id in _BROAD for el in t.elts)
+    return False
+
+
+def _handler_is_silent(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return False
+        if (
+            handler.name
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+        ):
+            return False  # the exception object is used (logged/forwarded)
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func).lower()
+            if callee.startswith("log") or ".log" in callee:
+                return False
+            if any(marker in callee for marker in _RECORDING_MARKERS):
+                return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "swallowed-exception"
+    severity = "warning"
+    description = (
+        "broad except clause that neither re-raises, uses the exception, "
+        "nor records it"
+    )
+
+    def check(self, module: ModuleInfo):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad_handler(node) and _handler_is_silent(node):
+                caught = (
+                    ast.unparse(node.type) if node.type is not None else "everything"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"broad 'except {caught}' swallows the error silently — "
+                    "narrow the type, re-raise, or record it (e.g. via "
+                    "repro.observe)",
+                )
+
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray", "deque", "Counter"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func).rpartition(".")[2] in _MUTABLE_CTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = "error"
+    description = "mutable default argument shared across calls"
+
+    def check(self, module: ModuleInfo):
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            name = getattr(fn, "name", "<lambda>")
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in '{name}' is shared "
+                        "across calls — default to None and create it "
+                        "inside the function",
+                        symbol=name,
+                    )

@@ -1,0 +1,328 @@
+"""Lock-discipline checker: shared mutable state must stay under its lock.
+
+The rule *infers* the guarded set instead of requiring annotations:
+
+* **Class scope** — for every class owning a ``threading.Lock``/
+  ``RLock`` attribute (plus ``Condition`` attributes, which wrap the
+  same lock), any ``self.X`` that is (a) accessed inside a
+  ``with self._lock:`` block somewhere and (b) mutated outside
+  ``__init__`` is considered lock-guarded.  Every access of a guarded
+  attribute outside the lock is then flagged.
+* **Module scope** — same inference for module-level locks
+  (``_lock = threading.Lock()``) guarding module globals, the pattern
+  :mod:`repro.testing.faults` and :mod:`repro.observe.spans` use.
+
+Escape hatches for the two legitimate exceptions:
+
+* ``# analyze: holds-lock`` on a ``def`` line declares "only called
+  with the lock held" (private helpers like
+  ``BoundedQueue._record_depth``);
+* ``# analyze: ignore[lock-discipline]`` on the access line documents a
+  deliberate unlocked fast path (e.g. ``observe.enabled()``).
+
+Constructor-like methods (``__init__``, ``__new__``, ``__del__``,
+``__post_init__``) are exempt: the object is not shared while they run.
+Nested functions and lambdas defined under a ``with`` block are treated
+as *not* holding the lock — they usually outlive it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..registry import ModuleInfo, Rule, register
+from ._util import (
+    CONSTRUCTOR_METHODS,
+    MUTATING_METHODS,
+    call_name,
+    function_locals,
+    is_self_attr,
+)
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+_LOCK_WRAPPERS = frozenset({"Condition"})
+
+
+def _is_lock_call(node: ast.AST, factories) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and call_name(node).rpartition(".")[2] in factories
+    )
+
+
+@dataclass
+class _Access:
+    """One observed attribute/global access inside a class or module."""
+
+    name: str
+    node: ast.AST
+    method: str           # enclosing function name ("" at class body level)
+    held: bool            # a guarding lock is held lexically
+    mutates: bool         # write / in-place mutation
+    in_constructor: bool
+
+
+@dataclass
+class _ScopeReport:
+    locks: set = field(default_factory=set)
+    accesses: list = field(default_factory=list)
+
+    def guarded_names(self) -> set:
+        under_lock = {a.name for a in self.accesses if a.held}
+        mutated_shared = {
+            a.name
+            for a in self.accesses
+            if a.mutates and not a.in_constructor
+        }
+        return (under_lock & mutated_shared) - self.locks
+
+
+class _AccessCollector:
+    """Walk one class/module scope recording lock state per access.
+
+    *match_target* classifies candidate expressions: it returns the
+    tracked name for ``self.X`` attributes (class scope) or bare global
+    names (module scope), else ``None``.
+    """
+
+    def __init__(self, report, pragmas, *, is_lock_expr, match_name):
+        self.report = report
+        self.pragmas = pragmas
+        self.is_lock_expr = is_lock_expr
+        self.match_name = match_name
+
+    # -- mutation classification ---------------------------------------
+    def _mutation_targets(self, stmt) -> list:
+        """Sub-expressions mutated by *stmt* (assignment/del/aug/in-place)."""
+        out = []
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for t in targets:
+                for el in self._flatten_target(t):
+                    if isinstance(el, (ast.Subscript, ast.Attribute)) and not isinstance(
+                        el, ast.Name
+                    ):
+                        # x[k] = v mutates x; x.a = v / self.x = v writes x.
+                        base = el.value if isinstance(el, ast.Subscript) else el
+                        out.append(base)
+                    elif isinstance(el, ast.Name):
+                        out.append(el)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                base = t.value if isinstance(t, ast.Subscript) else t
+                out.append(base)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                out.append(func.value)
+        return out
+
+    @staticmethod
+    def _flatten_target(t):
+        if isinstance(t, (ast.Tuple, ast.List)):
+            for el in t.elts:
+                yield from _AccessCollector._flatten_target(el)
+        else:
+            yield t
+
+    # -- traversal ------------------------------------------------------
+    def walk_function(self, fn, *, held: bool = False):
+        name = fn.name
+        in_ctor = name in CONSTRUCTOR_METHODS
+        if self.pragmas.holds_lock(fn.lineno) or any(
+            self.pragmas.holds_lock(d.lineno) for d in fn.decorator_list
+        ):
+            held = True
+        for stmt in fn.body:
+            self._walk_stmt(stmt, name, held, in_ctor)
+
+    def _walk_stmt(self, node, method, held, in_ctor):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def may run after the with-block exits: lock state
+            # does not transfer (its own holds-lock pragma still applies).
+            self.walk_function(node, held=False)
+            return
+        if isinstance(node, ast.Lambda):
+            self._walk_expr(node.body, method, False, in_ctor)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_held = held or any(
+                self.is_lock_expr(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._walk_expr(item.context_expr, method, held, in_ctor)
+                if item.optional_vars is not None:
+                    self._walk_expr(item.optional_vars, method, held, in_ctor)
+            for stmt in node.body:
+                self._walk_stmt(stmt, method, inner_held, in_ctor)
+            return
+
+        for base in self._mutation_targets(node):
+            tracked = self.match_name(base)
+            if tracked:
+                self.report.accesses.append(
+                    _Access(tracked, base, method, held, True, in_ctor)
+                )
+
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child, method, held, in_ctor)
+            else:
+                self._walk_expr(child, method, held, in_ctor)
+
+    def _walk_expr(self, node, method, held, in_ctor):
+        if isinstance(node, ast.Lambda):
+            self._walk_expr(node.body, method, False, in_ctor)
+            return
+        tracked = self.match_name(node)
+        if tracked:
+            self.report.accesses.append(
+                _Access(tracked, node, method, held, False, in_ctor)
+            )
+            return  # don't descend into the matched chain twice
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child, method, held, in_ctor)
+            else:
+                self._walk_expr(child, method, held, in_ctor)
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    severity = "error"
+    description = (
+        "attributes/globals mutated under a lock must always be accessed "
+        "with that lock held"
+    )
+
+    def check(self, module: ModuleInfo):
+        yield from self._check_classes(module)
+        yield from self._check_module_scope(module)
+
+    # -- class scope ----------------------------------------------------
+    def _check_classes(self, module: ModuleInfo):
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_one_class(module, cls)
+
+    def _check_one_class(self, module: ModuleInfo, cls: ast.ClassDef):
+        locks: set = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and _is_lock_call(
+                node.value, _LOCK_FACTORIES
+            ):
+                for t in node.targets:
+                    if is_self_attr(t):
+                        locks.add(t.attr)
+        for node in ast.walk(cls):  # Condition(...) wraps an existing lock
+            if isinstance(node, ast.Assign) and _is_lock_call(
+                node.value, _LOCK_WRAPPERS
+            ):
+                for t in node.targets:
+                    if is_self_attr(t):
+                        locks.add(t.attr)
+        if not locks:
+            return
+
+        report = _ScopeReport(locks=locks)
+        collector = _AccessCollector(
+            report,
+            module.pragmas,
+            is_lock_expr=lambda e: is_self_attr(e) and e.attr in locks,
+            match_name=lambda e: e.attr if is_self_attr(e) else None,
+        )
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                collector.walk_function(item)
+
+        guarded = report.guarded_names()
+        lock_label = "/".join(f"self.{name}" for name in sorted(locks))
+        seen = set()
+        for acc in report.accesses:
+            if acc.name not in guarded or acc.held or acc.in_constructor:
+                continue
+            key = (acc.name, acc.node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module,
+                acc.node,
+                f"'self.{acc.name}' is mutated under {lock_label} elsewhere "
+                "but accessed here without holding it",
+                symbol=f"{cls.name}.{acc.method}" if acc.method else cls.name,
+            )
+
+    # -- module scope ---------------------------------------------------
+    def _check_module_scope(self, module: ModuleInfo):
+        tree = module.tree
+        locks: set = set()
+        module_state: set = set()
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                names = [node.target.id]
+            else:
+                continue
+            if _is_lock_call(node.value, _LOCK_FACTORIES | _LOCK_WRAPPERS):
+                locks.update(names)
+            else:
+                module_state.update(names)
+        if not locks:
+            return
+
+        report = _ScopeReport(locks=locks)
+
+        def match_global(expr, local_names):
+            if (
+                isinstance(expr, ast.Name)
+                and expr.id in module_state
+                and expr.id not in local_names
+            ):
+                return expr.id
+            return None
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_names = function_locals(node)
+                collector = _AccessCollector(
+                    report,
+                    module.pragmas,
+                    is_lock_expr=lambda e: isinstance(e, ast.Name)
+                    and e.id in locks,
+                    match_name=lambda e, _ln=local_names: match_global(e, _ln),
+                )
+                # walk only the immediate body: nested defs get their own
+                # pass from ast.walk with their own local-name set.
+                in_ctor = node.name in CONSTRUCTOR_METHODS
+                held = module.pragmas.holds_lock(node.lineno)
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    collector._walk_stmt(stmt, node.name, held, in_ctor)
+
+        guarded = report.guarded_names()
+        lock_label = "/".join(sorted(locks))
+        seen = set()
+        for acc in report.accesses:
+            if acc.name not in guarded or acc.held or acc.in_constructor:
+                continue
+            key = (acc.name, acc.node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module,
+                acc.node,
+                f"module global '{acc.name}' is mutated under '{lock_label}' "
+                "elsewhere but accessed here without holding it",
+                symbol=acc.method,
+            )

@@ -1,0 +1,121 @@
+"""Analysis driver: files -> parsed modules -> rules -> report.
+
+:func:`analyze_source` is the single-module entry point (what the rule
+fixture tests use); :func:`analyze_paths` walks directories; :func:`run`
+adds baseline handling and produces the :class:`Report` the CLI and CI
+consume.  Everything is pure stdlib (``ast`` + ``tokenize``) — the
+analyzer never imports the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from .baseline import apply_baseline, load_baseline
+from .findings import Finding, Report, sort_findings
+from .pragmas import parse_pragmas
+from .registry import ModuleInfo, all_rules
+
+
+def _normalize(relpath: str) -> str:
+    return relpath.replace(os.sep, "/")
+
+
+def analyze_source(source: str, relpath: str, *, rules=None) -> list:
+    """Run *rules* (default: every registered rule) over one module."""
+    relpath = _normalize(relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="parse-error",
+                severity="error",
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    pragmas = parse_pragmas(source)
+    module = ModuleInfo(relpath=relpath, source=source, tree=tree, pragmas=pragmas)
+    findings = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(module):
+            if not pragmas.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def iter_python_files(paths):
+    """Every ``.py`` file under *paths* (files pass through), sorted."""
+    out = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    out.append(os.path.join(dirpath, fname))
+    return sorted(dict.fromkeys(out))
+
+
+def analyze_paths(paths, *, rules=None, root=None):
+    """Analyze every python file under *paths* -> (findings, file_count)."""
+    root = root or os.getcwd()
+    findings = []
+    files = 0
+    for path in iter_python_files(paths):
+        relpath = _normalize(os.path.relpath(path, root))
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        findings.extend(analyze_source(source, relpath, rules=rules))
+        files += 1
+    return sort_findings(findings), files
+
+
+def run(paths, *, baseline_path=None, rules=None, root=None) -> Report:
+    """Full analysis run with optional baseline subtraction."""
+    active = list(rules) if rules is not None else all_rules()
+    findings, files = analyze_paths(paths, rules=active, root=root)
+    baselined = 0
+    stale = []
+    if baseline_path is not None:
+        entries = load_baseline(baseline_path)
+        findings, baselined, stale = apply_baseline(findings, entries)
+    return Report(
+        findings=findings,
+        baselined=baselined,
+        stale_baseline=stale,
+        files=files,
+        rules=tuple(r.id for r in active),
+    )
+
+
+def format_text(report: Report) -> str:
+    """Human-readable report (the default ``szx lint`` output)."""
+    lines = [f.format() for f in report.findings]
+    errors = sum(1 for f in report.findings if f.severity == "error")
+    warnings = len(report.findings) - errors
+    tail = (
+        f"{len(report.findings)} finding(s) ({errors} error(s), "
+        f"{warnings} warning(s)) in {report.files} file(s)"
+    )
+    if report.baselined:
+        tail += f"; {report.baselined} baselined"
+    if report.stale_baseline:
+        tail += (
+            f"; {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+            "(fixed code — remove them)"
+        )
+    lines.append(tail)
+    return "\n".join(lines)

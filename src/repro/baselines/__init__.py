@@ -8,11 +8,14 @@ benchmarks iterate SZx and the baselines uniformly.
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
 
 from ..core.constants import traits_for, traits_for_code
+from ..core.errors import HeaderFormatError, PayloadFormatError, StreamFormatError
+from ..core.safebytes import checked_unpack
 from .sz.codec import sz_compress, sz_decompress
 from .zfp.codec import zfp_compress, zfp_decompress
 
@@ -119,18 +122,35 @@ class LosslessBaselineCodec:
         from ..lossless import lossless_decompress
 
         buf = bytes(stream)
-        if len(buf) < _LL_HEAD.size:
-            raise ValueError("lossless-array stream too short")
-        magic, code, ndim = _LL_HEAD.unpack_from(buf)
+        magic, code, ndim = checked_unpack(
+            _LL_HEAD, buf, section="header", what="lossless-array header"
+        )
         if magic != _LL_MAGIC:
-            raise ValueError("bad lossless-array magic")
-        traits = traits_for_code(code)
+            raise HeaderFormatError("bad lossless-array magic", section="header")
+        try:
+            traits = traits_for_code(code)
+        except ValueError as exc:
+            raise HeaderFormatError(str(exc), section="header") from None
         off = _LL_HEAD.size
-        if len(buf) < off + 8 * ndim:
-            raise ValueError("lossless-array stream truncated in shape")
-        shape = struct.unpack_from(f"<{ndim}Q", buf, off)
+        shape = checked_unpack(
+            f"<{ndim}Q", buf, off, section="header", what="lossless-array shape"
+        )
         off += 8 * ndim
-        raw = lossless_decompress(buf[off:])
+        try:
+            raw = lossless_decompress(buf[off:])
+        except StreamFormatError:
+            raise
+        except ValueError as exc:
+            raise PayloadFormatError(
+                f"lossless payload invalid: {exc}", section="payload"
+            ) from exc
+        expected = math.prod(shape) * traits.itemsize
+        if len(raw) != expected:
+            raise PayloadFormatError(
+                f"lossless payload decodes to {len(raw)} bytes, "
+                f"shape says {expected}",
+                section="payload",
+            )
         arr = np.frombuffer(raw, dtype=traits.dtype)
         return arr.reshape(tuple(int(s) for s in shape))
 

@@ -22,12 +22,15 @@ regression predictor (coefficients present) instead of Lorenzo.
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
 
 from ... import observe
 from ...core.constants import traits_for, traits_for_code
+from ...core.errors import HeaderFormatError, PayloadFormatError
+from ...core.safebytes import checked_frombuffer, checked_slice, checked_unpack
 from ...huffman import huffman_decode, huffman_encode
 from ...lossless import lossless_compress, lossless_decompress
 from . import regression
@@ -169,54 +172,101 @@ def sz_compress(
 
 @observe.traced("sz.decompress")
 def sz_decompress(buf: bytes) -> np.ndarray:
-    """Reconstruct the array from an SZ baseline stream."""
-    if len(buf) < _FIXED.size:
-        raise ValueError("sz stream too short")
-    magic, version, code, ndim, flags, n, err_bound = _FIXED.unpack_from(buf)
+    """Reconstruct the array from an SZ baseline stream.
+
+    Raises a :class:`~repro.core.errors.StreamFormatError` subclass (all
+    ``ValueError`` subclasses) on truncated or malformed streams — never
+    ``struct.error`` or ``IndexError``.
+    """
+    magic, version, code, ndim, flags, n, err_bound = checked_unpack(
+        _FIXED, buf, section="header", what="sz header"
+    )
     if magic != _MAGIC:
-        raise ValueError("bad sz magic")
+        raise HeaderFormatError("bad sz magic", section="header")
     if version != _VERSION:
-        raise ValueError(f"unsupported sz stream version {version}")
-    traits = traits_for_code(code)
+        raise HeaderFormatError(
+            f"unsupported sz stream version {version}", section="header"
+        )
+    try:
+        traits = traits_for_code(code)
+    except ValueError as exc:
+        raise HeaderFormatError(str(exc), section="header") from None
     off = _FIXED.size
-    shape = struct.unpack_from(f"<{ndim}Q", buf, off)
+    shape = checked_unpack(
+        f"<{ndim}Q", buf, off, section="header", what="sz shape"
+    )
     off += 8 * ndim
-    n_out, n_raw, huff_len = struct.unpack_from("<QQQ", buf, off)
+    n_out, n_raw, huff_len = checked_unpack(
+        "<QQQ", buf, off, section="header", what="sz section counts"
+    )
     off += 24
+    if math.prod(shape) != n:
+        raise HeaderFormatError(
+            f"sz shape {tuple(shape)} disagrees with element count {n}",
+            section="header",
+        )
 
     qi = qs = None
     if flags & _FLAG_REGRESSION:
         grid = regression._tile_grid(shape)
         n_tiles = int(np.prod(grid))
-        qi = np.frombuffer(buf, dtype="<i8", count=n_tiles, offset=off)
+        qi = checked_frombuffer(
+            buf, "<i8", n_tiles, off,
+            section="coefficients", what="regression intercepts",
+        )
         off += 8 * n_tiles
-        qs = np.frombuffer(buf, dtype="<i8", count=n_tiles * ndim, offset=off)
+        qs = checked_frombuffer(
+            buf, "<i8", n_tiles * ndim, off,
+            section="coefficients", what="regression slopes",
+        )
         qs = qs.reshape(n_tiles, ndim)
         off += 8 * n_tiles * ndim
 
-    huff = buf[off : off + huff_len]
-    if len(huff) != huff_len:
-        raise ValueError("sz stream truncated in payload")
+    huff = checked_slice(
+        buf, off, huff_len, section="payload", what="sz huffman payload"
+    )
     off += huff_len
     if flags & _FLAG_LOSSLESS:
         huff = lossless_decompress(huff)
     codes = huffman_decode(huff)
     if codes.size != n:
-        raise ValueError("sz payload decodes to wrong length")
+        raise PayloadFormatError(
+            f"sz payload decodes to {codes.size} codes, header says {n}",
+            section="payload",
+        )
 
-    out_pos = np.frombuffer(buf, dtype=np.uint64, count=n_out, offset=off)
+    out_pos = checked_frombuffer(
+        buf, np.uint64, n_out, off, section="outliers", what="outlier positions"
+    )
     off += 8 * n_out
-    out_delta = np.frombuffer(buf, dtype=np.int64, count=n_out, offset=off)
+    out_delta = checked_frombuffer(
+        buf, np.int64, n_out, off, section="outliers", what="outlier deltas"
+    )
     off += 8 * n_out
-    raw_pos = np.frombuffer(buf, dtype=np.uint64, count=n_raw, offset=off)
+    raw_pos = checked_frombuffer(
+        buf, np.uint64, n_raw, off, section="raw-values", what="raw positions"
+    )
     off += 8 * n_raw
-    raw_vals = np.frombuffer(buf, dtype=traits.dtype, count=n_raw, offset=off)
+    raw_vals = checked_frombuffer(
+        buf, traits.dtype, n_raw, off, section="raw-values", what="raw values"
+    )
+    if n_out and int(out_pos.max()) >= n:
+        raise PayloadFormatError(
+            "sz outlier position past the end of the array", section="outliers"
+        )
+    if n_raw and int(raw_pos.max()) >= n:
+        raise PayloadFormatError(
+            "sz raw-value position past the end of the array",
+            section="raw-values",
+        )
 
     delta = codes.astype(np.int64) - RADIUS
     if n_out:
         delta[out_pos.astype(np.int64)] = out_delta
     elif (codes == 0).any():
-        raise ValueError("outlier codes present but no outlier table")
+        raise PayloadFormatError(
+            "outlier codes present but no outlier table", section="payload"
+        )
 
     if flags & _FLAG_REGRESSION:
         step = regression.COEF_STEP_FRACTION * err_bound

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...core.errors import TruncatedStreamError
+
 
 def plane_words(u: np.ndarray, nplanes: int) -> np.ndarray:
     """Transpose coefficients to plane words.
@@ -191,7 +193,9 @@ def decode_fast(
     offsets = np.concatenate(([0], np.cumsum(bit_lengths)))
     bits = np.unpackbits(payload, bitorder="little")
     if bits.size < offsets[-1]:
-        raise ValueError("zfp fast payload truncated")
+        raise TruncatedStreamError(
+            "zfp fast payload truncated", section="payload"
+        )
     u = np.zeros((m, size), dtype=np.uint64)
     coeff_idx = np.arange(size, dtype=np.int64)[None, :]
     max_prec = int(prec.max()) if prec.size else 0

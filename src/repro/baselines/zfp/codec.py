@@ -18,12 +18,15 @@ Stream layout (little-endian)::
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
 
 from ... import observe
 from ...core.constants import traits_for, traits_for_code
+from ...core.errors import HeaderFormatError, PayloadFormatError, TruncatedStreamError
+from ...core.safebytes import checked_frombuffer, checked_unpack
 from . import bitplane as bp
 from .fixedpoint import (
     GUARD,
@@ -203,21 +206,40 @@ def zfp_compress(
 
 @observe.traced("zfp.decompress")
 def zfp_decompress(buf: bytes) -> np.ndarray:
-    """Reconstruct the array from a ZFP baseline stream."""
-    if len(buf) < _FIXED.size:
-        raise ValueError("zfp stream too short")
-    magic, version, code, ndim, mode_code, n, tol = _FIXED.unpack_from(buf)
+    """Reconstruct the array from a ZFP baseline stream.
+
+    Raises a :class:`~repro.core.errors.StreamFormatError` subclass (all
+    ``ValueError`` subclasses) on truncated or malformed streams — never
+    ``struct.error`` or ``IndexError``.
+    """
+    magic, version, code, ndim, mode_code, n, tol = checked_unpack(
+        _FIXED, buf, section="header", what="zfp header"
+    )
     if magic != _MAGIC:
-        raise ValueError("bad zfp magic")
+        raise HeaderFormatError("bad zfp magic", section="header")
     if version != _VERSION:
-        raise ValueError(f"unsupported zfp stream version {version}")
+        raise HeaderFormatError(
+            f"unsupported zfp stream version {version}", section="header"
+        )
     mode = _MODE_NAMES.get(mode_code)
     if mode is None:
-        raise ValueError(f"unknown zfp mode {mode_code}")
-    traits = traits_for_code(code)
+        raise HeaderFormatError(
+            f"unknown zfp mode {mode_code}", section="header"
+        )
+    try:
+        traits = traits_for_code(code)
+    except ValueError as exc:
+        raise HeaderFormatError(str(exc), section="header") from None
     off = _FIXED.size
-    orig_shape = struct.unpack_from(f"<{ndim}Q", buf, off)
+    orig_shape = checked_unpack(
+        f"<{ndim}Q", buf, off, section="header", what="zfp shape"
+    )
     off += 8 * ndim
+    if math.prod(orig_shape) != n:
+        raise HeaderFormatError(
+            f"zfp shape {tuple(orig_shape)} disagrees with element count {n}",
+            section="header",
+        )
     if n == 0:
         return np.zeros(orig_shape, dtype=traits.dtype)
 
@@ -231,21 +253,32 @@ def zfp_decompress(buf: bytes) -> np.ndarray:
 
     bitmap_bytes = (m + 7) // 8
     nonzero = np.unpackbits(
-        np.frombuffer(buf, np.uint8, bitmap_bytes, off), bitorder="little"
+        checked_frombuffer(
+            buf, np.uint8, bitmap_bytes, off,
+            section="nonzero-bitmap", what="nonzero-block bitmap",
+        ),
+        bitorder="little",
     )[:m].astype(bool)
     off += bitmap_bytes
     raw_blocks = np.unpackbits(
-        np.frombuffer(buf, np.uint8, bitmap_bytes, off), bitorder="little"
+        checked_frombuffer(
+            buf, np.uint8, bitmap_bytes, off,
+            section="raw-bitmap", what="raw-block bitmap",
+        ),
+        bitorder="little",
     )[:m].astype(bool)
     off += bitmap_bytes
     coded = nonzero & ~raw_blocks
     n_raw = int(raw_blocks.sum())
-    raw_vals = np.frombuffer(
-        buf, traits.dtype, n_raw * size, off
+    raw_vals = checked_frombuffer(
+        buf, traits.dtype, n_raw * size, off,
+        section="raw-values", what="raw block values",
     ).reshape(n_raw, *([4] * d))
     off += n_raw * size * traits.itemsize
     nz = int(coded.sum())
-    emax = np.frombuffer(buf, "<i2", nz, off).astype(np.int64)
+    emax = checked_frombuffer(
+        buf, "<i2", nz, off, section="emax", what="block exponents"
+    ).astype(np.int64)
     off += 2 * nz
 
     minexp = int(np.floor(np.log2(tol)))
@@ -253,16 +286,23 @@ def zfp_decompress(buf: bytes) -> np.ndarray:
     nplanes = _nplanes(traits)
 
     if mode == "fast":
-        prec = np.frombuffer(buf, np.uint8, nz, off).astype(np.int64)
+        prec = checked_frombuffer(
+            buf, np.uint8, nz, off, section="prec", what="block precisions"
+        ).astype(np.int64)
         off += nz
         payload = np.frombuffer(buf, np.uint8, offset=off)
         u = bp.decode_fast(payload, kmin, prec, size)
     elif mode == "fixed-rate":
-        (max_bits,) = struct.unpack_from("<I", buf, off)
+        (max_bits,) = checked_unpack(
+            "<I", buf, off, section="payload", what="zfp fixed-rate width"
+        )
         off += 4
         payload = buf[off:]
         if len(payload) * 8 < nz * max_bits:
-            raise ValueError("zfp fixed-rate payload truncated")
+            raise TruncatedStreamError(
+                "zfp fixed-rate payload truncated",
+                section="payload", offset=len(buf),
+            )
         u = np.zeros((nz, size), dtype=np.uint64)
         for b in range(nz):
             lo = b * max_bits
@@ -275,12 +315,17 @@ def zfp_decompress(buf: bytes) -> np.ndarray:
                 block_int, 0, 0, nplanes, size, max_bits=max_bits
             )
     else:
-        lengths = np.frombuffer(buf, "<u4", nz, off).astype(np.int64)
+        lengths = checked_frombuffer(
+            buf, "<u4", nz, off, section="bit-lengths", what="bit lengths"
+        ).astype(np.int64)
         off += 4 * nz
         payload = buf[off:]
         starts = np.concatenate(([0], np.cumsum(lengths)))
         if len(payload) * 8 < starts[-1]:
-            raise ValueError("zfp embedded payload truncated")
+            raise TruncatedStreamError(
+                "zfp embedded payload truncated",
+                section="payload", offset=len(buf),
+            )
         u = np.zeros((nz, size), dtype=np.uint64)
         for b in range(nz):
             lo, nb = int(starts[b]), int(lengths[b])
@@ -293,7 +338,10 @@ def zfp_decompress(buf: bytes) -> np.ndarray:
                 block_int, 0, int(kmin[b]), nplanes, size
             )
             if end != nb:
-                raise ValueError("zfp embedded block decoded to wrong length")
+                raise PayloadFormatError(
+                    "zfp embedded block decoded to wrong length",
+                    section="payload",
+                )
 
     q = from_sequency(negabinary_to_int(u), d)
     inv_transform(q)

@@ -10,6 +10,7 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
     szx validate  data.szx
     szx stats     data.szx
     szx fuzz      --seed 0 --iters 50
+    szx lint      --format json -o lint.json
     szx serve-bench --jobs 400 --workers 4 --report serve.json
     szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
     szx bundle    a.szx b.szx -o fields.szxa --names a,b
@@ -312,6 +313,45 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    """Run the repro.analyze static-analysis ruleset over the tree."""
+    import os
+
+    from .analyze import format_text, run, write_baseline
+    from .analyze.runner import analyze_paths
+
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        findings, files = analyze_paths(paths)
+        write_baseline(findings, args.baseline)
+        print(
+            f"baseline written to {args.baseline}: {len(findings)} finding(s) "
+            f"from {files} file(s)"
+        )
+        return 0
+
+    baseline_path = None if args.no_baseline else args.baseline
+    report = run(paths, baseline_path=baseline_path)
+
+    if args.format == "json":
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = format_text(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(format_text(report).splitlines()[-1])
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if report.ok else 1
+
+
 def _cmd_serve_bench(args) -> int:
     """Drive a synthetic open-loop load through the compression service.
 
@@ -488,6 +528,33 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--mutants-per-iter", type=int, default=8)
     pf.add_argument("-v", "--verbose", action="store_true")
     pf.set_defaults(fn=_cmd_fuzz)
+
+    pl = sub.add_parser(
+        "lint", help="run the repro.analyze static-analysis rules"
+    )
+    pl.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: src/repro)",
+    )
+    pl.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    pl.add_argument(
+        "--baseline", default=".analyze-baseline.json", metavar="PATH",
+        help="baseline file of grandfathered findings "
+             "(default: .analyze-baseline.json)",
+    )
+    pl.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    pl.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    pl.add_argument("-o", "--output", help="also write the report to a file")
+    pl.set_defaults(fn=_cmd_lint)
 
     psb = sub.add_parser(
         "serve-bench",

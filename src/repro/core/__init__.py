@@ -1,4 +1,15 @@
-"""SZx core: the paper's ultrafast error-bounded lossy compressor."""
+"""SZx core: the paper's ultrafast error-bounded lossy compressor.
+
+Kernel modules (``bits``, ``blocks``, ``reqbits``, ``scalar``,
+``vectorized``) carry an ``# analyze: hot-path`` pragma under their
+docstring: the ``szx lint`` dtype-discipline rules flag any float64
+upcast there, because Formulas (4)/(5) are float32-exact by design.
+Deliberate float64 math (e.g. exact ``frexp`` on subnormals) is
+annotated in place with ``# analyze: ignore[hot-float64]`` and a
+reason.  Binary decoding goes through :mod:`repro.core.safebytes`,
+whose helpers raise :class:`~repro.core.errors.TruncatedStreamError`
+instead of ``struct.error`` on short buffers.
+"""
 
 from .api import (
     BoundResolution,

@@ -4,6 +4,7 @@ All helpers are vectorized; scalar use just passes 0-d arrays through.
 These are the only places in the code base that reinterpret float memory,
 so every dtype/endianness subtlety is concentrated here.
 """
+# analyze: hot-path — float32-exact SZx kernel; no silent float64 upcasts
 
 from __future__ import annotations
 
@@ -43,7 +44,8 @@ def exponent(values: np.ndarray | float, traits: DtypeTraits | None = None) -> n
     arr = np.asarray(values)
     if traits is None:
         traits = traits_for(arr.dtype)
-    mag = np.abs(arr.astype(np.float64))
+    # float64 keeps frexp exact for float32 subnormals (paper §4.2).
+    mag = np.abs(arr.astype(np.float64))  # analyze: ignore[hot-float64]
     _mant, exp = np.frexp(mag)
     exp = exp.astype(np.int64) - 1  # frexp mantissa lives in [0.5, 1)
     return np.where(mag == 0.0, np.int64(-(1 << 20)), exp)
@@ -51,7 +53,14 @@ def exponent(values: np.ndarray | float, traits: DtypeTraits | None = None) -> n
 
 def scalar_exponent(value: float, traits: DtypeTraits) -> int:
     """Scalar convenience wrapper around :func:`exponent`."""
-    return int(np.ravel(exponent(np.asarray(value, dtype=np.float64), traits))[0])
+    return int(
+        np.ravel(
+            exponent(
+                np.asarray(value, dtype=np.float64),  # analyze: ignore[hot-float64] - scalar, one value
+                traits,
+            )
+        )[0]
+    )
 
 
 def split_bytes_be(words: np.ndarray, traits: DtypeTraits) -> np.ndarray:

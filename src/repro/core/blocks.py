@@ -4,6 +4,7 @@ SZx treats every dataset as a flat sequence of fixed-size 1D blocks
 (Section 4 of the paper); multidimensional arrays are compressed in
 C-order.  The last block may be shorter (a *ragged tail*).
 """
+# analyze: hot-path — float32-exact SZx kernel; no silent float64 upcasts
 
 from __future__ import annotations
 
@@ -91,11 +92,17 @@ def block_stats(flat: np.ndarray, layout: BlockLayout):
     """
     traits = traits_for(flat.dtype)
     mins, maxs = block_minmax(flat, layout)
-    mu = ((mins.astype(np.float64) + maxs.astype(np.float64)) * 0.5).astype(
+    # mu/radius math is float64 on purpose: the paper's mean-of-min-max
+    # must not round before the final cast to the data dtype, and the
+    # radius must stay an upper bound on |d_i - mu| after that cast.
+    mu = ((mins.astype(np.float64) + maxs.astype(np.float64)) * 0.5).astype(  # analyze: ignore[hot-float64]
         traits.dtype
     )
-    mu64 = mu.astype(np.float64)
-    radius = np.maximum(maxs.astype(np.float64) - mu64, mu64 - mins.astype(np.float64))
+    mu64 = mu.astype(np.float64)  # analyze: ignore[hot-float64]
+    radius = np.maximum(  # per-block scalars, not the data array
+        maxs.astype(np.float64) - mu64,  # analyze: ignore[hot-float64]
+        mu64 - mins.astype(np.float64),  # analyze: ignore[hot-float64]
+    )
     return mu, radius
 
 
@@ -107,7 +114,8 @@ def relative_block_ranges(flat: np.ndarray, block_size: int) -> np.ndarray:
     layout = BlockLayout(flat.size, validate_block_size(block_size))
     mins, maxs = block_minmax(flat, layout)
     global_range = float(flat.max()) - float(flat.min())
-    ranges = maxs.astype(np.float64) - mins.astype(np.float64)
+    # diagnostics path (Figure 2 analysis), not the compression kernel
+    ranges = maxs.astype(np.float64) - mins.astype(np.float64)  # analyze: ignore[hot-float64]
     if global_range == 0.0:
         return np.zeros_like(ranges)
     return ranges / global_range

@@ -24,6 +24,7 @@ next byte boundary so mid-byte commits are plain memory copies:
 
    s = (8 - R_k \\bmod 8) \\bmod 8
 """
+# analyze: hot-path — float32-exact SZx kernel; no silent float64 upcasts
 
 from __future__ import annotations
 
@@ -48,7 +49,7 @@ def required_length(radius, err_bound: float, traits: DtypeTraits):
     # weights as a minimum-exponent normal's, so that is the exponent the
     # bit-layout analysis must use.  The *bound* exponent stays exact —
     # saturating it upward would under-count the required bits.
-    rad = np.asarray(radius, dtype=np.float64)
+    rad = np.asarray(radius, dtype=np.float64)  # analyze: ignore[hot-float64] - per-block scalars
     emin = 1 - traits.exp_bias
     p_r = np.maximum(exponent(rad, traits), emin)
     p_e = scalar_exponent(err_bound, traits)

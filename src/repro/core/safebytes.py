@@ -1,0 +1,82 @@
+"""Bounds-checked primitives for decoding untrusted bytes.
+
+Every hand-rolled binary decoder in the repository (the SZx stream
+parser and the SZ/ZFP/lossless baseline codecs) reads fixed-layout
+sections out of attacker-controlled buffers.  Raw ``struct.unpack_from``
+raises ``struct.error`` on truncation, ``np.frombuffer`` raises a bare
+``ValueError`` — neither is part of the typed
+:class:`~repro.core.errors.StreamFormatError` contract, and both leave
+the caller to re-validate offsets.
+
+These helpers are the single allowed site for the raw reads: each one
+validates ``0 <= offset`` and ``offset + size <= len(buf)`` first and
+raises :class:`~repro.core.errors.TruncatedStreamError` with the
+section/offset metadata hardened callers rely on.  The
+``unchecked-unpack`` rule in :mod:`repro.analyze` enforces that decoders
+in scope route computed-offset reads through this module.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .errors import TruncatedStreamError
+
+__all__ = ["checked_unpack", "checked_slice", "checked_frombuffer"]
+
+
+def _require(buf, offset: int, size: int, section, what) -> None:
+    """Validate that ``buf[offset : offset + size]`` exists."""
+    if offset < 0 or size < 0:
+        raise TruncatedStreamError(
+            f"negative offset/size reading {what or 'bytes'} "
+            f"(offset={offset}, size={size})",
+            section=section,
+        )
+    end = offset + size
+    if len(buf) < end:
+        raise TruncatedStreamError(
+            f"stream truncated in {what or 'section'} "
+            f"({len(buf)} < {end} bytes)",
+            section=section,
+            offset=len(buf),
+        )
+
+
+def checked_unpack(fmt, buf, offset: int = 0, *, section=None, what=None):
+    """``struct.unpack_from`` with an explicit bounds check.
+
+    *fmt* is a format string or a precompiled :class:`struct.Struct`.
+    Raises :class:`TruncatedStreamError` instead of ``struct.error``
+    when fewer than ``fmt.size`` bytes remain past *offset*.
+    """
+    st = fmt if isinstance(fmt, struct.Struct) else struct.Struct(fmt)
+    _require(buf, offset, st.size, section, what)
+    return st.unpack_from(buf, offset)
+
+
+def checked_slice(buf, offset: int, length: int, *, section=None, what=None):
+    """Return ``buf[offset : offset + length]``, which must exist in full.
+
+    Plain slicing silently shortens past the end of the buffer; this
+    raises :class:`TruncatedStreamError` instead, so a decoder can trust
+    the slice it got back is exactly *length* bytes.
+    """
+    _require(buf, offset, length, section, what)
+    return buf[offset : offset + length]
+
+
+def checked_frombuffer(
+    buf, dtype, count: int, offset: int = 0, *, section=None, what=None
+):
+    """``np.frombuffer`` with *count* items, bounds-checked first.
+
+    The returned array is the usual read-only view over *buf* — callers
+    that need to mutate it must ``.copy()`` (enforced separately by the
+    ``frombuffer-mutation`` analyze rule).
+    """
+    dt = np.dtype(dtype)
+    _require(buf, offset, int(count) * dt.itemsize, section, what)
+    return np.frombuffer(buf, dtype=dt, count=count, offset=offset)

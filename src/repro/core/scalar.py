@@ -5,6 +5,7 @@ one value at a time.  It is deliberately slow and obvious: the vectorized
 engine (:mod:`repro.core.vectorized`) is tested to produce *byte-identical*
 streams, so this module doubles as the format's executable specification.
 """
+# analyze: hot-path — float32-exact SZx kernel; no silent float64 upcasts
 
 from __future__ import annotations
 
@@ -70,7 +71,7 @@ def compress_scalar(
     with observe.span("block_stats", bytes_in=int(flat.nbytes)):
         mu, radius = block_stats(flat, layout) if flat.size else (
             np.empty(0, traits.dtype),
-            np.empty(0, np.float64),
+            np.empty(0, np.float64),  # analyze: ignore[hot-float64] - empty radius placeholder
         )
 
     nonconst_mask = np.zeros(layout.n_blocks, dtype=bool)

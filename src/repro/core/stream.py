@@ -41,6 +41,7 @@ from .errors import (
     TruncatedStreamError,
 )
 from .header import StreamHeader, decode_header
+from .safebytes import checked_frombuffer
 
 #: Fixed per-payload prefix: required-length byte + μ.
 def payload_prefix_size(traits: DtypeTraits) -> int:
@@ -189,12 +190,10 @@ def _parse_stream_impl(buf: bytes, *, verify_checksum: bool) -> StreamComponents
 
     bitmap_bytes = (header.n_blocks + 7) // 8
     end = off + bitmap_bytes
-    if len(buf) < end:
-        raise TruncatedStreamError(
-            f"stream truncated in type bitmap ({len(buf)} < {end} bytes)",
-            section="type-bitmap", offset=len(buf),
-        )
-    bitmap = np.frombuffer(buf, dtype=np.uint8, count=bitmap_bytes, offset=off)
+    bitmap = checked_frombuffer(
+        buf, np.uint8, bitmap_bytes, off,
+        section="type-bitmap", what="type bitmap",
+    )
     all_bits = np.unpackbits(bitmap, bitorder="little")
     if bool(all_bits[header.n_blocks :].any()):
         raise SectionFormatError(
@@ -211,21 +210,17 @@ def _parse_stream_impl(buf: bytes, *, verify_checksum: bool) -> StreamComponents
     off = end
 
     end = off + header.n_const * traits.itemsize
-    if len(buf) < end:
-        raise TruncatedStreamError(
-            f"stream truncated in constant-mu array ({len(buf)} < {end} bytes)",
-            section="const-mu", offset=len(buf),
-        )
-    const_mu = np.frombuffer(buf, dtype=traits.dtype, count=header.n_const, offset=off)
+    const_mu = checked_frombuffer(
+        buf, traits.dtype, header.n_const, off,
+        section="const-mu", what="constant-mu array",
+    )
     off = end
 
     end = off + header.n_nonconst * 2
-    if len(buf) < end:
-        raise TruncatedStreamError(
-            f"stream truncated in zsize array ({len(buf)} < {end} bytes)",
-            section="zsize", offset=len(buf),
-        )
-    zsizes = np.frombuffer(buf, dtype="<u2", count=header.n_nonconst, offset=off)
+    zsizes = checked_frombuffer(
+        buf, "<u2", header.n_nonconst, off,
+        section="zsize", what="zsize array",
+    )
     off = end
 
     total = int(zsizes.sum(dtype=np.int64))

@@ -13,6 +13,7 @@ mid-byte (``L_{i'} <= j``).  This is exactly the recurrence the paper's
 GPU index-propagation computes with recursive doubling (Figure 11);
 ``maximum.accumulate`` is its sequential-scan equivalent.
 """
+# analyze: hot-path — float32-exact SZx kernel; no silent float64 upcasts
 
 from __future__ import annotations
 

@@ -53,7 +53,7 @@ class BoundedQueue:
         with self._lock:
             return self._closed
 
-    def _record_depth(self) -> None:
+    def _record_depth(self) -> None:  # analyze: holds-lock
         if observe.enabled():
             observe.gauge("serve.queue.depth").set(len(self._items))
 

@@ -53,6 +53,7 @@ from . import batching as _batching
 from .errors import (
     JobTimeoutError,
     ServiceClosedError,
+    ServiceOverloadedError,
     TransientError,
 )
 from .queueing import BoundedQueue, QueueEmpty
@@ -183,7 +184,7 @@ class CompressionService:
             )
         except ServiceClosedError:
             raise
-        except Exception:
+        except ServiceOverloadedError:
             self._count("rejected")
             raise
         self._count("submitted")

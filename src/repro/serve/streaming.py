@@ -54,4 +54,6 @@ def map_pipelined(submit, items, *, window: int = 2):
                 try:
                     fut.result()
                 except Exception:
-                    pass
+                    # The caller already sees the first in-order error;
+                    # later failures are only counted, not re-raised.
+                    observe.counter("serve.stream.abandoned_errors").inc()

@@ -48,7 +48,7 @@ class _Plan:
 
 def maybe_fail(site: str) -> None:
     """Raise the armed fault for *site*, if any (near-free when idle)."""
-    if not _armed:
+    if not _armed:  # analyze: ignore[lock-discipline] - benign stale read
         return
     with _lock:
         plan = _plans.get(site)

@@ -22,7 +22,11 @@ import numpy as np
 from ..core.api import compress, decompress
 from .generators import GENERATORS, generate_field
 from .mutators import MUTATORS, mutate_stream
-from .oracles import check_mutation, check_round_trip
+from .oracles import (
+    check_baseline_truncations,
+    check_mutation,
+    check_round_trip,
+)
 
 __all__ = ["FuzzFailure", "FuzzReport", "run_fuzz"]
 
@@ -60,13 +64,20 @@ class FuzzReport:
     seed: int
     iterations: int = 0
     mutants_tested: int = 0
+    truncations_tested: int = 0
     divergences: list = field(default_factory=list)
     bound_violations: list = field(default_factory=list)
     robustness_failures: list = field(default_factory=list)
+    baseline_failures: list = field(default_factory=list)
 
     @property
     def failures(self) -> list:
-        return self.divergences + self.bound_violations + self.robustness_failures
+        return (
+            self.divergences
+            + self.bound_violations
+            + self.robustness_failures
+            + self.baseline_failures
+        )
 
     @property
     def ok(self) -> bool:
@@ -76,10 +87,12 @@ class FuzzReport:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
         return (
             f"fuzz seed={self.seed}: {self.iterations} iterations, "
-            f"{self.mutants_tested} mutants — {status} "
+            f"{self.mutants_tested} mutants, "
+            f"{self.truncations_tested} baseline truncations — {status} "
             f"({len(self.divergences)} divergences, "
             f"{len(self.bound_violations)} bound violations, "
-            f"{len(self.robustness_failures)} robustness failures)"
+            f"{len(self.robustness_failures)} robustness failures, "
+            f"{len(self.baseline_failures)} baseline-decoder failures)"
         )
 
 
@@ -172,6 +185,24 @@ def run_fuzz(
                     kind="robustness", detail=f"{mut_name}: {p}", **ctx
                 )
                 report.robustness_failures.append(failure)
+                if log:
+                    log(str(failure))
+
+        # Truncation corpus for the SZ/ZFP baseline decoders: every
+        # strict prefix must fail with StreamFormatError (never a raw
+        # struct.error / IndexError, never a silent success).  Kept to a
+        # small slice — the baseline encoders are far slower than SZx.
+        base = data.reshape(-1)[:256]
+        if base.size == 0 or bool(np.isfinite(base).all()):
+            problems, tested = check_baseline_truncations(
+                base, err_bound, rng, cuts_per_stream=4
+            )
+            report.truncations_tested += tested
+            for p in problems:
+                failure = FuzzFailure(
+                    kind="robustness", detail=f"baseline-truncation: {p}", **ctx
+                )
+                report.baseline_failures.append(failure)
                 if log:
                     log(str(failure))
 

@@ -90,7 +90,7 @@ def mut_section_swap(rng: np.random.Generator, stream: bytes) -> bytes:
     try:
         spans = stream_layout(stream)
         nonempty = [(s, e) for s, e in spans.values() if e > s]
-    except Exception:  # noqa: BLE001 - already-corrupt input
+    except Exception:  # analyze: ignore[swallowed-exception] - already-corrupt input
         nonempty = []
     if len(nonempty) >= 2:
         ia, ib = rng.choice(len(nonempty), size=2, replace=False)
@@ -117,7 +117,7 @@ def mut_zsize_scramble(rng: np.random.Generator, stream: bytes) -> bytes:
     """Randomize one zsize entry — payload offsets go inconsistent."""
     try:
         spans = stream_layout(stream)
-    except Exception:  # noqa: BLE001
+    except Exception:  # analyze: ignore[swallowed-exception] - unparseable input
         return mut_byte_rewrite(rng, stream)
     z0, z1 = spans["zsizes"]
     if z1 - z0 < 2:
@@ -134,7 +134,7 @@ def mut_header_field(rng: np.random.Generator, stream: bytes) -> bytes:
     try:
         h = decode_header(bytes(stream))
         hdr_end = h.size
-    except Exception:  # noqa: BLE001
+    except Exception:  # analyze: ignore[swallowed-exception] - unparseable input
         hdr_end = min(len(stream), 36)
     if hdr_end == 0:
         return stream

@@ -29,7 +29,12 @@ from ..core.scalar import compress_scalar, decompress_scalar
 from ..core.vectorized import decompress_vectorized
 from ..parallel.omp import omp_compress, omp_decompress
 
-__all__ = ["check_error_bound", "check_mutation", "check_round_trip"]
+__all__ = [
+    "check_baseline_truncations",
+    "check_error_bound",
+    "check_mutation",
+    "check_round_trip",
+]
 
 
 def check_error_bound(
@@ -164,3 +169,57 @@ def _first_diff(a: bytes, b: bytes) -> str:
         if a[i] != b[i]:
             return f"byte {i}"
     return f"byte {n} (length mismatch)"
+
+
+def check_baseline_truncations(
+    data: np.ndarray,
+    err_bound: float,
+    rng: np.random.Generator,
+    *,
+    cuts_per_stream: int = 5,
+) -> tuple:
+    """Truncation corpus for the SZ/ZFP baseline decoders.
+
+    Returns ``(problems, n_tested)``.
+
+    Compresses *data* with each baseline codec and feeds strict prefixes
+    of every stream back to its decoder.  The contract mirrors
+    :func:`check_mutation`'s fail-closed clause: a truncated stream must
+    raise :class:`~repro.core.errors.StreamFormatError` — a raw
+    ``struct.error`` / ``IndexError`` / numpy exception escaping, or a
+    silent successful decode, is a failure.  Cut points mix structural
+    positions (1 byte, last byte) with seeded uniform draws.
+    """
+    from ..baselines import sz_compress, sz_decompress, zfp_compress, zfp_decompress
+
+    codecs = [
+        ("sz", lambda a: sz_compress(a, err_bound), sz_decompress),
+        ("zfp", lambda a: zfp_compress(a, err_bound, mode="fast"), zfp_decompress),
+        ("zfp-embedded", lambda a: zfp_compress(a, err_bound), zfp_decompress),
+    ]
+    problems = []
+    tested = 0
+    for name, encode, decode in codecs:
+        stream = encode(data)
+        cuts = {1, len(stream) - 1}
+        cuts.update(
+            int(c) for c in rng.integers(0, len(stream), size=cuts_per_stream)
+        )
+        for cut in sorted(c for c in cuts if 0 <= c < len(stream)):
+            prefix = stream[:cut]
+            tested += 1
+            try:
+                decode(prefix)
+            except StreamFormatError:
+                continue
+            except Exception as exc:  # noqa: BLE001 - the point of the oracle
+                problems.append(
+                    f"{name}: raw {type(exc).__name__} escaped the decoder "
+                    f"on a {cut}/{len(stream)}-byte prefix: {exc}"
+                )
+            else:
+                problems.append(
+                    f"{name}: truncated stream ({cut}/{len(stream)} bytes) "
+                    "decoded without error"
+                )
+    return problems, tested

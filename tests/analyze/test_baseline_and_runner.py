@@ -1,0 +1,177 @@
+"""Baseline round-trip, runner/report behaviour, and the clean-tree meta-test."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import (
+    apply_baseline,
+    analyze_source,
+    load_baseline,
+    run,
+    write_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+BAD_MODULE = textwrap.dedent(
+    """\
+    def f(xs=[]):
+        try:
+            return xs
+        except Exception:
+            pass
+    """
+)
+
+
+def bad_findings():
+    return analyze_source(BAD_MODULE, "pkg/bad.py")
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        found = bad_findings()
+        assert found
+        write_baseline(found, path)
+        entries = load_baseline(path)
+        assert set(entries) == {f.fingerprint() for f in found}
+        for entry in entries.values():
+            assert entry["count"] == 1
+
+    def test_apply_absorbs_known_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        found = bad_findings()
+        write_baseline(found, path)
+        fresh, absorbed, stale = apply_baseline(found, load_baseline(path))
+        assert fresh == []
+        assert absorbed == len(found)
+        assert stale == []
+
+    def test_new_finding_is_not_absorbed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        found = bad_findings()
+        write_baseline(found[:1], path)
+        fresh, absorbed, _ = apply_baseline(found, load_baseline(path))
+        assert absorbed == 1
+        assert len(fresh) == len(found) - 1
+
+    def test_fixed_code_reports_stale_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        found = bad_findings()
+        write_baseline(found, path)
+        fresh, absorbed, stale = apply_baseline([], load_baseline(path))
+        assert fresh == [] and absorbed == 0
+        assert set(stale) == {f.fingerprint() for f in found}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_fingerprint_survives_line_moves(self):
+        moved = "\n\n# a comment\n" + BAD_MODULE
+        a = {f.fingerprint() for f in bad_findings()}
+        b = {
+            f.fingerprint()
+            for f in analyze_source(moved, "pkg/bad.py")
+        }
+        assert a == b
+
+
+class TestRunner:
+    def test_run_over_directory(self, tmp_path):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(BAD_MODULE)
+        report = run([str(tmp_path)], root=str(tmp_path))
+        assert not report.ok
+        assert report.files == 2
+        assert {f.rule for f in report.findings} == {
+            "mutable-default",
+            "swallowed-exception",
+        }
+
+    def test_run_with_baseline_is_clean(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_MODULE)
+        baseline = tmp_path / "baseline.json"
+        report = run([str(tmp_path)], root=str(tmp_path))
+        write_baseline(report.findings, baseline)
+        again = run(
+            [str(tmp_path)], baseline_path=str(baseline), root=str(tmp_path)
+        )
+        assert again.ok
+        assert again.baselined == len(report.findings)
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = run([str(tmp_path)], root=str(tmp_path))
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+
+class TestCLILint:
+    def _lint(self, *argv, cwd):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_findings_fail_and_baseline_absorbs(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_MODULE)
+        res = self._lint("bad.py", cwd=tmp_path)
+        assert res.returncode == 1, res.stdout + res.stderr
+        assert "mutable-default" in res.stdout
+
+        res = self._lint("bad.py", "--write-baseline", cwd=tmp_path)
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert (tmp_path / ".analyze-baseline.json").exists()
+
+        res = self._lint("bad.py", cwd=tmp_path)
+        assert res.returncode == 0, res.stdout + res.stderr
+
+        res = self._lint("bad.py", "--no-baseline", cwd=tmp_path)
+        assert res.returncode == 1
+
+    def test_json_format(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_MODULE)
+        res = self._lint("bad.py", "--format", "json", cwd=tmp_path)
+        assert res.returncode == 1
+        data = json.loads(res.stdout)
+        assert data["ok"] is False
+        assert {f["rule"] for f in data["findings"]} == {
+            "mutable-default",
+            "swallowed-exception",
+        }
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        res = self._lint("no-such-dir", cwd=tmp_path)
+        assert res.returncode == 2
+
+
+class TestTreeIsClean:
+    """Meta-test: the shipped tree has zero non-baselined findings."""
+
+    def test_src_repro_lints_clean_against_committed_baseline(self):
+        report = run(
+            [str(REPO / "src" / "repro")],
+            baseline_path=str(REPO / ".analyze-baseline.json"),
+            root=str(REPO),
+        )
+        assert report.ok, "\n".join(f.format() for f in report.findings)
+        assert report.stale_baseline == [], (
+            "stale baseline entries (fixed code — remove from "
+            f".analyze-baseline.json): {report.stale_baseline}"
+        )
+
+    def test_committed_baseline_is_small_and_versioned(self):
+        data = json.loads(
+            (REPO / ".analyze-baseline.json").read_text(encoding="utf-8")
+        )
+        assert data["version"] == 1
+        # The baseline is grandfathered debt, not a dumping ground.
+        assert len(data["findings"]) <= 5

@@ -1,0 +1,65 @@
+"""Pragma parsing: ignore / hot-path / holds-lock comments."""
+
+import textwrap
+
+from repro.analyze import parse_pragmas
+
+
+def parse(src):
+    return parse_pragmas(textwrap.dedent(src))
+
+
+class TestIgnore:
+    def test_bare_ignore_suppresses_all_rules(self):
+        p = parse("x = 1  # analyze: ignore\n")
+        assert p.is_suppressed("anything", 1)
+        assert p.is_suppressed("lock-discipline", 1)
+        assert not p.is_suppressed("anything", 2)
+
+    def test_named_ignore_suppresses_only_those_rules(self):
+        p = parse("x = 1  # analyze: ignore[hot-float64, lock-discipline]\n")
+        assert p.is_suppressed("hot-float64", 1)
+        assert p.is_suppressed("lock-discipline", 1)
+        assert not p.is_suppressed("swallowed-exception", 1)
+
+    def test_trailing_prose_is_allowed(self):
+        p = parse("x = 1  # analyze: ignore[hot-float64] - benign, scalar\n")
+        assert p.is_suppressed("hot-float64", 1)
+        assert not p.is_suppressed("other", 1)
+
+    def test_pragma_inside_string_is_not_a_pragma(self):
+        p = parse('x = "# analyze: ignore"\n')
+        assert not p.is_suppressed("anything", 1)
+
+    def test_non_pragma_comment(self):
+        p = parse("x = 1  # a normal comment\n")
+        assert not p.is_suppressed("anything", 1)
+        assert not p.hot_path
+
+
+class TestModuleAndDefPragmas:
+    def test_hot_path_marker(self):
+        p = parse(
+            """\
+            '''docstring'''
+            # analyze: hot-path — float32-exact kernel
+            import numpy as np
+            """
+        )
+        assert p.hot_path
+
+    def test_holds_lock_on_def_line(self):
+        p = parse(
+            """\
+            class Q:
+                def _helper(self):  # analyze: holds-lock
+                    return 1
+            """
+        )
+        assert p.holds_lock(2)
+        assert not p.holds_lock(3)
+
+    def test_unparseable_source_yields_empty_pragmas(self):
+        p = parse_pragmas("def broken(:\n")
+        assert not p.hot_path
+        assert p.ignores == {}

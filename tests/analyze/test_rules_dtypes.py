@@ -1,0 +1,123 @@
+"""Numpy dtype-discipline rules: hot-float64 and frombuffer-mutation."""
+
+import textwrap
+
+from repro.analyze import analyze_source
+
+HOT = "# analyze: hot-path\n"
+
+
+def findings(src, rule, relpath="src/repro/core/mod.py"):
+    return [
+        f
+        for f in analyze_source(textwrap.dedent(src), relpath)
+        if f.rule == rule
+    ]
+
+
+class TestHotFloat64:
+    def test_rule_is_off_without_pragma(self):
+        src = "import numpy as np\nx = a.astype(np.float64)\n"
+        assert findings(src, "hot-float64") == []
+
+    def test_astype_flagged_in_hot_module(self):
+        src = HOT + "import numpy as np\nx = a.astype(np.float64)\n"
+        out = findings(src, "hot-float64")
+        assert len(out) == 1
+        assert out[0].severity == "warning"
+
+    def test_dtype_keyword_flagged(self):
+        src = HOT + (
+            "import numpy as np\n"
+            "x = np.asarray(a, dtype=np.float64)\n"
+            "y = np.zeros(4, dtype='float64')\n"
+        )
+        assert len(findings(src, "hot-float64")) == 2
+
+    def test_positional_float64_in_np_call_flagged(self):
+        src = HOT + "import numpy as np\nx = np.empty(0, np.float64)\n"
+        assert len(findings(src, "hot-float64")) == 1
+
+    def test_float32_is_clean(self):
+        src = HOT + (
+            "import numpy as np\n"
+            "x = a.astype(np.float32)\n"
+            "y = np.zeros(4, dtype=np.float32)\n"
+        )
+        assert findings(src, "hot-float64") == []
+
+    def test_ignore_pragma_documents_deliberate_upcast(self):
+        src = HOT + (
+            "import numpy as np\n"
+            "x = a.astype(np.float64)  # analyze: ignore[hot-float64] - frexp\n"
+        )
+        assert findings(src, "hot-float64") == []
+
+
+class TestFrombufferMutation:
+    def test_mutating_raw_frombuffer_view_is_flagged(self):
+        src = """\
+            import numpy as np
+
+            def decode(buf):
+                arr = np.frombuffer(buf, dtype=np.uint8)
+                arr[0] = 1
+                return arr
+            """
+        out = findings(src, "frombuffer-mutation")
+        assert len(out) == 1
+        assert out[0].severity == "error"
+
+    def test_inplace_method_is_flagged(self):
+        src = """\
+            import numpy as np
+
+            def decode(buf):
+                arr = np.frombuffer(buf, dtype=np.uint8)
+                arr.sort()
+                return arr
+            """
+        assert len(findings(src, "frombuffer-mutation")) == 1
+
+    def test_reshape_chain_still_tainted(self):
+        src = """\
+            import numpy as np
+
+            def decode(buf):
+                arr = np.frombuffer(buf, dtype=np.uint8).reshape(2, -1)
+                arr[0, 0] = 1
+                return arr
+            """
+        assert len(findings(src, "frombuffer-mutation")) == 1
+
+    def test_copy_clears_the_taint(self):
+        src = """\
+            import numpy as np
+
+            def decode(buf):
+                arr = np.frombuffer(buf, dtype=np.uint8).copy()
+                arr[0] = 1
+                return arr
+            """
+        assert findings(src, "frombuffer-mutation") == []
+
+    def test_astype_clears_the_taint(self):
+        src = """\
+            import numpy as np
+
+            def decode(buf):
+                arr = np.frombuffer(buf, dtype=np.uint8).astype(np.int64)
+                arr[0] = 1
+                return arr
+            """
+        assert findings(src, "frombuffer-mutation") == []
+
+    def test_read_only_use_is_clean(self):
+        src = """\
+            import numpy as np
+
+            def decode(buf):
+                arr = np.frombuffer(buf, dtype=np.uint8)
+                return int(arr.sum())
+            """
+        assert findings(src, "frombuffer-mutation") == []

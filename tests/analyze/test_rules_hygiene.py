@@ -1,0 +1,113 @@
+"""Hygiene rules: swallowed broad excepts and mutable default args."""
+
+import textwrap
+
+from repro.analyze import analyze_source
+
+
+def findings(src, rule, relpath="pkg/mod.py"):
+    return [
+        f
+        for f in analyze_source(textwrap.dedent(src), relpath)
+        if f.rule == rule
+    ]
+
+
+class TestSwallowedException:
+    def test_silent_broad_except_flagged(self):
+        src = """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """
+        out = findings(src, "swallowed-exception")
+        assert len(out) == 1
+        assert out[0].severity == "warning"
+
+    def test_bare_except_flagged(self):
+        src = """\
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+            """
+        assert len(findings(src, "swallowed-exception")) == 1
+
+    def test_reraise_is_clean(self):
+        src = """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    cleanup()
+                    raise
+            """
+        assert findings(src, "swallowed-exception") == []
+
+    def test_using_the_exception_is_clean(self):
+        src = """\
+            def f():
+                try:
+                    work()
+                except Exception as exc:
+                    failures.append(exc)
+            """
+        assert findings(src, "swallowed-exception") == []
+
+    def test_recording_via_observe_is_clean(self):
+        src = """\
+            from repro import observe
+
+            def f():
+                try:
+                    work()
+                except Exception:
+                    observe.counter("errors").inc()
+            """
+        assert findings(src, "swallowed-exception") == []
+
+    def test_logging_is_clean(self):
+        src = """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    logger.warning("failed")
+            """
+        assert findings(src, "swallowed-exception") == []
+
+    def test_narrow_except_is_out_of_scope(self):
+        src = """\
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    pass
+            """
+        assert findings(src, "swallowed-exception") == []
+
+
+class TestMutableDefault:
+    def test_list_literal_default_flagged(self):
+        src = "def f(xs=[]):\n    return xs\n"
+        out = findings(src, "mutable-default")
+        assert len(out) == 1
+        assert out[0].severity == "error"
+
+    def test_dict_set_and_ctor_defaults_flagged(self):
+        src = (
+            "def f(a={}, b=set(), c=dict()):\n"
+            "    return a, b, c\n"
+        )
+        assert len(findings(src, "mutable-default")) == 3
+
+    def test_kwonly_default_flagged(self):
+        src = "def f(*, xs=[]):\n    return xs\n"
+        assert len(findings(src, "mutable-default")) == 1
+
+    def test_none_and_immutable_defaults_clean(self):
+        src = "def f(a=None, b=0, c=(), d='x'):\n    return a, b, c, d\n"
+        assert findings(src, "mutable-default") == []

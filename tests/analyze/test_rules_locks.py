@@ -1,0 +1,178 @@
+"""Lock-discipline rule: guarded-attribute inference and violations."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analyze import analyze_source
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def findings(src, relpath="pkg/mod.py"):
+    return [
+        f
+        for f in analyze_source(textwrap.dedent(src), relpath)
+        if f.rule == "lock-discipline"
+    ]
+
+
+GUARDED_CLASS = """\
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []
+
+        def add(self, x):
+            with self._lock:
+                self._items.append(x)
+
+        def size(self):
+            with self._lock:
+                return len(self._items)
+    """
+
+
+class TestClassScope:
+    def test_fully_guarded_class_is_clean(self):
+        assert findings(GUARDED_CLASS) == []
+
+    def test_unguarded_read_is_flagged(self):
+        bad = GUARDED_CLASS.replace(
+            "        def size(self):\n"
+            "            with self._lock:\n"
+            "                return len(self._items)\n",
+            "        def size(self):\n"
+            "            return len(self._items)\n",
+        )
+        assert bad != GUARDED_CLASS
+        out = findings(bad)
+        assert len(out) == 1
+        assert "_items" in out[0].message
+        assert out[0].severity == "error"
+
+    def test_constructor_initialization_is_exempt(self):
+        # __init__ assigns _items without the lock — that must not count.
+        out = findings(GUARDED_CLASS)
+        assert out == []
+
+    def test_immutable_config_attr_not_flagged(self):
+        src = GUARDED_CLASS.replace(
+            "            self._items = []\n",
+            "            self._items = []\n            self.capacity = 4\n",
+        ).replace(
+            "                return len(self._items)\n",
+            "                return len(self._items) + self.capacity\n",
+        ) + "\n    def cap(self):\n        return Box().capacity\n"
+        # capacity is read under the lock but never mutated outside
+        # __init__, so unguarded reads of it are fine.
+        assert findings(src) == []
+
+    def test_holds_lock_pragma_exempts_helper(self):
+        bad = GUARDED_CLASS.replace(
+            "        def size(self):\n",
+            "        def size(self):  # analyze: holds-lock\n",
+        ).replace(
+            "            with self._lock:\n"
+            "                return len(self._items)\n",
+            "            return len(self._items)\n",
+        )
+        assert findings(bad) == []
+
+    def test_inline_ignore_suppresses(self):
+        bad = GUARDED_CLASS.replace(
+            "        def size(self):\n"
+            "            with self._lock:\n"
+            "                return len(self._items)\n",
+            "        def size(self):\n"
+            "            return len(self._items)  # analyze: ignore[lock-discipline]\n",
+        )
+        assert findings(bad) == []
+
+    def test_condition_counts_as_lock(self):
+        src = """\
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._not_empty = threading.Condition(self._lock)
+                    self._items = []
+
+                def put(self, x):
+                    with self._not_empty:
+                        self._items.append(x)
+
+                def peek(self):
+                    return self._items[-1]
+            """
+        out = findings(src)
+        assert len(out) == 1
+        assert "_items" in out[0].message
+
+
+class TestModuleScope:
+    def test_module_global_guarded_elsewhere(self):
+        src = """\
+            import threading
+
+            _lock = threading.Lock()
+            _state = {}
+
+            def set_item(k, v):
+                global _state
+                with _lock:
+                    _state[k] = v
+
+            def get_item(k):
+                return _state.get(k)
+            """
+        out = findings(src)
+        assert len(out) == 1
+        assert "_state" in out[0].message
+
+    def test_reads_under_lock_are_clean(self):
+        src = """\
+            import threading
+
+            _lock = threading.Lock()
+            _state = {}
+
+            def set_item(k, v):
+                with _lock:
+                    _state[k] = v
+
+            def get_item(k):
+                with _lock:
+                    return _state.get(k)
+            """
+        assert findings(src) == []
+
+
+class TestSeededMutationOnRealCode:
+    """Acceptance check: deleting a real lock acquisition is caught."""
+
+    def test_queueing_without_len_lock_is_flagged(self):
+        path = REPO / "src" / "repro" / "serve" / "queueing.py"
+        source = path.read_text(encoding="utf-8")
+        guarded = (
+            "        with self._lock:\n"
+            "            return len(self._items)\n"
+        )
+        assert guarded in source, "seeded-mutation anchor moved; update test"
+        mutated = source.replace(
+            guarded, "        return len(self._items)\n", 1
+        )
+        baseline = [
+            f
+            for f in analyze_source(source, "src/repro/serve/queueing.py")
+            if f.rule == "lock-discipline"
+        ]
+        assert baseline == []
+        out = [
+            f
+            for f in analyze_source(mutated, "src/repro/serve/queueing.py")
+            if f.rule == "lock-discipline"
+        ]
+        assert any("_items" in f.message for f in out)

@@ -1,0 +1,104 @@
+"""Fail-closed decoding of truncated/corrupted baseline streams.
+
+Contract (mirrors the SZx stream hardening tests): decoding any strict
+prefix of a valid SZ/ZFP/lossless-array stream raises a
+:class:`~repro.core.errors.StreamFormatError` subclass — never a raw
+``struct.error``, ``IndexError``, or a silent wrong result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LosslessBaselineCodec,
+    sz_compress,
+    sz_decompress,
+    zfp_compress,
+    zfp_decompress,
+)
+from repro.core.errors import HeaderFormatError, StreamFormatError
+from repro.testing.oracles import check_baseline_truncations
+
+
+def field(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal(n)).astype(np.float32)
+
+
+def assert_all_prefixes_fail(stream, decode, step=1):
+    for cut in range(0, len(stream), step):
+        with pytest.raises(StreamFormatError):
+            decode(stream[:cut])
+
+
+class TestSZTruncation:
+    def test_every_prefix_fails_closed_lorenzo(self):
+        stream = sz_compress(field(), 1e-3)
+        assert_all_prefixes_fail(stream, sz_decompress)
+
+    def test_every_prefix_fails_closed_regression(self):
+        data = field(256).reshape(16, 16)
+        stream = sz_compress(data, 1e-3, predictor="regression")
+        assert_all_prefixes_fail(stream, sz_decompress)
+
+    def test_bad_magic_is_header_error(self):
+        stream = bytearray(sz_compress(field(), 1e-3))
+        stream[0] ^= 0xFF
+        with pytest.raises(HeaderFormatError):
+            sz_decompress(bytes(stream))
+
+    def test_intact_stream_still_decodes(self):
+        data = field()
+        out = sz_decompress(sz_compress(data, 1e-3))
+        assert np.abs(out - data).max() <= 1e-3 * 1.0000001
+
+
+class TestZFPTruncation:
+    @pytest.mark.parametrize("mode", ["embedded", "fast", "fixed-rate"])
+    def test_every_prefix_fails_closed(self, mode):
+        stream = zfp_compress(field(200), 1e-3, mode=mode)
+        assert_all_prefixes_fail(stream, zfp_decompress)
+
+    def test_bad_magic_is_header_error(self):
+        stream = bytearray(zfp_compress(field(64), 1e-3))
+        stream[0] ^= 0xFF
+        with pytest.raises(HeaderFormatError):
+            zfp_decompress(bytes(stream))
+
+
+class TestLosslessArrayTruncation:
+    def test_every_prefix_fails_closed(self):
+        codec = LosslessBaselineCodec()
+        stream = codec.compress(field(128).reshape(8, 16))
+        assert_all_prefixes_fail(stream, codec.decompress)
+
+    def test_roundtrip_is_exact(self):
+        codec = LosslessBaselineCodec()
+        data = field(96).reshape(4, 24)
+        np.testing.assert_array_equal(
+            codec.decompress(codec.compress(data)), data
+        )
+
+
+class TestTruncationOracle:
+    def test_oracle_passes_on_valid_codecs(self):
+        problems, tested = check_baseline_truncations(
+            field(128), 1e-3, np.random.default_rng(0)
+        )
+        assert problems == []
+        assert tested > 0
+
+    def test_oracle_catches_a_lying_decoder(self, monkeypatch):
+        # Sanity-check the oracle itself: if the decoder silently
+        # accepts a truncated stream, the oracle must say so.
+        import repro.baselines as baselines
+
+        data = field(64)
+        intact = sz_compress(data, 1e-3)
+        monkeypatch.setattr(
+            baselines, "sz_decompress", lambda buf: sz_decompress(intact)
+        )
+        problems, _ = check_baseline_truncations(
+            data, 1e-3, np.random.default_rng(0)
+        )
+        assert any("decoded without error" in p for p in problems)

@@ -1,0 +1,79 @@
+"""Bounds-checked decode helpers (repro.core.safebytes)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StreamFormatError, TruncatedStreamError
+from repro.core.safebytes import checked_frombuffer, checked_slice, checked_unpack
+
+
+class TestCheckedUnpack:
+    def test_format_string(self):
+        buf = struct.pack("<IH", 7, 3)
+        assert checked_unpack("<IH", buf) == (7, 3)
+
+    def test_precompiled_struct_and_offset(self):
+        st = struct.Struct("<H")
+        buf = b"\x00\x00\x2a\x00"
+        assert checked_unpack(st, buf, 2) == (42,)
+
+    def test_truncated_raises_typed_error(self):
+        with pytest.raises(TruncatedStreamError):
+            checked_unpack("<Q", b"\x00\x00\x00")
+
+    def test_offset_past_end(self):
+        with pytest.raises(TruncatedStreamError):
+            checked_unpack("<H", b"\x00\x00\x00\x00", 3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TruncatedStreamError):
+            checked_unpack("<H", b"\x00\x00", -1)
+
+    def test_error_carries_section_metadata(self):
+        with pytest.raises(TruncatedStreamError) as exc_info:
+            checked_unpack("<Q", b"", section="header", what="sz header")
+        err = exc_info.value
+        assert err.section == "header"
+        assert "sz header" in str(err)
+        assert isinstance(err, StreamFormatError)
+        assert isinstance(err, ValueError)
+
+
+class TestCheckedSlice:
+    def test_exact_slice(self):
+        assert checked_slice(b"abcdef", 2, 3) == b"cde"
+
+    def test_short_buffer_raises_instead_of_shortening(self):
+        with pytest.raises(TruncatedStreamError):
+            checked_slice(b"abcdef", 4, 3)
+
+    def test_zero_length_at_end_is_fine(self):
+        assert checked_slice(b"ab", 2, 0) == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TruncatedStreamError):
+            checked_slice(b"abcdef", 0, -1)
+
+
+class TestCheckedFrombuffer:
+    def test_reads_count_items_at_offset(self):
+        buf = np.arange(6, dtype="<u2").tobytes()
+        out = checked_frombuffer(buf, "<u2", 3, 4)
+        np.testing.assert_array_equal(out, [2, 3, 4])
+
+    def test_truncated_raises_typed_error(self):
+        buf = np.arange(4, dtype="<u4").tobytes()
+        with pytest.raises(TruncatedStreamError):
+            checked_frombuffer(buf, "<u4", 5)
+
+    def test_zero_count(self):
+        out = checked_frombuffer(b"", np.uint8, 0)
+        assert out.size == 0
+
+    def test_itemsize_scaling(self):
+        # 3 float64 need 24 bytes; 23 must fail.
+        with pytest.raises(TruncatedStreamError):
+            checked_frombuffer(b"\x00" * 23, np.float64, 3)
+        assert checked_frombuffer(b"\x00" * 24, np.float64, 3).size == 3
