@@ -81,7 +81,13 @@ def dump_stage_breakdown(table_name: str, fn, *args, meta=None, **kwargs):
         return fn(*args, **kwargs)
     from repro.bench import stage_breakdown, write_stage_json
 
-    result, spans = stage_breakdown(fn, *args, **kwargs)
+    # REPRO_STAGE_PROFILE=1 additionally runs the sampling profiler so
+    # the JSON carries collapsed-stack frame attribution.
+    result, spans = stage_breakdown(
+        fn, *args,
+        profile=bool(os.environ.get("REPRO_STAGE_PROFILE")),
+        **kwargs,
+    )
     doc_meta = {"table": table_name, "scale": SCALE}
     if meta:
         doc_meta.update(meta)
@@ -93,3 +99,33 @@ def dump_stage_breakdown(table_name: str, fn, *args, meta=None, **kwargs):
 
 def cr(data: np.ndarray, stream: bytes) -> float:
     return data.nbytes / len(stream)
+
+
+def save_cells(name: str, table: dict, text: str, *, meta=None, extra=None):
+    """Persist one benchmark table as ``.txt`` plus a ``.json`` row dump.
+
+    *table* is the ``{(codec, rel, app): value}`` dict every table
+    benchmark builds; the JSON sibling flattens it into
+    ``[{"codec", "rel", "app", "value"}, ...]`` cells (tuples become
+    lists) so the perf ledger and trend tooling can consume the run
+    without re-parsing the aligned text.
+    """
+    from repro.bench import save_json, save_result
+
+    save_result(name, text)
+    cells = [
+        {
+            "codec": codec,
+            "rel": rel,
+            "app": app,
+            "value": list(value) if isinstance(value, tuple) else value,
+        }
+        for (codec, rel, app), value in sorted(
+            table.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        )
+    ]
+    doc = {"table": name, "scale": SCALE, "meta": dict(meta) if meta else {},
+           "cells": cells}
+    if extra:
+        doc["extra"] = extra
+    return save_json(name, doc)

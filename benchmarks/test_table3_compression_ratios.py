@@ -6,11 +6,19 @@ bounds 1E-2 / 1E-3 / 1E-4, plus the lossless row.  Asserted shape
 lossless sits far below all of them at 1.1~1.5.
 """
 
-from repro.bench import format_table, save_result
+from repro.bench import format_table
 from repro.lossless import lossless_compress
 from repro.metrics import harmonic_mean
 
-from _common import COMPRESSORS, MAX_FIELDS, REL_BOUNDS, all_apps, app_fields, cr
+from _common import (
+    COMPRESSORS,
+    MAX_FIELDS,
+    REL_BOUNDS,
+    all_apps,
+    app_fields,
+    cr,
+    save_cells,
+)
 
 #: The LZ stage is a Python loop; CR is size-insensitive, so the lossless
 #: row measures on a prefix of each field.
@@ -70,7 +78,11 @@ def test_table3_compression_ratios(benchmark):
     )
     text = "\n\n".join(chunks)
     print("\n" + text)
-    save_result("table3_compression_ratios", text)
+    save_cells(
+        "table3_compression_ratios", table, text,
+        meta={"values": ["min", "overall", "max"]},
+        extra={"zstd": {app: list(zstd[app]) for app in all_apps()}},
+    )
 
     zfp_wins = 0
     cells = 0

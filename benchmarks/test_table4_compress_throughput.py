@@ -8,7 +8,7 @@ by a multiple (paper: 2.5~5x vs ZFP, 5~7x vs SZ).
 
 import numpy as np
 
-from repro.bench import format_table, measure_throughput_mb_s, save_result
+from repro.bench import format_table, measure_throughput_mb_s
 
 from _common import (
     COMPRESSORS,
@@ -16,6 +16,7 @@ from _common import (
     all_apps,
     app_fields,
     dump_stage_breakdown,
+    save_cells,
 )
 
 #: One representative field per app keeps the SZ/ZFP runtime tractable.
@@ -91,5 +92,8 @@ def test_table4_compress_throughput(benchmark):
     table = measure("compress")
     text = render(table, "Table 4 — single-core compression throughput (MB/s)")
     print("\n" + text)
-    save_result("table4_compress_throughput", text)
+    save_cells(
+        "table4_compress_throughput", table, text,
+        meta={"direction": "compress", "unit": "MB/s"},
+    )
     check_szx_fastest(table)

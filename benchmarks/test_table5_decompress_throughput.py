@@ -4,11 +4,9 @@ Same setup as Table 4 for the decompression direction.  Asserted shape:
 SZx is the fastest decompressor everywhere (paper: 2~4x vs SZ and ZFP).
 """
 
-from repro.bench import save_result
-
 from test_table4_compress_throughput import check_szx_fastest, measure, render
 
-from _common import COMPRESSORS, app_fields, dump_stage_breakdown
+from _common import COMPRESSORS, app_fields, dump_stage_breakdown, save_cells
 
 
 def test_table5_decompress_throughput(benchmark):
@@ -26,5 +24,8 @@ def test_table5_decompress_throughput(benchmark):
     table = measure("decompress")
     text = render(table, "Table 5 — single-core decompression throughput (MB/s)")
     print("\n" + text)
-    save_result("table5_decompress_throughput", text)
+    save_cells(
+        "table5_decompress_throughput", table, text,
+        meta={"direction": "decompress", "unit": "MB/s"},
+    )
     check_szx_fastest(table)

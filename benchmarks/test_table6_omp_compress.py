@@ -14,11 +14,11 @@ Asserted shape: omp-SZx has the best multicore throughput everywhere
 
 import os
 
-from repro.bench import format_table, save_result
+from repro.bench import format_table
 from repro.parallel import omp_compress
 from repro.parallel.scaling import modeled_throughput
 
-from _common import REL_BOUNDS, all_apps, app_fields
+from _common import REL_BOUNDS, all_apps, app_fields, save_cells
 
 from test_table4_compress_throughput import measure
 
@@ -69,5 +69,9 @@ def test_table6_omp_compress(benchmark):
         f"(host cores: {n_host})",
     )
     print("\n" + text)
-    save_result("table6_omp_compress", text)
+    save_cells(
+        "table6_omp_compress", table, text,
+        meta={"direction": "compress", "unit": "GB/s",
+              "threads": N_THREADS, "host_cores": n_host},
+    )
     check_szx_best(table)

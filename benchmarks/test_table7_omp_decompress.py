@@ -8,10 +8,10 @@ projection for ZFP.  Asserted shape: omp-SZx beats omp-SZ everywhere
 
 import os
 
-from repro.bench import format_table, save_result
+from repro.bench import format_table
 from repro.parallel import omp_compress, omp_decompress
 
-from _common import REL_BOUNDS, all_apps, app_fields
+from _common import REL_BOUNDS, all_apps, app_fields, save_cells
 
 from test_table4_compress_throughput import measure
 from test_table6_omp_compress import N_THREADS, project
@@ -46,7 +46,12 @@ def test_table7_omp_decompress(benchmark):
         rows,
     )
     print("\n" + text)
-    save_result("table7_omp_decompress", text)
+    save_cells(
+        "table7_omp_decompress", table, text,
+        meta={"direction": "decompress", "unit": "GB/s",
+              "threads": N_THREADS, "host_cores": n_host,
+              "zfp": "n/a (no multithreaded decompressor)"},
+    )
 
     for app in all_apps():
         for rel in REL_BOUNDS:

@@ -33,15 +33,17 @@ def _make_jobs(n_jobs: int, values_per_job: int, seed: int) -> list[np.ndarray]:
 
 
 def _percentiles(latencies: list[float]) -> dict:
-    arr = np.asarray(latencies, dtype=np.float64)
-    if arr.size == 0:
+    """Latency summary via :class:`repro.observe.Histogram` quantiles."""
+    if not latencies:
         return {}
+    hist = observe.Histogram("serve_load.latency_s")
+    hist.observe_many(latencies)
     return {
-        "p50_ms": float(np.percentile(arr, 50)) * 1e3,
-        "p95_ms": float(np.percentile(arr, 95)) * 1e3,
-        "p99_ms": float(np.percentile(arr, 99)) * 1e3,
-        "mean_ms": float(arr.mean()) * 1e3,
-        "max_ms": float(arr.max()) * 1e3,
+        "p50_ms": hist.quantile(0.5) * 1e3,
+        "p95_ms": hist.quantile(0.95) * 1e3,
+        "p99_ms": hist.quantile(0.99) * 1e3,
+        "mean_ms": hist.mean * 1e3,
+        "max_ms": hist.max * 1e3,
     }
 
 

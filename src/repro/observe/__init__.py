@@ -9,7 +9,14 @@ Three pieces (see docs/ARCHITECTURE.md §Observability):
   :func:`metrics_snapshot`);
 * **sinks** — destinations for finished root spans
   (:class:`InMemorySink`, :class:`JsonLinesSink`,
-  :class:`TreePrinterSink`, :func:`render_tree`).
+  :class:`TreePrinterSink`, :func:`render_tree`);
+* **export** — the metrics exporter (:func:`render_prometheus`
+  Prometheus text exposition, :class:`MetricsJsonlWriter` structured
+  event feed, :class:`PeriodicMetricsFlusher`);
+* **perf** — the performance-telemetry subsystem (perf-record schema,
+  append-only ledger + ``BENCH_<suite>.json`` summaries, sampling
+  profiler, regression engine, fixed-seed suites) behind
+  ``szx perf record/compare/report``.
 
 Everything is off by default: ``span()`` returns a shared no-op object
 and hot-path metric updates are guarded by :func:`enabled`, so the
@@ -27,6 +34,12 @@ from .metrics import (
     histogram,
     metrics_snapshot,
     reset_metrics,
+)
+from .export import (
+    MetricsJsonlWriter,
+    PeriodicMetricsFlusher,
+    read_metrics_jsonl,
+    render_prometheus,
 )
 from .sinks import InMemorySink, JsonLinesSink, TreePrinterSink, render_tree
 from .spans import (
@@ -63,4 +76,11 @@ __all__ = [
     "histogram",
     "metrics_snapshot",
     "reset_metrics",
+    "render_prometheus",
+    "MetricsJsonlWriter",
+    "PeriodicMetricsFlusher",
+    "read_metrics_jsonl",
+    "perf",
 ]
+
+from . import perf  # noqa: E402  (import-light; suites import codec lazily)

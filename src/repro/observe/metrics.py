@@ -12,6 +12,7 @@ live — enabling tracing simply makes call sites start feeding it.
 from __future__ import annotations
 
 import math
+import random
 import threading
 from collections import Counter as _TallyCounter
 
@@ -57,15 +58,26 @@ def _bucket_label(value) -> str:
     return f"{'-' if f < 0 else ''}1e{exp}"
 
 
+#: Reservoir capacity per histogram: quantiles are exact up to this many
+#: observations and a uniform deterministic sample beyond it.
+RESERVOIR_SIZE = 4096
+
+
 class Histogram:
     """Distribution summary: count/sum/min/max plus bucket tallies.
 
     Small non-negative integer observations (e.g. the required-bits
     values, block sizes) keep exact per-value buckets; everything else
-    falls into signed decade buckets.
+    falls into signed decade buckets.  A bounded reservoir (seeded
+    Algorithm R, so runs are reproducible) backs :meth:`quantile` /
+    :meth:`percentiles` — exact below :data:`RESERVOIR_SIZE`
+    observations, a uniform sample above it.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+    __slots__ = (
+        "name", "count", "total", "min", "max", "buckets",
+        "_samples", "_rng", "_lock",
+    )
 
     def __init__(self, name: str):
         self.name = name
@@ -74,6 +86,8 @@ class Histogram:
         self.min = None
         self.max = None
         self.buckets = _TallyCounter()
+        self._samples: list[float] = []
+        self._rng = random.Random(0x5A11C0 ^ hash(name) & 0xFFFFFFFF)
         self._lock = threading.Lock()
 
     def observe(self, value) -> None:
@@ -83,6 +97,7 @@ class Histogram:
         """Record an iterable (or numpy array) of observations at once."""
         values = getattr(values, "tolist", lambda: values)()
         with self._lock:
+            samples = self._samples
             for v in values:
                 f = float(v)
                 self.count += 1
@@ -92,11 +107,46 @@ class Histogram:
                 if self.max is None or f > self.max:
                     self.max = f
                 self.buckets[_bucket_label(v)] += 1
+                if len(samples) < RESERVOIR_SIZE:
+                    samples.append(f)
+                else:
+                    j = self._rng.randrange(self.count)
+                    if j < RESERVOIR_SIZE:
+                        samples[j] = f
 
     @property
     def mean(self):
         with self._lock:
             return self.total / self.count if self.count else None
+
+    def quantile(self, q: float):
+        """The *q*-quantile (0 <= q <= 1) with linear interpolation.
+
+        Computed from the sample reservoir — exact while the histogram
+        has seen at most :data:`RESERVOIR_SIZE` values, an unbiased
+        estimate beyond.  Returns ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def percentiles(self, qs=(0.5, 0.9, 0.95, 0.99)):
+        """``{"p50": ..., "p90": ...}`` for each quantile in *qs*."""
+        out = {}
+        for q in qs:
+            label = f"{q * 100:g}".replace(".", "_")
+            out[f"p{label}"] = self.quantile(q)
+        return out
 
 
 class MetricsRegistry:
@@ -140,6 +190,10 @@ class MetricsRegistry:
                         "min": h.min,
                         "max": h.max,
                         "mean": h.mean,
+                        "p50": h.quantile(0.5),
+                        "p90": h.quantile(0.9),
+                        "p95": h.quantile(0.95),
+                        "p99": h.quantile(0.99),
                         "buckets": dict(sorted(h.buckets.items())),
                     }
                     for n, h in sorted(self._histograms.items())

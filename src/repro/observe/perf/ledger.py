@@ -1,0 +1,192 @@
+"""The perf ledger: append-only JSONL + rolling ``BENCH_<suite>.json``.
+
+Layout under the ledger directory (default ``results/perf/``)::
+
+    ledger.jsonl          append-only, one PerfRecord JSON per line
+    <label>.json          one run: {"label", "suite", "env", "records"}
+    BENCH_<suite>.json    rolling summary: latest metrics + history per case
+
+Run files are what ``szx perf compare A B`` consumes; the JSONL ledger
+is the full trajectory ``szx perf report`` trends over; the BENCH
+summary is the small committed artifact CI gates against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .record import EnvFingerprint, PerfRecord, SCHEMA_VERSION
+
+LEDGER_NAME = "ledger.jsonl"
+BENCH_PREFIX = "BENCH_"
+
+#: Throughput points kept per case in the rolling summary.
+HISTORY_DEPTH = 20
+
+
+def default_perf_dir() -> Path:
+    """``results/perf`` next to the repo's results directory."""
+    from ...bench.results import RESULTS_DIR
+
+    return Path(RESULTS_DIR) / "perf"
+
+
+class PerfLedger:
+    """Writer/reader for one perf-ledger directory."""
+
+    def __init__(self, directory=None):
+        self.dir = Path(directory) if directory is not None else default_perf_dir()
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def ledger_path(self) -> Path:
+        return self.dir / LEDGER_NAME
+
+    def run_path(self, label: str) -> Path:
+        return self.dir / f"{label}.json"
+
+    def bench_path(self, suite: str) -> Path:
+        return self.dir / f"{BENCH_PREFIX}{suite}.json"
+
+    # -- writing --------------------------------------------------------
+    def append(self, records) -> Path:
+        """Append *records* to the JSONL ledger (created on first use)."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        with open(self.ledger_path, "a", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec.to_dict(), sort_keys=True) + "\n")
+        return self.ledger_path
+
+    def write_run(self, label: str, suite: str, records) -> Path:
+        """Write one named run file (the unit ``szx perf compare`` takes)."""
+        records = list(records)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        env = records[0].env if records else EnvFingerprint.capture()
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "label": label,
+            "suite": suite,
+            "env": env.to_dict(),
+            "records": [r.to_dict() for r in records],
+        }
+        path = self.run_path(label)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def update_bench_summary(self, suite: str, records) -> Path:
+        """Fold *records* into the rolling ``BENCH_<suite>.json``."""
+        records = [r for r in records if r.workload.suite == suite]
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self.bench_path(suite)
+        doc = {"schema": SCHEMA_VERSION, "suite": suite, "cases": {}}
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                pass
+        doc["schema"] = SCHEMA_VERSION
+        doc["suite"] = suite
+        if records:
+            doc["env"] = records[0].env.to_dict()
+        cases = doc.setdefault("cases", {})
+        for rec in records:
+            entry = cases.setdefault(rec.case, {"history_mb_s": []})
+            entry["metrics"] = dict(rec.metrics)
+            entry["wall_s_best"] = rec.wall_s_best
+            entry["noise_cv"] = rec.noise_cv
+            entry["recorded_at"] = rec.recorded_at
+            tp = rec.metrics.get("throughput_mb_s")
+            if tp is not None:
+                history = entry.setdefault("history_mb_s", [])
+                history.append(round(float(tp), 3))
+                del history[:-HISTORY_DEPTH]
+            entry["n_runs"] = entry.get("n_runs", 0) + 1
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def record_run(self, label: str, suite: str, records) -> dict:
+        """One-stop persistence: ledger append + run file + summary."""
+        records = list(records)
+        return {
+            "ledger": self.append(records),
+            "run": self.write_run(label, suite, records),
+            "bench": self.update_bench_summary(suite, records),
+        }
+
+    # -- reading --------------------------------------------------------
+    def read(self) -> list[PerfRecord]:
+        """Every record in the JSONL ledger (empty when absent)."""
+        path = self.ledger_path
+        if not path.exists():
+            return []
+        records = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(PerfRecord.from_dict(json.loads(line)))
+        return records
+
+    def resolve_run(self, name_or_path) -> Path:
+        """A run file from an explicit path or a label in this ledger."""
+        p = Path(name_or_path)
+        if p.exists():
+            return p
+        candidate = self.run_path(str(name_or_path))
+        if candidate.exists():
+            return candidate
+        raise FileNotFoundError(
+            f"no perf run {name_or_path!r} (tried {p} and {candidate})"
+        )
+
+
+def load_run(path) -> tuple[dict, list[PerfRecord]]:
+    """Load one run file -> (meta without records, records)."""
+    doc = json.loads(Path(path).read_text())
+    records = [PerfRecord.from_dict(d) for d in doc.get("records", [])]
+    meta = {k: v for k, v in doc.items() if k != "records"}
+    return meta, records
+
+
+def merge_records(*groups) -> list[PerfRecord]:
+    """Merge record groups, keeping the newest record per (env, case).
+
+    Later groups win ties; ordering is by ``recorded_at`` so merging
+    two ledgers yields the union trajectory without duplicate cells.
+    """
+    best: dict = {}
+    for group in groups:
+        for rec in group:
+            key = (rec.env.to_dict().get("machine"), rec.env.python, rec.case)
+            prev = best.get(key)
+            if prev is None or (rec.recorded_at or 0) >= (prev.recorded_at or 0):
+                best[key] = rec
+    return sorted(best.values(), key=lambda r: (r.recorded_at or 0, r.case))
+
+
+def summarize_records(records) -> dict:
+    """JSON-ready per-case summary of a record list (for reports)."""
+    cases = {}
+    for rec in records:
+        cases[rec.case] = {
+            "operation": rec.workload.operation,
+            "dataset": rec.workload.dataset,
+            "metrics": dict(rec.metrics),
+            "wall_s_best": rec.wall_s_best,
+            "noise_cv": rec.noise_cv,
+        }
+    return cases
+
+
+def iter_bench_summaries(directory=None):
+    """Yield ``(suite, doc)`` for every BENCH_*.json in the ledger dir."""
+    directory = Path(directory) if directory is not None else default_perf_dir()
+    if not directory.exists():
+        return
+    for path in sorted(directory.glob(f"{BENCH_PREFIX}*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        yield path.stem[len(BENCH_PREFIX):], doc

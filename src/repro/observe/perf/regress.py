@@ -1,0 +1,209 @@
+"""Noise-aware pairwise regression detection over perf runs.
+
+``szx perf compare A B`` boils down to :func:`compare_runs`: match
+records by case, form the throughput ratio ``B / A`` (and the inverted
+latency ratio where percentiles exist), and classify each cell against
+a *noise-aware floor* — the configured threshold is relaxed when the
+repeat variance says the measurement itself is noisier than the margin
+being enforced, so a jittery CI runner does not page anyone over its
+own scheduling hiccups:
+
+    floor = min(threshold, 1 - noise_factor * cv)
+    cv    = sqrt(cv_A**2 + cv_B**2)   (repeat coefficient of variation)
+
+A cell regresses when its ratio falls below the floor, improves when
+it clears the symmetric ceiling ``max(1/threshold, 1 + noise_factor *
+cv)``, and is ``ok`` in between.  Environment fingerprints ride along:
+comparisons across different hardware are still *rendered* but flagged
+``env_comparable=False`` so callers (the CI gate) can refuse to fail
+on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .record import EnvFingerprint, PerfRecord
+
+#: How many combined coefficients-of-variation widen the tolerance.
+DEFAULT_NOISE_FACTOR = 3.0
+
+#: Latency percentile keys compared when both records carry them.
+LATENCY_KEYS = ("p50_ms", "p95_ms", "p99_ms")
+
+
+@dataclass
+class CaseDelta:
+    """One compared cell: a (case, metric) pair across two runs."""
+
+    case: str
+    metric: str
+    base: float
+    new: float
+    ratio: float          # > 1 is better (latency ratios are inverted)
+    floor: float
+    noise_cv: float
+    status: str           # "regression" | "improvement" | "ok"
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class CompareReport:
+    """Everything ``szx perf compare`` prints/serializes."""
+
+    deltas: list = field(default_factory=list)
+    missing_cases: list = field(default_factory=list)
+    threshold: float = 0.9
+    env_comparable: bool = True
+
+    @property
+    def regressions(self) -> list:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def improvements(self) -> list:
+        return [d for d in self.deltas if d.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "env_comparable": self.env_comparable,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "missing_cases": list(self.missing_cases),
+            "n_regressions": len(self.regressions),
+            "n_improvements": len(self.improvements),
+            "ok": self.ok,
+        }
+
+
+def _classify(ratio: float, *, threshold: float, noise_cv: float,
+              noise_factor: float) -> tuple[str, float]:
+    floor = min(threshold, 1.0 - noise_factor * noise_cv)
+    ceiling = max(1.0 / threshold, 1.0 + noise_factor * noise_cv)
+    if ratio < floor:
+        return "regression", floor
+    if ratio > ceiling:
+        return "improvement", floor
+    return "ok", floor
+
+
+def _combined_cv(a: PerfRecord, b: PerfRecord) -> float:
+    return (a.noise_cv ** 2 + b.noise_cv ** 2) ** 0.5
+
+
+def compare_runs(
+    base_records,
+    new_records,
+    *,
+    threshold: float = 0.9,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+) -> CompareReport:
+    """Compare two record lists case-by-case.
+
+    *threshold* is the minimum acceptable ``new/base`` throughput ratio
+    before noise widening (``0.9`` = flag drops worse than 10%).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    base_by_case = {r.case: r for r in base_records}
+    new_by_case = {r.case: r for r in new_records}
+
+    report = CompareReport(threshold=threshold)
+    report.missing_cases = sorted(
+        set(base_by_case) ^ set(new_by_case)
+    )
+    shared = sorted(set(base_by_case) & set(new_by_case))
+
+    envs_a = [base_by_case[c].env for c in shared]
+    envs_b = [new_by_case[c].env for c in shared]
+    if envs_a and envs_b:
+        report.env_comparable = all(
+            isinstance(a, EnvFingerprint) and isinstance(b, EnvFingerprint)
+            and a.comparable_to(b)
+            for a, b in zip(envs_a, envs_b)
+        )
+
+    for case in shared:
+        a, b = base_by_case[case], new_by_case[case]
+        cv = _combined_cv(a, b)
+
+        tp_a = a.metrics.get("throughput_mb_s")
+        tp_b = b.metrics.get("throughput_mb_s")
+        if tp_a and tp_b:
+            ratio = float(tp_b) / float(tp_a)
+            status, floor = _classify(
+                ratio, threshold=threshold, noise_cv=cv, noise_factor=noise_factor
+            )
+            report.deltas.append(CaseDelta(
+                case=case, metric="throughput_mb_s",
+                base=float(tp_a), new=float(tp_b),
+                ratio=ratio, floor=floor, noise_cv=cv, status=status,
+            ))
+
+        lat_a, lat_b = a.latency or {}, b.latency or {}
+        for key in LATENCY_KEYS:
+            va, vb = lat_a.get(key), lat_b.get(key)
+            if va and vb:
+                ratio = float(va) / float(vb)   # lower latency -> ratio > 1
+                status, floor = _classify(
+                    ratio, threshold=threshold, noise_cv=cv,
+                    noise_factor=noise_factor,
+                )
+                report.deltas.append(CaseDelta(
+                    case=case, metric=f"latency.{key}",
+                    base=float(va), new=float(vb),
+                    ratio=ratio, floor=floor, noise_cv=cv, status=status,
+                ))
+
+        # Compression ratio is deterministic for a fixed-seed workload;
+        # any drop is a correctness-adjacent change, not noise.
+        cr_a = a.metrics.get("ratio")
+        cr_b = b.metrics.get("ratio")
+        if cr_a and cr_b:
+            ratio = float(cr_b) / float(cr_a)
+            status = "regression" if ratio < threshold else (
+                "improvement" if ratio > 1.0 / threshold else "ok"
+            )
+            report.deltas.append(CaseDelta(
+                case=case, metric="ratio",
+                base=float(cr_a), new=float(cr_b),
+                ratio=ratio, floor=threshold, noise_cv=0.0, status=status,
+            ))
+
+    return report
+
+
+_STATUS_MARK = {"regression": "REGRESSED", "improvement": "improved", "ok": "ok"}
+
+
+def format_compare(report: CompareReport, *, verbose: bool = False) -> str:
+    """Human-readable rendering of a :class:`CompareReport`."""
+    lines = []
+    shown = [
+        d for d in report.deltas
+        if verbose or d.status != "ok"
+    ]
+    for d in sorted(shown, key=lambda d: (d.status != "regression", d.case, d.metric)):
+        lines.append(
+            f"  {_STATUS_MARK[d.status]:>9}  {d.case:<40} {d.metric:<20} "
+            f"{d.base:>10.3f} -> {d.new:>10.3f}  "
+            f"(x{d.ratio:.3f}, floor {d.floor:.3f}, cv {d.noise_cv:.3f})"
+        )
+    for case in report.missing_cases:
+        lines.append(f"    missing  {case} (present in only one run)")
+    summary = (
+        f"perf compare: {len(report.deltas)} cell(s), "
+        f"{len(report.regressions)} regression(s), "
+        f"{len(report.improvements)} improvement(s), "
+        f"threshold {report.threshold:g}"
+    )
+    if not report.env_comparable:
+        summary += "  [env mismatch: runs are from different environments]"
+    lines.append(summary)
+    return "\n".join(lines)

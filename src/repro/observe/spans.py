@@ -113,8 +113,16 @@ class Span:
         if stack and stack[-1] is self:
             stack.pop()
         if self.parent is not None:
+            # Cross-thread children may outlive their parent (e.g. a job
+            # finishing after the submitting request's span closed); an
+            # already-finished parent has been delivered, so attaching to
+            # it would silently drop this span — deliver it as a root.
             with _lock:
-                self.parent.children.append(self)
+                parent_open = not self.parent.t1
+                if parent_open:
+                    self.parent.children.append(self)
+            if not parent_open:
+                self._deliver()
         else:
             self._deliver()
         return False

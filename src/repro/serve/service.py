@@ -78,6 +78,9 @@ class _Job:
     # decompress fields:
     payload: bytes = b""
     config: CodecConfig | None = field(default=None)
+    #: The submitter's innermost open span (None when untraced) — worker
+    #: spans attach here so ``serve.job.*`` nests under the request.
+    parent_span: object = None
 
 
 class CompressionService:
@@ -97,6 +100,12 @@ class CompressionService:
     max_retries, retry_backoff_s:
         Transient-fault retry budget and base backoff (exponential,
         jittered to half–1.5× to avoid retry stampedes).
+    metrics_export_path, metrics_flush_interval_s, metrics_export_fmt:
+        When a path is given, a
+        :class:`repro.observe.PeriodicMetricsFlusher` snapshots the
+        metrics registry there on the interval (``"jsonl"`` event feed
+        or ``"prom"`` Prometheus textfile) for the service's lifetime;
+        a final flush runs on :meth:`close`.
     """
 
     def __init__(
@@ -113,6 +122,9 @@ class CompressionService:
         max_retries: int = 2,
         retry_backoff_s: float = 0.005,
         default_config: CodecConfig | None = None,
+        metrics_export_path=None,
+        metrics_flush_interval_s: float = 5.0,
+        metrics_export_fmt: str = "jsonl",
     ):
         if overflow not in _OVERFLOW_POLICIES:
             raise ValueError(
@@ -153,6 +165,13 @@ class CompressionService:
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="serve-worker"
         )
+        self._flusher = None
+        if metrics_export_path is not None:
+            self._flusher = observe.PeriodicMetricsFlusher(
+                metrics_export_path,
+                interval_s=metrics_flush_interval_s,
+                fmt=metrics_export_fmt,
+            ).start()
         self._dispatcher = threading.Thread(
             target=self._dispatch, name="serve-dispatcher", daemon=True
         )
@@ -225,6 +244,7 @@ class CompressionService:
             block_size=block_size,
             engine=config.engine,
             checksum=config.checksum,
+            parent_span=observe.current_span() if observe.enabled() else None,
         )
         return self._admit(job, block)
 
@@ -246,6 +266,7 @@ class CompressionService:
             deadline=now + timeout_s if timeout_s is not None else None,
             payload=bytes(stream),
             config=config.replace(threads=1),
+            parent_span=observe.current_span() if observe.enabled() else None,
         )
         return self._admit(job, block)
 
@@ -355,7 +376,7 @@ class CompressionService:
             return
         t0 = time.monotonic()
         try:
-            with observe.span(f"serve.job.{job.kind}"):
+            with observe.span(f"serve.job.{job.kind}", parent=job.parent_span):
                 if job.kind == "compress":
                     codec = SZxCodec(
                         CodecConfig(
@@ -398,9 +419,14 @@ class CompressionService:
         self._count("batched_jobs", len(live))
         if observe.enabled():
             observe.histogram("serve.batch.jobs").observe(len(live))
+        # A merged batch has one span; it can only nest under a request
+        # span when every member came from the same one.
+        parents = {id(j.parent_span) for j in live}
+        batch_parent = live[0].parent_span if len(parents) == 1 else None
         try:
             with observe.span(
                 "serve.batch",
+                parent=batch_parent,
                 jobs=len(live),
                 bytes_in=sum(int(j.array.nbytes) for j in live),
             ):
@@ -440,6 +466,8 @@ class CompressionService:
         self._queue.close()
         self._dispatcher.join(timeout)
         self._pool.shutdown(wait=True)
+        if self._flusher is not None:
+            self._flusher.stop()
 
     @property
     def closed(self) -> bool:

@@ -52,3 +52,82 @@ class TestResults:
         monkeypatch.setattr(results, "RESULTS_DIR", tmp_path)
         path = results.save_result("unit", "hello")
         assert path.read_text() == "hello\n"
+
+
+class TestTimeRepeats:
+    def test_returns_all_times(self):
+        from repro.bench import time_repeats
+
+        times, result = time_repeats(lambda x: x + 1, 1, repeats=4)
+        assert result == 2
+        assert len(times) == 4
+        assert all(t >= 0 for t in times)
+
+    def test_validation(self):
+        from repro.bench import time_repeats
+
+        with pytest.raises(ValueError):
+            time_repeats(lambda: None, repeats=0)
+
+
+class TestJsonResults:
+    def test_save_json(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.bench.results as results
+
+        monkeypatch.setattr(results, "RESULTS_DIR", tmp_path)
+        path = results.save_json("unit", {"b": 1, "a": [1, 2]})
+        assert path == tmp_path / "unit.json"
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": 1}
+
+    def test_save_rows_writes_both_siblings(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.bench.results as results
+
+        monkeypatch.setattr(results, "RESULTS_DIR", tmp_path)
+        results.save_rows(
+            "t", "Title", ["c1", "c2"],
+            [("r1", 1.0, 2.0), ("r2", 3.0, None)],
+            meta={"unit": "MB/s"},
+        )
+        text = (tmp_path / "t.txt").read_text()
+        assert "Title" in text and "n/a" in text
+        doc = json.loads((tmp_path / "t.json").read_text())
+        assert doc["columns"] == ["c1", "c2"]
+        assert doc["rows"][0] == {"label": "r1", "values": [1.0, 2.0]}
+        assert doc["rows"][1]["values"] == [3.0, None]
+        assert doc["meta"] == {"unit": "MB/s"}
+
+
+class TestStageBreakdownProfile:
+    def test_profile_entry_appended_and_lifted(self, tmp_path):
+        import json
+
+        from repro.bench import stage_breakdown, write_stage_json
+        from repro.codec import CodecConfig, SZxCodec
+
+        import numpy as np
+
+        codec = SZxCodec(CodecConfig(err_bound=1e-3))
+        data = np.linspace(0, 1, 1 << 16, dtype=np.float32)
+        result, spans = stage_breakdown(codec.compress, data, profile=True)
+        assert result == codec.compress(data)
+        assert set(spans[-1]) == {"profile"}
+        prof = spans[-1]["profile"]
+        assert prof["total_samples"] >= 0
+        assert isinstance(prof["collapsed"], list)
+        # And the writer lifts it to the document's top level.
+        path = write_stage_json(tmp_path / "s.json", spans, meta={"k": "v"})
+        doc = json.loads(path.read_text())
+        assert doc["profile"] == prof
+        assert all("profile" not in s for s in doc["spans"])
+        assert doc["meta"] == {"k": "v"}
+
+    def test_unprofiled_has_no_trailer(self):
+        from repro.bench import stage_breakdown
+
+        result, spans = stage_breakdown(lambda: 42)
+        assert result == 42
+        assert all(set(s) != {"profile"} for s in spans)

@@ -324,3 +324,67 @@ class TestSinks:
             pass
         observe.disable()
         assert len(out) == 1 and "printed" in out[0]
+
+
+class TestHistogramQuantiles:
+    def test_exact_small_sample(self):
+        h = Histogram("q")
+        h.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 2.5
+        assert h.quantile(1.0) == 4.0
+        assert h.quantile(0.25) == pytest.approx(1.75)
+
+    def test_empty_returns_none(self):
+        assert Histogram("q").quantile(0.5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("q").quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram("q").quantile(-0.1)
+
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(size=1000)
+        h = Histogram("q")
+        h.observe_many(values)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.quantile(values, q)), rel=1e-9
+            )
+
+    def test_percentiles_labels(self):
+        h = Histogram("q")
+        h.observe_many(range(101))
+        p = h.percentiles()
+        assert set(p) == {"p50", "p90", "p95", "p99"}
+        assert p["p50"] == 50.0
+        custom = h.percentiles(qs=(0.975,))
+        assert custom == {"p97_5": pytest.approx(97.5)}
+
+    def test_reservoir_keeps_bounded_memory(self):
+        from repro.observe.metrics import RESERVOIR_SIZE
+
+        h = Histogram("q")
+        h.observe_many(range(3 * RESERVOIR_SIZE))
+        assert len(h._samples) == RESERVOIR_SIZE
+        assert h.count == 3 * RESERVOIR_SIZE
+        # Quantiles stay approximately right under sampling.
+        mid = h.quantile(0.5)
+        assert abs(mid - 1.5 * RESERVOIR_SIZE) < 0.15 * (3 * RESERVOIR_SIZE)
+
+    def test_deterministic_across_instances(self):
+        a, b = Histogram("same.name"), Histogram("same.name")
+        values = list(range(20000))
+        a.observe_many(values)
+        b.observe_many(values)
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+    def test_snapshot_carries_percentiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe_many([1, 2, 3, 4])
+        snap = reg.snapshot()["histograms"]["h"]
+        assert snap["p50"] == 2.5
+        assert snap["p90"] == pytest.approx(3.7)
+        assert snap["p99"] == pytest.approx(3.97)

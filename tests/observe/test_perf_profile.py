@@ -1,0 +1,116 @@
+"""Sampling profiler: hot-loop attribution, collapsed stacks, views."""
+
+import time
+
+import pytest
+
+from repro.observe.perf import Profile, profile
+from repro.observe.perf.profile import StackSampler
+
+
+def _spin(duration_s):
+    """Busy loop — the synthetic hot function the sampler must find."""
+    t0 = time.perf_counter()
+    x = 0
+    while time.perf_counter() - t0 < duration_s:
+        x += 1
+    return x
+
+
+def _outer(duration_s):
+    return _spin(duration_s)
+
+
+class TestProfileFunction:
+    def test_hot_loop_attributed_to_right_frame(self):
+        # Test modules are not repro.*, so widen the filter to this module.
+        result, prof = profile(
+            _outer, 0.25, interval_s=0.001, only_prefix=__name__
+        )
+        assert result > 0
+        assert prof.total_samples > 20
+        rows = prof.by_function()
+        assert rows, "expected at least one attributed function"
+        hottest = rows[0]["function"]
+        assert hottest.endswith("._spin"), rows
+        # _outer never does work itself: high cumulative, low self.
+        by_name = {r["function"]: r for r in rows}
+        outer = by_name[f"{__name__}._outer"]
+        assert outer["cumulative"] >= outer["self"]
+        assert outer["cumulative"] > prof.total_samples * 0.5
+
+    def test_returns_result_and_profile_on_exception(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            profile(boom, interval_s=0.001)
+
+    def test_collapsed_format(self):
+        _, prof = profile(_outer, 0.1, interval_s=0.001, only_prefix=__name__)
+        lines = prof.collapsed()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert all(part for part in stack.split(";"))
+        # Root-first ordering: _outer before _spin on the joint stack.
+        joint = [ln for ln in lines if "_outer" in ln and "_spin" in ln]
+        assert joint, lines
+        assert joint[0].index("_outer") < joint[0].index("_spin")
+
+    def test_prefix_filter_drops_foreign_frames(self):
+        _, prof = profile(_spin, 0.05, interval_s=0.001,
+                          only_prefix="no.such.module")
+        assert prof.total_samples > 0
+        assert prof.stacks == {}
+
+    def test_to_dict(self):
+        _, prof = profile(_spin, 0.05, interval_s=0.001, only_prefix=__name__)
+        doc = prof.to_dict()
+        assert doc["interval_s"] == 0.001
+        assert doc["total_samples"] == prof.total_samples
+        assert doc["wall_s"] > 0
+        assert isinstance(doc["collapsed"], list)
+
+
+class TestStackSampler:
+    def test_context_manager(self):
+        with StackSampler(interval_s=0.001, only_prefix=__name__) as sampler:
+            _spin(0.1)
+        prof = sampler.profile
+        assert prof.wall_s >= 0.1
+        assert prof.total_samples > 0
+
+    def test_double_start_rejected(self):
+        sampler = StackSampler(interval_s=0.01).start()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+        sampler.stop()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            StackSampler(interval_s=0)
+
+
+class TestByFunctionMath:
+    def test_self_vs_cumulative(self):
+        prof = Profile(interval_s=0.001, only_prefix="")
+        prof.stacks[("m.a", "m.b")] = 7
+        prof.stacks[("m.a",)] = 3
+        prof.total_samples = 10
+        by_name = {r["function"]: r for r in prof.by_function()}
+        assert by_name["m.b"] == {
+            "function": "m.b", "self": 7, "cumulative": 7,
+            "self_s": pytest.approx(0.007), "cumulative_s": pytest.approx(0.007),
+        }
+        assert by_name["m.a"]["self"] == 3
+        assert by_name["m.a"]["cumulative"] == 10
+
+    def test_top_limits_rows(self):
+        prof = Profile(interval_s=0.001)
+        for i in range(5):
+            prof.stacks[(f"m.f{i}",)] = i + 1
+        assert len(prof.by_function(top=2)) == 2
+        # hottest-self first
+        assert prof.by_function(top=1)[0]["function"] == "m.f4"

@@ -1,0 +1,175 @@
+"""Regression engine: classification edge cases and report rendering."""
+
+import pytest
+
+from repro.observe.perf import (
+    EnvFingerprint,
+    PerfRecord,
+    Workload,
+    compare_runs,
+    format_compare,
+)
+from repro.observe.perf.regress import _classify
+
+
+def rec(case="compress/grf", mb_s=100.0, *, repeats=(1.0, 1.0, 1.0),
+        ratio=None, latency=None, env=None):
+    metrics = {"throughput_mb_s": mb_s}
+    if ratio is not None:
+        metrics["ratio"] = ratio
+    return PerfRecord(
+        workload=Workload(
+            suite="smoke", case=case, operation="compress", dataset="grf",
+            dtype="float32", shape=(8,), n_values=8, err_bound=1e-3,
+        ),
+        metrics=metrics,
+        repeats_s=list(repeats),
+        latency=latency,
+        env=env or EnvFingerprint.capture(),
+        recorded_at=0.0,
+    )
+
+
+class TestClassify:
+    def test_clear_regression(self):
+        status, floor = _classify(0.5, threshold=0.9, noise_cv=0.0,
+                                  noise_factor=3.0)
+        assert status == "regression"
+        assert floor == 0.9
+
+    def test_clear_improvement(self):
+        status, _ = _classify(2.0, threshold=0.9, noise_cv=0.0, noise_factor=3.0)
+        assert status == "improvement"
+
+    def test_within_threshold_ok(self):
+        for ratio in (0.91, 1.0, 1.1):
+            status, _ = _classify(ratio, threshold=0.9, noise_cv=0.0,
+                                  noise_factor=3.0)
+            assert status == "ok", ratio
+
+    def test_noise_widens_floor(self):
+        # ratio 0.75 regresses on a quiet run but is ok when the
+        # measurement's own variance explains the gap.
+        quiet, _ = _classify(0.75, threshold=0.9, noise_cv=0.0, noise_factor=3.0)
+        noisy, floor = _classify(0.75, threshold=0.9, noise_cv=0.1,
+                                 noise_factor=3.0)
+        assert quiet == "regression"
+        assert noisy == "ok"
+        assert floor == pytest.approx(0.7)
+
+    def test_noise_widens_ceiling_too(self):
+        status, _ = _classify(1.25, threshold=0.9, noise_cv=0.1, noise_factor=3.0)
+        assert status == "ok"
+
+
+class TestCompareRuns:
+    def test_identical_runs_have_no_regressions(self):
+        base = [rec(), rec("decompress/grf", 200.0)]
+        new = [rec(), rec("decompress/grf", 200.0)]
+        report = compare_runs(base, new)
+        assert report.ok
+        assert not report.improvements
+        assert all(d.ratio == 1.0 for d in report.deltas)
+
+    def test_slowdown_flagged(self):
+        report = compare_runs([rec(mb_s=100.0)], [rec(mb_s=50.0)])
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.metric == "throughput_mb_s"
+        assert delta.ratio == pytest.approx(0.5)
+
+    def test_speedup_flagged_as_improvement(self):
+        report = compare_runs([rec(mb_s=100.0)], [rec(mb_s=200.0)])
+        assert report.ok
+        assert len(report.improvements) == 1
+
+    def test_noisy_measurement_tolerated(self):
+        noisy = (1.0, 1.3, 0.8)  # cv ~ 0.24 per side
+        report = compare_runs(
+            [rec(mb_s=100.0, repeats=noisy)], [rec(mb_s=75.0, repeats=noisy)]
+        )
+        assert report.ok
+
+    def test_latency_ratio_inverted(self):
+        base = [rec(latency={"p50_ms": 10.0, "p95_ms": 20.0})]
+        slow = [rec(latency={"p50_ms": 20.0, "p95_ms": 40.0})]
+        report = compare_runs(base, slow)
+        lat = [d for d in report.deltas if d.metric.startswith("latency.")]
+        assert {d.metric for d in lat} == {"latency.p50_ms", "latency.p95_ms"}
+        assert all(d.status == "regression" for d in lat)
+        assert all(d.ratio == pytest.approx(0.5) for d in lat)
+        # And faster latency counts as improvement.
+        report2 = compare_runs(slow, base)
+        assert all(d.status == "improvement"
+                   for d in report2.deltas if d.metric.startswith("latency."))
+
+    def test_compression_ratio_has_zero_noise_tolerance(self):
+        noisy = (1.0, 2.0, 3.0)
+        report = compare_runs(
+            [rec(ratio=4.0, repeats=noisy)], [rec(ratio=3.0, repeats=noisy)]
+        )
+        cr = [d for d in report.deltas if d.metric == "ratio"]
+        assert cr[0].status == "regression"
+        assert cr[0].noise_cv == 0.0
+
+    def test_missing_cases_reported_not_compared(self):
+        report = compare_runs([rec(), rec("only/base", 10.0)],
+                              [rec(), rec("only/new", 10.0)])
+        assert report.missing_cases == ["only/base", "only/new"]
+        assert {d.case for d in report.deltas} == {"compress/grf"}
+
+    def test_env_mismatch_flagged(self):
+        here = EnvFingerprint.capture()
+        other = EnvFingerprint.from_dict(
+            {**here.to_dict(), "machine": "sparc64", "cpu_count": 1024}
+        )
+        report = compare_runs([rec(env=here)], [rec(mb_s=10.0, env=other)])
+        assert not report.env_comparable
+        # The regression is still computed; gating is the caller's call.
+        assert report.regressions
+
+    def test_git_sha_difference_still_comparable(self):
+        here = EnvFingerprint.capture()
+        other = EnvFingerprint.from_dict({**here.to_dict(), "git_sha": "f00"})
+        report = compare_runs([rec(env=here)], [rec(env=other)])
+        assert report.env_comparable
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            compare_runs([rec()], [rec()], threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_runs([rec()], [rec()], threshold=1.5)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = compare_runs([rec()], [rec(mb_s=10.0)])
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["n_regressions"] == 1
+        assert doc["ok"] is False
+        assert doc["deltas"][0]["case"] == "compress/grf"
+
+
+class TestFormatCompare:
+    def test_quiet_mode_hides_ok_cells(self):
+        text = format_compare(compare_runs([rec()], [rec()]))
+        assert "0 regression(s)" in text
+        assert "compress/grf" not in text
+
+    def test_verbose_shows_all(self):
+        text = format_compare(compare_runs([rec()], [rec()]), verbose=True)
+        assert "compress/grf" in text
+        assert "ok" in text
+
+    def test_regression_rendered_first_with_mark(self):
+        report = compare_runs(
+            [rec(), rec("z/fast", 10.0)], [rec(mb_s=10.0), rec("z/fast", 100.0)]
+        )
+        text = format_compare(report)
+        assert text.index("REGRESSED") < text.index("improved")
+
+    def test_env_mismatch_noted(self):
+        here = EnvFingerprint.capture()
+        other = EnvFingerprint.from_dict({**here.to_dict(), "machine": "vax"})
+        text = format_compare(compare_runs([rec(env=here)], [rec(env=other)]))
+        assert "env mismatch" in text

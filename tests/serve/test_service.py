@@ -292,3 +292,65 @@ class TestLifecycle:
             CompressionService(workers=0)
         with pytest.raises(ValueError):
             CompressionService(max_retries=-1)
+
+
+class TestSpanPropagation:
+    """serve.job.* spans nest under the submitting request's span."""
+
+    @staticmethod
+    def _names(span):
+        yield span.name
+        for child in span.children:
+            yield from TestSpanPropagation._names(child)
+
+    def test_job_span_nests_under_request_span(self):
+        from repro import observe
+
+        data = _field(4_096)
+        with observe.trace() as sink:
+            with CompressionService(workers=2) as svc:
+                with observe.span("client.request"):
+                    svc.compress(data, CFG)
+        roots = [s for s in sink.spans if s.name == "client.request"]
+        assert roots, [s.name for s in sink.spans]
+        assert "serve.job.compress" in list(self._names(roots[0]))
+        # The job span must not ALSO surface as its own root.
+        assert "serve.job.compress" not in [s.name for s in sink.spans]
+
+    def test_decompress_job_nests_too(self):
+        from repro import observe
+
+        data = _field(4_096)
+        stream = SZxCodec(CFG).compress(data)
+        with observe.trace() as sink:
+            with CompressionService(workers=1) as svc:
+                with observe.span("client.request"):
+                    svc.decompress(stream)
+        (root,) = [s for s in sink.spans if s.name == "client.request"]
+        assert "serve.job.decompress" in list(self._names(root))
+
+    def test_job_span_is_root_without_request_span(self):
+        from repro import observe
+
+        data = _field(4_096)
+        with observe.trace() as sink:
+            with CompressionService(workers=1) as svc:
+                svc.compress(data, CFG)
+        assert "serve.job.compress" in [s.name for s in sink.spans]
+
+    def test_orphaned_job_span_delivered_as_root(self):
+        # The submitting span closes before the worker finishes: the job
+        # span must not be lost, nor attached to the delivered parent.
+        from repro import observe
+
+        data = _field(1 << 18)
+        with observe.trace() as sink:
+            with CompressionService(workers=1, batching=False) as svc:
+                with observe.span("fire.and.forget"):
+                    fut = svc.submit_compress(data, CFG)
+                fut.result()
+        names = [s.name for s in sink.spans]
+        assert "fire.and.forget" in names
+        assert "serve.job.compress" in names
+        (req,) = [s for s in sink.spans if s.name == "fire.and.forget"]
+        assert "serve.job.compress" not in list(self._names(req))[1:]
