@@ -8,13 +8,15 @@ projection for ZFP.  Asserted shape: omp-SZx beats omp-SZ everywhere
 
 import os
 
+import numpy as np
+
 from repro.bench import format_table
-from repro.parallel import omp_compress, omp_decompress
+from repro.parallel import omp_compress, omp_decompress, procpool_decompress
 
 from _common import REL_BOUNDS, all_apps, app_fields, save_cells
 
 from test_table4_compress_throughput import measure
-from test_table6_omp_compress import N_THREADS, project
+from test_table6_omp_compress import N_PROCS, N_THREADS, measure_backend, project
 
 
 def test_table7_omp_decompress(benchmark):
@@ -22,6 +24,18 @@ def test_table7_omp_decompress(benchmark):
     n_host = os.cpu_count() or 1
     stream = omp_compress(data, 1e-3, mode="rel", n_threads=n_host)
     benchmark(omp_decompress, stream, n_threads=n_host)
+
+    # Process-backend column: measured shared-memory-pool decode, checked
+    # for exact equality with the thread backend's reconstruction.
+    proc_s, proc_out = measure_backend(
+        procpool_decompress, stream, n_procs=N_PROCS
+    )
+    assert np.array_equal(proc_out, omp_decompress(stream, n_threads=n_host))
+    proc_mb_s = data.nbytes / 1e6 / proc_s
+    print(
+        f"\nprocess backend (measured, {N_PROCS} procs): "
+        f"{proc_mb_s:.1f} MB/s decompress, identical reconstruction"
+    )
 
     single = measure("decompress")
     table = project(single)
@@ -50,7 +64,11 @@ def test_table7_omp_decompress(benchmark):
         "table7_omp_decompress", table, text,
         meta={"direction": "decompress", "unit": "GB/s",
               "threads": N_THREADS, "host_cores": n_host,
-              "zfp": "n/a (no multithreaded decompressor)"},
+              "zfp": "n/a (no multithreaded decompressor)",
+              "process_backend": {
+                  "n_procs": N_PROCS, "mb_s": proc_mb_s,
+                  "identical_reconstruction": True,
+              }},
     )
 
     for app in all_apps():

@@ -53,6 +53,7 @@ def _run_phase(
     *,
     batching: bool,
     workers: int,
+    backend: str,
     queue_capacity: int,
     window_s: float,
     rate_jobs_s: float,
@@ -64,6 +65,7 @@ def _run_phase(
 
     with CompressionService(
         workers=workers,
+        backend=backend,
         queue_capacity=queue_capacity,
         overflow="block",
         submit_timeout_s=None,
@@ -155,6 +157,7 @@ def run_serve_load(
     err_bound: float = 1e-3,
     block_size: int = DEFAULT_BLOCK_SIZE,
     workers: int = 4,
+    backend: str = "thread",
     queue_capacity: int = 512,
     window_s: float = 0.002,
     rate_jobs_s: float = 0.0,
@@ -168,6 +171,7 @@ def run_serve_load(
     fields = _make_jobs(jobs, values_per_job, seed)
     phase_kw = dict(
         workers=workers,
+        backend=backend,
         queue_capacity=queue_capacity,
         window_s=window_s,
         rate_jobs_s=rate_jobs_s,
@@ -189,6 +193,7 @@ def run_serve_load(
             "err_bound": err_bound,
             "block_size": block_size,
             "workers": workers,
+            "backend": backend,
             "queue_capacity": queue_capacity,
             "batch_window_ms": window_s * 1e3,
             "rate_jobs_s": rate_jobs_s,
@@ -227,8 +232,8 @@ def format_serve_report(report: dict) -> str:
     c = report["config"]
     lines.append(
         f"serve-bench: {c['jobs']} jobs x {c['values_per_job']} values, "
-        f"{c['workers']} worker(s), queue {c['queue_capacity']}, "
-        f"window {c['batch_window_ms']:g} ms"
+        f"{c['workers']} {c.get('backend', 'thread')} worker(s), "
+        f"queue {c['queue_capacity']}, window {c['batch_window_ms']:g} ms"
     )
     for key in ("batched", "unbatched"):
         p = report[key]

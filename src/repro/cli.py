@@ -88,6 +88,7 @@ def _codec_config(args, *, err_bound=None) -> CodecConfig:
         engine=getattr(args, "engine", "vectorized"),
         checksum=getattr(args, "checksum", False),
         threads=getattr(args, "threads", 1),
+        backend=getattr(args, "backend", "thread"),
     )
 
 
@@ -541,6 +542,7 @@ def _cmd_serve_bench(args) -> int:
         err_bound=args.error_bound,
         block_size=args.block_size,
         workers=args.workers,
+        backend=getattr(args, "backend", "thread"),
         queue_capacity=args.queue_capacity,
         window_s=args.window_ms / 1e3,
         rate_jobs_s=args.rate,
@@ -639,7 +641,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--threads",
             type=int,
             default=1,
-            help="worker threads (>1 uses the OpenMP-style pool)",
+            help="worker count (>1 uses the pool selected by --backend)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("thread", "process"),
+            default="thread",
+            help="execution backend for --threads>1: the OpenMP-style "
+            "thread pool or the shared-memory process pool",
         )
 
     pc = sub.add_parser("compress", help="compress a raw binary float array")
@@ -815,6 +824,12 @@ def build_parser() -> argparse.ArgumentParser:
     psb.add_argument("-e", "--error-bound", type=float, default=1e-3)
     psb.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
     psb.add_argument("--workers", type=int, default=4)
+    psb.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="service execution backend (process = shared-memory pool)",
+    )
     psb.add_argument("--queue-capacity", type=int, default=512)
     psb.add_argument(
         "--window-ms", type=float, default=2.0, help="micro-batch coalescing window"

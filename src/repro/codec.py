@@ -24,6 +24,7 @@ import numpy as np
 
 from . import observe
 from .core.constants import DEFAULT_BLOCK_SIZE
+from .parallel.backends import BACKENDS, UnknownBackendError, resolve_backend
 
 _MODES = ("abs", "rel")
 _ENGINES = ("vectorized", "scalar")
@@ -46,8 +47,14 @@ class CodecConfig:
 
     ``err_bound`` may stay ``None`` for decompress-only codecs; every
     other field has the library-wide default.  ``threads > 1`` routes
-    both directions through the OpenMP-style pool
-    (:mod:`repro.parallel.omp`), still byte-identical to serial.
+    both directions through the worker pool selected by ``backend`` —
+    ``"thread"`` (the OpenMP-style pool, :mod:`repro.parallel.omp`) or
+    ``"process"`` (the shared-memory multi-process pool,
+    :mod:`repro.parallel.procpool`) — still byte-identical to serial.
+    Unknown backends raise the typed
+    :class:`~repro.parallel.backends.UnknownBackendError`; a
+    ``"process"`` config degrades to the thread pool (with a
+    ``RuntimeWarning``) at run time where shared memory is unavailable.
     """
 
     err_bound: float | None = None
@@ -56,6 +63,7 @@ class CodecConfig:
     engine: str = "vectorized"
     checksum: bool = False
     threads: int = 1
+    backend: str = "thread"
 
     def __post_init__(self):
         if self.err_bound is not None and (
@@ -74,6 +82,10 @@ class CodecConfig:
             raise ValueError(f"block_size must be an int, got {self.block_size!r}")
         if not isinstance(self.threads, int) or self.threads < 1:
             raise ValueError(f"threads must be a positive int, got {self.threads!r}")
+        if self.backend not in BACKENDS:
+            raise UnknownBackendError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
     def replace(self, **changes) -> "CodecConfig":
         """A copy with *changes* applied (re-validated)."""
@@ -106,9 +118,20 @@ class SZxCodec:
         arr = np.asarray(data)
         with observe.span(
             "szx.compress", bytes_in=int(arr.nbytes),
-            engine=cfg.engine, threads=cfg.threads,
+            engine=cfg.engine, threads=cfg.threads, backend=cfg.backend,
         ) as sp:
-            if cfg.threads > 1:
+            if cfg.threads > 1 and resolve_backend(cfg.backend) == "process":
+                from .parallel.procpool import compress_components_procpool
+
+                components = compress_components_procpool(
+                    arr,
+                    cfg.err_bound,
+                    mode=cfg.mode,
+                    block_size=cfg.block_size,
+                    n_procs=cfg.threads,
+                    checksum=cfg.checksum,
+                )
+            elif cfg.threads > 1:
                 from .parallel.omp import compress_components_parallel
 
                 components = compress_components_parallel(
@@ -140,9 +163,16 @@ class SZxCodec:
         stream = bytes(stream)
         with observe.span(
             "szx.decompress", bytes_in=len(stream),
-            engine=cfg.engine, threads=cfg.threads,
+            engine=cfg.engine, threads=cfg.threads, backend=cfg.backend,
         ) as sp:
-            if cfg.threads > 1:
+            if cfg.threads > 1 and resolve_backend(cfg.backend) == "process":
+                from .core.stream import parse_stream
+                from .parallel.procpool import decompress_components_procpool
+
+                out = decompress_components_procpool(
+                    parse_stream(stream), n_procs=cfg.threads
+                )
+            elif cfg.threads > 1:
                 from .core.stream import parse_stream
                 from .parallel.omp import decompress_components_parallel
 

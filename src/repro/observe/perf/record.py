@@ -100,6 +100,7 @@ class Workload:
     block_size: int = 0
     engine: str = "vectorized"
     threads: int = 1
+    backend: str = "thread"
     seed: int = 0
 
     def __post_init__(self):

@@ -20,13 +20,15 @@ DEFAULT_REPEATS = 3
 
 
 def _smoke_cells():
-    """The core-kernel smoke grid: 3 fields x vectorized + threaded."""
+    """The core-kernel smoke grid: 3 fields x vectorized + both pools."""
     return [
-        # (case stem, field kind, shape, rel bound, engine, threads)
-        ("grf", "grf", (64, 64, 64), 1e-3, "vectorized", 1),
-        ("wave", "wave", (64, 64, 64), 1e-3, "vectorized", 1),
-        ("grf-tight", "grf", (64, 64, 64), 1e-4, "vectorized", 1),
-        ("grf-omp2", "grf", (64, 64, 64), 1e-3, "vectorized", 2),
+        # (case stem, field kind, shape, rel bound, engine, threads, backend)
+        ("grf", "grf", (64, 64, 64), 1e-3, "vectorized", 1, "thread"),
+        ("wave", "wave", (64, 64, 64), 1e-3, "vectorized", 1, "thread"),
+        ("grf-tight", "grf", (64, 64, 64), 1e-4, "vectorized", 1, "thread"),
+        ("grf-omp2", "grf", (64, 64, 64), 1e-3, "vectorized", 2, "thread"),
+        ("grf-proc2", "grf", (64, 64, 64), 1e-3, "vectorized", 2, "process"),
+        ("grf-proc4", "grf", (64, 64, 64), 1e-3, "vectorized", 4, "process"),
     ]
 
 
@@ -88,11 +90,11 @@ def run_suite(
 
     # -- set up every cell, warm up once (lazy imports, dispatch) --------
     cells = []
-    for case_stem, kind, shape, rel, engine, threads in SUITES[name]():
+    for case_stem, kind, shape, rel, engine, threads, backend in SUITES[name]():
         data = _make_field(kind, shape, seed)
         cfg = CodecConfig(
             err_bound=rel, mode="rel", block_size=DEFAULT_BLOCK_SIZE,
-            engine=engine, threads=threads,
+            engine=engine, threads=threads, backend=backend,
         )
         codec = SZxCodec(cfg)
 
@@ -110,7 +112,7 @@ def run_suite(
         assert recon.size == data.size
         cells.append({
             "stem": case_stem, "kind": kind, "rel": rel, "engine": engine,
-            "threads": threads, "data": data, "codec": codec,
+            "threads": threads, "backend": backend, "data": data, "codec": codec,
             "compress": _compress, "stream": stream,
             "comp_times": [], "deco_times": [],
         })
@@ -132,7 +134,8 @@ def run_suite(
             suite=name, dataset=cell["kind"], dtype=str(data.dtype),
             shape=data.shape, n_values=int(data.size),
             err_bound=cell["rel"], mode="rel", block_size=DEFAULT_BLOCK_SIZE,
-            engine=cell["engine"], threads=cell["threads"], seed=seed,
+            engine=cell["engine"], threads=cell["threads"],
+            backend=cell["backend"], seed=seed,
         )
 
         comp_profile = None

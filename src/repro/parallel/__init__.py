@@ -1,17 +1,57 @@
-"""OpenMP-style multicore harness for SZx (Section 6.1 of the paper).
+"""Multicore harnesses for SZx (Section 6.1 of the paper).
 
 Blocks are independent, so compression parallelizes by splitting the
 input at block boundaries; decompression uses the prefix sum of the
 ``zsize_array`` to hand each worker the byte range of its blocks.  The
-merged parallel stream is byte-identical to the serial one.
+merged parallel stream is byte-identical to the serial one — for both
+execution backends:
+
+* ``backend="thread"`` (:mod:`repro.parallel.omp`) — the OpenMP-style
+  :class:`ThreadPoolExecutor` harness;
+* ``backend="process"`` (:mod:`repro.parallel.procpool`) — a
+  :class:`ProcessPoolExecutor` + ``multiprocessing.shared_memory``
+  harness that passes arrays as zero-copy shared-memory views, the
+  "break the GIL" path for interpreter-bound workloads.
+
+:func:`resolve_backend` validates backend names (typed
+:class:`UnknownBackendError`) and degrades ``"process"`` to
+``"thread"`` with a warning where shared memory is unavailable.
 """
 
-from .omp import omp_compress, omp_decompress, resolve_thread_count
+from .backends import (
+    BACKENDS,
+    MAX_PROCESS_WORKERS,
+    UnknownBackendError,
+    resolve_backend,
+    shared_memory_available,
+)
 from .chunking import chunk_block_ranges
+from .omp import omp_compress, omp_decompress, resolve_thread_count
+from .procpool import (
+    KILL_SITE,
+    ProcPool,
+    WorkerCrashError,
+    default_pool,
+    procpool_compress,
+    procpool_decompress,
+    shutdown_default_pools,
+)
 
 __all__ = [
+    "BACKENDS",
+    "MAX_PROCESS_WORKERS",
+    "UnknownBackendError",
+    "resolve_backend",
+    "shared_memory_available",
     "omp_compress",
     "omp_decompress",
     "resolve_thread_count",
     "chunk_block_ranges",
+    "KILL_SITE",
+    "ProcPool",
+    "WorkerCrashError",
+    "default_pool",
+    "procpool_compress",
+    "procpool_decompress",
+    "shutdown_default_pools",
 ]

@@ -28,21 +28,36 @@ from ..core.constants import DEFAULT_BLOCK_SIZE, FLAG_CHECKSUM, traits_for
 from ..core.header import StreamHeader
 from ..core.stream import StreamComponents, payload_offsets
 from ..core.vectorized import compress_vectorized, decompress_vectorized
+from .backends import MAX_PROCESS_WORKERS, resolve_backend
 from .chunking import chunk_block_ranges
 
 
-def resolve_thread_count(n_threads) -> int:
-    """Validate *n_threads* and clamp it to the CPUs actually available.
+def resolve_thread_count(n_threads, backend=None) -> int:
+    """Validate *n_threads* (and optionally *backend*); return the count.
 
     Oversubscribing a GIL-releasing numpy pool past the core count only
-    adds scheduling noise, so requests are capped at ``os.cpu_count()``;
-    zero/negative/non-integer requests are programming errors and raise
-    ``ValueError`` instead of silently falling back to one worker.
+    adds scheduling noise, so thread requests are capped at
+    ``os.cpu_count()``; zero/negative/non-integer requests are
+    programming errors and raise ``ValueError`` instead of silently
+    falling back to one worker.
+
+    When *backend* is given it is validated too: unknown names raise the
+    typed :class:`~repro.parallel.backends.UnknownBackendError`, and
+    ``"process"`` degrades to ``"thread"`` with a ``RuntimeWarning``
+    where ``multiprocessing.shared_memory`` is unusable.  Process worker
+    counts are *not* clamped to the core count (forked workers schedule
+    fairly when oversubscribed, and single-core CI must still exercise
+    the multi-process merge); they are capped at
+    :data:`~repro.parallel.backends.MAX_PROCESS_WORKERS`.
     """
     if not isinstance(n_threads, int) or isinstance(n_threads, bool):
         raise ValueError(f"n_threads must be an int, got {n_threads!r}")
     if n_threads < 1:
         raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    if backend is not None:
+        backend = resolve_backend(backend)
+        if backend == "process":
+            return min(n_threads, MAX_PROCESS_WORKERS)
     return min(n_threads, os.cpu_count() or 1)
 
 

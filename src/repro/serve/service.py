@@ -47,7 +47,9 @@ from .. import observe
 from ..codec import CodecConfig, SZxCodec
 from ..core.api import _check_input, resolve_error_bound_info
 from ..core.blocks import validate_block_size
+from ..parallel.backends import resolve_backend
 from ..parallel.omp import resolve_thread_count
+from ..parallel.procpool import ProcPool, WorkerCrashError
 from ..testing import faults
 from . import batching as _batching
 from .errors import (
@@ -89,9 +91,27 @@ class CompressionService:
     Parameters
     ----------
     workers:
-        Pool size (validated and clamped to the CPU count, like the
-        OMP codec).  Job-level ``CodecConfig.threads`` is ignored — the
-        service owns parallelism.
+        Pool size (validated and, for the thread backend, clamped to
+        the CPU count like the OMP codec).  Job-level
+        ``CodecConfig.threads`` is ignored — the service owns
+        parallelism.
+    backend:
+        ``"thread"`` (default) runs codec work on the service's own
+        thread pool.  ``"process"`` additionally owns a
+        :class:`repro.parallel.procpool.ProcPool` of ``workers``
+        processes, pre-forked at construction and torn down by
+        :meth:`close`: unbatched compress/decompress jobs execute
+        through shared memory on that pool, and a worker crash
+        (:class:`~repro.parallel.procpool.WorkerCrashError` after the
+        pool's own rebuild/retry) surfaces as a
+        :class:`~repro.serve.errors.TransientError`, so the service's
+        bounded-retry machinery re-runs the job on the rebuilt pool
+        before failing closed.  Micro-batches stay on the thread path
+        (they merge many small arrays — fork/IPC would dominate).
+        Unknown names raise
+        :class:`~repro.parallel.backends.UnknownBackendError`;
+        ``"process"`` degrades to ``"thread"`` with a warning where
+        shared memory is unavailable.
     queue_capacity, overflow, submit_timeout_s:
         The backpressure policy (see module docstring).
     batching, batch_window_s, batch_max_jobs, batch_max_values:
@@ -112,6 +132,7 @@ class CompressionService:
         self,
         *,
         workers: int = 4,
+        backend: str = "thread",
         queue_capacity: int = 128,
         overflow: str = "reject",
         submit_timeout_s: float = 1.0,
@@ -132,7 +153,8 @@ class CompressionService:
             )
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
-        self.workers = resolve_thread_count(workers)
+        self.backend = resolve_backend(backend)
+        self.workers = resolve_thread_count(workers, backend=self.backend)
         self.overflow = overflow
         #: None = block without deadline; only used under overflow="block".
         self.submit_timeout_s = (
@@ -165,6 +187,11 @@ class CompressionService:
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="serve-worker"
         )
+        # Process backend: fork the worker fleet once, up front, so the
+        # first job pays no fork latency and close() owns the teardown.
+        self._procpool = (
+            ProcPool(self.workers).start() if self.backend == "process" else None
+        )
         self._flusher = None
         if metrics_export_path is not None:
             self._flusher = observe.PeriodicMetricsFlusher(
@@ -190,6 +217,7 @@ class CompressionService:
             out = dict(self._counts)
         out["queue_depth"] = len(self._queue)
         out["workers"] = self.workers
+        out["backend"] = self.backend
         return out
 
     # -- submission -----------------------------------------------------
@@ -371,24 +399,67 @@ class CompressionService:
         finally:
             self._slots.release()
 
+    def _procpool_compress(self, job: _Job) -> bytes:
+        from ..parallel.procpool import compress_components_procpool
+
+        try:
+            return compress_components_procpool(
+                job.array,
+                job.abs_bound,
+                mode="abs",
+                block_size=job.block_size,
+                n_procs=self.workers,
+                checksum=job.checksum,
+                pool=self._procpool,
+            ).to_bytes()
+        except WorkerCrashError as exc:
+            # The pool has already been rebuilt; the job is pure, so the
+            # service retry loop may safely re-run it on the fresh pool.
+            raise TransientError(str(exc)) from exc
+
+    def _procpool_decompress(self, job: _Job):
+        from ..core.stream import parse_stream
+        from ..parallel.procpool import decompress_components_procpool
+
+        try:
+            return decompress_components_procpool(
+                parse_stream(job.payload), n_procs=self.workers,
+                pool=self._procpool,
+            )
+        except WorkerCrashError as exc:
+            raise TransientError(str(exc)) from exc
+
     def _run_single_inner(self, job: _Job) -> None:
         if not self._claim(job):
             return
         t0 = time.monotonic()
+        use_procs = self._procpool is not None and self.workers > 1
         try:
             with observe.span(f"serve.job.{job.kind}", parent=job.parent_span):
                 if job.kind == "compress":
-                    codec = SZxCodec(
-                        CodecConfig(
-                            err_bound=job.abs_bound,
-                            mode="abs",
-                            block_size=job.block_size,
-                            engine=job.engine,
-                            checksum=job.checksum,
+                    if use_procs:
+                        result = self._with_retries(
+                            lambda: self._procpool_compress(job),
+                            "serve.worker.compress",
                         )
-                    )
+                    else:
+                        codec = SZxCodec(
+                            CodecConfig(
+                                err_bound=job.abs_bound,
+                                mode="abs",
+                                block_size=job.block_size,
+                                engine=job.engine,
+                                checksum=job.checksum,
+                            )
+                        )
+                        result = self._with_retries(
+                            lambda: codec.compress(job.array),
+                            "serve.worker.compress",
+                        )
+                elif use_procs:
                     result = self._with_retries(
-                        lambda: codec.compress(job.array), "serve.worker.compress"
+                        lambda: self._procpool_decompress(job),
+                        "serve.worker.decompress",
                     )
                 else:
                     codec = SZxCodec(job.config)
@@ -466,6 +537,10 @@ class CompressionService:
         self._queue.close()
         self._dispatcher.join(timeout)
         self._pool.shutdown(wait=True)
+        if self._procpool is not None:
+            # After the thread pool joined, no job can still touch the
+            # process pool — safe to reap the forked workers.
+            self._procpool.close()
         if self._flusher is not None:
             self._flusher.stop()
 

@@ -21,12 +21,16 @@ everything (autouse it in fixtures).
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 from contextlib import contextmanager
 
 _lock = threading.Lock()
 _plans: dict[str, "_Plan"] = {}
 _armed = False
+_kill_dirs: dict[str, str] = {}
 
 
 class _Plan:
@@ -90,8 +94,73 @@ def inject(site: str, spec, *, times: int = 1, every: int = 1):
 
 
 def reset() -> None:
-    """Disarm every fault site."""
+    """Disarm every fault site (including cross-process kill tokens)."""
     global _armed
     with _lock:
         _plans.clear()
         _armed = False
+        dirs = list(_kill_dirs.values())
+        _kill_dirs.clear()
+    for path in dirs:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+# -- cross-process kill tokens ------------------------------------------
+#
+# ``inject``'s in-memory plans cannot reach a pool worker forked before
+# the arming (and "times" would count per process, not globally).  Kill
+# tokens are the process-safe variant: arming creates ``times`` token
+# files in a temp directory; the *parent* reads the directory path with
+# :func:`kill_dir` at task-build time and ships it inside the task, and
+# a worker claims a token with :func:`claim_kill` — an atomic ``unlink``
+# that succeeds in exactly one process — before killing itself.  Exactly
+# ``times`` workers die, no matter how many processes race.
+
+
+@contextmanager
+def inject_kill(site: str, *, times: int = 1):
+    """Arm *site* with *times* one-shot cross-process kill tokens."""
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    token_dir = tempfile.mkdtemp(prefix="repro-fault-kill-")
+    for i in range(times):
+        with open(os.path.join(token_dir, f"token-{i}"), "w", encoding="utf-8"):
+            pass
+    with _lock:
+        if site in _kill_dirs:
+            shutil.rmtree(token_dir, ignore_errors=True)
+            raise RuntimeError(f"kill site {site!r} is already armed")
+        _kill_dirs[site] = token_dir
+    try:
+        yield token_dir
+    finally:
+        with _lock:
+            _kill_dirs.pop(site, None)
+        shutil.rmtree(token_dir, ignore_errors=True)
+
+
+def kill_dir(site: str) -> str | None:
+    """The armed kill-token directory for *site* (parent-side query)."""
+    with _lock:
+        return _kill_dirs.get(site)
+
+
+def claim_kill(token_dir: str | None) -> bool:
+    """Atomically claim one kill token from *token_dir* (worker-side).
+
+    Returns True when this process won a token (and should die), False
+    when the directory is unarmed, empty, or already fully claimed.
+    """
+    if not token_dir:
+        return False
+    try:
+        names = os.listdir(token_dir)
+    except OSError:
+        return False
+    for name in sorted(names):
+        try:
+            os.unlink(os.path.join(token_dir, name))
+            return True
+        except OSError:
+            continue
+    return False

@@ -1,0 +1,148 @@
+"""Cross-backend differential suite: every execution path, same bytes.
+
+The repo's central compatibility claim is that the scalar reference,
+the vectorized engine, the thread pool, and the shared-memory process
+pool are interchangeable: same stream bytes out of compression, same
+array out of decompression, same typed rejection of invalid input.
+This suite states that claim as a grid — for every (dtype, bound mode,
+block size, worker count) cell all four paths must agree exactly — plus
+the awkward inputs where merges historically diverge (empty arrays,
+all-constant fields, non-block-multiple lengths).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compress, decompress
+from repro.parallel import (
+    omp_compress,
+    omp_decompress,
+    procpool_compress,
+    procpool_decompress,
+)
+
+RNG = np.random.default_rng(2024)
+
+
+def make_field(dtype, n=10_037):
+    """A mixed field: smooth ramp, a constant plateau, and noise."""
+    d = np.cumsum(RNG.normal(size=n)).astype(dtype)
+    d[n // 5 : n // 3] = d[n // 5]          # constant run -> constant blocks
+    tail = n // 7
+    d[n - tail :] += RNG.normal(size=tail)  # rough tail
+    return d
+
+
+def all_backend_streams(data, err_bound, *, mode, block_size, workers):
+    """Compressed bytes from each of the four execution paths."""
+    return {
+        "scalar": compress(
+            data, err_bound, mode=mode, block_size=block_size, engine="scalar"
+        ),
+        "vectorized": compress(
+            data, err_bound, mode=mode, block_size=block_size
+        ),
+        "thread": omp_compress(
+            data, err_bound, mode=mode, block_size=block_size, n_threads=workers
+        ),
+        "process": procpool_compress(
+            data, err_bound, mode=mode, block_size=block_size, n_procs=workers
+        ),
+    }
+
+
+def all_backend_arrays(stream, *, workers):
+    """Reconstructions from each of the four execution paths."""
+    return {
+        "scalar": decompress(stream, engine="scalar"),
+        "vectorized": decompress(stream),
+        "thread": omp_decompress(stream, n_threads=workers),
+        "process": procpool_decompress(stream, n_procs=workers),
+    }
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("mode", ["abs", "rel"])
+@pytest.mark.parametrize("block_size", [64, 128])
+@pytest.mark.parametrize("workers", [2, 5])
+class TestBackendGrid:
+    def test_streams_byte_identical(self, dtype, mode, block_size, workers):
+        data = make_field(dtype)
+        streams = all_backend_streams(
+            data, 1e-3, mode=mode, block_size=block_size, workers=workers
+        )
+        reference = streams.pop("scalar")
+        for name, stream in streams.items():
+            assert stream == reference, f"{name} diverged from scalar"
+
+    def test_reconstructions_identical(self, dtype, mode, block_size, workers):
+        data = make_field(dtype)
+        stream = compress(data, 1e-3, mode=mode, block_size=block_size)
+        arrays = all_backend_arrays(stream, workers=workers)
+        reference = arrays.pop("scalar")
+        assert reference.dtype == dtype
+        for name, arr in arrays.items():
+            assert arr.dtype == reference.dtype, name
+            assert np.array_equal(arr, reference), f"{name} diverged from scalar"
+
+
+class TestAwkwardInputs:
+    WORKERS = 3
+
+    def roundtrip_all(self, data, err_bound=1e-3, **kw):
+        streams = all_backend_streams(
+            data, err_bound, mode=kw.get("mode", "abs"),
+            block_size=kw.get("block_size", 128), workers=self.WORKERS,
+        )
+        assert len(set(streams.values())) == 1, "backends disagree"
+        stream = streams["scalar"]
+        arrays = all_backend_arrays(stream, workers=self.WORKERS)
+        ref = arrays["scalar"]
+        for arr in arrays.values():
+            assert np.array_equal(arr, ref)
+        return stream, ref
+
+    def test_empty(self):
+        stream, recon = self.roundtrip_all(np.empty(0, dtype=np.float32))
+        assert recon.size == 0
+
+    def test_single_value(self):
+        _, recon = self.roundtrip_all(np.array([3.25], dtype=np.float32))
+        assert recon.size == 1
+
+    def test_all_constant(self):
+        data = np.full(5000, 7.5, dtype=np.float32)
+        _, recon = self.roundtrip_all(data)
+        assert np.all(np.abs(recon - data) <= 1e-3)
+
+    def test_non_block_multiple(self):
+        # 10_037 = 78 * 128 + 53: final partial block crosses every merge.
+        data = make_field(np.float32, n=10_037)
+        assert data.size % 128 != 0
+        self.roundtrip_all(data, block_size=128)
+
+    def test_fewer_blocks_than_workers(self):
+        data = make_field(np.float32, n=300)  # 3 blocks, 3 workers
+        self.roundtrip_all(data, block_size=128)
+
+    def test_checksum_streams_identical(self):
+        data = make_field(np.float32)
+        serial = compress(data, 1e-3, checksum=True)
+        parallel = procpool_compress(data, 1e-3, n_procs=self.WORKERS, checksum=True)
+        assert serial == parallel
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_rejected_identically(self, bad):
+        data = make_field(np.float32)
+        data[123] = bad
+        errors = {}
+        for name, fn in {
+            "scalar": lambda: compress(data, 1e-3, engine="scalar"),
+            "vectorized": lambda: compress(data, 1e-3),
+            "thread": lambda: omp_compress(data, 1e-3, n_threads=self.WORKERS),
+            "process": lambda: procpool_compress(data, 1e-3, n_procs=self.WORKERS),
+        }.items():
+            with pytest.raises(ValueError) as excinfo:
+                fn()
+            errors[name] = str(excinfo.value)
+        assert len(set(errors.values())) == 1, errors

@@ -1,0 +1,100 @@
+"""CompressionService on the process backend: identity, crashes, teardown."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig
+from repro.core.api import compress, decompress
+from repro.parallel import UnknownBackendError
+from repro.parallel.procpool import KILL_SITE
+from repro.serve import CompressionService, TransientError
+from repro.testing import faults
+
+RNG = np.random.default_rng(55)
+
+
+def shm_segments():
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except FileNotFoundError:
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture()
+def data():
+    return np.cumsum(RNG.normal(size=25_013)).astype(np.float32)
+
+
+CFG = CodecConfig(err_bound=1e-3)
+
+
+class TestProcessBackendService:
+    def test_streams_byte_identical_to_serial(self, data):
+        serial = compress(data, 1e-3)
+        with CompressionService(workers=3, backend="process", batching=False) as svc:
+            assert svc.stats()["backend"] == "process"
+            assert svc.compress(data, CFG) == serial
+            assert np.array_equal(svc.decompress(serial), decompress(serial))
+
+    def test_worker_crash_is_retried(self, data):
+        serial = compress(data, 1e-3)
+        with CompressionService(workers=2, backend="process", batching=False) as svc:
+            # 2 tokens: the pool's own crash retry absorbs one, the
+            # service's TransientError retry the other.
+            with faults.inject_kill(KILL_SITE, times=2):
+                assert svc.compress(data, CFG) == serial
+            assert svc.stats()["served"] >= 1
+
+    def test_crash_storm_fails_closed_then_recovers(self, data):
+        serial = compress(data, 1e-3)
+        before = shm_segments()
+        with CompressionService(
+            workers=2, backend="process", batching=False,
+            max_retries=1, retry_backoff_s=0.001,
+        ) as svc:
+            # Unbounded kill supply: every pool rebuild dies again, so
+            # the job must surface TransientError once retries run out.
+            with faults.inject_kill(KILL_SITE, times=64):
+                with pytest.raises(TransientError):
+                    svc.compress(data, CFG)
+            # Disarmed: the same service (rebuilt pool) serves again.
+            assert svc.compress(data, CFG) == serial
+        # Neither the crash path nor teardown may leak shm segments.
+        assert shm_segments() <= before
+
+    def test_close_tears_down_pool(self, data):
+        svc = CompressionService(workers=2, backend="process", batching=False)
+        procpool = svc._procpool
+        assert procpool is not None and not procpool.closed
+        svc.compress(data, CFG)
+        svc.close()
+        assert procpool.closed
+
+    def test_batches_still_served(self, data):
+        # Micro-batches stay on the thread path by design; the process
+        # service must still serve them correctly.
+        small = [
+            np.linspace(0, i + 1, 256, dtype=np.float32) for i in range(8)
+        ]
+        with CompressionService(workers=2, backend="process", batching=True) as svc:
+            futs = [svc.submit_compress(s, CFG) for s in small]
+            for s, f in zip(small, futs):
+                assert f.result() == compress(s, 1e-3)
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(UnknownBackendError):
+            CompressionService(backend="fiber")
+
+    def test_thread_backend_has_no_procpool(self):
+        with CompressionService(workers=2) as svc:
+            assert svc.stats()["backend"] == "thread"
+            assert svc._procpool is None

@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import main
 
-SUITE_CASES = 8  # smoke suite: 4 cells x {compress, decompress}
+SUITE_CASES = 12  # smoke suite: 6 cells x {compress, decompress}
 
 
 def record(tmp_path, label, *extra):
@@ -23,7 +23,7 @@ class TestPerfRecord:
     def test_record_writes_run_ledger_and_bench(self, tmp_path, capsys):
         run = record(tmp_path, "base")
         out = capsys.readouterr().out
-        assert "perf record: 8 record(s)" in out
+        assert f"perf record: {SUITE_CASES} record(s)" in out
         assert run.exists()
         assert (tmp_path / "ledger.jsonl").exists()
         assert (tmp_path / "BENCH_smoke.json").exists()
