@@ -22,7 +22,7 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
 
 ``compress``/``decompress`` accept ``--trace`` (print the per-stage span
 tree), ``--trace-json PATH`` (dump span trees as JSON lines), ``--engine``
-and ``--threads``; ``stats`` decodes a stream under the metrics registry
+and ``--workers``; ``stats`` decodes a stream under the metrics registry
 and dumps it as JSON.
 
 Commands that read compressed input exit with status 2 and a one-line
@@ -87,7 +87,7 @@ def _codec_config(args, *, err_bound=None) -> CodecConfig:
         block_size=getattr(args, "block_size", DEFAULT_BLOCK_SIZE),
         engine=getattr(args, "engine", "vectorized"),
         checksum=getattr(args, "checksum", False),
-        threads=getattr(args, "threads", 1),
+        workers=getattr(args, "workers", 1),
         backend=getattr(args, "backend", "thread"),
     )
 
@@ -638,16 +638,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine", choices=("vectorized", "scalar"), default="vectorized"
         )
         p.add_argument(
-            "--threads",
+            "--workers",
             type=int,
             default=1,
             help="worker count (>1 uses the pool selected by --backend)",
         )
         p.add_argument(
+            "--threads",
+            dest="workers",
+            type=int,
+            help="deprecated alias of --workers",
+        )
+        p.add_argument(
             "--backend",
             choices=("thread", "process"),
             default="thread",
-            help="execution backend for --threads>1: the OpenMP-style "
+            help="execution backend for --workers>1: the OpenMP-style "
             "thread pool or the shared-memory process pool",
         )
 

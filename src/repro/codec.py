@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -41,12 +42,40 @@ class Codec(Protocol):
     def decompress(self, stream) -> np.ndarray: ...
 
 
-@dataclass(frozen=True)
+#: Deprecated constructor keyword -> canonical field name.  ``threads``
+#: and ``num_threads`` predate the serve/CLI ``workers`` spelling;
+#: ``error_bound`` was the functional API's historical name.
+_DEPRECATED_ALIASES = {
+    "threads": "workers",
+    "num_threads": "workers",
+    "error_bound": "err_bound",
+}
+
+
+def _fold_aliases(kwargs: dict) -> dict:
+    """Translate deprecated spellings in *kwargs* to canonical fields."""
+    for old, new in _DEPRECATED_ALIASES.items():
+        if old in kwargs:
+            if new in kwargs:
+                raise TypeError(
+                    f"pass either {new}= or its deprecated alias {old}=, "
+                    "not both"
+                )
+            warnings.warn(
+                f"the {old}= parameter is deprecated; use {new}=",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            kwargs[new] = kwargs.pop(old)
+    return kwargs
+
+
+@dataclass(frozen=True, init=False)
 class CodecConfig:
     """Immutable SZx tuning state.
 
     ``err_bound`` may stay ``None`` for decompress-only codecs; every
-    other field has the library-wide default.  ``threads > 1`` routes
+    other field has the library-wide default.  ``workers > 1`` routes
     both directions through the worker pool selected by ``backend`` —
     ``"thread"`` (the OpenMP-style pool, :mod:`repro.parallel.omp`) or
     ``"process"`` (the shared-memory multi-process pool,
@@ -55,6 +84,12 @@ class CodecConfig:
     :class:`~repro.parallel.backends.UnknownBackendError`; a
     ``"process"`` config degrades to the thread pool (with a
     ``RuntimeWarning``) at run time where shared memory is unavailable.
+
+    ``workers`` is the one canonical spelling of the worker count across
+    the library (serve and the CLI use it too); the constructor and
+    :meth:`replace` still accept the deprecated ``threads=`` /
+    ``num_threads=`` aliases (and ``error_bound=`` for ``err_bound``)
+    with a ``DeprecationWarning``.
     """
 
     err_bound: float | None = None
@@ -62,8 +97,50 @@ class CodecConfig:
     block_size: int = DEFAULT_BLOCK_SIZE
     engine: str = "vectorized"
     checksum: bool = False
-    threads: int = 1
+    workers: int = 1
     backend: str = "thread"
+
+    def __init__(
+        self,
+        err_bound: float | None = None,
+        mode: str = "abs",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        engine: str = "vectorized",
+        checksum: bool = False,
+        workers: int | None = None,
+        backend: str = "thread",
+        **deprecated,
+    ):
+        if deprecated:
+            unknown = set(deprecated) - set(_DEPRECATED_ALIASES)
+            if unknown:
+                raise TypeError(
+                    "CodecConfig() got unexpected keyword argument(s) "
+                    f"{sorted(unknown)}"
+                )
+            folded = _fold_aliases(dict(deprecated))
+            if "workers" in folded:
+                if workers is not None:
+                    raise TypeError(
+                        "pass either workers= or its deprecated alias, "
+                        "not both"
+                    )
+                workers = folded["workers"]
+            if "err_bound" in folded:
+                if err_bound is not None:
+                    raise TypeError(
+                        "pass either err_bound= or its deprecated alias "
+                        "error_bound=, not both"
+                    )
+                err_bound = folded["err_bound"]
+        object.__setattr__(self, "err_bound", err_bound)
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "block_size", block_size)
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "checksum", checksum)
+        object.__setattr__(self, "workers", 1 if workers is None else workers)
+        object.__setattr__(self, "backend", backend)
+        self.__post_init__()
 
     def __post_init__(self):
         if self.err_bound is not None and (
@@ -80,16 +157,32 @@ class CodecConfig:
             )
         if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
             raise ValueError(f"block_size must be an int, got {self.block_size!r}")
-        if not isinstance(self.threads, int) or self.threads < 1:
-            raise ValueError(f"threads must be a positive int, got {self.threads!r}")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                or self.workers < 1:
+            raise ValueError(
+                f"workers must be a positive int, got {self.workers!r}"
+            )
         if self.backend not in BACKENDS:
             raise UnknownBackendError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
 
+    @property
+    def threads(self) -> int:
+        """Deprecated name for :attr:`workers`."""
+        warnings.warn(
+            "CodecConfig.threads is deprecated; use CodecConfig.workers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.workers
+
     def replace(self, **changes) -> "CodecConfig":
-        """A copy with *changes* applied (re-validated)."""
-        return dataclasses.replace(self, **changes)
+        """A copy with *changes* applied (re-validated).
+
+        Accepts the same deprecated aliases as the constructor.
+        """
+        return dataclasses.replace(self, **_fold_aliases(changes))
 
 
 class SZxCodec:
@@ -118,9 +211,9 @@ class SZxCodec:
         arr = np.asarray(data)
         with observe.span(
             "szx.compress", bytes_in=int(arr.nbytes),
-            engine=cfg.engine, threads=cfg.threads, backend=cfg.backend,
+            engine=cfg.engine, workers=cfg.workers, backend=cfg.backend,
         ) as sp:
-            if cfg.threads > 1 and resolve_backend(cfg.backend) == "process":
+            if cfg.workers > 1 and resolve_backend(cfg.backend) == "process":
                 from .parallel.procpool import compress_components_procpool
 
                 components = compress_components_procpool(
@@ -128,10 +221,10 @@ class SZxCodec:
                     cfg.err_bound,
                     mode=cfg.mode,
                     block_size=cfg.block_size,
-                    n_procs=cfg.threads,
+                    n_procs=cfg.workers,
                     checksum=cfg.checksum,
                 )
-            elif cfg.threads > 1:
+            elif cfg.workers > 1:
                 from .parallel.omp import compress_components_parallel
 
                 components = compress_components_parallel(
@@ -139,7 +232,7 @@ class SZxCodec:
                     cfg.err_bound,
                     mode=cfg.mode,
                     block_size=cfg.block_size,
-                    n_threads=cfg.threads,
+                    workers=cfg.workers,
                     checksum=cfg.checksum,
                 )
             else:
@@ -163,21 +256,21 @@ class SZxCodec:
         stream = bytes(stream)
         with observe.span(
             "szx.decompress", bytes_in=len(stream),
-            engine=cfg.engine, threads=cfg.threads, backend=cfg.backend,
+            engine=cfg.engine, workers=cfg.workers, backend=cfg.backend,
         ) as sp:
-            if cfg.threads > 1 and resolve_backend(cfg.backend) == "process":
+            if cfg.workers > 1 and resolve_backend(cfg.backend) == "process":
                 from .core.stream import parse_stream
                 from .parallel.procpool import decompress_components_procpool
 
                 out = decompress_components_procpool(
-                    parse_stream(stream), n_procs=cfg.threads
+                    parse_stream(stream), n_procs=cfg.workers
                 )
-            elif cfg.threads > 1:
+            elif cfg.workers > 1:
                 from .core.stream import parse_stream
                 from .parallel.omp import decompress_components_parallel
 
                 out = decompress_components_parallel(
-                    parse_stream(stream), n_threads=cfg.threads
+                    parse_stream(stream), workers=cfg.workers
                 )
             else:
                 from .core.stream import parse_stream
@@ -189,9 +282,9 @@ class SZxCodec:
                     with observe.span("engine.scalar.decompress"):
                         out = decompress_scalar(components)
                 else:
-                    from .core.vectorized import decompress_vectorized
+                    from .core.kernels import decompress_blocks
 
                     with observe.span("engine.vectorized.decompress"):
-                        out = decompress_vectorized(components)
+                        out = decompress_blocks(components)
             sp.set(bytes_out=int(out.nbytes))
         return out

@@ -1,7 +1,7 @@
 """SZx core: the paper's ultrafast error-bounded lossy compressor.
 
 Kernel modules (``bits``, ``blocks``, ``reqbits``, ``scalar``,
-``vectorized``) carry an ``# analyze: hot-path`` pragma under their
+``kernels``) carry an ``# analyze: hot-path`` pragma under their
 docstring: the ``szx lint`` dtype-discipline rules flag any float64
 upcast there, because Formulas (4)/(5) are float32-exact by design.
 Deliberate float64 math (e.g. exact ``frexp`` on subnormals) is
@@ -31,6 +31,13 @@ from .errors import (
     TruncatedStreamError,
 )
 from .extended import compress_extended, decompress_extended
+from .kernels import (
+    KernelArena,
+    KernelChain,
+    KernelStage,
+    compress_blocks,
+    decompress_blocks,
+)
 from .header import StreamHeader, decode_header
 from .pointwise import compress_pointwise, decompress_pointwise
 from .random_access import decompress_block, decompress_range
@@ -53,6 +60,11 @@ __all__ = [
     "decode_header",
     "StreamComponents",
     "parse_stream",
+    "KernelArena",
+    "KernelChain",
+    "KernelStage",
+    "compress_blocks",
+    "decompress_blocks",
     "StreamFormatError",
     "TruncatedStreamError",
     "HeaderFormatError",

@@ -25,7 +25,7 @@ from .api import resolve_error_bound, _check_input
 from .blocks import BlockLayout, block_stats, validate_block_size
 from .constants import traits_for
 from .reqbits import required_bytes, required_length, shift_for, truncation_mask
-from .vectorized import _leading_counts_matrix, compress_vectorized
+from .kernels import _leading_counts_matrix, compress_blocks
 
 
 @dataclass(frozen=True)
@@ -61,7 +61,7 @@ def shift_overhead(
     mu, radius = block_stats(flat, layout)
     nonconst = radius > abs_bound
 
-    compressed = len(compress_vectorized(arr, abs_bound, block_size).to_bytes())
+    compressed = len(compress_blocks(arr, abs_bound, block_size).to_bytes())
 
     nf = layout.n_full
     sel = nonconst[:nf]

@@ -129,10 +129,10 @@ def compress_components(
         with observe.span("engine.scalar.compress", bytes_in=int(arr.nbytes)):
             components = compress_scalar(arr, abs_bound, block_size, checksum=checksum)
     else:
-        from .vectorized import compress_vectorized
+        from .kernels import compress_blocks
 
         with observe.span("engine.vectorized.compress", bytes_in=int(arr.nbytes)):
-            components = compress_vectorized(
+            components = compress_blocks(
                 arr, abs_bound, block_size, checksum=checksum
             )
     components.bound = resolution

@@ -29,7 +29,7 @@ from .api import compress_components
 from .constants import DEFAULT_BLOCK_SIZE
 from .header import decode_header
 from .stream import StreamComponents
-from .vectorized import decompress_vectorized
+from .kernels import decompress_blocks
 
 _MAGIC = b"SZXL"
 _SECTION = struct.Struct("<QB")
@@ -111,7 +111,7 @@ def decompress_extended(stream: bytes) -> np.ndarray:
     )
     if int(comp.zsizes.sum(dtype=np.int64)) != len(payload):
         raise ValueError("szx-l payload length disagrees with zsize array")
-    return decompress_vectorized(comp)
+    return decompress_blocks(comp)
 
 
 def is_extended_stream(stream: bytes) -> bool:

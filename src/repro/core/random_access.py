@@ -15,7 +15,7 @@ import numpy as np
 from .blocks import BlockLayout
 from .header import StreamHeader
 from .stream import StreamComponents, parse_stream, payload_offsets
-from .vectorized import decompress_vectorized
+from .kernels import decompress_blocks
 
 
 def decompress_range(stream: bytes, start: int, stop: int) -> np.ndarray:
@@ -39,7 +39,7 @@ def decompress_range(stream: bytes, start: int, stop: int) -> np.ndarray:
     last = (stop - 1) // bs + 1  # exclusive block index
 
     sub = _slice_components(comp, first, last)
-    decoded = decompress_vectorized(sub)
+    decoded = decompress_blocks(sub)
     lo = start - first * bs
     return decoded[lo : lo + (stop - start)]
 

@@ -1,78 +1,54 @@
-"""Vectorized production engine for the SZx codec.
+"""Compatibility surface for the old vectorized engine.
 
-Every hot path is a whole-array numpy operation; the only Python-level
-iteration is over the handful of byte positions of a word (4 for float32)
-and the single ragged tail block, which is delegated to the scalar
-reference engine.  The engine is tested to emit byte-identical streams to
-:mod:`repro.core.scalar`.
-
-The decompressor resolves the leading-byte *dependence chains* of
-Section 6.2.2 with ``np.maximum.accumulate``: byte *j* of value *i* comes
-from the most recent value ``i' <= i`` whose byte *j* was committed as a
-mid-byte (``L_{i'} <= j``).  This is exactly the recurrence the paper's
-GPU index-propagation computes with recursive doubling (Figure 11);
-``maximum.accumulate`` is its sequential-scan equivalent.
+The production numpy engine now lives in :mod:`repro.core.kernels` as a
+fused-kernel stage chain behind the single-entry
+:func:`~repro.core.kernels.compress_blocks` /
+:func:`~repro.core.kernels.decompress_blocks` API.  This module keeps
+the historical names — :func:`compress_vectorized`,
+:func:`decompress_vectorized`, and the batch/packing internals several
+subsystems and tests import — as thin delegations, so existing imports
+keep producing byte-identical streams.
 """
-# analyze: hot-path — float32-exact SZx kernel; no silent float64 upcasts
 
 from __future__ import annotations
 
 import numpy as np
 
-from .. import observe
-from .bits import split_bytes_be
-from .blocks import BlockLayout, block_stats, validate_block_size
-from .constants import FLAG_CHECKSUM, DtypeTraits, traits_for
-from .errors import PayloadFormatError
-from .header import StreamHeader
-from .reqbits import required_bytes, required_length, shift_for, truncation_mask
-from .scalar import _decode_nonconstant_block, _encode_nonconstant_block
-from .stream import (
-    StreamComponents,
-    lead_section_size,
-    payload_offsets,
-    payload_prefix_size,
+from .constants import DtypeTraits
+from .kernels import (
+    KernelArena,
+    _leading_counts_matrix,
+    _pack_lead_rows,
+    _unpack_lead_rows,
+    compress_blocks,
+    decode_batch,
+    decompress_blocks,
+    encode_batch,
 )
+from .stream import StreamComponents
+
+__all__ = [
+    "compress_vectorized",
+    "decompress_vectorized",
+    "KernelArena",
+    "_encode_full_blocks",
+    "_decode_full_blocks",
+    "_pack_lead_rows",
+    "_unpack_lead_rows",
+    "_leading_counts_matrix",
+]
 
 
-def _pack_lead_rows(codes: np.ndarray, k: int) -> np.ndarray:
-    """Pack an (m, bs) matrix of k-bit codes row-wise (LSB-first)."""
-    m, bs = codes.shape
-    if k == 2 and bs % 4 == 0:
-        # Fast path for the float32 layout: four 2-bit codes per byte.
-        quads = codes.reshape(m, bs // 4, 4).astype(np.uint8)
-        return (
-            quads[:, :, 0]
-            | (quads[:, :, 1] << 2)
-            | (quads[:, :, 2] << 4)
-            | (quads[:, :, 3] << 6)
-        )
-    bits = (codes[..., None].astype(np.uint8) >> np.arange(k, dtype=np.uint8)) & 1
-    return np.packbits(bits.reshape(m, bs * k), axis=1, bitorder="little")
+def compress_vectorized(
+    data: np.ndarray, err_bound: float, block_size: int, *, checksum: bool = False
+) -> StreamComponents:
+    """Vectorized SZx compression with absolute bound *err_bound*."""
+    return compress_blocks(data, err_bound, block_size, checksum=checksum)
 
 
-def _unpack_lead_rows(packed: np.ndarray, k: int, bs: int) -> np.ndarray:
-    """Inverse of :func:`_pack_lead_rows` for an (m, L) packed matrix."""
-    if k == 2 and bs % 4 == 0 and packed.shape[1] == bs // 4:
-        out = np.empty((packed.shape[0], bs // 4, 4), dtype=np.uint16)
-        out[:, :, 0] = packed & 3
-        out[:, :, 1] = (packed >> 2) & 3
-        out[:, :, 2] = (packed >> 4) & 3
-        out[:, :, 3] = packed >> 6
-        return out.reshape(packed.shape[0], bs)
-    bits = np.unpackbits(packed, axis=1, bitorder="little")[:, : bs * k]
-    bits = bits.reshape(packed.shape[0], bs, k).astype(np.uint16)
-    return (bits << np.arange(k, dtype=np.uint16)).sum(axis=2, dtype=np.uint16)
-
-
-def _leading_counts_matrix(x: np.ndarray, traits: DtypeTraits) -> np.ndarray:
-    """Identical-leading-byte counts for an XOR matrix, vectorized."""
-    n = traits.itemsize
-    count = np.zeros(x.shape, dtype=np.int8)
-    for kept in range(1, n):
-        count += (x >> traits.utype.type((n - kept) * 8)) == 0
-    count += x == 0
-    return count
+def decompress_vectorized(components: StreamComponents) -> np.ndarray:
+    """Reconstruct the dataset from parsed stream *components*."""
+    return decompress_blocks(components)
 
 
 def _encode_full_blocks(
@@ -82,152 +58,8 @@ def _encode_full_blocks(
     err_bound: float,
     traits: DtypeTraits,
 ):
-    """Encode all full-size non-constant blocks at once.
-
-    Returns ``(payload_bytes, zsizes)`` for the blocks in *body*
-    (shape ``(m, bs)``).
-    """
-    m, bs = body.shape
-    itemsize = traits.itemsize
-    if m == 0:
-        return b"", np.empty(0, dtype=np.int64)
-
-    req = required_length(radius, err_bound, traits)
-    if observe.enabled():
-        observe.histogram("szx.reqbits").observe_many(req)
-    # Lossless fallback (as in the reference SZx): when every bit is kept,
-    # mu is forced to zero so the normalization round trip is exact.
-    mu = np.where(req == traits.fullbits, traits.dtype.type(0), mu)
-    shift = shift_for(req)
-    nbytes = required_bytes(req)
-    masks = truncation_mask(nbytes, traits)
-
-    normalized = (body - mu[:, None]).astype(traits.dtype, copy=False)
-    words = np.ascontiguousarray(normalized).view(traits.utype)
-    shifted = (words >> shift.astype(traits.utype)[:, None]) & masks[:, None]
-
-    xor = shifted.copy()
-    xor[:, 1:] ^= shifted[:, :-1]  # previous value; first value XORs with 0
-    lead = _leading_counts_matrix(xor, traits)
-    np.minimum(lead, np.int8(traits.max_lead), out=lead)
-    np.minimum(lead, nbytes.astype(np.int8)[:, None], out=lead)
-
-    packed = _pack_lead_rows(lead.astype(np.uint8), traits.lead_code_bits)
-    lead_bytes = packed.shape[1]
-
-    byte_pos = np.arange(itemsize, dtype=np.int8)
-    # A contiguous copy makes the boolean gather below ~25% faster than
-    # indexing through the reversed (negative-stride) byte view.
-    be = np.ascontiguousarray(split_bytes_be(shifted, traits))  # (m, bs, n)
-    sel = (byte_pos[None, None, :] >= lead[:, :, None]) & (
-        byte_pos[None, None, :] < nbytes.astype(np.int8)[:, None, None]
-    )
-    mids = be[sel]  # row-major: block, value, byte — the mb_array order
-
-    counts = nbytes[:, None] - lead  # mid-bytes per value
-    mid_totals = counts.sum(axis=1, dtype=np.int64)
-    prefix = payload_prefix_size(traits)
-    zsizes = prefix + lead_bytes + mid_totals
-
-    total = int(zsizes.sum())
-    out = np.empty(total, dtype=np.uint8)
-    starts = np.zeros(m, dtype=np.int64)
-    np.cumsum(zsizes[:-1], out=starts[1:])
-
-    out[starts] = req.astype(np.uint8)
-    mu_bytes = np.ascontiguousarray(mu, dtype=traits.dtype).view(np.uint8)
-    mu_bytes = mu_bytes.reshape(m, itemsize)
-    idx = starts[:, None] + 1 + np.arange(itemsize, dtype=np.int64)
-    out[idx] = mu_bytes
-    idx = starts[:, None] + prefix + np.arange(lead_bytes, dtype=np.int64)
-    out[idx] = packed
-
-    # Ragged scatter of per-block mid-byte runs: one repeat of the
-    # (block start − running mid offset) difference plus a global arange.
-    mid_starts = starts + prefix + lead_bytes
-    run_starts = np.zeros(m, dtype=np.int64)
-    np.cumsum(mid_totals[:-1], out=run_starts[1:])
-    dest = np.repeat(mid_starts - run_starts, mid_totals)
-    dest += np.arange(mids.size, dtype=np.int64)
-    out[dest] = mids
-
-    return out.tobytes(), zsizes
-
-
-def compress_vectorized(
-    data: np.ndarray, err_bound: float, block_size: int, *, checksum: bool = False
-) -> StreamComponents:
-    """Vectorized SZx compression with absolute bound *err_bound*."""
-    traits = traits_for(data.dtype)
-    block_size = validate_block_size(block_size)
-    flat = np.ascontiguousarray(data).reshape(-1)
-    layout = BlockLayout(flat.size, block_size)
-    flags = FLAG_CHECKSUM if checksum else 0
-
-    if flat.size == 0:
-        header = StreamHeader(
-            traits=traits,
-            n=0,
-            block_size=block_size,
-            err_bound=float(err_bound),
-            n_blocks=0,
-            n_const=0,
-            shape=tuple(int(s) for s in np.shape(data)),
-            flags=flags,
-        )
-        return StreamComponents(
-            header,
-            np.zeros(0, dtype=bool),
-            np.empty(0, dtype=traits.dtype),
-            np.empty(0, dtype=np.uint16),
-            b"",
-        )
-
-    with observe.span("block_stats", bytes_in=int(flat.nbytes)):
-        mu, radius = block_stats(flat, layout)
-    nonconst_mask = radius > err_bound
-    if observe.enabled():
-        n_nonconst = int(nonconst_mask.sum())
-        observe.counter("szx.blocks.nonconstant").inc(n_nonconst)
-        observe.counter("szx.blocks.constant").inc(layout.n_blocks - n_nonconst)
-
-    nf = layout.n_full
-    body_mask = nonconst_mask[:nf]
-    body = flat[: nf * block_size].reshape(nf, block_size)[body_mask]
-    with observe.span("encode_blocks", bytes_in=int(body.nbytes)) as sp:
-        payload, zsizes = _encode_full_blocks(
-            body, mu[:nf][body_mask], radius[:nf][body_mask], err_bound, traits
-        )
-        sp.set(bytes_out=len(payload))
-
-    payload_parts = [payload]
-    zsize_list = [zsizes]
-    if layout.tail and nonconst_mask[-1]:
-        with observe.span("encode_tail"):
-            tail_payload = _encode_nonconstant_block(
-                flat[nf * block_size :], mu[-1], radius[-1], err_bound
-            )
-        payload_parts.append(tail_payload)
-        zsize_list.append(np.asarray([len(tail_payload)], dtype=np.int64))
-
-    all_zsizes = np.concatenate(zsize_list) if zsize_list else np.empty(0, np.int64)
-    header = StreamHeader(
-        traits=traits,
-        n=flat.size,
-        block_size=block_size,
-        err_bound=float(err_bound),
-        n_blocks=layout.n_blocks,
-        n_const=layout.n_blocks - int(nonconst_mask.sum()),
-        shape=tuple(int(s) for s in np.shape(data)),
-        flags=flags,
-    )
-    return StreamComponents(
-        header=header,
-        nonconst_mask=nonconst_mask,
-        const_mu=mu[~nonconst_mask],
-        zsizes=all_zsizes.astype(np.uint16),
-        payload=b"".join(payload_parts),
-    )
+    """Historical name for :func:`repro.core.kernels.encode_batch`."""
+    return encode_batch(body, mu, radius, err_bound, traits)
 
 
 def _decode_full_blocks(
@@ -238,143 +70,5 @@ def _decode_full_blocks(
     *,
     ends: np.ndarray | None = None,
 ):
-    """Decode all full-size non-constant blocks; returns an (m, bs) array.
-
-    *starts*/*ends* are each block's payload boundaries.  Every invariant
-    the gather below relies on is validated first, so corrupt payloads
-    raise :class:`~repro.core.errors.PayloadFormatError` rather than
-    reading out of bounds.  *ends* may be omitted by trusted callers
-    that already know the payload is self-consistent.
-    """
-    m = starts.size
-    itemsize = traits.itemsize
-    if m == 0:
-        return np.empty((0, bs), dtype=traits.dtype)
-
-    req = payload_u8[starts].astype(np.int64)
-    if (req < traits.se_bits).any() or (req > traits.fullbits).any():
-        raise PayloadFormatError(
-            "required length byte out of range", section="payload"
-        )
-    shift = shift_for(req)
-    nbytes = required_bytes(req).astype(np.int8)
-
-    idx = starts[:, None] + 1 + np.arange(itemsize, dtype=np.int64)
-    mu = np.ascontiguousarray(payload_u8[idx]).view(traits.dtype).reshape(m)
-
-    prefix = payload_prefix_size(traits)
-    lead_bytes = lead_section_size(bs, traits)
-    idx = starts[:, None] + prefix + np.arange(lead_bytes, dtype=np.int64)
-    lead = _unpack_lead_rows(
-        np.ascontiguousarray(payload_u8[idx]), traits.lead_code_bits, bs
-    ).astype(np.int8)
-    if (lead > nbytes[:, None]).any():
-        raise PayloadFormatError(
-            "leading count exceeds the required byte count", section="payload"
-        )
-
-    counts = nbytes[:, None] - lead
-    if ends is not None:
-        expected_mids = counts.sum(axis=1, dtype=np.int64)
-        actual_mids = ends - starts - prefix - lead_bytes
-        if (expected_mids != actual_mids).any():
-            raise PayloadFormatError(
-                "mid-byte count disagrees with the leading-code accounting",
-                section="payload",
-            )
-    mid_starts = starts + prefix + lead_bytes
-    pos_dtype = np.int32 if payload_u8.size < 2**31 else np.int64
-    # Global payload position of every value's first mid-byte, minus its
-    # lead count: byte j of a provider value lives at mid_pos + (j - lead),
-    # so precomputing (mid_pos - lead) leaves one gather per byte position.
-    mid_minus_lead = (
-        mid_starts[:, None]
-        + np.cumsum(counts, axis=1, dtype=pos_dtype)
-        - counts
-        - lead
-    ).astype(pos_dtype, copy=False)
-
-    value_index = np.arange(bs, dtype=np.int32)[None, :]
-    # Little-endian byte cube: big-endian position j -> axis index n-1-j.
-    cube = np.zeros((m, bs, itemsize), dtype=np.uint8)
-    for j in range(itemsize):
-        present = nbytes > j  # rows whose words have a byte at position j
-        if not present.any():
-            continue
-        # An all-true mask degrades to a slice: boolean row indexing would
-        # copy every operand matrix for nothing (bytes 0..1 always exist).
-        rows = slice(None) if present.all() else present
-        # Index propagation: provider of byte j for each value is the most
-        # recent value whose lead count does not cover byte j (the
-        # dependence-chain recurrence of Section 6.2.2, Figure 11).
-        provider = np.maximum.accumulate(
-            np.where(lead[rows] <= j, value_index, -1), axis=1
-        )
-        valid = provider >= 0
-        prov = np.where(valid, provider, 0)
-        src = np.take_along_axis(mid_minus_lead[rows], prov, axis=1) + j
-        cube[rows, :, itemsize - 1 - j] = payload_u8[src] * valid
-
-    words = cube.reshape(m, bs * itemsize).view(traits.utype).reshape(m, bs)
-    words <<= shift.astype(traits.utype)[:, None]
-    return words.view(traits.dtype) + mu[:, None]
-
-
-def decompress_vectorized(components: StreamComponents) -> np.ndarray:
-    """Reconstruct the dataset from parsed stream *components*."""
-    header = components.header
-    traits = header.traits
-    layout = BlockLayout(header.n, header.block_size)
-    bs = header.block_size
-    out = np.empty(header.n, dtype=traits.dtype)
-
-    offsets = payload_offsets(components.zsizes)
-    payload_u8 = np.frombuffer(components.payload, dtype=np.uint8)
-
-    nonconst = components.nonconst_mask
-    if observe.enabled():
-        n_nonconst = int(nonconst.sum())
-        observe.counter("szx.decode.blocks.nonconstant").inc(n_nonconst)
-        observe.counter("szx.decode.blocks.constant").inc(
-            layout.n_blocks - n_nonconst
-        )
-    # Broadcast constant blocks: every value of a constant block is mu.
-    with observe.span("broadcast_const"):
-        const_ids = np.nonzero(~nonconst)[0]
-        if const_ids.size:
-            full_const = const_ids[const_ids < layout.n_full]
-            if full_const.size:
-                view = out[: layout.n_full * bs].reshape(layout.n_full, bs)
-                view[full_const] = components.const_mu[: full_const.size, None]
-            if layout.tail and const_ids.size and const_ids[-1] == layout.n_blocks - 1:
-                out[layout.n_full * bs :] = components.const_mu[-1]
-
-    nonconst_ids = np.nonzero(nonconst)[0]
-    tail_is_nonconst = (
-        layout.tail > 0 and nonconst_ids.size and nonconst_ids[-1] == layout.n_blocks - 1
-    )
-    n_full_nc = nonconst_ids.size - (1 if tail_is_nonconst else 0)
-
-    with observe.span("decode_blocks", bytes_in=len(components.payload)) as sp:
-        decoded = _decode_full_blocks(
-            payload_u8,
-            offsets[:n_full_nc].astype(np.int64),
-            bs,
-            traits,
-            ends=offsets[1 : n_full_nc + 1].astype(np.int64),
-        )
-        sp.set(bytes_out=int(decoded.nbytes))
-    if n_full_nc:
-        view = out[: layout.n_full * bs].reshape(layout.n_full, bs)
-        view[nonconst_ids[:n_full_nc]] = decoded
-
-    if tail_is_nonconst:
-        with observe.span("decode_tail"):
-            start, end = int(offsets[-2]), int(offsets[-1])
-            out[layout.n_full * bs :] = _decode_nonconstant_block(
-                components.payload[start:end], layout.tail, traits
-            )
-
-    if header.shape:
-        return out.reshape(header.shape)
-    return out
+    """Historical name for :func:`repro.core.kernels.decode_batch`."""
+    return decode_batch(payload_u8, starts, bs, traits, ends=ends)

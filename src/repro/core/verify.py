@@ -26,7 +26,7 @@ from .stream import (
     payload_prefix_size,
     stream_end_offset,
 )
-from .vectorized import _unpack_lead_rows
+from .kernels import _unpack_lead_rows
 
 
 @dataclass

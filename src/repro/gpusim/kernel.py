@@ -32,7 +32,7 @@ from ..core.stream import (
     payload_offsets,
     payload_prefix_size,
 )
-from ..core.vectorized import _pack_lead_rows, _unpack_lead_rows
+from ..core.kernels import _pack_lead_rows, _unpack_lead_rows
 from .index_propagation import chain_indices_for_byte
 from .scan import block_prefix_sum
 from .warp import WARP_SIZE, warp_reduce_max, warp_reduce_min, warp_shfl_up

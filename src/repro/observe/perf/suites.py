@@ -20,15 +20,23 @@ DEFAULT_REPEATS = 3
 
 
 def _smoke_cells():
-    """The core-kernel smoke grid: 3 fields x vectorized + both pools."""
+    """The core-kernel smoke grid: single-stream fused kernels + pools.
+
+    ``grf-bs32`` exercises the batched small-block encode path (dispatch
+    amortization is the point of the fused kernels); ``grf-f64``
+    exercises the 8-byte-word / 3-bit-lead-code kernel variants.
+    """
+    bs = 128  # DEFAULT_BLOCK_SIZE, spelled out so cells stay explicit
     return [
-        # (case stem, field kind, shape, rel bound, engine, threads, backend)
-        ("grf", "grf", (64, 64, 64), 1e-3, "vectorized", 1, "thread"),
-        ("wave", "wave", (64, 64, 64), 1e-3, "vectorized", 1, "thread"),
-        ("grf-tight", "grf", (64, 64, 64), 1e-4, "vectorized", 1, "thread"),
-        ("grf-omp2", "grf", (64, 64, 64), 1e-3, "vectorized", 2, "thread"),
-        ("grf-proc2", "grf", (64, 64, 64), 1e-3, "vectorized", 2, "process"),
-        ("grf-proc4", "grf", (64, 64, 64), 1e-3, "vectorized", 4, "process"),
+        # (case stem, field kind, shape, rel, engine, workers, backend, block_size)
+        ("grf", "grf", (64, 64, 64), 1e-3, "vectorized", 1, "thread", bs),
+        ("wave", "wave", (64, 64, 64), 1e-3, "vectorized", 1, "thread", bs),
+        ("grf-tight", "grf", (64, 64, 64), 1e-4, "vectorized", 1, "thread", bs),
+        ("grf-bs32", "grf", (64, 64, 64), 1e-3, "vectorized", 1, "thread", 32),
+        ("grf-f64", "grf64", (48, 48, 48), 1e-3, "vectorized", 1, "thread", bs),
+        ("grf-omp2", "grf", (64, 64, 64), 1e-3, "vectorized", 2, "thread", bs),
+        ("grf-proc2", "grf", (64, 64, 64), 1e-3, "vectorized", 2, "process", bs),
+        ("grf-proc4", "grf", (64, 64, 64), 1e-3, "vectorized", 4, "process", bs),
     ]
 
 
@@ -38,10 +46,16 @@ SUITES = {
 
 
 def _make_field(kind: str, shape, seed: int):
+    import numpy as np
+
     from ...datasets.synthetic import gaussian_random_field, wave_field
 
     if kind == "grf":
         return gaussian_random_field(shape, slope=3.0, seed=seed)
+    if kind == "grf64":
+        return gaussian_random_field(shape, slope=3.0, seed=seed).astype(
+            np.float64
+        )
     if kind == "wave":
         return wave_field(shape, seed=seed)
     raise ValueError(f"unknown field kind {kind!r}")
@@ -79,7 +93,6 @@ def run_suite(
     regression"; it is never set in production paths.
     """
     from ...codec import CodecConfig, SZxCodec
-    from ...core.constants import DEFAULT_BLOCK_SIZE
 
     if name not in SUITES:
         raise ValueError(f"unknown suite {name!r}; have {sorted(SUITES)}")
@@ -90,11 +103,11 @@ def run_suite(
 
     # -- set up every cell, warm up once (lazy imports, dispatch) --------
     cells = []
-    for case_stem, kind, shape, rel, engine, threads, backend in SUITES[name]():
+    for case_stem, kind, shape, rel, engine, workers, backend, bs in SUITES[name]():
         data = _make_field(kind, shape, seed)
         cfg = CodecConfig(
-            err_bound=rel, mode="rel", block_size=DEFAULT_BLOCK_SIZE,
-            engine=engine, threads=threads, backend=backend,
+            err_bound=rel, mode="rel", block_size=bs,
+            engine=engine, workers=workers, backend=backend,
         )
         codec = SZxCodec(cfg)
 
@@ -112,7 +125,8 @@ def run_suite(
         assert recon.size == data.size
         cells.append({
             "stem": case_stem, "kind": kind, "rel": rel, "engine": engine,
-            "threads": threads, "backend": backend, "data": data, "codec": codec,
+            "workers": workers, "backend": backend, "block_size": bs,
+            "data": data, "codec": codec,
             "compress": _compress, "stream": stream,
             "comp_times": [], "deco_times": [],
         })
@@ -133,8 +147,8 @@ def run_suite(
         common = dict(
             suite=name, dataset=cell["kind"], dtype=str(data.dtype),
             shape=data.shape, n_values=int(data.size),
-            err_bound=cell["rel"], mode="rel", block_size=DEFAULT_BLOCK_SIZE,
-            engine=cell["engine"], threads=cell["threads"],
+            err_bound=cell["rel"], mode="rel", block_size=cell["block_size"],
+            engine=cell["engine"], threads=cell["workers"],
             backend=cell["backend"], seed=seed,
         )
 

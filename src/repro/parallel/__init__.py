@@ -26,7 +26,12 @@ from .backends import (
     shared_memory_available,
 )
 from .chunking import chunk_block_ranges
-from .omp import omp_compress, omp_decompress, resolve_thread_count
+from .omp import (
+    omp_compress,
+    omp_decompress,
+    resolve_thread_count,
+    resolve_worker_count,
+)
 from .procpool import (
     KILL_SITE,
     ProcPool,
@@ -46,6 +51,7 @@ __all__ = [
     "omp_compress",
     "omp_decompress",
     "resolve_thread_count",
+    "resolve_worker_count",
     "chunk_block_ranges",
     "KILL_SITE",
     "ProcPool",

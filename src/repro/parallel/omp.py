@@ -7,16 +7,25 @@ byte-identical to the serial engine (tested), and the decompressor seeks
 each worker to its blocks with the ``zsize_array`` prefix sum — the exact
 mechanism of Section 6.1.
 
-The public :func:`omp_compress`/:func:`omp_decompress` are thin wrappers
-over :class:`repro.codec.SZxCodec` with ``threads > 1``; the pool logic
-itself lives in :func:`compress_components_parallel` /
+Every worker routes through the fused-kernel single entry
+(:func:`repro.core.kernels.compress_blocks` /
+:func:`~repro.core.kernels.decompress_blocks`), each on its own
+thread-local :class:`~repro.core.kernels.KernelArena`, so the pool
+inherits single-stream kernel speedups for free.  The pool logic lives
+in :func:`compress_components_parallel` /
 :func:`decompress_components_parallel`, with one tracing span per worker
 (``worker[i]``) so ``szx compress --trace`` shows the per-thread split.
+
+The historical byte-level entry points :func:`omp_compress` /
+:func:`omp_decompress` are deprecated shims over
+:class:`repro.codec.SZxCodec` with ``workers > 1`` — use the codec (or
+``repro.compress``) directly.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -26,14 +35,14 @@ from ..core.api import resolve_error_bound_info, _check_input
 from ..core.blocks import BlockLayout, validate_block_size
 from ..core.constants import DEFAULT_BLOCK_SIZE, FLAG_CHECKSUM, traits_for
 from ..core.header import StreamHeader
+from ..core.kernels import compress_blocks, decompress_blocks
 from ..core.stream import StreamComponents, payload_offsets
-from ..core.vectorized import compress_vectorized, decompress_vectorized
 from .backends import MAX_PROCESS_WORKERS, resolve_backend
 from .chunking import chunk_block_ranges
 
 
-def resolve_thread_count(n_threads, backend=None) -> int:
-    """Validate *n_threads* (and optionally *backend*); return the count.
+def resolve_worker_count(workers, backend=None) -> int:
+    """Validate *workers* (and optionally *backend*); return the count.
 
     Oversubscribing a GIL-releasing numpy pool past the core count only
     adds scheduling noise, so thread requests are capped at
@@ -50,15 +59,39 @@ def resolve_thread_count(n_threads, backend=None) -> int:
     the multi-process merge); they are capped at
     :data:`~repro.parallel.backends.MAX_PROCESS_WORKERS`.
     """
-    if not isinstance(n_threads, int) or isinstance(n_threads, bool):
-        raise ValueError(f"n_threads must be an int, got {n_threads!r}")
-    if n_threads < 1:
-        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be an int, got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     if backend is not None:
         backend = resolve_backend(backend)
         if backend == "process":
-            return min(n_threads, MAX_PROCESS_WORKERS)
-    return min(n_threads, os.cpu_count() or 1)
+            return min(workers, MAX_PROCESS_WORKERS)
+    return min(workers, os.cpu_count() or 1)
+
+
+def resolve_thread_count(n_threads, backend=None) -> int:
+    """Deprecated name for :func:`resolve_worker_count`."""
+    warnings.warn(
+        "resolve_thread_count() is deprecated; use resolve_worker_count()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_worker_count(n_threads, backend)
+
+
+def _workers_from(workers, n_threads, default):
+    """Fold the deprecated ``n_threads`` alias into ``workers``."""
+    if n_threads is not None:
+        if workers is not None:
+            raise TypeError("pass either workers= or n_threads=, not both")
+        warnings.warn(
+            "the n_threads= parameter is deprecated; use workers=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return n_threads
+    return default if workers is None else workers
 
 
 def compress_components_parallel(
@@ -67,11 +100,12 @@ def compress_components_parallel(
     *,
     mode: str = "abs",
     block_size: int = DEFAULT_BLOCK_SIZE,
-    n_threads: int = 4,
+    workers: int | None = None,
+    n_threads: int | None = None,
     checksum: bool = False,
 ) -> StreamComponents:
     """Parallel SZx compression to merged (byte-identical) components."""
-    n_threads = resolve_thread_count(n_threads)
+    workers = resolve_worker_count(_workers_from(workers, n_threads, 4))
     arr = _check_input(data)
     block_size = validate_block_size(block_size)
     resolution = resolve_error_bound_info(arr, err_bound, mode)
@@ -79,12 +113,12 @@ def compress_components_parallel(
     flat = np.ascontiguousarray(arr).reshape(-1)
     layout = BlockLayout(flat.size, block_size)
 
-    if layout.n_blocks == 0 or n_threads <= 1:
-        comp = compress_vectorized(arr, abs_bound, block_size, checksum=checksum)
+    if layout.n_blocks == 0 or workers <= 1:
+        comp = compress_blocks(arr, abs_bound, block_size, checksum=checksum)
         comp.bound = resolution
         return comp
 
-    ranges = chunk_block_ranges(layout.n_blocks, n_threads)
+    ranges = chunk_block_ranges(layout.n_blocks, workers)
 
     with observe.span(
         "szx.omp.compress", bytes_in=int(flat.nbytes), workers=len(ranges)
@@ -97,7 +131,7 @@ def compress_components_parallel(
                 f"worker[{i}]", bytes_in=(hi - lo) * flat.itemsize,
                 parent=root if isinstance(root, observe.Span) else None,
             ) as sp:
-                part = compress_vectorized(flat[lo:hi], abs_bound, block_size)
+                part = compress_blocks(flat[lo:hi], abs_bound, block_size)
                 sp.set(bytes_out=len(part.payload))
             return part
 
@@ -133,7 +167,17 @@ def omp_compress(
     n_threads: int = 4,
     checksum: bool = False,
 ) -> bytes:
-    """Parallel SZx compression; byte-identical to the serial stream."""
+    """Deprecated: use ``SZxCodec(CodecConfig(workers=...))`` instead.
+
+    Byte-identical to the codec path by construction (it *is* the codec
+    path).
+    """
+    warnings.warn(
+        "omp_compress() is deprecated; use "
+        "SZxCodec(CodecConfig(workers=...)).compress() or repro.compress",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..codec import CodecConfig, SZxCodec
 
     return SZxCodec(
@@ -142,25 +186,28 @@ def omp_compress(
             mode=mode,
             block_size=block_size,
             checksum=checksum,
-            threads=resolve_thread_count(n_threads),
+            workers=resolve_worker_count(n_threads),
         )
     ).compress(data)
 
 
 def decompress_components_parallel(
-    comp: StreamComponents, *, n_threads: int = 4
+    comp: StreamComponents,
+    *,
+    workers: int | None = None,
+    n_threads: int | None = None,
 ) -> np.ndarray:
     """Parallel decode of parsed *comp* using the zsize prefix sum."""
-    n_threads = resolve_thread_count(n_threads)
+    workers = resolve_worker_count(_workers_from(workers, n_threads, 4))
     header = comp.header
-    if header.n_blocks == 0 or n_threads <= 1:
-        return decompress_vectorized(comp)
+    if header.n_blocks == 0 or workers <= 1:
+        return decompress_blocks(comp)
 
     layout = BlockLayout(header.n, header.block_size)
     offsets = payload_offsets(comp.zsizes)
     nonconst_cum = np.concatenate(([0], np.cumsum(comp.nonconst_mask)))
     const_cum = np.concatenate(([0], np.cumsum(~comp.nonconst_mask)))
-    ranges = chunk_block_ranges(layout.n_blocks, n_threads)
+    ranges = chunk_block_ranges(layout.n_blocks, workers)
     out = np.empty(header.n, dtype=header.traits.dtype)
 
     with observe.span(
@@ -191,7 +238,7 @@ def decompress_components_parallel(
                 f"worker[{i}]", bytes_in=len(sub.payload),
                 parent=root if isinstance(root, observe.Span) else None,
             ) as sp:
-                out[lo:hi] = decompress_vectorized(sub)
+                out[lo:hi] = decompress_blocks(sub)
                 sp.set(bytes_out=(hi - lo) * header.traits.itemsize)
 
         with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
@@ -203,9 +250,15 @@ def decompress_components_parallel(
 
 
 def omp_decompress(stream: bytes, *, n_threads: int = 4) -> np.ndarray:
-    """Parallel SZx decompression using the zsize prefix sum."""
+    """Deprecated: use ``SZxCodec(CodecConfig(workers=...))`` instead."""
+    warnings.warn(
+        "omp_decompress() is deprecated; use "
+        "SZxCodec(CodecConfig(workers=...)).decompress() or repro.decompress",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..codec import CodecConfig, SZxCodec
 
     return SZxCodec(
-        CodecConfig(threads=resolve_thread_count(n_threads))
+        CodecConfig(workers=resolve_worker_count(n_threads))
     ).decompress(stream)

@@ -51,7 +51,7 @@ from ..core.stream import (
     payload_offsets,
     payload_prefix_size,
 )
-from ..core.vectorized import compress_vectorized, decompress_vectorized
+from ..core.kernels import compress_blocks, decompress_blocks
 from .backends import resolve_backend
 from .chunking import chunk_block_ranges
 
@@ -155,7 +155,7 @@ def _compress_task(task: tuple):
     in_shm = _attach_shm(in_name)
     try:
         flat = np.ndarray((n_values,), dtype=np.dtype(dtype_str), buffer=in_shm.buf)
-        part = compress_vectorized(flat[lo:hi], abs_bound, block_size)
+        part = compress_blocks(flat[lo:hi], abs_bound, block_size)
         payload = part.payload
         if len(payload) > arena_cap:  # impossible by _payload_bound; fail loud
             raise RuntimeError(
@@ -219,7 +219,7 @@ def _decompress_task(task: tuple):
     out_shm = _attach_shm(out_name)
     try:
         out = np.ndarray((total_n,), dtype=dtype, buffer=out_shm.buf)
-        out[lo:hi] = decompress_vectorized(sub)
+        out[lo:hi] = decompress_blocks(sub)
     finally:
         out_shm.close()
     return (_time.perf_counter() - w0, 0.0, os.getpid())
@@ -402,9 +402,9 @@ def compress_components_procpool(
     :meth:`StreamComponents.to_bytes` assembles matches the serial
     engines byte for byte.
     """
-    from .omp import resolve_thread_count
+    from .omp import resolve_worker_count
 
-    n_procs = resolve_thread_count(n_procs, backend="process")
+    n_procs = resolve_worker_count(n_procs, backend="process")
     arr = _check_input(data)
     block_size = validate_block_size(block_size)
     resolution = resolve_error_bound_info(arr, err_bound, mode)
@@ -414,7 +414,7 @@ def compress_components_procpool(
     traits = traits_for(arr.dtype)
 
     if layout.n_blocks == 0 or n_procs <= 1:
-        comp = compress_vectorized(arr, abs_bound, block_size, checksum=checksum)
+        comp = compress_blocks(arr, abs_bound, block_size, checksum=checksum)
         comp.bound = resolution
         return comp
 
@@ -496,12 +496,12 @@ def decompress_components_procpool(
     and writes its reconstructed values into a shared output array, so
     neither direction pickles array payloads.
     """
-    from .omp import resolve_thread_count
+    from .omp import resolve_worker_count
 
-    n_procs = resolve_thread_count(n_procs, backend="process")
+    n_procs = resolve_worker_count(n_procs, backend="process")
     header = comp.header
     if header.n_blocks == 0 or n_procs <= 1:
-        return decompress_vectorized(comp)
+        return decompress_blocks(comp)
 
     layout = BlockLayout(header.n, header.block_size)
     offsets = payload_offsets(comp.zsizes)
@@ -561,7 +561,15 @@ def procpool_compress(
     n_procs: int = 4,
     checksum: bool = False,
 ) -> bytes:
-    """Multi-process SZx compression; byte-identical to the serial stream."""
+    """Deprecated: use ``SZxCodec(CodecConfig(workers=..., backend="process"))``."""
+    import warnings
+
+    warnings.warn(
+        "procpool_compress() is deprecated; use "
+        'SZxCodec(CodecConfig(workers=..., backend="process")).compress()',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..codec import CodecConfig, SZxCodec
 
     return SZxCodec(
@@ -570,16 +578,24 @@ def procpool_compress(
             mode=mode,
             block_size=block_size,
             checksum=checksum,
-            threads=n_procs,
+            workers=n_procs,
             backend=resolve_backend("process"),
         )
     ).compress(data)
 
 
 def procpool_decompress(stream: bytes, *, n_procs: int = 4) -> np.ndarray:
-    """Multi-process SZx decompression using the zsize prefix sum."""
+    """Deprecated: use ``SZxCodec(CodecConfig(workers=..., backend="process"))``."""
+    import warnings
+
+    warnings.warn(
+        "procpool_decompress() is deprecated; use "
+        'SZxCodec(CodecConfig(workers=..., backend="process")).decompress()',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..codec import CodecConfig, SZxCodec
 
     return SZxCodec(
-        CodecConfig(threads=n_procs, backend=resolve_backend("process"))
+        CodecConfig(workers=n_procs, backend=resolve_backend("process"))
     ).decompress(stream)

@@ -27,7 +27,7 @@ import numpy as np
 from ..core.constants import FLAG_CHECKSUM
 from ..core.header import StreamHeader
 from ..core.stream import StreamComponents, payload_offsets
-from ..core.vectorized import compress_vectorized
+from ..core.kernels import compress_blocks
 
 #: Coalescing window: how long the first job of a batch may wait for
 #: companions before the batch is dispatched anyway.
@@ -58,7 +58,7 @@ def compress_batch(jobs) -> list[bytes]:
     """
     if len(jobs) == 1:
         job = jobs[0]
-        comp = compress_vectorized(job.array, job.abs_bound, job.block_size)
+        comp = compress_blocks(job.array, job.abs_bound, job.block_size)
         return [_reheaded(comp, job, 0, comp.header.n_blocks,
                           nc_lo=0, nc_hi=int(comp.zsizes.size),
                           c_lo=0, c_hi=int(comp.const_mu.size),
@@ -68,7 +68,7 @@ def compress_batch(jobs) -> list[bytes]:
     flat = np.concatenate(
         [np.ascontiguousarray(j.array).reshape(-1) for j in jobs]
     )
-    comp = compress_vectorized(flat, jobs[0].abs_bound, block_size)
+    comp = compress_blocks(flat, jobs[0].abs_bound, block_size)
 
     nonconst_cum = np.concatenate(([0], np.cumsum(comp.nonconst_mask)))
     const_cum = np.concatenate(([0], np.cumsum(~comp.nonconst_mask)))

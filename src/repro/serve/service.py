@@ -48,7 +48,7 @@ from ..codec import CodecConfig, SZxCodec
 from ..core.api import _check_input, resolve_error_bound_info
 from ..core.blocks import validate_block_size
 from ..parallel.backends import resolve_backend
-from ..parallel.omp import resolve_thread_count
+from ..parallel.omp import resolve_worker_count
 from ..parallel.procpool import ProcPool, WorkerCrashError
 from ..testing import faults
 from . import batching as _batching
@@ -93,7 +93,7 @@ class CompressionService:
     workers:
         Pool size (validated and, for the thread backend, clamped to
         the CPU count like the OMP codec).  Job-level
-        ``CodecConfig.threads`` is ignored — the service owns
+        ``CodecConfig.workers`` is ignored — the service owns
         parallelism.
     backend:
         ``"thread"`` (default) runs codec work on the service's own
@@ -154,7 +154,7 @@ class CompressionService:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.backend = resolve_backend(backend)
-        self.workers = resolve_thread_count(workers, backend=self.backend)
+        self.workers = resolve_worker_count(workers, backend=self.backend)
         self.overflow = overflow
         #: None = block without deadline; only used under overflow="block".
         self.submit_timeout_s = (
@@ -293,7 +293,7 @@ class CompressionService:
             submitted_at=now,
             deadline=now + timeout_s if timeout_s is not None else None,
             payload=bytes(stream),
-            config=config.replace(threads=1),
+            config=config.replace(workers=1),
             parent_span=observe.current_span() if observe.enabled() else None,
         )
         return self._admit(job, block)

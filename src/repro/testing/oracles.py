@@ -26,8 +26,7 @@ from ..core.api import compress_components, decompress, resolve_error_bound
 from ..core.errors import StreamFormatError
 from ..core.stream import parse_stream
 from ..core.scalar import compress_scalar, decompress_scalar
-from ..core.vectorized import decompress_vectorized
-from ..parallel.omp import omp_compress, omp_decompress
+from ..core.kernels import decompress_blocks
 
 __all__ = [
     "check_baseline_truncations",
@@ -91,26 +90,29 @@ def check_round_trip(
             f"{_first_diff(sca_bytes, vec_bytes)})"
         )
 
-    omp_bytes = omp_compress(
-        arr, err_bound, mode=mode, block_size=block_size,
-        n_threads=n_threads, checksum=checksum,
-    )
+    from ..codec import CodecConfig, SZxCodec
+
+    omp_codec = SZxCodec(CodecConfig(
+        err_bound=err_bound, mode=mode, block_size=block_size,
+        checksum=checksum, workers=n_threads,
+    ))
+    omp_bytes = omp_codec.compress(arr)
     if omp_bytes != vec_bytes:
         problems.append(
-            f"omp_compress(n_threads={n_threads}) stream differs from "
+            f"thread-pool (workers={n_threads}) stream differs from "
             f"serial (first diff at {_first_diff(omp_bytes, vec_bytes)})"
         )
 
     # Decode through every path; all must agree bit-for-bit.
     parsed = parse_stream(vec_bytes)
-    recon_vec = decompress_vectorized(parsed).reshape(-1)
+    recon_vec = decompress_blocks(parsed).reshape(-1)
     recon_sca = decompress_scalar(parsed).reshape(-1)
     recon_api = decompress(vec_bytes).reshape(-1)
-    recon_omp = omp_decompress(vec_bytes, n_threads=n_threads).reshape(-1)
+    recon_omp = omp_codec.decompress(vec_bytes).reshape(-1)
     for name, recon in (
         ("scalar", recon_sca),
         ("api", recon_api),
-        (f"omp(n_threads={n_threads})", recon_omp),
+        (f"omp(workers={n_threads})", recon_omp),
     ):
         if not _bit_equal(recon, recon_vec):
             problems.append(f"{name} decode differs from vectorized decode")

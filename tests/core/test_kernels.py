@@ -1,0 +1,201 @@
+"""Property sweep for the fused-kernel stage chain (repro.core.kernels).
+
+The scalar reference engine is the oracle: across dtype x mode x
+block_size and the awkward input shapes (strided, Fortran-order, empty,
+constant, tiny), the fused path must emit *byte-identical* streams and
+reconstruct within the pointwise error bound.  Arena reuse across
+heterogeneous calls must never leak state between batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import resolve_error_bound
+from repro.core.kernels import (
+    DECODE_CHAIN,
+    ENCODE_CHAIN,
+    KernelArena,
+    compress_blocks,
+    decompress_blocks,
+    default_arena,
+)
+from repro.core.scalar import compress_scalar, decompress_scalar
+from repro.core.stream import parse_stream
+
+RNG = np.random.default_rng(1234)
+
+DTYPES = (np.float32, np.float64)
+MODES = ("abs", "rel")
+BLOCK_SIZES = (1, 5, 32, 128, 1024)
+
+
+def _field(dtype, n=6000):
+    smooth = np.cumsum(RNG.normal(size=n) * 0.01)
+    return (smooth + RNG.normal(size=n) * 1e-4).astype(dtype)
+
+
+def _roundtrip_and_check(data, err_bound, mode, block_size):
+    """Byte-identity vs scalar + pointwise bound; returns the stream."""
+    arr = np.asarray(data)
+    abs_bound = resolve_error_bound(arr, err_bound, mode)
+
+    fused = compress_blocks(arr, abs_bound, block_size).to_bytes()
+    oracle = compress_scalar(arr, abs_bound, block_size).to_bytes()
+    assert fused == oracle, (
+        f"stream mismatch dtype={arr.dtype} mode={mode} bs={block_size}"
+    )
+
+    recon = decompress_blocks(parse_stream(fused))
+    ref = decompress_scalar(parse_stream(oracle))
+    assert np.array_equal(
+        recon.ravel().view(np.uint8), ref.ravel().view(np.uint8)
+    )
+    if arr.size:
+        err = np.abs(
+            recon.ravel().astype(np.float64)
+            - np.ascontiguousarray(arr).reshape(-1).astype(np.float64)
+        )
+        slack = float(np.finfo(arr.dtype).eps) * max(1.0, float(err.max()))
+        assert float(err.max()) <= abs_bound + slack
+    return fused
+
+
+class TestFusedSweep:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_byte_identity_and_bound(self, dtype, mode, block_size):
+        _roundtrip_and_check(_field(dtype), 1e-3, mode, block_size)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("rel", [1e-2, 1e-4, 1e-6])
+    def test_bound_sweep_hits_varied_required_bytes(self, dtype, rel):
+        # Tight bounds force large (even lossless) required lengths; the
+        # mixed-magnitude field exercises the non-uniform nbytes path.
+        varied = (_field(dtype) * np.logspace(-6, 6, 6000)).astype(dtype)
+        _roundtrip_and_check(varied, rel, "rel", 128)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_strided_input(self, dtype):
+        base = _field(dtype, 12000)
+        _roundtrip_and_check(base[::3], 1e-3, "abs", 128)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_fortran_order_input(self, dtype):
+        arr = np.asfortranarray(_field(dtype, 64 * 96).reshape(64, 96))
+        _roundtrip_and_check(arr, 1e-3, "rel", 128)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_empty_input(self, dtype):
+        _roundtrip_and_check(np.empty(0, dtype=dtype), 1e-3, "abs", 128)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_constant_input(self, dtype):
+        _roundtrip_and_check(np.full(5000, 2.5, dtype=dtype), 1e-3, "abs", 64)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_single_value_and_ragged_tail(self, dtype):
+        _roundtrip_and_check(_field(dtype, 1), 1e-3, "abs", 128)
+        _roundtrip_and_check(_field(dtype, 129), 1e-3, "abs", 128)
+
+    def test_nan_rejected_via_api(self):
+        from repro.core.api import compress_components
+
+        bad = _field(np.float32)
+        bad[17] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            compress_components(bad, 1e-3)
+
+    def test_inf_rejected_via_api(self):
+        from repro.core.api import compress_components
+
+        bad = _field(np.float64)
+        bad[0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            compress_components(bad, 1e-3)
+
+
+class TestArenas:
+    def test_arena_reuse_is_byte_identical(self):
+        # One arena across shrinking/growing/dtype-switching calls must
+        # match fresh-arena output exactly — no state leaks between runs.
+        arena = KernelArena()
+        cases = [
+            (_field(np.float32, 9000), 1e-3, 128),
+            (_field(np.float64, 500), 1e-4, 32),
+            (_field(np.float32, 50), 1e-2, 128),
+            (_field(np.float64, 9000), 1e-5, 1024),
+        ]
+        for data, bound, bs in cases:
+            shared = compress_blocks(data, bound, bs, arena=arena)
+            fresh = compress_blocks(data, bound, bs, arena=KernelArena())
+            assert shared.to_bytes() == fresh.to_bytes()
+            a = decompress_blocks(parse_stream(shared.to_bytes()), arena=arena)
+            b = decompress_blocks(parse_stream(fresh.to_bytes()))
+            assert np.array_equal(a, b)
+
+    def test_arena_grows_only(self):
+        arena = KernelArena()
+        big = arena.take("k", 1000, np.uint8)
+        small = arena.take("k", 10, np.uint8)
+        # The small view aliases the big buffer; no reallocation happened.
+        assert small.base is big.base
+        assert arena.nbytes == 1000
+
+    def test_arena_dtype_switch_reallocates(self):
+        arena = KernelArena()
+        arena.take("k", 8, np.uint8)
+        as_f64 = arena.take("k", 8, np.float64)
+        assert as_f64.dtype == np.float64
+        assert arena.nbytes == 64
+
+    def test_default_arena_is_thread_local(self):
+        import threading
+
+        here = default_arena()
+        assert default_arena() is here  # stable within a thread
+        seen = []
+        t = threading.Thread(target=lambda: seen.append(default_arena()))
+        t.start()
+        t.join()
+        assert seen[0] is not here
+
+    def test_reset_frees(self):
+        arena = KernelArena()
+        arena.take("k", 100, np.uint8)
+        arena.reset()
+        assert arena.nbytes == 0
+
+
+class TestStageChains:
+    def test_chain_stage_names_are_the_span_names(self):
+        assert ENCODE_CHAIN.stage_names == (
+            "block_stats", "encode_blocks", "encode_tail",
+        )
+        assert DECODE_CHAIN.stage_names == (
+            "broadcast_const", "decode_blocks", "decode_tail",
+        )
+
+    def test_stage_spans_emitted(self):
+        from repro import observe
+        from repro.observe.sinks import InMemorySink
+
+        def collect(span, acc):
+            acc.add(span.name)
+            for child in span.children:
+                collect(child, acc)
+            return acc
+
+        sink = InMemorySink()
+        observe.enable(sink)
+        try:
+            data = _field(np.float32, 4096 + 37)  # ragged tail included
+            comp = compress_blocks(data, 1e-3, 128)
+            decompress_blocks(parse_stream(comp.to_bytes()))
+        finally:
+            observe.disable()
+        names = set()
+        for root in sink.spans:
+            collect(root, names)
+        for expected in ENCODE_CHAIN.stage_names + DECODE_CHAIN.stage_names:
+            assert expected in names, f"missing span {expected}"

@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import main
 
-SUITE_CASES = 12  # smoke suite: 6 cells x {compress, decompress}
+SUITE_CASES = 16  # smoke suite: 8 cells x {compress, decompress}
 
 
 def record(tmp_path, label, *extra):

@@ -1,0 +1,127 @@
+"""The documented public-API surface of ``repro`` must not drift.
+
+``__all__`` is a contract: additions and removals are deliberate API
+decisions, so this test pins the exact surface.  A failing run means
+either an accidental export (fix the code) or an intended API change
+(update EXPECTED_SURFACE *and* the README/ARCHITECTURE docs).
+"""
+
+import warnings
+
+import pytest
+
+import repro
+
+EXPECTED_SURFACE = {
+    # codec surface
+    "Codec",
+    "CodecConfig",
+    "SZxCodec",
+    "compress",
+    "decompress",
+    "compress_components",
+    "compression_ratio",
+    "resolve_error_bound",
+    # fused-kernel entry points
+    "compress_blocks",
+    "decompress_blocks",
+    "KernelArena",
+    # constants + errors
+    "DEFAULT_BLOCK_SIZE",
+    "StreamFormatError",
+    # subsystem entry points
+    "observe",
+    "serve",
+    "CompressionService",
+    "__version__",
+}
+
+
+class TestPublicSurface:
+    def test_all_matches_expected_surface(self):
+        assert set(repro.__all__) == EXPECTED_SURFACE
+
+    def test_no_duplicates_in_all(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_import_star_exports_exactly_the_surface(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        exported = {name for name in namespace if not name.startswith("__")}
+        # __version__ is dunder-prefixed, so import * skips it by design.
+        assert exported == EXPECTED_SURFACE - {"__version__"}
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_dir_includes_lazy_names(self):
+        listing = dir(repro)
+        assert "serve" in listing
+        assert "CompressionService" in listing
+
+    def test_lazy_service_export_is_the_real_class(self):
+        from repro.serve import CompressionService
+
+        assert repro.CompressionService is CompressionService
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.not_a_real_export
+
+
+class TestDeprecatedAliasesStillWork:
+    """The renamed parameters keep working behind DeprecationWarning."""
+
+    def test_codec_config_threads_alias(self):
+        with pytest.warns(DeprecationWarning, match="threads"):
+            cfg = repro.CodecConfig(err_bound=1e-3, threads=2)
+        assert cfg.workers == 2
+
+    def test_codec_config_num_threads_alias(self):
+        with pytest.warns(DeprecationWarning, match="num_threads"):
+            cfg = repro.CodecConfig(err_bound=1e-3, num_threads=3)
+        assert cfg.workers == 3
+
+    def test_codec_config_error_bound_alias(self):
+        with pytest.warns(DeprecationWarning, match="error_bound"):
+            cfg = repro.CodecConfig(error_bound=1e-2)
+        assert cfg.err_bound == 1e-2
+
+    def test_alias_and_canonical_together_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                repro.CodecConfig(err_bound=1e-3, workers=2, threads=2)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            repro.CodecConfig(err_bound=1e-3, wrokers=2)
+
+    def test_threads_property_warns(self):
+        cfg = repro.CodecConfig(err_bound=1e-3, workers=4)
+        with pytest.warns(DeprecationWarning, match="workers"):
+            assert cfg.threads == 4
+
+    def test_replace_accepts_alias(self):
+        cfg = repro.CodecConfig(err_bound=1e-3)
+        with pytest.warns(DeprecationWarning, match="threads"):
+            assert cfg.replace(threads=5).workers == 5
+
+    def test_resolve_thread_count_warns(self):
+        from repro.parallel import resolve_thread_count, resolve_worker_count
+
+        with pytest.warns(DeprecationWarning, match="resolve_worker_count"):
+            assert resolve_thread_count(1) == resolve_worker_count(1)
+
+    def test_deprecated_pool_wrappers_byte_identical(self):
+        import numpy as np
+
+        from repro.parallel import omp_compress, procpool_compress
+
+        data = np.linspace(0.0, 1.0, 4096, dtype=np.float32)
+        canonical = repro.compress(data, 1e-3)
+        with pytest.warns(DeprecationWarning, match="omp_compress"):
+            assert omp_compress(data, 1e-3, n_threads=2) == canonical
+        with pytest.warns(DeprecationWarning, match="procpool_compress"):
+            assert procpool_compress(data, 1e-3, n_procs=2) == canonical
