@@ -10,6 +10,7 @@ from .timing import (
 from .tables import format_table, format_series
 from .results import RESULTS_DIR, save_json, save_result, save_rows
 from .serve_load import format_serve_report, run_serve_load
+from .net_load import format_net_report, net_load_perf_records, run_net_load
 
 __all__ = [
     "measure_throughput_mb_s",
@@ -25,4 +26,7 @@ __all__ = [
     "save_rows",
     "run_serve_load",
     "format_serve_report",
+    "run_net_load",
+    "format_net_report",
+    "net_load_perf_records",
 ]

@@ -57,8 +57,15 @@ def _run_phase(
     queue_capacity: int,
     window_s: float,
     rate_jobs_s: float,
+    warmup: int = 0,
 ) -> dict:
-    """Submit every field open-loop, wait for all, summarize."""
+    """Submit every field open-loop, wait for all, summarize.
+
+    The first *warmup* submissions (cycling over *fields*) run before
+    the clock starts and are excluded from every reported number — they
+    exist to fault in worker threads, fork process pools, and JIT numpy
+    caches so the p99 reflects steady state, not cold start.
+    """
     done_at: list = [None] * len(fields)
     submitted_at: list = [None] * len(fields)
     interarrival = 1.0 / rate_jobs_s if rate_jobs_s > 0 else 0.0
@@ -72,6 +79,13 @@ def _run_phase(
         batching=batching,
         batch_window_s=window_s,
     ) as svc:
+        if warmup > 0:
+            warm_futs = [
+                svc.submit_compress(fields[i % len(fields)], cfg)
+                for i in range(warmup)
+            ]
+            for fut in warm_futs:
+                fut.result()
         t_start = time.monotonic()
         futures = []
         for i, field in enumerate(fields):
@@ -97,6 +111,7 @@ def _run_phase(
     return {
         "batching": batching,
         "jobs": len(fields),
+        "warmup": warmup,
         "makespan_s": makespan,
         "jobs_per_s": len(fields) / makespan if makespan > 0 else float("inf"),
         "mb_per_s": bytes_in / 1e6 / makespan if makespan > 0 else float("inf"),
@@ -115,8 +130,13 @@ def _run_overload(
     queue_capacity: int,
     values_per_job: int,
     seed: int,
+    warmup: int = 0,
 ) -> dict:
-    """Burst-submit against a tiny queue; count fast rejections."""
+    """Burst-submit against a tiny queue; count fast rejections.
+
+    Warmup jobs run one at a time (each awaited) so they can never trip
+    the deliberately tiny reject queue; they only warm the pool.
+    """
     fields = _make_jobs(burst, values_per_job, seed + 1)
     rejected = 0
     futures = []
@@ -127,6 +147,8 @@ def _run_overload(
         batching=True,
         batch_max_jobs=8,
     ) as svc:
+        for i in range(warmup):
+            svc.submit_compress(fields[i % len(fields)], cfg).result()
         for field in fields:
             try:
                 futures.append(svc.submit_compress(field, cfg))
@@ -143,6 +165,7 @@ def _run_overload(
     return {
         "burst": burst,
         "queue_capacity": queue_capacity,
+        "warmup": warmup,
         "rejected": rejected,
         "served": served,
         "fail_fast": rejected > 0,
@@ -162,11 +185,19 @@ def run_serve_load(
     window_s: float = 0.002,
     rate_jobs_s: float = 0.0,
     seed: int = 0,
+    warmup: int = 0,
     overload_burst: int = 256,
     overload_capacity: int = 4,
     overload_values: int = 65536,
 ) -> dict:
-    """Run the batched/unbatched/overload phases; return the report."""
+    """Run the batched/unbatched/overload phases; return the report.
+
+    *warmup* jobs per phase run before the clock starts and are
+    excluded from latency quantiles and throughput (see
+    :func:`_run_phase`).
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
     cfg = CodecConfig(err_bound=err_bound, block_size=block_size)
     fields = _make_jobs(jobs, values_per_job, seed)
     phase_kw = dict(
@@ -175,6 +206,7 @@ def run_serve_load(
         queue_capacity=queue_capacity,
         window_s=window_s,
         rate_jobs_s=rate_jobs_s,
+        warmup=warmup,
     )
     batched = _run_phase(fields, cfg, batching=True, **phase_kw)
     unbatched = _run_phase(fields, cfg, batching=False, **phase_kw)
@@ -185,6 +217,7 @@ def run_serve_load(
         queue_capacity=overload_capacity,
         values_per_job=overload_values,
         seed=seed,
+        warmup=warmup,
     )
     report = {
         "config": {
@@ -198,6 +231,7 @@ def run_serve_load(
             "batch_window_ms": window_s * 1e3,
             "rate_jobs_s": rate_jobs_s,
             "seed": seed,
+            "warmup": warmup,
         },
         "batched": batched,
         "unbatched": unbatched,
@@ -234,6 +268,7 @@ def format_serve_report(report: dict) -> str:
         f"serve-bench: {c['jobs']} jobs x {c['values_per_job']} values, "
         f"{c['workers']} {c.get('backend', 'thread')} worker(s), "
         f"queue {c['queue_capacity']}, window {c['batch_window_ms']:g} ms"
+        + (f", warmup {c['warmup']}" if c.get("warmup") else "")
     )
     for key in ("batched", "unbatched"):
         p = report[key]

@@ -15,7 +15,10 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
     szx perf report --format markdown
     szx fuzz      --seed 0 --iters 50
     szx lint      --format json -o lint.json
-    szx serve-bench --jobs 400 --workers 4 --report serve.json
+    szx serve-bench --jobs 400 --workers 4 --warmup 16 --report serve.json
+    szx serve      --listen 0.0.0.0:8641 --shards 4 --workers 2
+    szx client     compress data.f32 -o data.szx --connect host:8641 -e 1e-3
+    szx net-bench  --clients 4 --chunks 64 --report net.json
     szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
     szx bundle    a.szx b.szx -o fields.szxa --names a,b
     szx extract   fields.szxa a -o a.f32
@@ -547,6 +550,7 @@ def _cmd_serve_bench(args) -> int:
         window_s=args.window_ms / 1e3,
         rate_jobs_s=args.rate,
         seed=args.seed,
+        warmup=args.warmup,
         overload_burst=args.overload_burst,
     )
     if getattr(args, "trace", False) or getattr(args, "trace_json", None):
@@ -565,6 +569,159 @@ def _cmd_serve_bench(args) -> int:
             fh.write("\n")
         print(f"report written to {args.report}")
     return 0
+
+
+def _parse_hostport(text: str, *, default_port: int = 8641) -> tuple[str, int]:
+    """Parse ``HOST[:PORT]`` (``:PORT`` alone binds all of localhost)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text or "127.0.0.1", default_port
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad address {text!r}: expected HOST:PORT")
+
+
+def _cmd_serve(args) -> int:
+    """Run the network front door until SIGTERM/SIGINT drains it.
+
+    Serves the binary SXP1 protocol and the HTTP/1.1 adapter on one
+    port.  SIGTERM and SIGHUP trigger a graceful drain: in-flight
+    requests complete, new ones get the typed retryable ``draining``
+    error, the shard services flush, and the process exits 0.
+    """
+    import asyncio
+
+    from .net import NetServer
+    from .net.quotas import TenantPolicy, TenantQuotas
+
+    host, port = _parse_hostport(args.listen)
+    quotas = TenantQuotas(
+        TenantPolicy(rate=args.rate, burst=args.burst)
+    )
+    if args.metrics:
+        observe.enable()
+
+    async def run():
+        server = await NetServer(
+            host,
+            port,
+            shards=args.shards,
+            workers_per_shard=args.workers,
+            backend=args.backend,
+            cache_bytes=int(args.cache_mb * 1e6),
+            quotas=quotas,
+            default_config=CodecConfig(
+                err_bound=args.error_bound, block_size=args.block_size
+            ),
+        ).start()
+        print(
+            f"szx serve: listening on {server.host}:{server.port} "
+            f"({args.shards} shard(s) x {args.workers} {args.backend} "
+            f"worker(s), cache {args.cache_mb:g} MB)",
+            flush=True,
+        )
+        await server.serve_forever()
+        print("szx serve: drained cleanly", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C fallback
+        pass
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """One-shot client for a running ``szx serve`` instance."""
+    from .net import RemoteError
+    from .net import client as netclient
+
+    host, port = _parse_hostport(args.connect)
+    try:
+        if args.action == "health":
+            print(json.dumps(netclient.server_health(host, port),
+                             indent=2, sort_keys=True))
+            return 0
+        if args.action == "stats":
+            print(json.dumps(netclient.server_stats(host, port),
+                             indent=2, sort_keys=True))
+            return 0
+        if args.action == "compress":
+            dtype = _DTYPES[args.dtype]
+            data = np.fromfile(args.input, dtype=dtype)
+            shape = _parse_shape(args.shape)
+            if shape is not None:
+                data = data.reshape(shape)
+            stream, meta = netclient.compress_remote(
+                data, host, port,
+                err_bound=args.error_bound,
+                tenant=args.tenant, retries=args.retries,
+            )
+            with open(args.output, "wb") as fh:
+                fh.write(stream)
+            print(
+                f"{args.input}: {data.nbytes:,} -> {len(stream):,} bytes "
+                f"(CR {data.nbytes / len(stream):.2f}, cache "
+                f"{meta.get('cache', '?')}) -> {args.output}"
+            )
+            return 0
+        # decompress
+        with open(args.input, "rb") as fh:
+            stream = fh.read()
+        arr, _ = netclient.decompress_remote(
+            stream, host, port, tenant=args.tenant, retries=args.retries,
+        )
+        arr.tofile(args.output)
+        print(f"{args.input}: {arr.size:,} values -> {args.output}")
+        return 0
+    except (RemoteError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+
+
+def _cmd_net_bench(args) -> int:
+    """Multi-client open-loop benchmark of the network front door.
+
+    Runs the cold (unique chunks) and duplicate (100 % cache hits)
+    phases; exits 1 when any protocol error occurred, so CI can assert
+    a clean run.  ``--perf-label`` additionally records per-phase
+    PerfRecords into the perf ledger for ``szx perf compare`` gating.
+    """
+    from .bench.net_load import (
+        format_net_report,
+        net_load_perf_records,
+        run_net_load,
+    )
+
+    report = run_net_load(
+        chunks=args.chunks,
+        values_per_chunk=args.values,
+        clients=args.clients,
+        err_bound=args.error_bound,
+        block_size=args.block_size,
+        shards=args.shards,
+        workers_per_shard=args.workers,
+        backend=args.backend,
+        warmup=args.warmup,
+        seed=args.seed,
+        tenant=args.tenant,
+        connect=_parse_hostport(args.connect) if args.connect else None,
+    )
+    print(format_net_report(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    if args.perf_label:
+        from .observe.perf import PerfLedger
+
+        ledger = PerfLedger(args.perf_dir) if args.perf_dir else PerfLedger()
+        paths = ledger.record_run(
+            args.perf_label, "net_load", net_load_perf_records(report)
+        )
+        print(f"perf run {args.perf_label!r} -> {paths['run']}")
+    return 0 if report["protocol_errors"] == 0 else 1
 
 
 def _cmd_assess(args) -> int:
@@ -845,12 +1002,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="offered load in jobs/s (0 = submit as fast as possible)",
     )
     psb.add_argument("--seed", type=int, default=0)
+    psb.add_argument(
+        "--warmup", type=int, default=0,
+        help="per-phase warmup jobs run before the clock starts and "
+        "excluded from latency quantiles",
+    )
     psb.add_argument("--overload-burst", type=int, default=256)
     psb.add_argument(
         "--report", metavar="PATH", help="write the full JSON report here"
     )
     add_trace_opts(psb)
     psb.set_defaults(fn=_cmd_serve_bench)
+
+    psv = sub.add_parser(
+        "serve",
+        help="run the network front door (binary SXP1 + HTTP/1.1 on one port)",
+    )
+    psv.add_argument(
+        "--listen", default="127.0.0.1:8641", metavar="HOST:PORT",
+        help="bind address (port 0 = ephemeral, printed at startup)",
+    )
+    psv.add_argument("--shards", type=int, default=2)
+    psv.add_argument(
+        "--workers", type=int, default=2, help="workers per shard"
+    )
+    psv.add_argument(
+        "--backend", choices=("thread", "process"), default="thread"
+    )
+    psv.add_argument(
+        "--cache-mb", type=float, default=256.0,
+        help="content-addressed chunk cache budget in MB",
+    )
+    psv.add_argument(
+        "-e", "--error-bound", type=float, default=1e-3,
+        help="default err_bound for requests that do not set one",
+    )
+    psv.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    psv.add_argument(
+        "--rate", type=float, default=0.0,
+        help="default per-tenant request rate limit (0 = unlimited)",
+    )
+    psv.add_argument(
+        "--burst", type=float, default=32.0, help="token-bucket burst depth"
+    )
+    psv.add_argument(
+        "--metrics", action="store_true",
+        help="collect net.*/serve.* metrics (adds slight overhead)",
+    )
+    psv.set_defaults(fn=_cmd_serve)
+
+    pcl = sub.add_parser(
+        "client", help="one-shot client for a running `szx serve`"
+    )
+    pcl.add_argument(
+        "action", choices=("compress", "decompress", "stats", "health")
+    )
+    pcl.add_argument("input", nargs="?", help="input file (compress/decompress)")
+    pcl.add_argument(
+        "--connect", default="127.0.0.1:8641", metavar="HOST:PORT"
+    )
+    pcl.add_argument("-o", "--output", default="client.out")
+    pcl.add_argument("--dtype", choices=tuple(_DTYPES), default="f32")
+    pcl.add_argument("--shape", help="comma-separated dims for compress")
+    pcl.add_argument("-e", "--error-bound", type=float, default=1e-3)
+    pcl.add_argument("--tenant", default=None)
+    pcl.add_argument(
+        "--retries", type=int, default=0,
+        help="retry budget for retryable (overloaded/rate-limited) errors",
+    )
+    pcl.set_defaults(fn=_cmd_client)
+
+    pnb = sub.add_parser(
+        "net-bench",
+        help="multi-client open-loop benchmark of the network front door",
+    )
+    pnb.add_argument("--chunks", type=int, default=64)
+    pnb.add_argument(
+        "--values", type=int, default=4096, help="values per chunk"
+    )
+    pnb.add_argument("--clients", type=int, default=4)
+    pnb.add_argument("-e", "--error-bound", type=float, default=1e-3)
+    pnb.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    pnb.add_argument("--shards", type=int, default=2)
+    pnb.add_argument(
+        "--workers", type=int, default=2, help="workers per shard"
+    )
+    pnb.add_argument(
+        "--backend", choices=("thread", "process"), default="thread"
+    )
+    pnb.add_argument(
+        "--warmup", type=int, default=8,
+        help="cold-phase warmup requests excluded from quantiles",
+    )
+    pnb.add_argument("--seed", type=int, default=0)
+    pnb.add_argument("--tenant", default=None)
+    pnb.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="drive an already-running server instead of an in-process one",
+    )
+    pnb.add_argument(
+        "--report", metavar="PATH", help="write the full JSON report here"
+    )
+    pnb.add_argument(
+        "--perf-label", metavar="LABEL",
+        help="record per-phase PerfRecords into the perf ledger as LABEL",
+    )
+    pnb.add_argument(
+        "--perf-dir", metavar="DIR", help="perf ledger directory override"
+    )
+    pnb.set_defaults(fn=_cmd_net_bench)
 
     pa = sub.add_parser("assess", help="quality report for a reconstruction")
     pa.add_argument("original")

@@ -1,0 +1,74 @@
+"""repro.net — the asyncio network front door.
+
+Layers (see docs/ARCHITECTURE.md §Network front door):
+
+* :mod:`~repro.net.protocol` — length-prefixed binary frames plus the
+  4-byte sniffer that lets one port also answer HTTP/1.1;
+* :mod:`~repro.net.hashring` — consistent hashing with virtual nodes;
+* :mod:`~repro.net.cache` — content-addressed LRU cache of compressed
+  chunks keyed by ``(digest, codec parameters)``;
+* :mod:`~repro.net.quotas` — per-tenant token buckets and weighted
+  start-time fair queuing;
+* :mod:`~repro.net.shards` — a hash-ring-routed fleet of
+  :class:`~repro.serve.CompressionService` shards;
+* :mod:`~repro.net.server` / :mod:`~repro.net.client` — the asyncio
+  server (graceful drain on SIGTERM/SIGHUP) and clients.
+
+Everything is stdlib + numpy; no framework dependencies.
+"""
+
+from .cache import ChunkCache, chunk_key, content_digest
+from .client import (
+    NetClient,
+    compress_remote,
+    decompress_remote,
+    server_health,
+    server_stats,
+)
+from .errors import (
+    ConnectionClosedError,
+    FrameTooLargeError,
+    NetError,
+    ProtocolError,
+    RateLimitedError,
+    RemoteBadRequestError,
+    RemoteError,
+    RemoteInternalError,
+    RemoteOverloadedError,
+    ServerDrainingError,
+    remote_error_for,
+)
+from .hashring import HashRing
+from .quotas import FairQueue, TenantPolicy, TenantQuotas, TokenBucket
+from .server import NetServer, start_server
+from .shards import ShardSet
+
+__all__ = [
+    "NetServer",
+    "start_server",
+    "NetClient",
+    "compress_remote",
+    "decompress_remote",
+    "server_stats",
+    "server_health",
+    "ShardSet",
+    "HashRing",
+    "ChunkCache",
+    "chunk_key",
+    "content_digest",
+    "TenantPolicy",
+    "TenantQuotas",
+    "TokenBucket",
+    "FairQueue",
+    "NetError",
+    "ProtocolError",
+    "FrameTooLargeError",
+    "ConnectionClosedError",
+    "RemoteError",
+    "RemoteBadRequestError",
+    "RemoteOverloadedError",
+    "RateLimitedError",
+    "ServerDrainingError",
+    "RemoteInternalError",
+    "remote_error_for",
+]

@@ -1,0 +1,136 @@
+"""Content-addressed cache of compressed chunks.
+
+Scientific workflows re-upload identical blocks constantly (restart
+files, shared grids, repeated fields), so the front door deduplicates
+*across tenants*: the cache key is the content digest of the raw bytes
+plus every codec parameter that changes the output stream::
+
+    key = (sha256(raw bytes), dtype, shape, err_bound, mode,
+           block_size, checksum)
+
+A hit returns the exact stream a cold compression would produce —
+byte-identical by construction, because SZx is deterministic in (bytes,
+config) — and skips the kernel chain entirely, which is where the
+``net_load`` duplicate-workload speedup comes from.
+
+Eviction is LRU under a byte budget: ``put`` evicts least-recently-used
+entries until the new entry fits; an entry larger than the whole budget
+is simply not cached.  All operations are thread-safe (the event loop
+and shard worker threads both touch the cache) and feed ``net.cache.*``
+metrics when observability is enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from .. import observe
+
+#: Default cache budget: 256 MiB of compressed chunks.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def content_digest(raw: bytes) -> str:
+    """Hex sha256 of the raw chunk bytes — the content address."""
+    return hashlib.sha256(raw).hexdigest()
+
+
+def chunk_key(digest: str, *, dtype: str, shape, err_bound: float,
+              mode: str, block_size: int, checksum: bool) -> tuple:
+    """The full cache key for one (chunk, codec config) pair.
+
+    ``dtype``/``shape``/``checksum`` ride along with the ISSUE's
+    ``(digest, err_bound, block_size, mode)`` core because each of them
+    changes the emitted stream for the same raw bytes.
+    """
+    return (
+        digest, str(dtype), tuple(int(s) for s in shape),
+        float(err_bound), str(mode), int(block_size), bool(checksum),
+    )
+
+
+class ChunkCache:
+    """Thread-safe LRU byte-budget cache of compressed streams."""
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+        if not isinstance(max_bytes, int) or isinstance(max_bytes, bool) \
+                or max_bytes < 0:
+            raise ValueError(f"max_bytes must be an int >= 0, got {max_bytes!r}")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: tuple):
+        """The cached stream for *key*, or None; a hit refreshes LRU."""
+        with self._lock:
+            stream = self._entries.get(key)
+            if stream is None:
+                self._misses += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                hit = True
+        if observe.enabled():
+            observe.counter(
+                "net.cache.hits" if hit else "net.cache.misses"
+            ).inc()
+        return stream
+
+    def put(self, key: tuple, stream: bytes) -> bool:
+        """Insert a compressed stream; returns False when it cannot fit."""
+        stream = bytes(stream)
+        if len(stream) > self.max_bytes:
+            return False
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            while self._bytes + len(stream) > self.max_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= len(victim)
+                self._evictions += 1
+                evicted += 1
+            self._entries[key] = stream
+            self._bytes += len(stream)
+            used, count = self._bytes, len(self._entries)
+        if observe.enabled():
+            if evicted:
+                observe.counter("net.cache.evictions").inc(evicted)
+            observe.counter("net.cache.stores").inc()
+            observe.gauge("net.cache.bytes").set(used)
+            observe.gauge("net.cache.entries").set(count)
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot (the ``stats`` verb embeds this)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

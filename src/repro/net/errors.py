@@ -1,0 +1,112 @@
+"""Exception hierarchy for the network front door.
+
+Two families:
+
+* :class:`ProtocolError` — the bytes on the wire are malformed (bad
+  magic, oversized frame, truncated body, unparseable metadata).  These
+  are *peer* bugs: the server answers ``bad_request`` and drops the
+  connection; the client raises them locally.
+* :class:`RemoteError` — the server answered with an error status.
+  Each subclass carries the wire status code and a ``retryable`` flag
+  so clients can implement backoff without string-matching messages:
+  overload, rate limiting, and drain are transient by construction;
+  bad requests and internal faults are not.
+
+:func:`remote_error_for` maps a wire status code back to the typed
+subclass — the client-side twin of the server's error encoding.
+"""
+
+from __future__ import annotations
+
+
+class NetError(RuntimeError):
+    """Base class for every ``repro.net`` failure."""
+
+
+class ProtocolError(NetError):
+    """The peer sent bytes that do not parse as a protocol frame."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a length above the negotiated cap."""
+
+
+class ConnectionClosedError(NetError):
+    """The peer closed the connection mid-conversation."""
+
+
+class RemoteError(NetError):
+    """The server answered with an error status.
+
+    ``retryable`` mirrors the wire flag: ``True`` means the request was
+    rejected by *policy* (overload, rate limit, drain) and an identical
+    retry may succeed later; ``False`` means retrying the same bytes
+    cannot help.
+    """
+
+    code = "internal"
+    retryable = False
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class RemoteBadRequestError(RemoteError):
+    """The server rejected the request as malformed or unsupported."""
+
+    code = "bad_request"
+    retryable = False
+
+
+class RemoteOverloadedError(RemoteError):
+    """The server's bounded queues were full — shed load and retry."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class RateLimitedError(RemoteError):
+    """The tenant's token bucket is empty; retry after the hinted delay."""
+
+    code = "rate_limited"
+    retryable = True
+
+
+class ServerDrainingError(RemoteError):
+    """The server is draining for shutdown/reload.
+
+    Typed and retryable by design: a load balancer (or the client
+    itself) should resubmit the request to another replica or wait for
+    the restarted process.
+    """
+
+    code = "draining"
+    retryable = True
+
+
+class RemoteInternalError(RemoteError):
+    """The server failed executing the request (codec fault, crash)."""
+
+    code = "internal"
+    retryable = False
+
+
+#: code string -> typed RemoteError subclass (the client-side decoder).
+REMOTE_ERRORS = {
+    cls.code: cls
+    for cls in (
+        RemoteBadRequestError,
+        RemoteOverloadedError,
+        RateLimitedError,
+        ServerDrainingError,
+        RemoteInternalError,
+    )
+}
+
+
+def remote_error_for(code: str, message: str,
+                     retry_after_s: float | None = None) -> RemoteError:
+    """Instantiate the typed error for a wire status *code*."""
+    cls = REMOTE_ERRORS.get(code, RemoteInternalError)
+    return cls(message, retry_after_s=retry_after_s)

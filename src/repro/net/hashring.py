@@ -1,0 +1,93 @@
+"""Consistent-hash ring for shard routing.
+
+Requests are routed to service shards by the content digest of the
+chunk they carry, so identical chunks always land on the same shard
+(cache locality) and adding/removing a shard only remaps ``1/N`` of the
+keyspace — the classic consistent-hashing argument.  Each node is
+planted at :data:`DEFAULT_REPLICAS` virtual points (blake2b of
+``"node:replica"``) to smooth the load distribution; lookup is a bisect
+over the sorted point list, O(log(replicas * nodes)).
+
+Pure stdlib and deterministic: the same node set always produces the
+same ring, so clients and servers built from the same config agree on
+placement without any coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual points per node; 64 keeps the max/mean load ratio near 1.1
+#: for small shard counts without bloating the ring.
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: bytes) -> int:
+    """Stable 64-bit ring coordinate for a label."""
+    return int.from_bytes(
+        hashlib.blake2b(label, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent mapping from string keys to member nodes."""
+
+    def __init__(self, nodes=(), *, replicas: int = DEFAULT_REPLICAS):
+        if not isinstance(replicas, int) or isinstance(replicas, bool) \
+                or replicas < 1:
+            raise ValueError(f"replicas must be a positive int, got {replicas!r}")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(set(self._owners))
+
+    @property
+    def nodes(self) -> tuple:
+        return tuple(sorted(set(self._owners)))
+
+    def add(self, node: str) -> None:
+        """Plant *node* at its virtual points (idempotent)."""
+        node = str(node)
+        if node in self._owners:
+            return
+        for r in range(self.replicas):
+            pt = _point(f"{node}:{r}".encode("utf-8"))
+            i = bisect.bisect_left(self._points, pt)
+            # blake2b collisions over 64 bits are vanishingly rare; skip
+            # rather than shadow an existing owner if one ever occurs.
+            if i < len(self._points) and self._points[i] == pt:
+                continue
+            self._points.insert(i, pt)
+            self._owners.insert(i, node)
+
+    def remove(self, node: str) -> None:
+        """Unplant *node*; keys it owned flow to their next neighbours."""
+        node = str(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners) if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def node_for(self, key) -> str:
+        """The node owning *key* (str or bytes)."""
+        if not self._points:
+            raise ValueError("hash ring is empty")
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        pt = _point(bytes(key))
+        i = bisect.bisect_right(self._points, pt)
+        if i == len(self._points):      # wrap past the top of the ring
+            i = 0
+        return self._owners[i]
+
+    def distribution(self, keys) -> dict:
+        """``{node: count}`` over *keys* — test/inspection helper."""
+        out: dict[str, int] = {}
+        for key in keys:
+            node = self.node_for(key)
+            out[node] = out.get(node, 0) + 1
+        return out

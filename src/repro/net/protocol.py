@@ -1,0 +1,244 @@
+"""Length-prefixed binary wire protocol for the network front door.
+
+One frame carries one request or one response::
+
+    frame := magic "SXP1" (4) | u32 body_len | body
+    body  := u8 kind | u32 meta_len | meta (JSON, UTF-8) | payload
+
+All integers are big-endian.  ``kind`` identifies the verb on requests
+(``compress`` / ``decompress`` / ``stats`` / ``health``) and the status
+on responses (``ok`` or a typed error code); ``meta`` is a small JSON
+object (tenant, codec parameters, array dtype/shape, error details) and
+``payload`` is the bulk bytes — the raw array for ``compress``, the SZx
+stream for ``decompress``, and vice versa on the way back.
+
+The 4-byte magic doubles as the protocol sniffer: HTTP/1.1 request
+lines start with a method token (``GET ``, ``POST``, ...), so the
+server can serve both protocols on one port by peeking at the first
+four bytes (:func:`sniff_protocol`).
+
+Frames are hard-capped (:data:`DEFAULT_MAX_FRAME` unless renegotiated)
+so a corrupt or hostile length prefix cannot balloon memory; violations
+raise the typed :class:`~repro.net.errors.FrameTooLargeError` before
+any allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+
+from .errors import (
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+)
+
+#: Wire magic; the trailing "1" is the protocol version.
+MAGIC = b"SXP1"
+
+#: Default per-frame byte cap (prefix + body).  512 MiB covers any
+#: realistic scientific chunk while bounding a hostile length prefix.
+DEFAULT_MAX_FRAME = 512 * 1024 * 1024
+
+# -- request verbs -----------------------------------------------------
+COMPRESS = 0x01
+DECOMPRESS = 0x02
+STATS = 0x03
+HEALTH = 0x04
+
+REQUEST_KINDS = {
+    COMPRESS: "compress",
+    DECOMPRESS: "decompress",
+    STATS: "stats",
+    HEALTH: "health",
+}
+
+# -- response statuses -------------------------------------------------
+OK = 0x80
+ERR_BAD_REQUEST = 0x81
+ERR_OVERLOADED = 0x82
+ERR_RATE_LIMITED = 0x83
+ERR_DRAINING = 0x84
+ERR_INTERNAL = 0x85
+
+RESPONSE_KINDS = {
+    OK: "ok",
+    ERR_BAD_REQUEST: "bad_request",
+    ERR_OVERLOADED: "overloaded",
+    ERR_RATE_LIMITED: "rate_limited",
+    ERR_DRAINING: "draining",
+    ERR_INTERNAL: "internal",
+}
+
+#: error code string -> response kind byte (the server-side encoder).
+ERROR_KIND_FOR_CODE = {
+    name: kind for kind, name in RESPONSE_KINDS.items() if kind != OK
+}
+
+#: dtypes the wire accepts for raw arrays (what the codec supports).
+WIRE_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+_PRELUDE = struct.Struct(">4sI")     # magic, body length
+_BODY_HEAD = struct.Struct(">BI")    # kind, meta length
+
+#: HTTP/1.1 method prefixes recognised by the protocol sniffer.
+HTTP_METHOD_PREFIXES = (b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI")
+
+
+def encode_frame(kind: int, meta: dict | None = None,
+                 payload: bytes = b"") -> bytes:
+    """Serialize one frame."""
+    if kind not in REQUEST_KINDS and kind not in RESPONSE_KINDS:
+        raise ValueError(f"unknown frame kind 0x{kind:02x}")
+    meta_bytes = json.dumps(
+        meta or {}, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body_len = _BODY_HEAD.size + len(meta_bytes) + len(payload)
+    return b"".join((
+        _PRELUDE.pack(MAGIC, body_len),
+        _BODY_HEAD.pack(kind, len(meta_bytes)),
+        meta_bytes,
+        payload,
+    ))
+
+
+def decode_body(body: bytes) -> tuple[int, dict, bytes]:
+    """Parse a frame body into ``(kind, meta, payload)``."""
+    if len(body) < _BODY_HEAD.size:
+        raise ProtocolError(
+            f"frame body truncated: {len(body)} < {_BODY_HEAD.size} bytes"
+        )
+    kind, meta_len = _BODY_HEAD.unpack_from(body)
+    if kind not in REQUEST_KINDS and kind not in RESPONSE_KINDS:
+        raise ProtocolError(f"unknown frame kind 0x{kind:02x}")
+    meta_end = _BODY_HEAD.size + meta_len
+    if meta_end > len(body):
+        raise ProtocolError(
+            f"frame metadata overruns body: {meta_len} bytes declared, "
+            f"{len(body) - _BODY_HEAD.size} available"
+        )
+    try:
+        meta = json.loads(body[_BODY_HEAD.size:meta_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame metadata is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError(
+            f"frame metadata must be a JSON object, got {type(meta).__name__}"
+        )
+    return kind, meta, body[meta_end:]
+
+
+def decode_frame(data: bytes) -> tuple[int, dict, bytes]:
+    """Parse one complete in-memory frame (tests / HTTP bridging)."""
+    if len(data) < _PRELUDE.size:
+        raise ProtocolError(f"frame truncated: {len(data)} bytes")
+    magic, body_len = _PRELUDE.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if len(data) != _PRELUDE.size + body_len:
+        raise ProtocolError(
+            f"frame length mismatch: prefix says {body_len}, "
+            f"{len(data) - _PRELUDE.size} bytes present"
+        )
+    return decode_body(data[_PRELUDE.size:])
+
+
+async def read_frame(reader, *, max_frame: int = DEFAULT_MAX_FRAME,
+                     first_bytes: bytes = b""):
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``(kind, meta, payload)``, or ``None`` on clean EOF at a
+    frame boundary.  *first_bytes* carries bytes the caller already
+    consumed while sniffing the protocol.
+    """
+    prelude = await _read_exact(reader, _PRELUDE.size, first_bytes)
+    if prelude is None:
+        return None
+    magic, body_len = _PRELUDE.unpack(prelude)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if body_len > max_frame:
+        raise FrameTooLargeError(
+            f"frame of {body_len} bytes exceeds the {max_frame}-byte cap"
+        )
+    body = await _read_exact(reader, body_len, b"")
+    if body is None:
+        raise ConnectionClosedError(
+            f"connection closed mid-frame ({body_len} body bytes expected)"
+        )
+    return decode_body(body)
+
+
+async def _read_exact(reader, n: int, first_bytes: bytes):
+    """Read exactly *n* bytes (prepending *first_bytes*); None on EOF."""
+    buf = first_bytes
+    if len(buf) >= n:
+        return buf[:n]
+    try:
+        rest = await reader.readexactly(n - len(buf))
+    except asyncio.IncompleteReadError as exc:
+        if not buf and not exc.partial:
+            return None
+        raise ConnectionClosedError(
+            f"connection closed mid-frame "
+            f"({len(buf) + len(exc.partial)}/{n} bytes read)"
+        ) from exc
+    return buf + rest
+
+
+def sniff_protocol(first_bytes: bytes) -> str:
+    """Classify a connection by its first four bytes.
+
+    Returns ``"binary"`` for the framed protocol, ``"http"`` for an
+    HTTP/1.1 request line, and raises :class:`ProtocolError` otherwise.
+    """
+    if first_bytes[:4] == MAGIC:
+        return "binary"
+    if any(first_bytes[:4] == p[:4] or p.startswith(first_bytes)
+           for p in HTTP_METHOD_PREFIXES):
+        return "http"
+    raise ProtocolError(
+        f"unrecognised protocol preamble {first_bytes[:4]!r} "
+        "(expected SXP1 magic or an HTTP method)"
+    )
+
+
+# -- array <-> wire helpers --------------------------------------------
+
+def array_wire_meta(arr: np.ndarray) -> dict:
+    """The metadata a raw array needs to cross the wire losslessly."""
+    return {"dtype": str(arr.dtype), "shape": list(arr.shape)}
+
+
+def array_from_wire(meta: dict, payload: bytes) -> np.ndarray:
+    """Rebuild (a read-only view of) the array a peer sent.
+
+    Validates dtype and element count against the payload length, so a
+    lying header cannot make ``frombuffer`` mis-slice memory.
+    """
+    dtype_name = meta.get("dtype")
+    if dtype_name not in WIRE_DTYPES:
+        raise ProtocolError(
+            f"unsupported wire dtype {dtype_name!r} "
+            f"(have {sorted(WIRE_DTYPES)})"
+        )
+    dtype = np.dtype(WIRE_DTYPES[dtype_name])
+    shape = meta.get("shape", [])
+    if not isinstance(shape, list) or not all(
+        isinstance(s, int) and not isinstance(s, bool) and s >= 0
+        for s in shape
+    ):
+        raise ProtocolError(f"bad wire shape {shape!r}")
+    n = 1
+    for s in shape:
+        n *= s
+    if n * dtype.itemsize != len(payload):
+        raise ProtocolError(
+            f"payload holds {len(payload)} bytes but shape {tuple(shape)} "
+            f"of {dtype_name} needs {n * dtype.itemsize}"
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)

@@ -1,0 +1,236 @@
+"""Multi-tenant quotas: token-bucket rate limits + weighted fair queuing.
+
+Two policy layers sit between the wire and the shards:
+
+* :class:`TokenBucket` — classic leaky admission per tenant.  Tokens
+  accrue at ``rate`` per second up to ``burst``; a request that cannot
+  pay its cost is rejected with a ``retry_after`` hint instead of being
+  queued, so one chatty tenant turns into *its own* fast 429s rather
+  than everyone's queueing delay.
+* :class:`FairQueue` — start-time fair queuing (SFQ) over the admitted
+  backlog.  Each item is tagged ``start = max(V, tenant_last_finish)``
+  and ``finish = start + cost / weight``; the queue always pops the
+  smallest finish tag and advances the virtual clock ``V`` to the
+  popped item's start tag.  A tenant blasting huge chunks therefore
+  shares the shard pool in proportion to its weight while a light
+  tenant's requests overtake the heavy backlog — the bounded-p99
+  isolation property ``tests/net/test_tenant_isolation.py`` pins down.
+
+Both layers take an injectable ``clock`` so tests run on a fake clock
+with zero wall time, and both are synchronous and lock-free-by-design
+for the asyncio event loop (the server is the only writer); a small
+lock keeps them safe for cross-thread inspection anyway.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+
+from .. import observe
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant knobs: admission rate and scheduling weight."""
+
+    rate: float = 0.0          # tokens (requests) per second; 0 = unlimited
+    burst: float = 32.0        # bucket depth
+    weight: float = 1.0        # fair-queue share
+    max_pending: int = 256     # queued requests before overload rejection
+
+    def __post_init__(self):
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst <= 0:
+            raise ValueError(f"burst must be > 0, got {self.burst}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+
+
+class TokenBucket:
+    """Token bucket with on-demand refill and a retry-after hint."""
+
+    def __init__(self, rate: float, burst: float, *, clock=time.monotonic):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:  # analyze: holds-lock
+        now = self._clock()
+        if now > self._stamp:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend *tokens* if available; never blocks."""
+        if self.rate == 0:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until *tokens* will have accrued (0 when ready)."""
+        if self.rate == 0:
+            return 0.0
+        with self._lock:
+            self._refill()
+            deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class QueueFullError(Exception):
+    """A tenant's pending backlog hit ``max_pending`` (internal signal)."""
+
+
+class FairQueue:
+    """Weighted start-time fair queue over per-tenant backlogs.
+
+    Synchronous core — the asyncio server wraps ``push``/``pop`` with
+    its own wakeup condition.  Deterministic given the push/pop order,
+    independent of wall time.
+    """
+
+    def __init__(self):
+        self._heap: list = []            # (finish, seq, tenant, cost, item)
+        self._seq = itertools.count()    # FIFO tie-break within a tenant
+        self._vtime = 0.0
+        self._last_finish: dict[str, float] = {}
+        self._pending: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def pending(self, tenant: str) -> int:
+        with self._lock:
+            return self._pending.get(tenant, 0)
+
+    def push(self, tenant: str, item, *, cost: float,
+             weight: float = 1.0, max_pending: int | None = None) -> None:
+        """Enqueue *item* with a virtual finish tag.
+
+        *cost* is in arbitrary units (the server uses payload bytes);
+        raises :class:`QueueFullError` when the tenant's backlog is at
+        *max_pending*.
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        with self._lock:
+            n = self._pending.get(tenant, 0)
+            if max_pending is not None and n >= max_pending:
+                raise QueueFullError(
+                    f"tenant {tenant!r} has {n} pending requests "
+                    f"(max {max_pending})"
+                )
+            start = max(self._vtime, self._last_finish.get(tenant, 0.0))
+            finish = start + float(cost) / float(weight)
+            self._last_finish[tenant] = finish
+            self._pending[tenant] = n + 1
+            heapq.heappush(
+                self._heap, (finish, next(self._seq), tenant, start, item)
+            )
+            depth = len(self._heap)
+        if observe.enabled():
+            observe.gauge("net.queue.depth").set(depth)
+
+    def pop(self):
+        """Dequeue ``(tenant, item)`` with the smallest finish tag.
+
+        Returns ``None`` when empty.
+        """
+        with self._lock:
+            if not self._heap:
+                return None
+            finish, _, tenant, start, item = heapq.heappop(self._heap)
+            # Advance virtual time to the service start of this item so
+            # newly arriving tenants line up just behind in-service work
+            # instead of starting in the distant past (classic SFQ).
+            self._vtime = max(self._vtime, start)
+            n = self._pending.get(tenant, 1) - 1
+            if n:
+                self._pending[tenant] = n
+            else:
+                self._pending.pop(tenant, None)
+                # A fully drained tenant's next burst restarts at V.
+                if self._last_finish.get(tenant, 0.0) <= self._vtime:
+                    self._last_finish.pop(tenant, None)
+            depth = len(self._heap)
+        if observe.enabled():
+            observe.gauge("net.queue.depth").set(depth)
+        return tenant, item
+
+
+class TenantQuotas:
+    """Policy registry + per-tenant bucket instances.
+
+    Built once from a default :class:`TenantPolicy` and optional
+    per-tenant overrides (the CLI feeds these from ``--tenant-rate`` /
+    a JSON policy file).  Buckets are created lazily on first sight of
+    a tenant so the registry never needs the tenant list up front.
+    """
+
+    def __init__(self, default: TenantPolicy | None = None,
+                 overrides: dict | None = None, *, clock=time.monotonic):
+        self.default = default or TenantPolicy()
+        self.overrides = dict(overrides or {})
+        for name, pol in self.overrides.items():
+            if not isinstance(pol, TenantPolicy):
+                raise TypeError(
+                    f"override for tenant {name!r} must be a TenantPolicy, "
+                    f"got {type(pol).__name__}"
+                )
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.overrides.get(tenant, self.default)
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            b = self._buckets.get(tenant)
+            if b is None:
+                pol = self.policy(tenant)
+                b = self._buckets[tenant] = TokenBucket(
+                    pol.rate, pol.burst, clock=self._clock
+                )
+            return b
+
+    def admit(self, tenant: str) -> tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request from *tenant*."""
+        bucket = self.bucket(tenant)
+        if bucket.try_acquire():
+            return True, 0.0
+        if observe.enabled():
+            observe.counter("net.tenant.rate_limited").inc()
+        return False, bucket.retry_after()

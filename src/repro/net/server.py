@@ -1,0 +1,707 @@
+"""The asyncio network front door.
+
+One :class:`NetServer` turns the in-process serving stack into a wire
+service::
+
+    listener ──sniff──► binary frames ─┐
+              └──────► HTTP/1.1 ───────┤
+                                       ▼
+        tenant token bucket ► weighted fair queue ► dispatchers
+                                       │                │
+                         chunk cache ◄─┘                ▼
+                                      hash ring ► shard CompressionService
+                                                        ▼
+                                                  fused kernel chain
+
+Request lifecycle (compress):
+
+1. the connection handler decodes one frame (requests on a connection
+   are processed sequentially; concurrency comes from connections);
+2. admission — draining servers answer the typed retryable ``draining``
+   error; the tenant's token bucket answers ``rate_limited`` with a
+   ``retry_after_s`` hint;
+3. the content digest is computed and the chunk cache consulted — a hit
+   answers immediately with the cached stream, *never touching the
+   shards or kernels*;
+4. a miss is pushed onto the weighted fair queue (cost = payload bytes,
+   weight = tenant policy); dispatcher tasks pop in virtual-finish
+   order and submit to the shard owning the digest on the consistent
+   hash ring;
+5. the compressed stream is cached and written back.
+
+Graceful drain (SIGTERM, or SIGHUP for reload scripts): stop accepting
+connections, finish every admitted request, answer new requests with
+``draining``, close the shards (which drain their own queues), then
+wake :meth:`serve_forever`.  ``net.*`` counters/histograms and
+``net.request`` spans (with job spans nested under them across the
+thread boundary) feed :mod:`repro.observe` when enabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import signal
+import time
+
+from .. import observe
+from ..codec import CodecConfig
+from ..serve.errors import (
+    JobTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from . import protocol
+from .cache import DEFAULT_CACHE_BYTES, ChunkCache, chunk_key, content_digest
+from .errors import ConnectionClosedError, ProtocolError
+from .quotas import FairQueue, QueueFullError, TenantQuotas
+from .shards import ShardSet
+
+#: Fallback tenant for requests that do not name one.
+DEFAULT_TENANT = "default"
+
+
+class _Request:
+    """One admitted request travelling handler → fair queue → dispatcher."""
+
+    __slots__ = ("kind", "meta", "payload", "digest", "config", "array",
+                 "tenant", "future", "span", "shard")
+
+    def __init__(self, kind, meta, payload, digest, config, array, tenant,
+                 future, span):
+        self.kind = kind
+        self.meta = meta
+        self.payload = payload
+        self.digest = digest
+        self.config = config
+        self.array = array
+        self.tenant = tenant
+        self.future = future
+        self.span = span
+        self.shard = None
+
+
+class NetServer:
+    """Asyncio front door over a sharded compression service fleet."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shards: int = 1,
+        workers_per_shard: int = 2,
+        backend: str = "thread",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        quotas: TenantQuotas | None = None,
+        default_config: CodecConfig | None = None,
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+        queue_capacity: int = 128,
+        batching: bool = True,
+    ):
+        self.host = host
+        self.port = port
+        self.max_frame = int(max_frame)
+        self.default_config = default_config or CodecConfig(err_bound=1e-3)
+        self.quotas = quotas or TenantQuotas()
+        self.cache = ChunkCache(cache_bytes)
+        self._shard_args = dict(
+            n_shards=shards,
+            workers_per_shard=workers_per_shard,
+            backend=backend,
+            queue_capacity=queue_capacity,
+            batching=batching,
+        )
+        self.shards: ShardSet | None = None
+        self._queue = FairQueue()
+        self._work = None            # asyncio.Semaphore counting queued items
+        self._server = None
+        self._dispatchers: list = []
+        self._conn_writers: set = set()
+        self._inflight = 0
+        self._idle = None            # asyncio.Event: inflight == 0
+        self._draining = False
+        self._drained = None         # asyncio.Event: drain finished
+        self._drain_task = None
+        self._started_at = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "NetServer":
+        """Bind the listener, fork the shards, start the dispatchers."""
+        loop = asyncio.get_running_loop()
+        # Shard construction forks pools and may block; keep it off the
+        # loop only in spirit — it happens once, before serving.
+        self.shards = ShardSet(**self._shard_args)
+        self._work = asyncio.Semaphore(0)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._drained = asyncio.Event()
+        self._started_at = time.monotonic()
+        width = self.shards.total_workers + len(self.shards)
+        self._dispatchers = [
+            loop.create_task(self._dispatch(), name=f"net-dispatch-{i}")
+            for i in range(width)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def install_signal_handlers(self, loop=None) -> None:
+        """SIGTERM and SIGHUP trigger a graceful drain."""
+        loop = loop or asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGHUP, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break  # non-unix event loop: rely on explicit drain()
+
+    def request_drain(self) -> None:
+        """Schedule a graceful drain (idempotent; signal-handler safe)."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self.drain()
+            )
+
+    async def serve_forever(self, *, handle_signals: bool = True) -> None:
+        """Serve until a drain completes (SIGTERM/SIGHUP or `drain()`)."""
+        if handle_signals:
+            self.install_signal_handlers()
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: flush in-flight work, then stop.
+
+        Steps: stop accepting connections, answer new requests on live
+        connections with the typed retryable ``draining`` error, wait
+        for every admitted request to finish, stop the dispatchers,
+        drain-close the shard services, close lingering connections.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if observe.enabled():
+            observe.counter("net.drains").inc()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()          # every admitted request answered
+        for _ in self._dispatchers:      # wake dispatchers so they exit
+            self._work.release()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, functools.partial(self.shards.close, drain=True)
+        )
+        for writer in list(self._conn_writers):
+            writer.close()
+        self._drained.set()
+
+    async def aclose(self) -> None:
+        """Drain and release everything (test/teardown convenience)."""
+        await self.drain()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- in-flight accounting -------------------------------------------
+    def _enter_request(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _exit_request(self) -> None:
+        self._inflight -= 1
+        if self._inflight <= 0:
+            self._idle.set()
+
+    # -- dispatchers -----------------------------------------------------
+    async def _dispatch(self) -> None:
+        """Pop fair-queue items and run them on their shard's service."""
+        while True:
+            await self._work.acquire()
+            popped = self._queue.pop()
+            if popped is None:
+                if self._draining:
+                    return
+                continue
+            tenant, req = popped
+            if observe.enabled():
+                observe.gauge(f"net.tenant.pending.{tenant}").set(
+                    self._queue.pending(tenant)
+                )
+            # Nest the worker-side job spans under the wire request span
+            # (detached spans cross the thread boundary safely).
+            parent = req.span if isinstance(req.span, observe.Span) else None
+            try:
+                if req.kind == protocol.COMPRESS:
+                    req.shard, fut = self.shards.submit_compress(
+                        req.digest, req.array, req.config,
+                        parent_span=parent,
+                    )
+                else:
+                    req.shard, fut = self.shards.submit_decompress(
+                        req.digest, req.payload, req.config,
+                        parent_span=parent,
+                    )
+            except Exception as exc:  # noqa: BLE001 - forwarded to the response
+                if not req.future.done():
+                    req.future.set_exception(exc)
+                continue
+            try:
+                result = await asyncio.wrap_future(fut)
+            except Exception as exc:  # noqa: BLE001 - forwarded to the response
+                if not req.future.done():
+                    req.future.set_exception(exc)
+                continue
+            if not req.future.done():
+                req.future.set_result(result)
+
+    # -- connection handling ---------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        self._conn_writers.add(writer)
+        try:
+            first = await reader.read(4)
+            if not first:
+                return
+            while len(first) < 4:
+                more = await reader.read(4 - len(first))
+                if not more:
+                    return
+                first += more
+            try:
+                flavor = protocol.sniff_protocol(first)
+            except ProtocolError:
+                if observe.enabled():
+                    observe.counter("net.errors.protocol").inc()
+                return
+            if flavor == "http":
+                await self._handle_http(reader, writer, first)
+            else:
+                await self._handle_binary(reader, writer, first)
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                ConnectionClosedError, asyncio.CancelledError):
+            pass  # analyze: ignore[hygiene] - peer went away; nothing to answer
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # analyze: ignore[hygiene] - already torn down
+
+    async def _handle_binary(self, reader, writer, first: bytes) -> None:
+        """Serve length-prefixed frames until EOF (sequential per conn).
+
+        A frame counts as in-flight from its *first byte* — a drain must
+        finish a request whose upload has started, not cut the socket
+        under it mid-transfer.
+        """
+        while True:
+            lead = first if first else await reader.read(1)
+            first = b""
+            if not lead:
+                return
+            # Drain semantics snapshot: a frame whose first byte arrived
+            # before the drain began is in-flight and must complete.
+            reject = self._draining
+            self._enter_request()
+            try:
+                try:
+                    frame = await protocol.read_frame(
+                        reader, max_frame=self.max_frame, first_bytes=lead
+                    )
+                except ProtocolError as exc:
+                    if observe.enabled():
+                        observe.counter("net.errors.protocol").inc()
+                    writer.write(self._error_frame("bad_request", str(exc)))
+                    await writer.drain()
+                    return
+                if frame is None:
+                    return
+                kind, meta, payload = frame
+                code, rmeta, rpayload = await self._process(
+                    kind, meta, payload, reject_draining=reject
+                )
+                writer.write(protocol.encode_frame(code, rmeta, rpayload))
+                await writer.drain()
+            finally:
+                self._exit_request()
+
+    def _error_frame(self, code: str, message: str,
+                     retry_after_s: float | None = None) -> bytes:
+        meta = {"error": message, "code": code,
+                "retryable": code in ("overloaded", "rate_limited", "draining")}
+        if retry_after_s is not None:
+            meta["retry_after_s"] = retry_after_s
+        if observe.enabled():
+            observe.counter(f"net.responses.{code}").inc()
+        return protocol.encode_frame(
+            protocol.ERROR_KIND_FOR_CODE[code], meta
+        )
+
+    # -- request processing ----------------------------------------------
+    async def _process(self, kind: int, meta: dict, payload: bytes, *,
+                       reject_draining: bool | None = None,
+                       ) -> tuple[int, dict, bytes]:
+        """Execute one request; returns ``(response kind, meta, payload)``.
+
+        *reject_draining* is the drain snapshot taken when the request's
+        first byte arrived; requests already in flight when the drain
+        began run to completion (None falls back to the live flag).
+        """
+        if reject_draining is None:
+            reject_draining = self._draining
+        verb = protocol.REQUEST_KINDS.get(kind)
+        if verb is None:
+            return self._error("bad_request", f"unknown verb 0x{kind:02x}")
+        if observe.enabled():
+            observe.counter(f"net.requests.{verb}").inc()
+            observe.counter("net.bytes_in").inc(len(payload))
+        if verb == "health":
+            return protocol.OK, self._health_doc(), b""
+        if verb == "stats":
+            return protocol.OK, self._stats_doc(), b""
+        if reject_draining:
+            return self._error(
+                "draining", "server is draining; retry against a live replica",
+                retry_after_s=1.0,
+            )
+        tenant = str(meta.get("tenant") or DEFAULT_TENANT)
+        admitted, retry_after = self.quotas.admit(tenant)
+        if not admitted:
+            return self._error(
+                "rate_limited",
+                f"tenant {tenant!r} is over its request rate",
+                retry_after_s=retry_after,
+            )
+        t0 = time.monotonic()
+        self._enter_request()
+        try:
+            if verb == "compress":
+                result = await self._process_compress(meta, payload, tenant)
+            else:
+                result = await self._process_decompress(meta, payload, tenant)
+        finally:
+            self._exit_request()
+        if observe.enabled():
+            observe.histogram(f"net.request.latency_s.{verb}").observe(
+                time.monotonic() - t0
+            )
+            observe.counter("net.bytes_out").inc(len(result[2]))
+        return result
+
+    def _error(self, code: str, message: str,
+               retry_after_s: float | None = None) -> tuple[int, dict, bytes]:
+        meta = {"error": message, "code": code,
+                "retryable": code in ("overloaded", "rate_limited", "draining")}
+        if retry_after_s is not None:
+            meta["retry_after_s"] = retry_after_s
+        if observe.enabled():
+            observe.counter(f"net.responses.{code}").inc()
+        return protocol.ERROR_KIND_FOR_CODE[code], meta, b""
+
+    def _request_config(self, meta: dict) -> CodecConfig:
+        """Codec config from request metadata over the server default."""
+        base = self.default_config
+        err_bound = meta.get("err_bound", base.err_bound)
+        return CodecConfig(
+            err_bound=err_bound,
+            mode=meta.get("mode", base.mode),
+            block_size=meta.get("block_size", base.block_size),
+            checksum=bool(meta.get("checksum", base.checksum)),
+        )
+
+    async def _process_compress(self, meta, payload, tenant):
+        try:
+            config = self._request_config(meta)
+            if config.err_bound is None:
+                raise ValueError("compress requires err_bound")
+            arr = protocol.array_from_wire(meta, payload)
+        except (ProtocolError, ValueError, TypeError) as exc:
+            return self._error("bad_request", str(exc))
+        digest = content_digest(payload)
+        key = chunk_key(
+            digest,
+            dtype=str(arr.dtype), shape=arr.shape,
+            err_bound=config.err_bound, mode=config.mode,
+            block_size=config.block_size, checksum=config.checksum,
+        )
+        sp = observe.open_span(
+            "net.request", bytes_in=len(payload),
+            verb="compress", tenant=tenant, digest=digest[:12],
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            sp.set(bytes_out=len(cached), cache="hit").finish()
+            if observe.enabled():
+                observe.counter("net.responses.ok").inc()
+            return protocol.OK, {"cache": "hit", "digest": digest}, cached
+        ok, resp = await self._run_on_shard(
+            protocol.COMPRESS, meta, payload, tenant, digest, config, arr, sp,
+        )
+        if not ok:
+            return resp
+        req, stream = resp
+        self.cache.put(key, stream)
+        sp.set(bytes_out=len(stream), cache="miss", shard=req.shard).finish()
+        if observe.enabled():
+            observe.counter("net.responses.ok").inc()
+        return protocol.OK, {
+            "cache": "miss", "digest": digest, "shard": req.shard,
+        }, stream
+
+    async def _process_decompress(self, meta, payload, tenant):
+        if not payload:
+            return self._error("bad_request", "decompress needs a stream payload")
+        digest = content_digest(payload)
+        sp = observe.open_span(
+            "net.request", bytes_in=len(payload),
+            verb="decompress", tenant=tenant, digest=digest[:12],
+        )
+        ok, resp = await self._run_on_shard(
+            protocol.DECOMPRESS, meta, payload, tenant, digest, None, None, sp,
+        )
+        if not ok:
+            return resp
+        req, arr = resp
+        out = arr.tobytes()
+        sp.set(bytes_out=len(out), shard=req.shard).finish()
+        if observe.enabled():
+            observe.counter("net.responses.ok").inc()
+        rmeta = protocol.array_wire_meta(arr)
+        rmeta["shard"] = req.shard
+        return protocol.OK, rmeta, out
+
+    async def _run_on_shard(self, kind, meta, payload, tenant, digest,
+                            config, arr, sp):
+        """Queue a request through WFQ → shard; await the result.
+
+        Returns ``(True, (request, result))`` or ``(False, error_triple)``.
+        """
+        policy = self.quotas.policy(tenant)
+        req = _Request(
+            kind, meta, payload, digest, config, arr, tenant,
+            asyncio.get_running_loop().create_future(), sp,
+        )
+        try:
+            self._queue.push(
+                tenant, req, cost=float(len(payload) or 1),
+                weight=policy.weight, max_pending=policy.max_pending,
+            )
+        except QueueFullError as exc:
+            sp.finish(error=exc)
+            return False, self._error("overloaded", str(exc), retry_after_s=0.1)
+        if observe.enabled():
+            observe.gauge(f"net.tenant.pending.{tenant}").set(
+                self._queue.pending(tenant)
+            )
+        self._work.release()
+        try:
+            result = await req.future
+        except (ServiceOverloadedError, JobTimeoutError) as exc:
+            sp.finish(error=exc)
+            return False, self._error("overloaded", str(exc), retry_after_s=0.1)
+        except ServiceClosedError as exc:
+            sp.finish(error=exc)
+            return False, self._error(
+                "draining" if self._draining else "internal", str(exc),
+                retry_after_s=1.0 if self._draining else None,
+            )
+        except Exception as exc:  # noqa: BLE001 - every fault becomes a typed reply
+            sp.finish(error=exc)
+            if observe.enabled():
+                observe.counter("net.errors.internal").inc()
+            return False, self._error(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        return True, (req, result)
+
+    # -- stats / health ---------------------------------------------------
+    def _health_doc(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "shards": len(self.shards) if self.shards else 0,
+            "backend": self.shards.backend if self.shards else None,
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None else 0.0
+            ),
+        }
+
+    def _stats_doc(self) -> dict:
+        return {
+            "health": self._health_doc(),
+            "cache": self.cache.stats(),
+            "queue_depth": len(self._queue),
+            "inflight": self._inflight,
+            "shards": self.shards.stats() if self.shards else {},
+        }
+
+    # -- HTTP/1.1 adapter --------------------------------------------------
+    async def _handle_http(self, reader, writer, first: bytes) -> None:
+        """Minimal HTTP/1.1 bridge: one request, then close.
+
+        Routes: ``GET /health``, ``GET /stats``, ``POST /compress``,
+        ``POST /decompress``.  Codec parameters travel as ``X-SZX-*``
+        headers; bodies are the same raw/stream bytes as the binary
+        protocol.  Retryable errors map to 429/503 with ``Retry-After``.
+        The request counts as in-flight for drain purposes from its
+        first sniffed byte to the written reply.
+        """
+        reject = self._draining
+        self._enter_request()
+        try:
+            await self._handle_http_inner(reader, writer, first, reject)
+        finally:
+            self._exit_request()
+
+    async def _handle_http_inner(self, reader, writer, first: bytes,
+                                 reject: bool) -> None:
+        try:
+            head = first + await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError) as exc:
+            if observe.enabled():
+                observe.counter("net.errors.protocol").inc()
+            await self._http_reply(
+                writer, 400, {"error": f"bad HTTP preamble: {exc}"}
+            )
+            return
+        try:
+            method, path, headers = self._parse_http_head(head)
+        except ProtocolError as exc:
+            if observe.enabled():
+                observe.counter("net.errors.protocol").inc()
+            await self._http_reply(writer, 400, {"error": str(exc)})
+            return
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.max_frame:
+            await self._http_reply(
+                writer, 413, {"error": f"body of {length} bytes over cap"}
+            )
+            return
+        body = await reader.readexactly(length) if length else b""
+
+        route = (method, path)
+        if route == ("GET", "/health"):
+            await self._http_reply(writer, 200, self._health_doc())
+            return
+        if route == ("GET", "/stats"):
+            await self._http_reply(writer, 200, self._stats_doc())
+            return
+        if route not in (("POST", "/compress"), ("POST", "/decompress")):
+            await self._http_reply(
+                writer, 404, {"error": f"no route {method} {path}"}
+            )
+            return
+
+        meta = self._http_codec_meta(headers, len(body))
+        kind = (protocol.COMPRESS if path == "/compress"
+                else protocol.DECOMPRESS)
+        code, rmeta, rpayload = await self._process(
+            kind, meta, body, reject_draining=reject
+        )
+        status_name = protocol.RESPONSE_KINDS[code]
+        if status_name == "ok":
+            extra = {
+                f"X-SZX-{k.replace('_', '-').title()}": json.dumps(v)
+                if isinstance(v, (list, dict)) else str(v)
+                for k, v in rmeta.items()
+            }
+            await self._http_reply(
+                writer, 200, rpayload, raw=True, extra_headers=extra
+            )
+            return
+        http_status = {
+            "bad_request": 400, "rate_limited": 429,
+            "overloaded": 503, "draining": 503, "internal": 500,
+        }[status_name]
+        extra = {}
+        if rmeta.get("retry_after_s") is not None:
+            extra["Retry-After"] = f"{max(rmeta['retry_after_s'], 0.0):.3f}"
+        await self._http_reply(writer, http_status, rmeta,
+                               extra_headers=extra)
+
+    @staticmethod
+    def _parse_http_head(head: bytes):
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+            raise ProtocolError(f"undecodable HTTP head: {exc}") from exc
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ProtocolError(f"bad HTTP request line {lines[0]!r}")
+        method, path, _ = parts
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ProtocolError(f"bad HTTP header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    def _http_codec_meta(self, headers: dict, body_len: int) -> dict:
+        """Translate ``X-SZX-*`` headers into binary-protocol metadata."""
+        meta = {"tenant": headers.get("x-szx-tenant", DEFAULT_TENANT)}
+        if "x-szx-err-bound" in headers:
+            try:
+                meta["err_bound"] = float(headers["x-szx-err-bound"])
+            except ValueError:
+                meta["err_bound"] = headers["x-szx-err-bound"]  # rejected later
+        if "x-szx-mode" in headers:
+            meta["mode"] = headers["x-szx-mode"]
+        if "x-szx-block-size" in headers:
+            try:
+                meta["block_size"] = int(headers["x-szx-block-size"])
+            except ValueError:
+                meta["block_size"] = headers["x-szx-block-size"]
+        dtype = headers.get("x-szx-dtype", "float32")
+        meta["dtype"] = dtype
+        if "x-szx-shape" in headers:
+            try:
+                meta["shape"] = [
+                    int(s) for s in headers["x-szx-shape"].split(",") if s
+                ]
+            except ValueError:
+                meta["shape"] = headers["x-szx-shape"]
+        else:
+            itemsize = 8 if dtype == "float64" else 4
+            meta["shape"] = [body_len // itemsize]
+        return meta
+
+    @staticmethod
+    async def _http_reply(writer, status: int, payload, *, raw: bool = False,
+                          extra_headers: dict | None = None) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   413: "Payload Too Large", 429: "Too Many Requests",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
+        if raw:
+            body = payload
+            ctype = "application/octet-stream"
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            ctype = "application/json"
+        head = [
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+async def start_server(**kwargs) -> NetServer:
+    """Construct and start a :class:`NetServer` (test convenience)."""
+    return await NetServer(**kwargs).start()

@@ -48,6 +48,7 @@ from .spans import (
     disable,
     enable,
     enabled,
+    open_span,
     span,
     trace,
     traced,
@@ -56,6 +57,7 @@ from .spans import (
 __all__ = [
     "Span",
     "span",
+    "open_span",
     "trace",
     "traced",
     "current_span",

@@ -69,6 +69,9 @@ class _NullSpan:
     def set(self, **fields):
         return self
 
+    def finish(self, *, error=None):
+        return self
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -133,6 +136,31 @@ class Span:
         for sink in sinks:
             sink.emit(self)
 
+    def finish(self, *, error=None):
+        """Close a detached span opened with :func:`open_span`.
+
+        Idempotent; safe from any thread.  Performs the same delivery
+        as ``__exit__`` but never touches the thread-local stack — the
+        whole point of detached spans is that they are held across
+        asyncio awaits, where the stack is shared by unrelated tasks.
+        """
+        if self.t1:
+            return self
+        self.t1 = time.perf_counter()
+        self.cpu1 = time.process_time()
+        if error is not None:
+            self.error = type(error).__name__
+        if self.parent is not None:
+            with _lock:
+                parent_open = not self.parent.t1
+                if parent_open:
+                    self.parent.children.append(self)
+            if not parent_open:
+                self._deliver()
+        else:
+            self._deliver()
+        return self
+
     # -- recording ------------------------------------------------------
     def set(self, *, bytes_in=None, bytes_out=None, **extra):
         """Record byte counts / extra fields discovered mid-span."""
@@ -195,6 +223,26 @@ def span(name, *, bytes_in=None, bytes_out=None, parent=None, **extra):
         return _NULL_SPAN
     return Span(name, bytes_in=bytes_in, bytes_out=bytes_out, parent=parent,
                 extra=extra)
+
+
+def open_span(name, *, bytes_in=None, bytes_out=None, parent=None, **extra):
+    """Begin a *detached* span: timed now, closed via ``.finish()``.
+
+    Unlike :func:`span`, the returned span is never pushed onto the
+    thread-local stack, so it is safe to hold open across asyncio
+    awaits (where every task shares one thread): it cannot become the
+    accidental parent of an unrelated task's spans.  Children attach to
+    it explicitly (``span(..., parent=sp)`` or a worker capturing it as
+    a job parent).  Returns the shared no-op span while tracing is off,
+    whose ``finish()`` is also a no-op.
+    """
+    if not _enabled:  # analyze: ignore[lock-discipline] - benign stale read
+        return _NULL_SPAN
+    sp = Span(name, bytes_in=bytes_in, bytes_out=bytes_out, parent=parent,
+              extra=extra)
+    sp.cpu0 = time.process_time()
+    sp.t0 = time.perf_counter()
+    return sp
 
 
 def current_span():

@@ -35,6 +35,7 @@ latency histograms feed :mod:`repro.observe` when tracing is enabled;
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
@@ -61,6 +62,10 @@ from .errors import (
 from .queueing import BoundedQueue, QueueEmpty
 
 _OVERFLOW_POLICIES = ("reject", "block")
+
+#: Uniquifies worker-thread name prefixes so ``close()`` can tell its
+#: *own* pool threads apart from any other service's.
+_SERVICE_SEQ = itertools.count()
 
 
 @dataclass
@@ -184,8 +189,10 @@ class CompressionService:
         # slot per worker: the dispatcher stalls once every worker is
         # busy, the submission queue fills, and admission rejects.
         self._slots = threading.BoundedSemaphore(self.workers)
+        self._worker_prefix = f"serve-worker-{next(_SERVICE_SEQ)}"
+        self._close_done = threading.Event()
         self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="serve-worker"
+            max_workers=self.workers, thread_name_prefix=self._worker_prefix
         )
         # Process backend: fork the worker fleet once, up front, so the
         # first job pays no fork latency and close() owns the teardown.
@@ -244,6 +251,7 @@ class CompressionService:
         *,
         timeout_s: float | None = None,
         block: bool | None = None,
+        parent_span=None,
     ) -> Future:
         """Enqueue a compression job; returns a ``Future[bytes]``.
 
@@ -251,6 +259,10 @@ class CompressionService:
         here, so the eventual stream is byte-identical to
         ``SZxCodec(config).compress(data)`` regardless of how jobs are
         batched or scheduled.  Invalid input/config raise immediately.
+        *parent_span* overrides the submitting thread's current span as
+        the parent for worker-side job spans — asyncio callers (the
+        network front door) pass their detached request span, which the
+        thread-local stack cannot carry across awaits.
         """
         config = config or self.default_config
         if config is None or config.err_bound is None:
@@ -272,7 +284,7 @@ class CompressionService:
             block_size=block_size,
             engine=config.engine,
             checksum=config.checksum,
-            parent_span=observe.current_span() if observe.enabled() else None,
+            parent_span=self._parent_span(parent_span),
         )
         return self._admit(job, block)
 
@@ -283,6 +295,7 @@ class CompressionService:
         *,
         timeout_s: float | None = None,
         block: bool | None = None,
+        parent_span=None,
     ) -> Future:
         """Enqueue a decompression job; returns a ``Future[ndarray]``."""
         config = config or self.default_config or CodecConfig()
@@ -294,9 +307,15 @@ class CompressionService:
             deadline=now + timeout_s if timeout_s is not None else None,
             payload=bytes(stream),
             config=config.replace(workers=1),
-            parent_span=observe.current_span() if observe.enabled() else None,
+            parent_span=self._parent_span(parent_span),
         )
         return self._admit(job, block)
+
+    @staticmethod
+    def _parent_span(explicit):
+        if explicit is not None:
+            return explicit
+        return observe.current_span() if observe.enabled() else None
 
     def compress(self, data, config: CodecConfig | None = None, **kw) -> bytes:
         """Synchronous convenience: submit and wait."""
@@ -322,7 +341,7 @@ class CompressionService:
                 continue
             except ServiceClosedError:
                 break
-            if self._discard:
+            if self._discard:  # analyze: ignore[lock-discipline] - monotonic flag, set before queue.close()
                 self._fail(job, ServiceClosedError("service closed without draining"))
                 continue
             if self._batching and _batching.is_batchable(job):
@@ -331,7 +350,7 @@ class CompressionService:
             else:
                 self._launch(self._run_single, job)
         leftovers = batcher.pop_all()
-        if self._discard:
+        if self._discard:  # analyze: ignore[lock-discipline] - queue already closed, flag is final
             for group in leftovers:
                 for job in group:
                     self._fail(job, ServiceClosedError("service closed without draining"))
@@ -520,29 +539,60 @@ class CompressionService:
             observe.histogram("serve.job.exec_s").observe(time.monotonic() - t0)
 
     # -- lifecycle ------------------------------------------------------
+    def _is_service_thread(self) -> bool:
+        """True when the calling thread is owned by this service."""
+        cur = threading.current_thread()
+        return cur is self._dispatcher or cur.name.startswith(self._worker_prefix)
+
+    def _teardown(self, timeout: float | None) -> None:
+        """Join the dispatcher and pools, then flush metrics — the
+        blocking half of :meth:`close`, run at most once."""
+        try:
+            self._dispatcher.join(timeout)
+            self._pool.shutdown(wait=True)
+            if self._procpool is not None:
+                # After the thread pool joined, no job can still touch
+                # the process pool — safe to reap the forked workers.
+                self._procpool.close()
+            if self._flusher is not None:
+                self._flusher.stop()
+        finally:
+            self._close_done.set()
+
     def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
-        """Shut the service down.
+        """Shut the service down (idempotent, safe from any thread).
 
         With ``drain=True`` every accepted job still runs to completion;
         with ``drain=False`` not-yet-dispatched jobs fail with
         :class:`~repro.serve.errors.ServiceClosedError` (work already on
         a worker finishes — threads cannot be interrupted).
+
+        Double-close and close-during-drain are no-ops: a second call
+        waits (up to *timeout*) for the first teardown to finish and
+        returns.  A close issued from one of the service's own threads
+        — a ``Future`` done-callback runs on the worker that completed
+        the job — cannot join the calling thread, so the teardown is
+        handed to a helper thread instead of raising.
         """
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
-        if not drain:
-            self._discard = True
+            if first and not drain:
+                self._discard = True
+        if not first:
+            # Close already in progress (or done).  Joining from inside
+            # the service would deadlock against our own teardown.
+            if not self._is_service_thread():
+                self._close_done.wait(timeout)
+            return
         self._queue.close()
-        self._dispatcher.join(timeout)
-        self._pool.shutdown(wait=True)
-        if self._procpool is not None:
-            # After the thread pool joined, no job can still touch the
-            # process pool — safe to reap the forked workers.
-            self._procpool.close()
-        if self._flusher is not None:
-            self._flusher.stop()
+        if self._is_service_thread():
+            threading.Thread(
+                target=self._teardown, args=(timeout,),
+                name="serve-closer", daemon=True,
+            ).start()
+            return
+        self._teardown(timeout)
 
     @property
     def closed(self) -> bool:

@@ -1,0 +1,50 @@
+"""serve_load warmup: threaded through every phase, excluded from p99."""
+
+import pytest
+
+from repro.bench.serve_load import format_serve_report, run_serve_load
+
+
+def small_run(**kw):
+    base = dict(
+        jobs=24, values_per_job=128, workers=2, queue_capacity=64,
+        overload_burst=16, overload_capacity=2, overload_values=4096,
+    )
+    base.update(kw)
+    return run_serve_load(**base)
+
+
+class TestServeLoadWarmup:
+    def test_warmup_recorded_and_samples_excluded(self):
+        report = small_run(warmup=8)
+        assert report["config"]["warmup"] == 8
+        for phase in ("batched", "unbatched"):
+            p = report[phase]
+            assert p["warmup"] == 8
+            # Reported numbers cover exactly the measured jobs.
+            assert p["jobs"] == 24
+            assert p["latency"]["p99_ms"] > 0
+            # The service saw warmup + measured submissions.
+            assert p["service"]["served"] >= 24 + 8
+        assert report["overload"]["warmup"] == 8
+
+    def test_zero_warmup_unchanged_shape(self):
+        report = small_run(warmup=0)
+        assert report["config"]["warmup"] == 0
+        assert report["batched"]["jobs"] == 24
+        assert report["overload"]["warmup"] == 0
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            small_run(warmup=-1)
+
+    def test_warmup_does_not_trip_overload_rejection(self):
+        # Warmup jobs are awaited one at a time, so even a queue of 2
+        # with warmup 8 must never count warmup as rejected.
+        report = small_run(warmup=8)
+        o = report["overload"]
+        assert o["served"] + o["rejected"] == o["burst"]
+
+    def test_report_renders_warmup(self):
+        text = format_serve_report(small_run(warmup=4))
+        assert "warmup 4" in text

@@ -1,0 +1,133 @@
+"""Chunk cache: LRU byte budget, key sensitivity, hit byte-identity."""
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig, SZxCodec
+from repro.net.cache import ChunkCache, chunk_key, content_digest
+
+RNG = np.random.default_rng(77)
+
+
+def key_for(arr, cfg: CodecConfig) -> tuple:
+    return chunk_key(
+        content_digest(arr.tobytes()),
+        dtype=str(arr.dtype), shape=arr.shape,
+        err_bound=cfg.err_bound, mode=cfg.mode,
+        block_size=cfg.block_size, checksum=cfg.checksum,
+    )
+
+
+class TestChunkCache:
+    def test_get_put_round_trip(self):
+        cache = ChunkCache(1 << 20)
+        assert cache.get(("k",)) is None
+        assert cache.put(("k",), b"stream")
+        assert cache.get(("k",)) == b"stream"
+        assert cache.stats() == {
+            "entries": 1, "bytes": 6, "max_bytes": 1 << 20,
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_lru_eviction_under_byte_budget(self):
+        cache = ChunkCache(100)
+        cache.put(("a",), b"x" * 40)
+        cache.put(("b",), b"y" * 40)
+        assert cache.get(("a",)) is not None   # refresh a: b becomes LRU
+        cache.put(("c",), b"z" * 40)           # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+        assert cache.bytes_used <= 100
+        assert cache.stats()["evictions"] == 1
+
+    def test_oversized_entry_not_cached(self):
+        cache = ChunkCache(10)
+        assert not cache.put(("big",), b"x" * 11)
+        assert len(cache) == 0
+
+    def test_replacing_entry_reclaims_bytes(self):
+        cache = ChunkCache(100)
+        cache.put(("k",), b"a" * 60)
+        cache.put(("k",), b"b" * 30)
+        assert cache.bytes_used == 30
+        assert cache.get(("k",)) == b"b" * 30
+
+    def test_zero_budget_caches_nothing(self):
+        cache = ChunkCache(0)
+        assert not cache.put(("k",), b"x")
+        assert cache.get(("k",)) is None
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ChunkCache(-1)
+
+
+class TestChunkKey:
+    def test_codec_parameters_separate_entries(self):
+        arr = np.arange(64, dtype=np.float32)
+        base = key_for(arr, CodecConfig(err_bound=1e-3))
+        assert base != key_for(arr, CodecConfig(err_bound=1e-2))
+        assert base != key_for(arr, CodecConfig(err_bound=1e-3, block_size=64))
+        assert base != key_for(arr, CodecConfig(err_bound=1e-3, checksum=True))
+        assert base != key_for(
+            arr.astype(np.float64), CodecConfig(err_bound=1e-3)
+        )
+        assert base != key_for(
+            arr.reshape(8, 8), CodecConfig(err_bound=1e-3)
+        )
+
+    def test_same_content_same_key(self):
+        a = np.arange(64, dtype=np.float32)
+        b = np.arange(64, dtype=np.float32)
+        cfg = CodecConfig(err_bound=1e-3)
+        assert key_for(a, cfg) == key_for(b, cfg)
+
+
+class TestHitByteIdentity:
+    """Satellite property: hits are byte-identical to cold compression.
+
+    Exercised across both execution backends and through an
+    eviction-then-recompute cycle: evicting an entry and compressing the
+    same chunk again must reproduce the identical stream, so cache state
+    can never change what a client receives.
+    """
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_hits_match_cold_compression(self, backend):
+        cfg = CodecConfig(err_bound=1e-3, workers=2, backend=backend)
+        codec = SZxCodec(cfg)
+        chunks = [
+            np.cumsum(RNG.normal(size=n)).astype(np.float32)
+            for n in (1001, 4096, 9137)
+        ]
+        cold = [codec.compress(c) for c in chunks]
+        cache = ChunkCache(1 << 22)
+        for chunk, stream in zip(chunks, cold):
+            cache.put(key_for(chunk, cfg), stream)
+        for chunk, stream in zip(chunks, cold):
+            assert cache.get(key_for(chunk, cfg)) == stream
+        # Serial reference: backends never change the bytes.
+        serial = SZxCodec(CodecConfig(err_bound=1e-3))
+        for chunk, stream in zip(chunks, cold):
+            assert stream == serial.compress(chunk)
+
+    def test_eviction_then_recompute_is_identical(self):
+        cfg = CodecConfig(err_bound=1e-3)
+        codec = SZxCodec(cfg)
+        chunk = np.cumsum(RNG.normal(size=4096)).astype(np.float32)
+        first = codec.compress(chunk)
+        key = key_for(chunk, cfg)
+
+        cache = ChunkCache(len(first) + 8)   # fits exactly one entry
+        assert cache.put(key, first)
+        # A second, different chunk evicts the first.
+        other = np.cumsum(RNG.normal(size=4096)).astype(np.float32)
+        other_stream = codec.compress(other)
+        assert cache.put(key_for(other, cfg), other_stream)
+        assert cache.get(key) is None        # evicted
+
+        recomputed = codec.compress(chunk)   # what a miss would rebuild
+        assert recomputed == first
+        assert cache.put(key, recomputed)
+        assert cache.get(key) == first

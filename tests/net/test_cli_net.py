@@ -1,0 +1,118 @@
+"""CLI surface: `szx serve`, `szx client`, `szx net-bench`."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestNetBenchCli:
+    def test_prints_report_and_exits_zero(self, capsys):
+        assert main([
+            "net-bench", "--chunks", "8", "--values", "512",
+            "--clients", "2", "--shards", "1", "--warmup", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "net-bench:" in out
+        assert "protocol errors: 0" in out
+
+    def test_report_and_perf_ledger(self, tmp_path, capsys):
+        report_path = tmp_path / "net.json"
+        assert main([
+            "net-bench", "--chunks", "6", "--values", "256",
+            "--clients", "2", "--shards", "1", "--warmup", "1",
+            "--report", str(report_path),
+            "--perf-label", "net-test", "--perf-dir", str(tmp_path / "perf"),
+        ]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["protocol_errors"] == 0
+        assert report["dup"]["cache_hit_rate"] == 1.0
+        run_doc = json.loads((tmp_path / "perf" / "net-test.json").read_text())
+        cases = [r["workload"]["case"] for r in run_doc["records"]]
+        assert any(c.startswith("cold/") for c in cases)
+        assert any(c.startswith("dup/") for c in cases)
+
+
+class TestClientCliErrors:
+    def test_connection_refused_is_diagnostic_not_traceback(self, capsys):
+        # Port 1 is essentially never listening.
+        code = main(["client", "health", "--connect", "127.0.0.1:1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(SystemExit, match="bad address"):
+            main(["client", "health", "--connect", "host:notaport"])
+
+
+@pytest.mark.slow
+class TestServeClientSubprocess:
+    """Full loop through real processes: serve, client verbs, SIGTERM."""
+
+    def _spawn_server(self, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--listen", "127.0.0.1:0", "--shards", "2", *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        assert match, f"no listen line: {line!r}"
+        return proc, int(match.group(1)), env
+
+    def _client(self, env, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "client", *args],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+
+    def test_round_trip_and_graceful_sigterm(self, tmp_path):
+        proc, port, env = self._spawn_server()
+        try:
+            data = np.cumsum(
+                np.random.default_rng(5).normal(size=3000)
+            ).astype(np.float32)
+            raw = tmp_path / "in.f32"
+            data.tofile(raw)
+            stream_path = tmp_path / "out.szx"
+            recon_path = tmp_path / "out.f32"
+
+            r = self._client(
+                env, "compress", str(raw), "-o", str(stream_path),
+                "--connect", f"127.0.0.1:{port}", "-e", "1e-3",
+            )
+            assert r.returncode == 0, r.stdout + r.stderr
+            assert "cache miss" in r.stdout
+
+            r = self._client(
+                env, "decompress", str(stream_path), "-o", str(recon_path),
+                "--connect", f"127.0.0.1:{port}",
+            )
+            assert r.returncode == 0, r.stdout + r.stderr
+            back = np.fromfile(recon_path, dtype=np.float32)
+            assert np.abs(back - data).max() <= 1e-3 + 1e-12
+
+            r = self._client(
+                env, "stats", "--connect", f"127.0.0.1:{port}"
+            )
+            assert r.returncode == 0
+            stats = json.loads(r.stdout)
+            assert stats["health"]["status"] == "ok"
+            assert stats["shards"]["n_shards"] == 2
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "drained cleanly" in out

@@ -1,0 +1,64 @@
+"""Consistent hashing: determinism, balance, minimal remapping."""
+
+import pytest
+
+from repro.net.hashring import HashRing
+
+
+KEYS = [f"chunk-{i:05d}" for i in range(4000)]
+
+
+class TestHashRing:
+    def test_deterministic_routing(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # construction order irrelevant
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_single_node_gets_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:100])
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            HashRing().node_for("x")
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        counts = ring.distribution(KEYS)
+        expected = len(KEYS) / 4
+        for node, n in counts.items():
+            assert 0.5 * expected < n < 1.5 * expected, (node, counts)
+
+    def test_adding_node_remaps_a_fraction(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add("s3")
+        moved = sum(1 for k in KEYS if ring.node_for(k) != before[k])
+        # Ideal remap is 1/4 of keys; allow generous slack but require
+        # it be far below "rehash everything".
+        assert 0.05 * len(KEYS) < moved < 0.5 * len(KEYS)
+        # Every moved key landed on the new node.
+        assert all(
+            ring.node_for(k) == "s3"
+            for k in KEYS if ring.node_for(k) != before[k]
+        )
+
+    def test_removing_node_only_moves_its_keys(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove("s1")
+        for k in KEYS:
+            after = ring.node_for(k)
+            if before[k] != "s1":
+                assert after == before[k]
+            else:
+                assert after in ("s0", "s2")
+
+    def test_add_idempotent(self):
+        ring = HashRing(["a"])
+        ring.add("a")
+        assert ring.nodes == ("a",)
+
+    def test_bytes_and_str_keys_agree(self):
+        ring = HashRing(["x", "y"])
+        assert ring.node_for("k1") == ring.node_for(b"k1")

@@ -1,0 +1,133 @@
+"""Wire protocol: framing, sniffing, array marshalling, stream reads."""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.net import protocol
+from repro.net.errors import (
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+)
+
+
+def read_from(*blobs, **kwargs):
+    """Run read_frame against a reader pre-fed with *blobs* then EOF."""
+
+    async def inner():
+        reader = asyncio.StreamReader()
+        for blob in blobs:
+            reader.feed_data(blob)
+        reader.feed_eof()
+        return await protocol.read_frame(reader, **kwargs)
+
+    return asyncio.run(inner())
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        frame = protocol.encode_frame(
+            protocol.COMPRESS, {"tenant": "t", "err_bound": 1e-3}, b"\x01\x02"
+        )
+        kind, meta, payload = protocol.decode_frame(frame)
+        assert kind == protocol.COMPRESS
+        assert meta == {"tenant": "t", "err_bound": 1e-3}
+        assert payload == b"\x01\x02"
+
+    def test_empty_meta_and_payload(self):
+        kind, meta, payload = protocol.decode_frame(
+            protocol.encode_frame(protocol.HEALTH)
+        )
+        assert (kind, meta, payload) == (protocol.HEALTH, {}, b"")
+
+    def test_unknown_kind_rejected_both_ways(self):
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            protocol.encode_frame(0x7F)
+        bad = bytearray(protocol.encode_frame(protocol.HEALTH))
+        bad[8] = 0x7F  # kind byte lives right after the 8-byte prelude
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            protocol.decode_frame(bytes(bad))
+
+    def test_bad_magic(self):
+        frame = bytearray(protocol.encode_frame(protocol.HEALTH))
+        frame[:4] = b"NOPE"
+        with pytest.raises(ProtocolError, match="magic"):
+            protocol.decode_frame(bytes(frame))
+
+    def test_meta_overrun_and_bad_json(self):
+        body = struct.pack(">BI", protocol.HEALTH, 999) + b"{}"
+        with pytest.raises(ProtocolError, match="overruns"):
+            protocol.decode_body(body)
+        body = struct.pack(">BI", protocol.HEALTH, 4) + b"nope"
+        with pytest.raises(ProtocolError, match="JSON"):
+            protocol.decode_body(body)
+
+    def test_meta_must_be_object(self):
+        body = struct.pack(">BI", protocol.HEALTH, 2) + b"[]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_body(body)
+
+
+class TestReadFrame:
+    def test_reads_one_frame(self):
+        frame = protocol.encode_frame(protocol.STATS, {"a": 1}, b"xyz")
+        assert read_from(frame) == (protocol.STATS, {"a": 1}, b"xyz")
+
+    def test_clean_eof_returns_none(self):
+        assert read_from() is None
+
+    def test_first_bytes_are_prepended(self):
+        frame = protocol.encode_frame(protocol.HEALTH)
+        got = read_from(frame[4:], first_bytes=frame[:4])
+        assert got[0] == protocol.HEALTH
+
+    def test_mid_frame_eof_raises(self):
+        frame = protocol.encode_frame(protocol.STATS, {}, b"x" * 100)
+        with pytest.raises(ConnectionClosedError, match="mid-frame"):
+            read_from(frame[:20])
+
+    def test_oversized_frame_rejected_before_read(self):
+        prelude = struct.pack(">4sI", protocol.MAGIC, 1 << 30)
+        with pytest.raises(FrameTooLargeError, match="cap"):
+            read_from(prelude, max_frame=1024)
+
+
+class TestSniff:
+    def test_binary(self):
+        assert protocol.sniff_protocol(b"SXP1") == "binary"
+
+    @pytest.mark.parametrize("head", [b"GET ", b"POST", b"PUT ", b"HEAD"])
+    def test_http(self, head):
+        assert protocol.sniff_protocol(head) == "http"
+
+    def test_garbage(self):
+        with pytest.raises(ProtocolError, match="preamble"):
+            protocol.sniff_protocol(b"\x00\x01\x02\x03")
+
+
+class TestArrayWire:
+    def test_round_trip(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        meta = protocol.array_wire_meta(arr)
+        back = protocol.array_from_wire(meta, arr.tobytes())
+        assert back.dtype == arr.dtype
+        assert np.array_equal(back, arr)
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ProtocolError, match="dtype"):
+            protocol.array_from_wire({"dtype": "int32", "shape": [1]}, b"xxxx")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ProtocolError, match="needs"):
+            protocol.array_from_wire(
+                {"dtype": "float32", "shape": [3]}, b"\x00" * 8
+            )
+
+    def test_lying_shape(self):
+        with pytest.raises(ProtocolError, match="bad wire shape"):
+            protocol.array_from_wire(
+                {"dtype": "float32", "shape": [True]}, b"\x00" * 4
+            )

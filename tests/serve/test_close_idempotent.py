@@ -1,0 +1,88 @@
+"""Regression: CompressionService.close() is an idempotent no-op on repeat.
+
+The original bug: a second ``close()`` — or a close issued from a
+service-owned thread, e.g. a Future done-callback firing on a worker —
+raised (``cannot join current thread``) instead of being a no-op.  The
+network front door closes shards from the event loop while client
+callbacks may also close, so every path below must be silent.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig
+from repro.serve import CompressionService
+
+RNG = np.random.default_rng(99)
+CFG = CodecConfig(err_bound=1e-3)
+
+
+def field(n=2048):
+    return np.cumsum(RNG.normal(size=n)).astype(np.float32)
+
+
+class TestCloseIdempotence:
+    def test_double_close_is_noop(self):
+        svc = CompressionService(workers=2)
+        svc.compress(field(), CFG)
+        svc.close()
+        svc.close()          # must not raise
+        svc.close(drain=False)
+
+    def test_context_manager_then_explicit_close(self):
+        with CompressionService(workers=2) as svc:
+            svc.compress(field(), CFG)
+        svc.close()
+
+    def test_concurrent_closes_from_many_threads(self):
+        svc = CompressionService(workers=2)
+        svc.compress(field(), CFG)
+        errors = []
+
+        def closer():
+            try:
+                svc.close(timeout=10.0)
+            except Exception as exc:  # noqa: BLE001 - the regression itself
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(15.0)
+        assert errors == []
+        assert svc.closed
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_close_from_done_callback_thread(self, backend):
+        """Close during drain, issued from a worker-owned callback."""
+        svc = CompressionService(workers=2, backend=backend, batching=False)
+        errors = []
+        fired = threading.Event()
+
+        def cb(fut):
+            try:
+                svc.close(timeout=10.0)
+            except Exception as exc:  # noqa: BLE001 - the regression itself
+                errors.append(exc)
+            finally:
+                fired.set()
+
+        fut = svc.submit_compress(field(), CFG)
+        fut.add_done_callback(cb)
+        fut.result(10.0)
+        assert fired.wait(10.0)
+        svc.close(timeout=10.0)      # main-thread close overlaps/repeats
+        assert errors == []
+        assert svc.closed
+
+    def test_submit_after_close_still_raises_closed(self):
+        from repro.serve import ServiceClosedError
+
+        svc = CompressionService(workers=1)
+        svc.close()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit_compress(field(), CFG)
