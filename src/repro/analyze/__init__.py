@@ -11,13 +11,20 @@ Pieces:
 
 * :mod:`~repro.analyze.registry` — rule registry (``Rule``,
   ``register``, ``all_rules``);
+* :mod:`~repro.analyze.cfg` — intra-function control-flow graphs with
+  exception edges (the path-sensitive substrate);
+* :mod:`~repro.analyze.callgraph` — cross-module function summaries
+  and the blocking-ness fixpoint (``Project``);
 * :mod:`~repro.analyze.rules` — the built-in ruleset (lock discipline,
-  dtype discipline, decode safety, hygiene);
+  dtype discipline, decode safety, hygiene, async safety, resource
+  lifetime, event-loop hygiene);
 * :mod:`~repro.analyze.pragmas` — ``# analyze: ignore[...]`` /
-  ``hot-path`` / ``holds-lock`` source pragmas;
+  ``hot-path`` / ``holds-lock`` / ``blocking`` / ``blocking-ok`` /
+  ``owns-shm`` source pragmas;
 * :mod:`~repro.analyze.baseline` — committed grandfathered-findings
-  file with line-number-free fingerprints;
-* :mod:`~repro.analyze.runner` — the driver behind ``szx lint``.
+  file with line-number-free fingerprints and a rule-version handshake;
+* :mod:`~repro.analyze.runner` — the multi-pass driver behind
+  ``szx lint``.
 
 Quickstart::
 
@@ -28,10 +35,15 @@ Quickstart::
 
 from .baseline import (
     DEFAULT_BASELINE,
+    Baseline,
+    BaselineVersionError,
     apply_baseline,
+    check_rule_versions,
     load_baseline,
     write_baseline,
 )
+from .callgraph import Project, build_project
+from .cfg import CFG, build_cfg
 from .findings import Finding, Report, sort_findings
 from .pragmas import SourcePragmas, parse_pragmas
 from .registry import RULES, ModuleInfo, Rule, all_rules, register
@@ -63,4 +75,11 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "check_rule_versions",
+    "Baseline",
+    "BaselineVersionError",
+    "CFG",
+    "build_cfg",
+    "Project",
+    "build_project",
 ]

@@ -6,42 +6,128 @@ occurrence count.  ``szx lint`` subtracts baselined occurrences before
 reporting, so pre-existing debt does not block CI while *new* findings
 — and new occurrences of a baselined finding — still fail the run.
 
+Schema (version 2)::
+
+    {
+      "version": 2,
+      "rule_versions": {"resource-lifetime": 1, ...},
+      "findings": {"<fingerprint>": {"rule": ..., "count": N, ...}, ...}
+    }
+
+``rule_versions`` records the semantic version of each rule at snapshot
+time (see :attr:`repro.analyze.registry.Rule.version`).  When a rule is
+later tightened (version bumped), a baseline written against the old
+semantics no longer vouches for the same set of code — so ``szx lint``
+refuses to run with a clear error instead of silently absorbing
+findings the tightened rule would re-classify.  Version-1 files (no
+``rule_versions`` key) load with every rule pinned at version 1 — the
+natural migration, since every rule was version 1 when the v1 schema
+was current.
+
 Workflow:
 
 * ``szx lint --write-baseline`` snapshots the current findings;
 * commit ``.analyze-baseline.json``;
 * fix debt over time — entries whose code is gone are reported as
-  *stale* so the file shrinks monotonically instead of rotting.
+  *stale* so the file shrinks monotonically instead of rotting;
+* on a ``BaselineVersionError``, review the diff of findings and
+  re-write the baseline deliberately.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
+from dataclasses import dataclass, field
 
 #: Default baseline path, relative to the analysis root.
 DEFAULT_BASELINE = ".analyze-baseline.json"
 
-_VERSION = 1
+#: Current schema version.  v1 files are migrated on load; anything
+#: newer than this is an error (downgraded checkout vs. new baseline).
+_VERSION = 2
 
 
-def load_baseline(path) -> dict:
-    """Read a baseline file -> ``{fingerprint: entry_dict}`` (may be empty)."""
+class BaselineVersionError(Exception):
+    """The committed baseline does not match the running ruleset."""
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: entries plus the rule versions they assume."""
+
+    entries: dict = field(default_factory=dict)
+    #: rule id -> rule semantic version at snapshot time.  Empty for a
+    #: migrated v1 file, meaning "every rule at version 1".
+    rule_versions: dict = field(default_factory=dict)
+    schema: int = _VERSION
+    #: True when no baseline file existed (nothing to vouch for, and no
+    #: version handshake to enforce).
+    missing: bool = False
+
+
+def load_baseline(path) -> Baseline:
+    """Read a baseline file -> :class:`Baseline` (empty when absent)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
     except FileNotFoundError:
-        return {}
-    if not isinstance(data, dict) or data.get("version") != _VERSION:
-        raise ValueError(f"unsupported baseline file format in {path}")
+        return Baseline(missing=True)
+    if not isinstance(data, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    schema = data.get("version")
+    if schema not in (1, _VERSION):
+        raise BaselineVersionError(
+            f"baseline {path} has schema version {schema!r}; this analyzer "
+            f"understands versions 1 and {_VERSION}.  Re-create it with "
+            "'szx lint --write-baseline'."
+        )
     entries = data.get("findings", {})
     if not isinstance(entries, dict):
         raise ValueError(f"malformed baseline file {path}")
-    return entries
+    rule_versions = data.get("rule_versions", {})
+    if not isinstance(rule_versions, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    return Baseline(entries=entries, rule_versions=rule_versions, schema=schema)
 
 
-def write_baseline(findings, path) -> dict:
-    """Snapshot *findings* to *path*; returns the entry mapping written."""
+def check_rule_versions(baseline: Baseline, rules, *, path=DEFAULT_BASELINE):
+    """Refuse to apply a baseline written against different rule semantics.
+
+    A missing baseline vouches for nothing, so there is nothing to
+    check.  Otherwise every *active* rule's version must equal the
+    version recorded at snapshot time (absent record = 1, the v1-schema
+    migration default).
+    """
+    if baseline.missing:
+        return
+    mismatched = []
+    for rule in rules:
+        recorded = int(baseline.rule_versions.get(rule.id, 1))
+        if recorded != rule.version:
+            mismatched.append((rule.id, recorded, rule.version))
+    if mismatched:
+        detail = ", ".join(
+            f"{rid} (baseline v{old}, rule v{new})"
+            for rid, old, new in mismatched
+        )
+        raise BaselineVersionError(
+            f"baseline {path} was written against different rule semantics: "
+            f"{detail}.  Review the findings and re-run "
+            "'szx lint --write-baseline'."
+        )
+
+
+def write_baseline(findings, path, *, rules=None) -> dict:
+    """Snapshot *findings* to *path*; returns the entry mapping written.
+
+    *rules* (default: every registered rule) supplies the
+    ``rule_versions`` stamp for the version handshake above.
+    """
+    if rules is None:
+        from .registry import all_rules
+
+        rules = all_rules()
     counts = Counter(f.fingerprint() for f in findings)
     by_fp = {}
     for f in findings:
@@ -54,7 +140,11 @@ def write_baseline(findings, path) -> dict:
                 "symbol": f.symbol,
                 "count": counts[fp],
             }
-    payload = {"version": _VERSION, "findings": dict(sorted(by_fp.items()))}
+    payload = {
+        "version": _VERSION,
+        "rule_versions": {r.id: r.version for r in rules},
+        "findings": dict(sorted(by_fp.items())),
+    }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,341 @@
+"""Cross-module call-graph summaries (the analyzer's second pass).
+
+The per-module rules can see that ``time.sleep`` sits inside an ``async
+def``; they cannot see that an innocent-looking helper *transitively*
+ends up in ``compress_blocks`` three modules away.  This pass closes
+that gap without whole-program precision:
+
+1. **Collect** — every analyzed module contributes one
+   :class:`FunctionInfo` per ``def``/``async def`` (methods get
+   ``Class.name`` qualnames): whether it is async, which *known
+   blocking* primitives it calls directly (``time.sleep``, sync
+   file/socket I/O, the fused kernels, ``Future.result()``), whether
+   its ``def`` line carries the ``# analyze: blocking`` declaration,
+   and the set of resolvable outgoing calls.
+2. **Resolve** — callee names resolve heuristically but safely: bare
+   names to same-module functions or explicit ``from x import y``
+   imports, dotted names through ``import x`` / ``from . import y``
+   aliases, ``self.m()`` to the enclosing class, ``Cls()`` to
+   ``Cls.__init__``.  Anything else (attribute chains on unknown
+   objects) stays unresolved — the pass never guesses, so it
+   under-approximates the call graph and over-approximates nothing.
+3. **Propagate** — a fixpoint marks a function *blocking* when it
+   blocks directly, is declared blocking, or calls a blocking
+   non-async function.  Calls inside nested ``def``/``lambda`` bodies
+   belong to the nested scope (they typically run elsewhere — an
+   executor, a callback), so routing work through
+   ``run_in_executor``/``to_thread`` naturally breaks the chain.
+
+The result is a :class:`Project` handed to every rule via
+``ModuleInfo.project``; the async-safety family is its first consumer.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from dataclasses import dataclass, field
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` for anything else.
+
+    (Duplicated from ``rules._util`` on purpose: the rules package
+    imports this module at registration time, so importing back from it
+    would create a cycle.)
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+#: Callee names (dotted, or bare last components marked ``*``) that are
+#: known to block the calling thread.  Matched against the *resolved
+#: textual* name at the call site, so aliasing through ``import time``
+#: or ``from time import sleep`` both hit.
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() blocks the event loop",
+    "sleep": "time.sleep() blocks the event loop",          # from time import sleep
+    "os.system": "os.system() blocks on a subprocess",
+    "subprocess.run": "subprocess.run() blocks on a subprocess",
+    "subprocess.call": "subprocess.call() blocks on a subprocess",
+    "subprocess.check_call": "subprocess.check_call() blocks on a subprocess",
+    "subprocess.check_output": "subprocess.check_output() blocks on a subprocess",
+    "socket.create_connection": "synchronous socket connect blocks",
+    "open": "synchronous file open/IO blocks",
+}
+
+#: Bare last-component callee names that are blocking wherever they
+#: resolve from (the fused kernel chain is CPU-bound by design).
+BLOCKING_SUFFIXES = {
+    "compress_blocks": "direct fused-kernel invocation (compress_blocks)",
+    "decompress_blocks": "direct fused-kernel invocation (decompress_blocks)",
+}
+
+#: Callees that *receive* blocking work and run it off-loop; calls made
+#: through them never taint the caller (arguments are not call sites).
+EXECUTOR_ROUTERS = frozenset({"run_in_executor", "to_thread"})
+
+
+@dataclass
+class CallSite:
+    """One resolvable outgoing call inside a function's own scope."""
+
+    callee_key: str     #: resolved ``relpath::Qual.name`` project key
+    node: ast.Call
+    display: str        #: the textual callee as written at the site
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one ``def``/``async def`` in one module."""
+
+    key: str            #: ``relpath::Qual.name``
+    relpath: str
+    qualname: str       #: ``Class.method`` or ``function``
+    node: object        #: the AST def node
+    is_async: bool
+    declared_blocking: bool = False
+    #: (reason, call node) pairs for directly blocking primitives.
+    direct_blocking: list = field(default_factory=list)
+    calls: list = field(default_factory=list)   #: resolvable CallSites
+
+
+def _module_name(relpath: str) -> str:
+    """Best-effort dotted module name for *relpath* (``src/`` stripped)."""
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class _ImportMap:
+    """Per-module alias tables: local name -> imported dotted target."""
+
+    def __init__(self, relpath: str, tree: ast.Module):
+        self.relpath = relpath
+        #: local alias -> absolute dotted module path ("numpy", "repro.net")
+        self.modules: dict = {}
+        #: local name -> (absolute dotted module path, original name)
+        self.names: dict = {}
+        pkg = _module_name(relpath).rpartition(".")[0]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:  # "import a.b" binds "a"; "a.b.f" re-joins below
+                        self.modules[alias.name.split(".")[0]] = (
+                            alias.name.split(".")[0]
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    up = pkg.split(".") if pkg else []
+                    if node.level > 1:
+                        up = up[: len(up) - (node.level - 1)]
+                    base = ".".join(up + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = (base, alias.name)
+
+
+class Project:
+    """Whole-tree function summaries with blocking-ness closure."""
+
+    def __init__(self):
+        self.functions: dict[str, FunctionInfo] = {}
+        #: key -> human-readable reason chain ("calls x which calls y …").
+        self.blocking: dict[str, str] = {}
+        self._imports: dict[str, _ImportMap] = {}
+        self._by_module_name: dict[str, str] = {}  # dotted module -> relpath
+
+    # -- lookups ---------------------------------------------------------
+    def function(self, key: str) -> FunctionInfo | None:
+        return self.functions.get(key)
+
+    def is_async(self, key: str) -> bool:
+        info = self.functions.get(key)
+        return bool(info and info.is_async)
+
+    def blocking_reason(self, key: str) -> str | None:
+        return self.blocking.get(key)
+
+    # -- resolution -------------------------------------------------------
+    def resolve_call(self, relpath: str, scope_class: str | None,
+                     call: ast.Call) -> str | None:
+        """Project key of *call*'s callee, or None when unresolvable."""
+        name = dotted_name(call.func)
+        if not name:
+            return None
+        imap = self._imports.get(relpath)
+        parts = name.split(".")
+        # self.method() -> same class, same module
+        if parts[0] == "self" and scope_class and len(parts) == 2:
+            return self._key_if_known(relpath, f"{scope_class}.{parts[1]}")
+        # bare name: same-module function/class, or from-import
+        if len(parts) == 1:
+            key = self._key_if_known(relpath, parts[0])
+            if key:
+                return key
+            if imap and parts[0] in imap.names:
+                base, orig = imap.names[parts[0]]
+                return self._foreign_key(base, orig)
+            return None
+        # module.attr / alias.attr through the import table
+        if imap and parts[0] in imap.names and len(parts) == 2:
+            base, orig = imap.names[parts[0]]
+            # "from . import shards" then "shards.fn" -> base.orig module
+            return self._foreign_key(f"{base}.{orig}" if base else orig, parts[1])
+        if imap and parts[0] in imap.modules:
+            mod = imap.modules[parts[0]]
+            return self._foreign_key(
+                ".".join([mod] + parts[1:-1]), parts[-1]
+            )
+        return None
+
+    def _key_if_known(self, relpath: str, qualname: str) -> str | None:
+        key = f"{relpath}::{qualname}"
+        if key in self.functions:
+            return key
+        init = f"{relpath}::{qualname}.__init__"  # class instantiation
+        if init in self.functions:
+            return init
+        return None
+
+    def _foreign_key(self, module: str, name: str) -> str | None:
+        relpath = self._by_module_name.get(module)
+        if relpath is None:
+            return None
+        return self._key_if_known(relpath, name)
+
+
+def _collect_module(project: Project, module) -> None:
+    """Pass 1: summarize every def in *module* into the project."""
+    relpath = module.relpath
+    project._imports[relpath] = _ImportMap(relpath, module.tree)
+    project._by_module_name[_module_name(relpath)] = relpath
+
+    def visit(node, class_name: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{class_name}.{child.name}" if class_name else child.name
+                info = FunctionInfo(
+                    key=f"{relpath}::{qual}",
+                    relpath=relpath,
+                    qualname=qual,
+                    node=child,
+                    is_async=isinstance(child, ast.AsyncFunctionDef),
+                    declared_blocking=(
+                        module.pragmas.declares_blocking(child.lineno)
+                        or any(
+                            module.pragmas.declares_blocking(d.lineno)
+                            for d in child.decorator_list
+                        )
+                    ),
+                )
+                _collect_calls(info, child, class_name)
+                project.functions[info.key] = info
+                visit(child, None)  # nested defs get their own summaries
+
+    visit(module.tree, None)
+
+
+def own_scope_calls(fn) -> list:
+    """Every ``ast.Call`` in *fn*'s own scope (nested defs/lambdas cut)."""
+    out: list = []
+
+    def walk(node):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, ast.Call):
+                out.append(child)
+            walk(child)
+
+    walk(fn)
+    return out
+
+
+def blocking_reason_for_call(call: ast.Call) -> str | None:
+    """Reason string when *call* is a known-blocking primitive, else None."""
+    name = dotted_name(call.func)
+    if name in BLOCKING_CALLS:
+        return BLOCKING_CALLS[name]
+    last = name.rpartition(".")[2]
+    if last in BLOCKING_SUFFIXES:
+        return BLOCKING_SUFFIXES[last]
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "result"
+        and not call.args
+        and not call.keywords
+    ):
+        return "Future.result() blocks until the job completes"
+    return None
+
+
+def _collect_calls(info: FunctionInfo, fn, class_name: str | None) -> None:
+    for call in own_scope_calls(fn):
+        reason = blocking_reason_for_call(call)
+        if reason is not None:
+            info.direct_blocking.append((reason, call))
+        info.calls.append((call, class_name))
+
+
+def build_project(modules) -> Project:
+    """Run the collect + resolve + propagate passes over *modules*."""
+    project = Project()
+    for module in modules:
+        _collect_module(project, module)
+
+    # Resolve the raw (call, class) pairs now that every def is known.
+    for info in project.functions.values():
+        resolved = []
+        for call, class_name in info.calls:
+            key = project.resolve_call(info.relpath, class_name, call)
+            if key is not None and key != info.key:
+                resolved.append(
+                    CallSite(key, call, dotted_name(call.func))
+                )
+        info.calls = resolved
+
+    # Fixpoint: blocking-ness flows caller-ward through sync calls only
+    # (awaiting an async callee yields the loop instead of blocking it).
+    for info in project.functions.values():
+        if info.declared_blocking:
+            project.blocking[info.key] = "declared blocking (# analyze: blocking)"
+        elif info.direct_blocking:
+            project.blocking[info.key] = info.direct_blocking[0][0]
+    changed = True
+    while changed:
+        changed = False
+        for info in project.functions.values():
+            if info.key in project.blocking:
+                continue
+            for site in info.calls:
+                if project.is_async(site.callee_key):
+                    continue
+                reason = project.blocking.get(site.callee_key)
+                if reason is not None:
+                    callee = project.functions[site.callee_key]
+                    project.blocking[info.key] = (
+                        f"calls blocking '{callee.qualname}' "
+                        f"({posixpath.basename(callee.relpath)}): {reason}"
+                    )
+                    changed = True
+                    break
+    return project

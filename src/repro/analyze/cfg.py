@@ -1,0 +1,411 @@
+"""Lightweight intra-function control-flow graphs with exception edges.
+
+The per-function linters of PR 4 reason lexically ("is this access
+inside a ``with self._lock:`` block?"), which cannot answer lifetime
+questions like *does every path from this ``SharedMemory`` creation —
+including the path where the very next statement raises — pass a
+``close()``?*.  This module builds the small CFG those rules need:
+
+* one node per simple statement, plus synthetic ``entry``, ``exit``
+  (normal return / fall-off) and ``raise_exit`` (exception escapes the
+  function) nodes;
+* structured statements (``if``/``for``/``while``/``try``/``with``)
+  contribute branch, loop and handler edges;
+* every statement that *may raise* (conservatively: anything containing
+  a call, subscript, attribute access or binary operation) gets an
+  exception edge to the innermost enclosing handler chain — or to
+  ``raise_exit`` when nothing encloses it.  ``finally`` bodies are on
+  both the normal and the exceptional route, which is exactly the
+  property the resource-lifetime rule keys on.
+
+The graph is deliberately *not* path-enumerating: clients ask
+reachability questions (:func:`reachable`, :meth:`CFG.can_reach_exit`)
+that are linear in the number of edges, so whole-tree analysis stays
+cheap (the driver builds a CFG per function, not per path).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Node kinds (mostly for debugging / tests; clients match on ``stmt``).
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise-exit"
+STMT = "stmt"
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a simple statement or a synthetic boundary node."""
+
+    index: int
+    kind: str                         #: ``entry``/``exit``/``raise-exit``/``stmt``
+    stmt: ast.stmt | None = None      #: the AST statement (``None`` for synthetic)
+    succs: set = field(default_factory=set)   #: normal-flow successors
+    #: exceptional successors: taken only when this statement raises
+    #: mid-execution (i.e. the statement did *not* complete).
+    esuccs: set = field(default_factory=set)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        what = type(self.stmt).__name__ if self.stmt is not None else self.kind
+        return (
+            f"CFGNode({self.index}, {what}, succs={sorted(self.succs)}, "
+            f"esuccs={sorted(self.esuccs)})"
+        )
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self):
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(ENTRY)
+        self.exit = self._new(EXIT)
+        self.raise_exit = self._new(RAISE_EXIT)
+
+    # -- construction ---------------------------------------------------
+    def _new(self, kind: str, stmt: ast.stmt | None = None) -> int:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if src != dst:
+            self.nodes[src].succs.add(dst)
+
+    def _eedge(self, src: int, dst: int) -> None:
+        if src != dst:
+            self.nodes[src].esuccs.add(dst)
+
+    # -- queries ---------------------------------------------------------
+    def stmt_nodes(self) -> list:
+        return [n for n in self.nodes if n.kind == STMT]
+
+    def nodes_for(self, predicate) -> set:
+        """Indices of statement nodes whose AST satisfies *predicate*."""
+        return {
+            n.index for n in self.nodes
+            if n.stmt is not None and predicate(n.stmt)
+        }
+
+    def reachable(self, start: int, *, avoiding: set = frozenset()) -> set:
+        """Every node reachable from *start* without entering *avoiding*."""
+        seen: set = set()
+        stack = [start]
+        while stack:
+            idx = stack.pop()
+            if idx in seen or idx in avoiding:
+                continue
+            seen.add(idx)
+            node = self.nodes[idx]
+            stack.extend(node.succs)
+            stack.extend(node.esuccs)
+        return seen
+
+    def can_reach_exit(self, start: int, *, avoiding: set = frozenset()) -> bool:
+        """True when some path start → (exit | raise-exit) avoids *avoiding*.
+
+        The walk begins at *start*'s **normal** successors: the question
+        is about what happens after the statement completes, so the
+        start node's own exception edge (the statement raising before it
+        ever finished — e.g. an acquisition that never acquired) does
+        not count, and neither does the start node's own membership in
+        *avoiding*.  Downstream, both normal and exceptional edges are
+        followed.
+        """
+        seen: set = set()
+        stack = list(self.nodes[start].succs)
+        while stack:
+            idx = stack.pop()
+            if idx in seen or idx in avoiding:
+                continue
+            if idx in (self.exit, self.raise_exit):
+                return True
+            seen.add(idx)
+            node = self.nodes[idx]
+            stack.extend(node.succs)
+            stack.extend(node.esuccs)
+        return False
+
+
+@dataclass
+class _Frame:
+    """Where control transfers out of the current lexical context."""
+
+    on_raise: int           #: node exceptions flow to (handler head or raise-exit)
+    break_to: int | None    #: loop-exit join node, inside loops
+    continue_to: int | None  #: loop-head node, inside loops
+    return_through: tuple = ()   #: pending finally heads a return must thread
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative: any embedded call/subscript/attribute/op may raise."""
+    for node in ast.walk(stmt):
+        if isinstance(
+            node,
+            (ast.Call, ast.Subscript, ast.Attribute, ast.BinOp,
+             ast.Raise, ast.Assert, ast.Await),
+        ):
+            return True
+    return False
+
+
+def _handler_is_total(handler) -> bool:
+    """Can this ``except`` clause never decline?  (bare / BaseException)"""
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = t.attr if isinstance(t, ast.Attribute) else (
+            t.id if isinstance(t, ast.Name) else ""
+        )
+        if name == "BaseException":
+            return True
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list.
+
+    ``_stmts(body, frame)`` wires *body* and returns ``(head, tails)``:
+    the entry node of the region and the set of nodes whose normal
+    successor is whatever follows the region.  ``None`` heads mean the
+    region is empty; empty tail sets mean control never falls through
+    (every path returns, raises, breaks or continues).
+    """
+
+    def __init__(self, cfg: CFG, may_raise=None):
+        self.cfg = cfg
+        self.may_raise = may_raise if may_raise is not None else _may_raise
+
+    def build(self, body: list) -> None:
+        frame = _Frame(on_raise=self.cfg.raise_exit, break_to=None,
+                       continue_to=None)
+        head, tails = self._stmts(body, frame)
+        self.cfg._edge(self.cfg.entry, head if head is not None else self.cfg.exit)
+        for t in tails:
+            self.cfg._edge(t, self.cfg.exit)
+
+    # -- helpers ---------------------------------------------------------
+    def _leaf(self, stmt: ast.stmt, frame: _Frame) -> int:
+        idx = self.cfg._new(STMT, stmt)
+        if self.may_raise(stmt):
+            self.cfg._eedge(idx, frame.on_raise)
+        return idx
+
+    def _stmts(self, body: list, frame: _Frame):
+        head = None
+        tails: set = set()
+        for stmt in body:
+            s_head, s_tails = self._stmt(stmt, frame)
+            if s_head is None:
+                continue
+            if head is None:
+                head = s_head
+            for t in tails:
+                self.cfg._edge(t, s_head)
+            tails = s_tails
+            if not tails:
+                break  # unreachable code after return/raise/break
+        return head, tails
+
+    # -- per-statement dispatch ------------------------------------------
+    def _stmt(self, stmt: ast.stmt, frame: _Frame):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are opaque single nodes: their bodies get
+            # their own CFG when the client asks for one.
+            idx = self.cfg._new(STMT, stmt)
+            return idx, {idx}
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, frame)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frame)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, frame)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frame)
+        if isinstance(stmt, ast.Return):
+            idx = self._leaf(stmt, frame)
+            if frame.return_through:
+                # Thread through the innermost pending finally; its tails
+                # carry the flow onwards (conservative join).
+                self.cfg._edge(idx, frame.return_through[0])
+            else:
+                self.cfg._edge(idx, self.cfg.exit)
+            return idx, set()
+        if isinstance(stmt, ast.Raise):
+            idx = self.cfg._new(STMT, stmt)
+            self.cfg._edge(idx, frame.on_raise)
+            return idx, set()
+        if isinstance(stmt, ast.Break):
+            idx = self.cfg._new(STMT, stmt)
+            if frame.break_to is not None:
+                self.cfg._edge(idx, frame.break_to)
+            return idx, set()
+        if isinstance(stmt, ast.Continue):
+            idx = self.cfg._new(STMT, stmt)
+            if frame.continue_to is not None:
+                self.cfg._edge(idx, frame.continue_to)
+            return idx, set()
+        idx = self._leaf(stmt, frame)
+        return idx, {idx}
+
+    def _if(self, stmt: ast.If, frame: _Frame):
+        idx = self._leaf(stmt, frame)  # the test expression
+        tails: set = set()
+        b_head, b_tails = self._stmts(stmt.body, frame)
+        if b_head is not None:
+            self.cfg._edge(idx, b_head)
+        else:
+            tails.add(idx)
+        tails |= b_tails
+        if stmt.orelse:
+            o_head, o_tails = self._stmts(stmt.orelse, frame)
+            if o_head is not None:
+                self.cfg._edge(idx, o_head)
+                tails |= o_tails
+            else:
+                tails.add(idx)
+        else:
+            tails.add(idx)  # condition false: fall through
+        return idx, tails
+
+    def _loop(self, stmt, frame: _Frame):
+        idx = self._leaf(stmt, frame)  # test / iterator evaluation
+        inner = _Frame(
+            on_raise=frame.on_raise,
+            break_to=idx,  # placeholder; breaks join the loop's tails below
+            continue_to=idx,
+            return_through=frame.return_through,
+        )
+        # Model break by letting it fall to the loop node's *tails* —
+        # simplest sound encoding: break jumps back to the loop node,
+        # which also owns the "loop finished" fall-through edge.
+        b_head, b_tails = self._stmts(stmt.body, inner)
+        if b_head is not None:
+            self.cfg._edge(idx, b_head)
+        for t in b_tails:
+            self.cfg._edge(t, idx)  # back edge
+        tails = {idx}  # loop exit (condition false / iterator exhausted)
+        if stmt.orelse:
+            o_head, o_tails = self._stmts(stmt.orelse, frame)
+            if o_head is not None:
+                self.cfg._edge(idx, o_head)
+                tails = o_tails | {idx}
+        return idx, tails
+
+    def _with(self, stmt, frame: _Frame):
+        idx = self._leaf(stmt, frame)  # context-manager acquisition
+        b_head, b_tails = self._stmts(stmt.body, frame)
+        if b_head is not None:
+            self.cfg._edge(idx, b_head)
+            return idx, b_tails
+        return idx, {idx}
+
+    def _try(self, stmt, frame: _Frame):
+        # finally body is wired once; both the normal and exceptional
+        # routes pass through it (conservative join, sound for lifetime
+        # reachability: "is a release on this path?").
+        fin_head = fin_tails = None
+        if stmt.finalbody:
+            fin_head, fin_tails = self._stmts(stmt.finalbody, frame)
+
+        # Exceptions inside the try body go to the first handler; if
+        # there are no handlers they go straight through finally (or out).
+        handler_heads: list = []
+        handler_tails: set = set()
+        after_handlers_raise = (
+            fin_head if fin_head is not None else frame.on_raise
+        )
+        for handler in stmt.handlers:
+            h_frame = _Frame(
+                on_raise=after_handlers_raise,
+                break_to=frame.break_to,
+                continue_to=frame.continue_to,
+                return_through=(
+                    (fin_head,) + frame.return_through
+                    if fin_head is not None else frame.return_through
+                ),
+            )
+            h_idx = self.cfg._new(STMT, handler)
+            h_head, h_tails = self._stmts(handler.body, h_frame)
+            if h_head is not None:
+                self.cfg._edge(h_idx, h_head)
+                handler_tails |= h_tails
+            else:
+                handler_tails.add(h_idx)
+            # A handler may decline the exception (wrong type) — it then
+            # flows on exactly like an uncaught raise.  Bare ``except:``
+            # and ``except BaseException:`` catch everything, so they
+            # get no decline edge (this is what lets the canonical
+            # "except BaseException: release; raise" pairing pattern
+            # verify as leak-free).
+            if not _handler_is_total(handler):
+                self.cfg._edge(h_idx, after_handlers_raise)
+            handler_heads.append(h_idx)
+
+        body_raise_target = (
+            handler_heads[0] if handler_heads else after_handlers_raise
+        )
+        body_frame = _Frame(
+            on_raise=body_raise_target,
+            break_to=frame.break_to,
+            continue_to=frame.continue_to,
+            return_through=(
+                (fin_head,) + frame.return_through
+                if fin_head is not None else frame.return_through
+            ),
+        )
+        b_head, b_tails = self._stmts(stmt.body, body_frame)
+
+        # Chain the handler heads: handler i declining tries i+1.  (The
+        # edge added above already points every handler at the
+        # post-handler raise route; chaining adds precision only — keep
+        # the simple conservative form.)
+        else_tails: set = set()
+        if stmt.orelse:
+            e_head, e_tails = self._stmts(stmt.orelse, body_frame)
+            if e_head is not None:
+                for t in b_tails:
+                    self.cfg._edge(t, e_head)
+                b_tails = set()
+                else_tails = e_tails
+            else:
+                else_tails = set()
+
+        normal_tails = b_tails | else_tails | handler_tails
+        head = b_head if b_head is not None else (
+            handler_heads[0] if handler_heads else fin_head
+        )
+        if fin_head is not None:
+            for t in normal_tails:
+                self.cfg._edge(t, fin_head)
+            # The finally's tails continue both the normal flow and the
+            # re-raise flow; add the raise continuation explicitly.
+            for t in fin_tails:
+                self.cfg._edge(t, frame.on_raise)
+            if head is None:
+                head = fin_head
+            return head, set(fin_tails)
+        return head, normal_tails
+
+
+def build_cfg(fn, *, may_raise=None) -> CFG:
+    """CFG for one ``FunctionDef``/``AsyncFunctionDef`` (or any stmt list).
+
+    *may_raise* overrides the conservative default predicate — clients
+    with domain knowledge (e.g. "release calls do not raise") pass a
+    ``stmt -> bool`` refinement to avoid every multi-statement cleanup
+    block reading as partially-skippable.
+    """
+    cfg = CFG()
+    body = fn.body if hasattr(fn, "body") else list(fn)
+    _Builder(cfg, may_raise).build(body)
+    return cfg

@@ -15,6 +15,21 @@ survive formatters and need no runtime support:
     On a ``def`` line: the function is only ever called with the
     owning lock already held, so the lock-discipline rule treats its
     body as guarded (:mod:`repro.analyze.rules.locks`).
+``# analyze: blocking``
+    On a ``def`` line: declares the function *known blocking* (forks
+    pools, does synchronous I/O, …).  The declaration feeds the
+    call-graph summary pass, so transitive callers inside ``async
+    def`` bodies are flagged by the async-safety rules
+    (:mod:`repro.analyze.rules.asyncsafety`).
+``# analyze: blocking-ok``
+    On a call line inside an ``async def``: this blocking call is a
+    deliberate exception (equivalent to
+    ``ignore[async-blocking-call]`` but self-documenting).
+``# analyze: owns-shm``
+    On a ``def`` line: the function deliberately retains ownership of
+    the shared-memory (or other tracked) resources it acquires —
+    lifetime is managed elsewhere, so the resource-lifetime rule
+    skips its body (:mod:`repro.analyze.rules.lifetime`).
 
 Comments are collected with :mod:`tokenize`, so pragmas inside string
 literals are never misread as directives.
@@ -39,10 +54,18 @@ class SourcePragmas:
     ignores: dict = field(default_factory=dict)
     #: lines carrying ``# analyze: holds-lock``.
     holds_lock_lines: set = field(default_factory=set)
+    #: lines carrying ``# analyze: blocking`` (declared-blocking defs).
+    blocking_lines: set = field(default_factory=set)
+    #: lines carrying ``# analyze: blocking-ok`` (sanctioned call sites).
+    blocking_ok_lines: set = field(default_factory=set)
+    #: lines carrying ``# analyze: owns-shm`` (ownership kept on purpose).
+    owns_shm_lines: set = field(default_factory=set)
     #: module carries ``# analyze: hot-path``.
     hot_path: bool = False
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id == "async-blocking-call" and line in self.blocking_ok_lines:
+            return True
         rules = self.ignores.get(line)
         if rules is None:
             return False
@@ -50,6 +73,12 @@ class SourcePragmas:
 
     def holds_lock(self, line: int) -> bool:
         return line in self.holds_lock_lines
+
+    def declares_blocking(self, line: int) -> bool:
+        return line in self.blocking_lines
+
+    def owns_shm(self, line: int) -> bool:
+        return line in self.owns_shm_lines
 
 
 def parse_pragmas(source: str) -> SourcePragmas:
@@ -86,4 +115,10 @@ def parse_pragmas(source: str) -> SourcePragmas:
             pragmas.hot_path = True
         elif body.startswith("holds-lock"):
             pragmas.holds_lock_lines.add(line)
+        elif body.startswith("blocking-ok"):
+            pragmas.blocking_ok_lines.add(line)
+        elif body.startswith("blocking"):
+            pragmas.blocking_lines.add(line)
+        elif body.startswith("owns-shm"):
+            pragmas.owns_shm_lines.add(line)
     return pragmas

@@ -29,6 +29,10 @@ class ModuleInfo:
     source: str
     tree: ast.Module
     pragmas: SourcePragmas
+    #: Cross-module context (:class:`repro.analyze.callgraph.Project`),
+    #: set by the runner after the whole-tree summary pass; ``None``
+    #: when a rule is exercised on a bare ModuleInfo in tests.
+    project: object = None
 
     def lines(self) -> list:
         return self.source.splitlines()
@@ -39,12 +43,16 @@ class Rule:
 
     Subclasses set ``id`` (kebab-case, stable — baselines and
     suppression comments reference it), ``severity``, and
-    ``description``, and implement :meth:`check`.
+    ``description``, and implement :meth:`check`.  ``version`` is the
+    rule's semantic version: bump it whenever the rule is tightened so
+    committed baselines written against the old semantics fail loudly
+    (see :mod:`repro.analyze.baseline`) instead of silently mismatching.
     """
 
     id: str = ""
     severity: str = "error"
     description: str = ""
+    version: int = 1
 
     def applies_to(self, relpath: str) -> bool:
         """Cheap path filter; default is every module."""
@@ -80,6 +88,8 @@ def register(cls):
         raise ValueError(f"{cls.__name__} has no rule id")
     if rule.severity not in SEVERITIES:
         raise ValueError(f"{cls.__name__}: bad severity {rule.severity!r}")
+    if not isinstance(rule.version, int) or rule.version < 1:
+        raise ValueError(f"{cls.__name__}: bad rule version {rule.version!r}")
     if rule.id in RULES:
         raise ValueError(f"duplicate rule id {rule.id!r}")
     RULES[rule.id] = rule

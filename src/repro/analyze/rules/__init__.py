@@ -2,23 +2,40 @@
 
 Rule catalogue (see docs/ARCHITECTURE.md §Static analysis):
 
-========================  ========  =============================================
-rule id                   severity  invariant enforced
-========================  ========  =============================================
-``lock-discipline``       error     state mutated under a lock is always
-                                    accessed with the lock held
-``hot-float64``           warning   no float64 upcasts in ``# analyze:
-                                    hot-path`` modules
-``frombuffer-mutation``   error     ``np.frombuffer`` results are not mutated
-                                    without ``.copy()``
-``unchecked-unpack``      error     binary decodes in ``baselines/`` and
-                                    ``core/stream.py`` are bounds-checked
-``swallowed-exception``   warning   broad excepts re-raise, use, or record
-                                    the exception
-``mutable-default``       error     no mutable default arguments
-========================  ========  =============================================
+==========================  ========  ===========================================
+rule id                     severity  invariant enforced
+==========================  ========  ===========================================
+``lock-discipline``         error     state mutated under a lock is always
+                                      accessed with the lock held
+``hot-float64``             warning   no float64 upcasts in ``# analyze:
+                                      hot-path`` modules
+``frombuffer-mutation``     error     ``np.frombuffer`` results are not mutated
+                                      without ``.copy()``
+``unchecked-unpack``        error     binary decodes in ``baselines/`` and
+                                      ``core/stream.py`` are bounds-checked
+``swallowed-exception``     warning   broad excepts re-raise, use, or record
+                                      the exception
+``mutable-default``         error     no mutable default arguments
+``async-blocking-call``     error     nothing (transitively) blocking runs in
+                                      an ``async def`` body off-executor
+``await-holding-lock``      error     no ``await`` while a ``threading.Lock``
+                                      is held
+``unawaited-coroutine``     error     coroutine calls are awaited or handed
+                                      to a task/sink
+``loop-primitive-binding``  warning   asyncio primitives are not bound before
+                                      a loop exists / across loops
+``resource-lifetime``       error     shm/mmap/pinned acquisitions reach a
+                                      release on all paths, incl. exceptions
+==========================  ========  ===========================================
 """
 
-from . import decode, dtypes, hygiene, locks  # noqa: F401 - registration imports
+from . import (  # noqa: F401 - registration imports
+    asyncsafety,
+    decode,
+    dtypes,
+    hygiene,
+    lifetime,
+    locks,
+)
 
-__all__ = ["decode", "dtypes", "hygiene", "locks"]
+__all__ = ["asyncsafety", "decode", "dtypes", "hygiene", "lifetime", "locks"]

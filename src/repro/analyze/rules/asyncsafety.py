@@ -1,0 +1,360 @@
+"""Async-safety and event-loop-hygiene rules.
+
+The front door (:mod:`repro.net`) lives or dies by one property: the
+event loop only ever runs *cheap* callbacks, and everything expensive
+(kernels, pool forks, synchronous I/O) happens on an executor.  A
+single blocking call inside an ``async def`` silently serializes every
+connection behind it — no test fails, throughput just collapses.  These
+rules prove the property statically, using the call-graph summary pass
+(:mod:`repro.analyze.callgraph`) for reachability beyond the local
+function body:
+
+``async-blocking-call`` (error)
+    A known-blocking primitive (``time.sleep``, synchronous
+    file/socket I/O, a direct ``compress_blocks``/``decompress_blocks``
+    kernel invocation, ``Future.result()``) — or a resolvable call to a
+    function the summary pass marked blocking, transitively — executes
+    in an ``async def`` body.  Work routed through
+    ``loop.run_in_executor``/``asyncio.to_thread`` is invisible to the
+    rule by construction (the blocking callee is an argument, not a
+    call, and nested ``def``/``lambda`` bodies are separate scopes).
+    Escape hatches: ``# analyze: blocking-ok`` on the call line, or the
+    generic ``ignore[async-blocking-call]``.
+
+``await-holding-lock`` (error)
+    An ``await`` suspends while a ``threading.Lock``/``RLock`` (a
+    ``with`` block whose context expression is a recognizable lock) is
+    held.  Whatever the loop schedules next may need the same lock —
+    instant deadlock, or at best a silent convoy.
+
+``unawaited-coroutine`` (error)
+    A call that provably returns a coroutine — a resolvable same-tree
+    ``async def``, ``asyncio.sleep``/``gather``/``wait_for``, or the
+    well-known awaitable methods ``drain``/``wait_closed``/``aclose``
+    in an asyncio module — is used as a bare expression statement: the
+    coroutine is created, never scheduled, and dies with a
+    ``RuntimeWarning`` only under ``-W error``.
+
+``loop-primitive-binding`` (warning)
+    An asyncio synchronization primitive (``Lock``, ``Event``,
+    ``Condition``, ``Semaphore``, ``Queue``, ``Future``) is created at
+    module scope or in ``__init__``: it binds to whichever loop touches
+    it first and raises ``got Future attached to a different loop``
+    when the object outlives that loop (server restart, test reruns).
+    Create primitives inside the async start path instead (the pattern
+    ``NetServer.start`` uses).  Also flags ``asyncio.get_event_loop()``
+    — use ``get_running_loop()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..callgraph import blocking_reason_for_call, own_scope_calls
+from ..registry import ModuleInfo, Rule, register
+from ._util import dotted_name
+
+_LOCKISH_NAMES = frozenset({"lock", "rlock", "mutex"})
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+#: asyncio primitives that bind to the first loop that uses them.
+_LOOP_PRIMITIVES = frozenset(
+    {"Lock", "Event", "Condition", "Semaphore", "BoundedSemaphore",
+     "Queue", "LifoQueue", "PriorityQueue", "Future"}
+)
+
+#: Known coroutine factories / awaitable-returning methods for the
+#: unawaited-coroutine check (beyond resolvable same-tree async defs).
+_KNOWN_COROUTINE_CALLS = frozenset(
+    {"asyncio.sleep", "asyncio.gather", "asyncio.wait_for",
+     "asyncio.wait", "asyncio.open_connection", "asyncio.start_server"}
+)
+_KNOWN_AWAITABLE_METHODS = frozenset({"drain", "wait_closed", "aclose"})
+
+#: Wrappers that legitimately consume a coroutine object un-awaited.
+_COROUTINE_SINKS = frozenset(
+    {"create_task", "ensure_future", "run", "run_until_complete",
+     "run_coroutine_threadsafe", "gather", "wait", "wait_for", "shield"}
+)
+
+
+def _iter_async_defs(tree: ast.Module):
+    """Every ``async def`` with its enclosing class name (or None)."""
+
+    def visit(node, class_name):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, ast.AsyncFunctionDef):
+                yield child, class_name
+                yield from visit(child, None)
+            elif isinstance(child, ast.FunctionDef):
+                yield from visit(child, None)
+
+    yield from visit(tree, None)
+
+
+def _module_imports_asyncio(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.split(".")[0] == "asyncio" for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "asyncio":
+                return True
+    return False
+
+
+def _symbol(class_name, fn) -> str:
+    return f"{class_name}.{fn.name}" if class_name else fn.name
+
+
+@register
+class AsyncBlockingCallRule(Rule):
+    id = "async-blocking-call"
+    severity = "error"
+    description = (
+        "blocking call (sleep, sync I/O, kernels, Future.result, or a "
+        "transitively blocking callee) reachable from an async def body"
+    )
+
+    def check(self, module: ModuleInfo):
+        project = module.project
+        for fn, class_name in _iter_async_defs(module.tree):
+            sym = _symbol(class_name, fn)
+            for call in own_scope_calls(fn):
+                reason = blocking_reason_for_call(call)
+                if reason is not None:
+                    yield self.finding(
+                        module, call,
+                        f"blocking call '{dotted_name(call.func) or '<computed>'}' "
+                        f"on the event loop in async '{sym}' — {reason}; "
+                        "route it through run_in_executor/to_thread",
+                        symbol=sym,
+                    )
+                    continue
+                if project is None:
+                    continue
+                key = project.resolve_call(module.relpath, class_name, call)
+                if key is None:
+                    continue
+                if project.is_async(key):
+                    continue
+                chain = project.blocking_reason(key)
+                if chain is not None:
+                    callee = project.function(key)
+                    yield self.finding(
+                        module, call,
+                        f"call to '{callee.qualname}' on the event loop in "
+                        f"async '{sym}' blocks: {chain}; route it through "
+                        "run_in_executor/to_thread",
+                        symbol=sym,
+                    )
+
+
+def _is_lock_context(expr: ast.AST) -> bool:
+    """Heuristic: does this ``with`` context expression acquire a
+    thread lock (not an asyncio one — those are ``async with``)?"""
+    name = dotted_name(expr)
+    if name:
+        last = name.rpartition(".")[2].lower()
+        return last.lstrip("_") in _LOCKISH_NAMES or last.endswith("_lock")
+    if isinstance(expr, ast.Call):
+        callee = dotted_name(expr.func).rpartition(".")[2]
+        return callee in _LOCK_FACTORIES
+    return False
+
+
+@register
+class AwaitHoldingLockRule(Rule):
+    id = "await-holding-lock"
+    severity = "error"
+    description = "await suspends while a threading lock is held"
+
+    def check(self, module: ModuleInfo):
+        for fn, class_name in _iter_async_defs(module.tree):
+            sym = _symbol(class_name, fn)
+            yield from self._walk(module, fn.body, sym, held=None)
+
+    def _walk(self, module, body, sym, held):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # separate scope; lock state does not transfer
+            if isinstance(stmt, ast.With):
+                lock_name = held
+                for item in stmt.items:
+                    if _is_lock_context(item.context_expr):
+                        lock_name = (
+                            dotted_name(item.context_expr) or "a threading lock"
+                        )
+                yield from self._walk(module, stmt.body, sym, lock_name)
+                continue
+            # Recurse into compound statement bodies with unchanged state.
+            compound = False
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if inner and isinstance(inner[0], ast.stmt):
+                    compound = True
+                    yield from self._walk(module, inner, sym, held)
+            for handler in getattr(stmt, "handlers", []):
+                compound = True
+                yield from self._walk(module, handler.body, sym, held)
+            if held is None:
+                continue
+            # Scan this statement's own expressions (for compound stmts:
+            # only the head — test/iter — the bodies recursed above).
+            exprs = (
+                [c for c in ast.iter_child_nodes(stmt)
+                 if isinstance(c, ast.expr)]
+                if compound else [stmt]
+            )
+            for expr in exprs:
+                awaited = next(
+                    (n for n in ast.walk(expr) if isinstance(n, ast.Await)),
+                    None,
+                )
+                if awaited is not None:
+                    yield self.finding(
+                        module, awaited,
+                        f"'await' in async '{sym}' while holding '{held}' — "
+                        "the loop may schedule a task that needs the same "
+                        "lock (deadlock); release the lock before awaiting "
+                        "or use asyncio.Lock",
+                        symbol=sym,
+                    )
+                    break
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    id = "unawaited-coroutine"
+    severity = "error"
+    description = "coroutine created as a bare statement and never awaited"
+
+    def check(self, module: ModuleInfo):
+        project = module.project
+        asyncio_module = _module_imports_asyncio(module.tree)
+        scopes = [(module.tree.body, None, "")]
+
+        def visit(node, class_name):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scopes.append(
+                        (child.body, class_name, _symbol(class_name, child))
+                    )
+                    visit(child, None)
+
+        visit(module.tree, None)
+        for stmts, class_name, sym in scopes:
+            yield from self._check_scope(
+                module, stmts, class_name, sym, project, asyncio_module
+            )
+
+    def _check_scope(self, module, stmts, class_name, sym, project,
+                     asyncio_module):
+        for stmt in self._own_scope_stmts(stmts):
+            if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+                continue
+            call = stmt.value
+            name = dotted_name(call.func)
+            last = name.rpartition(".")[2]
+            is_coro = False
+            label = name or "<computed>"
+            if name in _KNOWN_COROUTINE_CALLS:
+                is_coro = True
+            elif (
+                asyncio_module
+                and isinstance(call.func, ast.Attribute)
+                and last in _KNOWN_AWAITABLE_METHODS
+            ):
+                is_coro = True
+            elif project is not None:
+                key = project.resolve_call(module.relpath, class_name, call)
+                if key is not None and project.is_async(key):
+                    is_coro = True
+                    label = project.function(key).qualname
+            if is_coro and last not in _COROUTINE_SINKS:
+                yield self.finding(
+                    module, call,
+                    f"coroutine '{label}' is created but never awaited — "
+                    "the call does nothing; add 'await' or schedule it "
+                    "with asyncio.create_task",
+                    symbol=sym,
+                )
+
+    @staticmethod
+    def _own_scope_stmts(stmts):
+        """Every statement in the scope, not descending into nested defs."""
+        stack = list(stmts)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield stmt
+            for attr in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(stmt, attr, []) or [])
+            for handler in getattr(stmt, "handlers", []):
+                stack.extend(handler.body)
+
+
+@register
+class LoopPrimitiveBindingRule(Rule):
+    id = "loop-primitive-binding"
+    severity = "warning"
+    description = (
+        "asyncio primitive created outside a running loop (module scope "
+        "or __init__) binds to the first loop that touches it"
+    )
+
+    def check(self, module: ModuleInfo):
+        # Module scope.
+        for stmt in module.tree.body:
+            yield from self._check_stmt(module, stmt, where="module scope",
+                                        symbol="")
+        # __init__ bodies (the object usually outlives one loop).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name == "__init__"
+                    ):
+                        sym = f"{node.name}.__init__"
+                        for stmt in ast.walk(item):
+                            if isinstance(stmt, ast.stmt):
+                                yield from self._check_stmt(
+                                    module, stmt, where="__init__", symbol=sym
+                                )
+        # get_event_loop anywhere.
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func).rpartition(".")[2] == "get_event_loop"
+            ):
+                yield self.finding(
+                    module, node,
+                    "asyncio.get_event_loop() creates or returns a loop "
+                    "depending on context (cross-loop hazard) — use "
+                    "asyncio.get_running_loop() inside coroutines",
+                )
+
+    def _check_stmt(self, module, stmt, *, where, symbol):
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            return
+        name = dotted_name(value.func)
+        parts = name.split(".")
+        if parts[0] != "asyncio" or parts[-1] not in _LOOP_PRIMITIVES:
+            return
+        yield self.finding(
+            module, value,
+            f"asyncio.{parts[-1]}() created in {where} binds to the first "
+            "event loop that uses it and breaks when the object outlives "
+            "that loop — create it inside the async start path",
+            symbol=symbol,
+        )

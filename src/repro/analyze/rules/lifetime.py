@@ -1,0 +1,329 @@
+"""Path-sensitive resource-lifetime tracking over the intra-function CFG.
+
+The process backend's contract (:mod:`repro.parallel.procpool`) is that
+no ``/dev/shm`` name ever outlives a call: every ``SharedMemory``
+create reaches ``close()`` *and* exactly one owner-side ``unlink()`` on
+every path — including the path where the allocation right after it
+raises.  A leaked segment survives the process and eats ``/dev/shm``
+until reboot, and no unit test notices because the happy path cleans up
+fine.  This rule proves the property per function using
+:mod:`repro.analyze.cfg`:
+
+``resource-lifetime`` (error)
+    A tracked acquisition (see :data:`RESOURCE_SPECS`) can reach a
+    function exit — normal *or* exceptional — without passing a release
+    on that variable.  The finding names the kind of exit that leaks,
+    so "only leaks when X raises" bugs read directly from the message.
+
+What counts, per :class:`ResourceSpec`:
+
+* **acquire** — ``var = <call>`` where the callee's last name component
+  is in ``acquires`` (``SharedMemory``, ``_create_shm``,
+  ``_attach_shm``, ``mmap``, ``KernelArena``, …).  Creating specs
+  distinguish owners (must also unlink) from attachers (close only).
+* **release** — ``var.close()`` / ``var.unlink()`` method calls in
+  ``releases``, or passing ``var`` to a function in ``release_funcs``
+  (``_destroy_shm``).
+* **escape** — the function hands ownership away: ``return var``,
+  ``yield var``, storing ``var`` into an attribute/subscript/global, or
+  passing ``var`` bare to any other call (an ExitStack, a container, a
+  callee that will release it).  Escaped resources are exempt — their
+  lifetime is the owner's problem, checked where the owner releases.
+
+Escape hatches: ``# analyze: owns-shm`` on the ``def`` line exempts the
+whole function (deliberate long-lived ownership); the usual
+``ignore[resource-lifetime]`` works per line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..cfg import _may_raise, build_cfg
+from ..registry import ModuleInfo, Rule, register
+from ._util import dotted_name
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One tracked resource kind: how it is acquired and released."""
+
+    kind: str
+    #: callee last-components that acquire (``var = X(...)``).
+    acquires: frozenset
+    #: method names on the variable that release it.
+    releases: frozenset
+    #: free functions that release the variable passed to them.
+    release_funcs: frozenset = frozenset()
+    #: acquire callee names that confer *ownership* (must fully destroy,
+    #: e.g. unlink and not just close); empty = every acquire owns.
+    owner_acquires: frozenset = frozenset()
+    #: method names that satisfy the owner-side obligation.
+    owner_releases: frozenset = frozenset()
+    what: str = ""   #: human label for messages
+
+
+#: The built-in specs.  ``ChunkCache`` pinned buffers and other future
+#: manual-lifetime APIs slot in here — the rule is data-driven.
+RESOURCE_SPECS = (
+    ResourceSpec(
+        kind="shm",
+        acquires=frozenset({"SharedMemory", "_create_shm", "_attach_shm"}),
+        releases=frozenset({"close", "unlink"}),
+        release_funcs=frozenset({"_destroy_shm"}),
+        owner_acquires=frozenset({"_create_shm"}),
+        owner_releases=frozenset({"unlink"}),
+        what="shared-memory segment",
+    ),
+    ResourceSpec(
+        kind="mmap",
+        acquires=frozenset({"mmap"}),
+        releases=frozenset({"close"}),
+        what="memory mapping",
+    ),
+    ResourceSpec(
+        kind="pinned",
+        acquires=frozenset({"pin"}),
+        releases=frozenset({"unpin", "release"}),
+        what="pinned cache buffer",
+    ),
+)
+
+
+def _spec_for_call(call: ast.Call):
+    name = dotted_name(call.func)
+    last = name.rpartition(".")[2]
+    for spec in RESOURCE_SPECS:
+        if last in spec.acquires:
+            return spec, last
+    return None, None
+
+
+def _is_create_call(call: ast.Call, callee_last: str, spec) -> bool:
+    """Owner-side acquire: named so, or ``SharedMemory(create=True)``."""
+    if callee_last in spec.owner_acquires:
+        return True
+    if callee_last == "SharedMemory":
+        for kw in call.keywords:
+            if kw.arg == "create" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+    return False
+
+
+@dataclass
+class _Tracked:
+    var: str
+    spec: ResourceSpec
+    node: ast.stmt          #: the acquiring statement
+    call: ast.Call
+    owns: bool
+    escaped: bool = False
+    release_nodes: set = field(default_factory=set)       #: CFG indices
+    owner_release_nodes: set = field(default_factory=set)
+
+
+def _acquisitions(fn) -> list:
+    """Tracked ``var = acquire(...)`` statements in *fn*'s own scope."""
+    out = []
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt is not fn:
+            continue
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        spec, last = _spec_for_call(value)
+        if spec is None:
+            continue
+        out.append(
+            _Tracked(
+                var=target.id, spec=spec, node=stmt, call=value,
+                owns=_is_create_call(value, last, spec),
+            )
+        )
+    return out
+
+
+def _own_parts(stmt):
+    """AST regions belonging to *stmt* itself, not its nested bodies.
+
+    A compound statement's CFG node stands for its head (the ``if``
+    test, the ``with`` items…); the body statements have nodes of their
+    own, so scanning the whole subtree here would double-count them.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try) or isinstance(stmt, ast.excepthandler):
+        return []
+    if hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar):
+        return []
+    return [stmt]
+
+
+def _walk_own(stmt):
+    for part in _own_parts(stmt):
+        yield from ast.walk(part)
+
+
+def _stmt_releases(stmt: ast.stmt, tracked: _Tracked):
+    """(releases, owner_releases) booleans for one statement."""
+    releases = owner = False
+    for node in _walk_own(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # var.close() / var.unlink() style
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == tracked.var
+        ):
+            if func.attr in tracked.spec.releases:
+                releases = True
+            if func.attr in tracked.spec.owner_releases:
+                owner = True
+        # _destroy_shm(var) style
+        name = dotted_name(func).rpartition(".")[2]
+        if name in tracked.spec.release_funcs and any(
+            isinstance(a, ast.Name) and a.id == tracked.var
+            for a in node.args
+        ):
+            releases = owner = True
+    return releases, owner
+
+
+#: Callee last-components treated as non-raising when a statement does
+#: nothing else: without this, ``finally: destroy(a); destroy(b)`` reads
+#: as "destroy(a) may raise, skipping destroy(b)" and every
+#: multi-resource cleanup block becomes a finding.  CPython's
+#: close/unlink only raise on API misuse, so the refinement is safe in
+#: practice and it is what makes the paired-cleanup idiom verifiable.
+_CLEANUP_CALLS = frozenset().union(
+    *[s.releases for s in RESOURCE_SPECS],
+    *[s.release_funcs for s in RESOURCE_SPECS],
+)
+
+
+def _cleanup_aware_may_raise(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        last = dotted_name(stmt.value.func).rpartition(".")[2]
+        if last in _CLEANUP_CALLS:
+            return False
+    return _may_raise(stmt)
+
+
+def _stmt_escapes(stmt: ast.stmt, tracked: _Tracked) -> bool:
+    """Does *stmt* hand the resource to someone else?"""
+    var = tracked.var
+
+    def is_var(node):
+        return isinstance(node, ast.Name) and node.id == var
+
+    def bare(expr):
+        # The object itself changing hands — not a mere ``var.buf`` read.
+        if is_var(expr):
+            return True
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(is_var(e) for e in expr.elts)
+        return False
+
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        if bare(stmt.value):
+            return True
+    for node in _walk_own(stmt):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
+            if bare(node.value):
+                return True
+        # storing the var anywhere non-local: self.x = var, d[k] = var
+        if isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Name) and node.value.id == var:
+                for t in node.targets:
+                    if not isinstance(t, ast.Name):
+                        return True
+        # passing the var bare to a call that is not a release helper
+        if isinstance(node, ast.Call):
+            callee_last = dotted_name(node.func).rpartition(".")[2]
+            if callee_last in tracked.spec.release_funcs:
+                continue
+            if any(is_var(a) for a in node.args) or any(
+                is_var(kw.value) for kw in node.keywords
+            ):
+                return True
+    return False
+
+
+@register
+class ResourceLifetimeRule(Rule):
+    id = "resource-lifetime"
+    severity = "error"
+    description = (
+        "an acquired resource (shared memory, mmap, pinned buffer) can "
+        "reach a function exit without being released on every path"
+    )
+
+    def check(self, module: ModuleInfo):
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if module.pragmas.owns_shm(fn.lineno) or any(
+                module.pragmas.owns_shm(d.lineno) for d in fn.decorator_list
+            ):
+                continue
+            yield from self._check_function(module, fn)
+
+    def _check_function(self, module: ModuleInfo, fn):
+        tracked = _acquisitions(fn)
+        if not tracked:
+            return
+        cfg = build_cfg(fn, may_raise=_cleanup_aware_may_raise)
+        stmt_nodes = cfg.stmt_nodes()
+
+        # with-statements that manage the variable (``with x as shm`` is
+        # not the pattern here, but ``with contextlib.closing(...)`` via
+        # escape detection already exempts) — classify each CFG node
+        # against each tracked resource.
+        for t in tracked:
+            acquire_idx = None
+            for n in stmt_nodes:
+                if n.stmt is t.node:
+                    acquire_idx = n.index
+                releases, owner = _stmt_releases(n.stmt, t)
+                if releases:
+                    t.release_nodes.add(n.index)
+                if owner:
+                    t.owner_release_nodes.add(n.index)
+                if n.stmt is not t.node and _stmt_escapes(n.stmt, t):
+                    t.escaped = True
+            if t.escaped or acquire_idx is None:
+                continue
+            sym = fn.name
+            if cfg.can_reach_exit(acquire_idx, avoiding=t.release_nodes):
+                yield self.finding(
+                    module, t.call,
+                    f"{t.spec.what} '{t.var}' may leak: a path from its "
+                    "acquisition (exception edges included) reaches the "
+                    "function exit without close/release — put the release "
+                    "in a finally block covering every statement after the "
+                    "acquire",
+                    symbol=sym,
+                )
+            elif t.owns and t.spec.owner_releases and cfg.can_reach_exit(
+                acquire_idx, avoiding=t.owner_release_nodes
+            ):
+                yield self.finding(
+                    module, t.call,
+                    f"{t.spec.what} '{t.var}' is created (owned) here but "
+                    "some path exits without the owner-side unlink — the "
+                    "segment name persists in /dev/shm; unlink in the same "
+                    "finally that closes it",
+                    symbol=sym,
+                )

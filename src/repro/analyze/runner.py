@@ -1,10 +1,19 @@
-"""Analysis driver: files -> parsed modules -> rules -> report.
+"""Analysis driver: files -> parsed modules -> project -> rules -> report.
+
+The run is multi-pass.  **Pass 1** parses every file into a
+:class:`~repro.analyze.registry.ModuleInfo`.  **Pass 2** builds the
+cross-module :class:`~repro.analyze.callgraph.Project` (function
+summaries + blocking-ness fixpoint) and attaches it to each module.
+**Pass 3** runs the registered rules per module; rules that need
+whole-tree context (the async-safety family) read ``module.project``.
 
 :func:`analyze_source` is the single-module entry point (what the rule
-fixture tests use); :func:`analyze_paths` walks directories; :func:`run`
-adds baseline handling and produces the :class:`Report` the CLI and CI
-consume.  Everything is pure stdlib (``ast`` + ``tokenize``) — the
-analyzer never imports the code it checks.
+fixture tests use) — it builds a one-module project so call-graph rules
+still see intra-module resolution; :func:`analyze_paths` walks
+directories; :func:`run` adds baseline handling and produces the
+:class:`Report` the CLI and CI consume.  Everything is pure stdlib
+(``ast`` + ``tokenize``) — the analyzer never imports the code it
+checks.
 """
 
 from __future__ import annotations
@@ -12,7 +21,8 @@ from __future__ import annotations
 import ast
 import os
 
-from .baseline import apply_baseline, load_baseline
+from .baseline import apply_baseline, check_rule_versions, load_baseline
+from .callgraph import build_project
 from .findings import Finding, Report, sort_findings
 from .pragmas import parse_pragmas
 from .registry import ModuleInfo, all_rules
@@ -22,32 +32,51 @@ def _normalize(relpath: str) -> str:
     return relpath.replace(os.sep, "/")
 
 
-def analyze_source(source: str, relpath: str, *, rules=None) -> list:
-    """Run *rules* (default: every registered rule) over one module."""
+def _parse_module(source: str, relpath: str):
+    """(ModuleInfo, None) on success, (None, parse-error Finding) on failure."""
     relpath = _normalize(relpath)
     try:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule="parse-error",
-                severity="error",
-                path=relpath,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return None, Finding(
+            rule="parse-error",
+            severity="error",
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
     pragmas = parse_pragmas(source)
-    module = ModuleInfo(relpath=relpath, source=source, tree=tree, pragmas=pragmas)
+    return (
+        ModuleInfo(relpath=relpath, source=source, tree=tree, pragmas=pragmas),
+        None,
+    )
+
+
+def _check_module(module: ModuleInfo, rules) -> list:
     findings = []
-    for rule in rules if rules is not None else all_rules():
-        if not rule.applies_to(relpath):
+    for rule in rules:
+        if not rule.applies_to(module.relpath):
             continue
         for finding in rule.check(module):
-            if not pragmas.is_suppressed(finding.rule, finding.line):
+            if not module.pragmas.is_suppressed(finding.rule, finding.line):
                 findings.append(finding)
-    return sort_findings(findings)
+    return findings
+
+
+def analyze_source(source: str, relpath: str, *, rules=None, project=None) -> list:
+    """Run *rules* (default: every registered rule) over one module.
+
+    When *project* is None a single-module project is built, so the
+    call-graph-backed rules resolve same-module calls even in isolated
+    fixture tests.
+    """
+    module, parse_error = _parse_module(source, relpath)
+    if parse_error is not None:
+        return [parse_error]
+    module.project = project if project is not None else build_project([module])
+    active = rules if rules is not None else all_rules()
+    return sort_findings(_check_module(module, active))
 
 
 def iter_python_files(paths):
@@ -71,26 +100,41 @@ def iter_python_files(paths):
 def analyze_paths(paths, *, rules=None, root=None):
     """Analyze every python file under *paths* -> (findings, file_count)."""
     root = root or os.getcwd()
+    active = list(rules) if rules is not None else all_rules()
     findings = []
+    modules = []
     files = 0
     for path in iter_python_files(paths):
         relpath = _normalize(os.path.relpath(path, root))
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
-        findings.extend(analyze_source(source, relpath, rules=rules))
+        module, parse_error = _parse_module(source, relpath)
+        if parse_error is not None:
+            findings.append(parse_error)
+        else:
+            modules.append(module)
         files += 1
+    project = build_project(modules)
+    for module in modules:
+        module.project = project
+        findings.extend(_check_module(module, active))
     return sort_findings(findings), files
 
 
 def run(paths, *, baseline_path=None, rules=None, root=None) -> Report:
-    """Full analysis run with optional baseline subtraction."""
+    """Full analysis run with optional baseline subtraction.
+
+    Raises :class:`~repro.analyze.baseline.BaselineVersionError` when the
+    committed baseline was written against different rule semantics.
+    """
     active = list(rules) if rules is not None else all_rules()
     findings, files = analyze_paths(paths, rules=active, root=root)
     baselined = 0
     stale = []
     if baseline_path is not None:
-        entries = load_baseline(baseline_path)
-        findings, baselined, stale = apply_baseline(findings, entries)
+        baseline = load_baseline(baseline_path)
+        check_rule_versions(baseline, active, path=baseline_path)
+        findings, baselined, stale = apply_baseline(findings, baseline.entries)
     return Report(
         findings=findings,
         baselined=baselined,

@@ -491,7 +491,7 @@ def _cmd_lint(args) -> int:
     """Run the repro.analyze static-analysis ruleset over the tree."""
     import os
 
-    from .analyze import format_text, run, write_baseline
+    from .analyze import BaselineVersionError, format_text, run, write_baseline
     from .analyze.runner import analyze_paths
 
     paths = args.paths or ["src/repro"]
@@ -510,7 +510,11 @@ def _cmd_lint(args) -> int:
         return 0
 
     baseline_path = None if args.no_baseline else args.baseline
-    report = run(paths, baseline_path=baseline_path)
+    try:
+        report = run(paths, baseline_path=baseline_path)
+    except BaselineVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.format == "json":
         text = json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -130,9 +130,14 @@ class NetServer:
     async def start(self) -> "NetServer":
         """Bind the listener, fork the shards, start the dispatchers."""
         loop = asyncio.get_running_loop()
-        # Shard construction forks pools and may block; keep it off the
-        # loop only in spirit — it happens once, before serving.
-        self.shards = ShardSet(**self._shard_args)
+        # Shard construction forks worker pools — hundreds of ms of
+        # blocking syscalls.  At first start nothing else runs on the
+        # loop, but start() is also awaited from supervisors that are
+        # already serving (restarts, scale-up), so route it through the
+        # default executor like drain() does for the teardown side.
+        self.shards = await loop.run_in_executor(
+            None, lambda: ShardSet(**self._shard_args)
+        )
         self._work = asyncio.Semaphore(0)
         self._idle = asyncio.Event()
         self._idle.set()

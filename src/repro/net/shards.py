@@ -22,7 +22,7 @@ from .hashring import HashRing
 class ShardSet:
     """Consistent-hash router over ``n_shards`` compression services."""
 
-    def __init__(
+    def __init__(  # analyze: blocking — forks a worker-pool fleet
         self,
         n_shards: int = 1,
         *,

@@ -432,7 +432,13 @@ def compress_components_procpool(
         total_cap += cap
 
     in_shm = _create_shm(flat.nbytes)
-    arena_shm = _create_shm(total_cap)
+    try:
+        arena_shm = _create_shm(total_cap)
+    except BaseException:
+        # The input segment is already live; losing it here would leak a
+        # /dev/shm name for the rest of the boot.
+        _destroy_shm(in_shm)
+        raise
     try:
         if flat.nbytes:
             np.ndarray(flat.shape, dtype=flat.dtype, buffer=in_shm.buf)[:] = flat
@@ -513,7 +519,13 @@ def decompress_components_procpool(
     dtype = header.traits.dtype
 
     payload_shm = _create_shm(len(comp.payload))
-    out_shm = _create_shm(header.n * header.traits.itemsize)
+    try:
+        out_shm = _create_shm(header.n * header.traits.itemsize)
+    except BaseException:
+        # Same pairing discipline as the compress path: never let the
+        # second allocation failing orphan the first segment.
+        _destroy_shm(payload_shm)
+        raise
     try:
         if comp.payload:
             payload_shm.buf[: len(comp.payload)] = comp.payload

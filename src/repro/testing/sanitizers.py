@@ -1,0 +1,153 @@
+"""Runtime sanitizers: the dynamic counterpart of ``repro.analyze``.
+
+The static rules prove *patterns* (no blocking call reachable from an
+``async def``, every shm create reaches a release); these context
+managers catch the *instances* the rules cannot see — a C extension
+blocking the loop, a leak on a path only taken under kill-injection —
+by watching the actual process while a test runs:
+
+:func:`slow_callback_tripwire`
+    Arms asyncio debug mode on every loop created inside the block
+    (``asyncio.run`` makes a fresh loop, so patching
+    ``asyncio.new_event_loop`` catches it) and records every "Executing
+    <handle> took N seconds" warning the loop emits.  On exit, raises
+    :class:`SanitizerError` listing the slow callbacks — i.e. the event
+    loop was blocked for longer than *threshold* seconds.
+
+:func:`shm_leak_auditor`
+    Snapshots ``/dev/shm`` before the block and re-diffs it after
+    (with a grace window for daemonic reapers): any surviving segment
+    created during the block is a leak and raises
+    :class:`SanitizerError` naming the segments.
+
+Both are usable three ways: as context managers around any code, as the
+``loop_tripwire`` / ``shm_auditor`` pytest fixtures in
+``tests/conftest.py``, or process-wide via the ``REPRO_SANITIZE=1``
+autouse fixture there (what the CI ``sanitizer-smoke`` job sets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import os
+import time
+
+__all__ = [
+    "SanitizerError",
+    "slow_callback_tripwire",
+    "shm_leak_auditor",
+]
+
+#: Where the CPython shared_memory implementation materializes segments
+#: on Linux (``psm_*`` names unless the caller picked one).
+_SHM_DIR = "/dev/shm"
+
+#: Default slow-callback threshold (seconds).  Deliberately generous —
+#: the tripwire is for "forked a pool / ran a kernel on the loop"
+#: mistakes (hundreds of ms), not scheduler jitter.
+DEFAULT_SLOW_CALLBACK = 0.25
+
+
+class SanitizerError(AssertionError):
+    """A runtime sanitizer observed a violation.
+
+    Subclasses ``AssertionError`` so pytest reports it as a plain test
+    failure rather than an error in teardown machinery.
+    """
+
+
+class _AsyncioWarningCollector(logging.Handler):
+    """Collects the asyncio logger's slow-callback warnings."""
+
+    def __init__(self):
+        super().__init__(level=logging.WARNING)
+        self.records: list = []
+
+    def emit(self, record):
+        if "Executing" in record.getMessage():
+            self.records.append(record.getMessage())
+
+
+@contextlib.contextmanager
+def slow_callback_tripwire(threshold: float = DEFAULT_SLOW_CALLBACK):
+    """Fail the block if any event-loop callback ran longer than *threshold*.
+
+    Every loop created inside the block (including the one
+    ``asyncio.run`` builds) runs in debug mode with
+    ``slow_callback_duration = threshold``; asyncio then logs a warning
+    per offending callback, which we collect and re-raise as a
+    :class:`SanitizerError` on exit.
+    """
+    collector = _AsyncioWarningCollector()
+    logger = logging.getLogger("asyncio")
+    previous_level = logger.level
+    logger.addHandler(collector)
+    if previous_level > logging.WARNING or previous_level == logging.NOTSET:
+        logger.setLevel(logging.WARNING)
+
+    original_new_event_loop = asyncio.new_event_loop
+
+    def sanitized_new_event_loop():
+        loop = original_new_event_loop()
+        loop.set_debug(True)
+        loop.slow_callback_duration = threshold
+        return loop
+
+    # asyncio.run / get_event_loop on every supported CPython funnel
+    # through the events module's new_event_loop; patch both the public
+    # alias and the module attribute so either lookup path is covered.
+    asyncio.new_event_loop = sanitized_new_event_loop
+    asyncio.events.new_event_loop = sanitized_new_event_loop
+    try:
+        yield collector
+    finally:
+        asyncio.new_event_loop = original_new_event_loop
+        asyncio.events.new_event_loop = original_new_event_loop
+        logger.removeHandler(collector)
+        logger.setLevel(previous_level)
+    if collector.records:
+        summary = "\n  ".join(collector.records[:10])
+        raise SanitizerError(
+            f"event loop blocked: {len(collector.records)} callback(s) "
+            f"exceeded {threshold * 1000:.0f} ms —\n  {summary}\n"
+            "route blocking work through run_in_executor/to_thread"
+        )
+
+
+def _shm_segments() -> set:
+    try:
+        return set(os.listdir(_SHM_DIR))
+    except OSError:  # non-Linux / container without /dev/shm
+        return set()
+
+
+@contextlib.contextmanager
+def shm_leak_auditor(grace: float = 2.0, poll: float = 0.05):
+    """Fail the block if it leaves new segments behind in ``/dev/shm``.
+
+    *grace* bounds how long we wait for asynchronous cleanup (pool
+    workers unlinking on shutdown) before declaring survivors leaked.
+    Segments that existed before the block are ignored, so parallel
+    test processes do not trip each other.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        yield set()
+        return
+    before = _shm_segments()
+    leaked: set = set()
+    yield leaked
+    deadline = time.monotonic() + grace
+    survivors = _shm_segments() - before
+    while survivors and time.monotonic() < deadline:
+        time.sleep(poll)
+        survivors = _shm_segments() - before
+    if survivors:
+        leaked |= survivors
+        names = ", ".join(sorted(survivors)[:10])
+        raise SanitizerError(
+            f"{len(survivors)} shared-memory segment(s) leaked into "
+            f"{_SHM_DIR}: {names} — every create/attach must reach "
+            "close() (and unlink() by the owner) on all paths"
+        )

@@ -9,8 +9,11 @@ from pathlib import Path
 import pytest
 
 from repro.analyze import (
+    BaselineVersionError,
     apply_baseline,
     analyze_source,
+    all_rules,
+    check_rule_versions,
     load_baseline,
     run,
     write_baseline,
@@ -39,16 +42,20 @@ class TestBaselineRoundTrip:
         found = bad_findings()
         assert found
         write_baseline(found, path)
-        entries = load_baseline(path)
-        assert set(entries) == {f.fingerprint() for f in found}
-        for entry in entries.values():
+        baseline = load_baseline(path)
+        assert set(baseline.entries) == {f.fingerprint() for f in found}
+        for entry in baseline.entries.values():
             assert entry["count"] == 1
+        assert baseline.schema == 2
+        assert baseline.rule_versions == {r.id: r.version for r in all_rules()}
 
     def test_apply_absorbs_known_findings(self, tmp_path):
         path = tmp_path / "baseline.json"
         found = bad_findings()
         write_baseline(found, path)
-        fresh, absorbed, stale = apply_baseline(found, load_baseline(path))
+        fresh, absorbed, stale = apply_baseline(
+            found, load_baseline(path).entries
+        )
         assert fresh == []
         assert absorbed == len(found)
         assert stale == []
@@ -57,7 +64,9 @@ class TestBaselineRoundTrip:
         path = tmp_path / "baseline.json"
         found = bad_findings()
         write_baseline(found[:1], path)
-        fresh, absorbed, _ = apply_baseline(found, load_baseline(path))
+        fresh, absorbed, _ = apply_baseline(
+            found, load_baseline(path).entries
+        )
         assert absorbed == 1
         assert len(fresh) == len(found) - 1
 
@@ -65,12 +74,14 @@ class TestBaselineRoundTrip:
         path = tmp_path / "baseline.json"
         found = bad_findings()
         write_baseline(found, path)
-        fresh, absorbed, stale = apply_baseline([], load_baseline(path))
+        fresh, absorbed, stale = apply_baseline([], load_baseline(path).entries)
         assert fresh == [] and absorbed == 0
         assert set(stale) == {f.fingerprint() for f in found}
 
     def test_missing_file_is_empty(self, tmp_path):
-        assert load_baseline(tmp_path / "nope.json") == {}
+        baseline = load_baseline(tmp_path / "nope.json")
+        assert baseline.missing
+        assert baseline.entries == {}
 
     def test_fingerprint_survives_line_moves(self):
         moved = "\n\n# a comment\n" + BAD_MODULE
@@ -80,6 +91,58 @@ class TestBaselineRoundTrip:
             for f in analyze_source(moved, "pkg/bad.py")
         }
         assert a == b
+
+
+class TestBaselineSchema:
+    """Schema-v2 rule-version handshake and the v1 migration path."""
+
+    def test_v1_file_migrates_with_all_rules_at_version_1(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": {}}))
+        baseline = load_baseline(path)
+        assert baseline.schema == 1
+        assert baseline.rule_versions == {}
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(bad_findings(), path)
+        baseline = load_baseline(path)
+        check_rule_versions(baseline, all_rules(), path=path)  # matches
+
+        class Tightened:
+            id = "mutable-default"
+            version = 99
+
+        with pytest.raises(BaselineVersionError) as exc:
+            check_rule_versions(baseline, [Tightened()], path=path)
+        assert "mutable-default" in str(exc.value)
+        assert "--write-baseline" in str(exc.value)
+
+    def test_missing_baseline_skips_the_handshake(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nope.json")
+
+        class Tightened:
+            id = "anything"
+            version = 42
+
+        check_rule_versions(baseline, [Tightened()])  # no file, no vouching
+
+    def test_unknown_schema_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 3, "findings": {}}))
+        with pytest.raises(BaselineVersionError):
+            load_baseline(path)
+
+    def test_run_propagates_the_handshake_error(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_MODULE)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 2,
+            "rule_versions": {"mutable-default": 99},
+            "findings": {},
+        }))
+        with pytest.raises(BaselineVersionError):
+            run([str(tmp_path)], baseline_path=str(baseline), root=str(tmp_path))
 
 
 class TestRunner:
@@ -152,6 +215,18 @@ class TestCLILint:
         res = self._lint("no-such-dir", cwd=tmp_path)
         assert res.returncode == 2
 
+    def test_baseline_version_mismatch_is_a_clear_error(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_MODULE)
+        (tmp_path / ".analyze-baseline.json").write_text(json.dumps({
+            "version": 2,
+            "rule_versions": {"mutable-default": 99},
+            "findings": {},
+        }))
+        res = self._lint("bad.py", cwd=tmp_path)
+        assert res.returncode == 2, res.stdout + res.stderr
+        assert "different rule semantics" in res.stderr
+        assert "--write-baseline" in res.stderr
+
 
 class TestTreeIsClean:
     """Meta-test: the shipped tree has zero non-baselined findings."""
@@ -172,6 +247,9 @@ class TestTreeIsClean:
         data = json.loads(
             (REPO / ".analyze-baseline.json").read_text(encoding="utf-8")
         )
-        assert data["version"] == 1
+        assert data["version"] == 2
+        # Every registered rule is stamped so tightening any of them
+        # invalidates the file loudly.
+        assert set(data["rule_versions"]) == {r.id for r in all_rules()}
         # The baseline is grandfathered debt, not a dumping ground.
         assert len(data["findings"]) <= 5

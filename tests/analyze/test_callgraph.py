@@ -1,0 +1,154 @@
+"""Call-graph summary pass: resolution, blocking fixpoint, scope cuts."""
+
+import textwrap
+
+from repro.analyze.callgraph import build_project
+from repro.analyze.runner import _parse_module
+
+
+def project_from(sources):
+    modules = []
+    for relpath, src in sources.items():
+        module, err = _parse_module(textwrap.dedent(src), relpath)
+        assert err is None, err
+        modules.append(module)
+    return build_project(modules), modules
+
+
+class TestCollection:
+    def test_methods_get_class_qualified_keys(self):
+        project, _ = project_from({"a/m.py": """
+            class C:
+                def m(self):
+                    pass
+
+            def f():
+                pass
+        """})
+        assert "a/m.py::C.m" in project.functions
+        assert "a/m.py::f" in project.functions
+
+    def test_async_defs_are_marked(self):
+        project, _ = project_from({"a/m.py": """
+            async def h():
+                pass
+        """})
+        assert project.is_async("a/m.py::h")
+
+
+class TestBlockingPropagation:
+    def test_direct_time_sleep_is_blocking(self):
+        project, _ = project_from({"a/m.py": """
+            import time
+
+            def f():
+                time.sleep(1)
+        """})
+        assert "time.sleep" in project.blocking_reason("a/m.py::f")
+
+    def test_transitive_chain_has_a_reason_trail(self):
+        project, _ = project_from({"a/m.py": """
+            import time
+
+            def deep():
+                time.sleep(1)
+
+            def mid():
+                deep()
+
+            def top():
+                mid()
+        """})
+        reason = project.blocking_reason("a/m.py::top")
+        assert "mid" in reason
+
+    def test_pragma_declares_blocking_without_a_primitive(self):
+        project, _ = project_from({"a/m.py": """
+            def forks_pools():  # analyze: blocking
+                pass
+        """})
+        assert "declared blocking" in project.blocking_reason(
+            "a/m.py::forks_pools"
+        )
+
+    def test_async_callee_does_not_propagate(self):
+        # awaiting an async function yields the loop; the caller is clean
+        project, _ = project_from({"a/m.py": """
+            import time
+
+            async def h():
+                time.sleep(1)   # h itself is guilty...
+
+            async def caller():
+                await h()       # ...but callers through await are not
+        """})
+        assert project.blocking_reason("a/m.py::caller") is None
+
+    def test_nested_def_body_does_not_taint_the_outer_function(self):
+        project, _ = project_from({"a/m.py": """
+            import time
+
+            def outer():
+                def worker():
+                    time.sleep(1)
+                return worker
+        """})
+        assert project.blocking_reason("a/m.py::outer") is None
+        assert project.blocking_reason("a/m.py::worker") is not None
+
+
+class TestCrossModuleResolution:
+    def test_from_import_resolves_across_modules(self):
+        project, _ = project_from({
+            "pkg/util.py": """
+                import time
+
+                def slow():
+                    time.sleep(1)
+            """,
+            "pkg/app.py": """
+                from pkg.util import slow
+
+                def entry():
+                    slow()
+            """,
+        })
+        assert project.blocking_reason("pkg/app.py::entry") is not None
+
+    def test_class_instantiation_resolves_to_init(self):
+        project, _ = project_from({
+            "pkg/svc.py": """
+                class Service:
+                    def __init__(self):  # analyze: blocking
+                        pass
+            """,
+            "pkg/app.py": """
+                from pkg.svc import Service
+
+                def boot():
+                    s = Service()
+            """,
+        })
+        assert project.blocking_reason("pkg/app.py::boot") is not None
+
+    def test_self_method_resolves_within_the_class(self):
+        project, _ = project_from({"a/m.py": """
+            import time
+
+            class C:
+                def slow(self):
+                    time.sleep(1)
+
+                def entry(self):
+                    self.slow()
+        """})
+        assert project.blocking_reason("a/m.py::C.entry") is not None
+
+    def test_unknown_names_stay_unresolved(self):
+        project, modules = project_from({"a/m.py": """
+            def f(x):
+                x.mystery()
+        """})
+        assert project.blocking_reason("a/m.py::f") is None
+        info = project.functions["a/m.py::f"]
+        assert info.calls == []  # nothing resolvable, nothing guessed

@@ -1,0 +1,231 @@
+"""CFG construction: shapes, exception edges, and reachability queries."""
+
+import ast
+import textwrap
+
+from repro.analyze.cfg import build_cfg
+
+
+def cfg_for(src, name=None):
+    tree = ast.parse(textwrap.dedent(src))
+    fn = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and (name is None or n.name == name)
+    )
+    return build_cfg(fn)
+
+
+def nodes_matching(cfg, needle):
+    """Leaf-statement node indices whose AST dump mentions *needle*.
+
+    Restricted to simple statements: a compound node (``ast.If``,
+    handler, …) dumps its whole body and would shadow the leaf match.
+    """
+    out = set()
+    for n in cfg.stmt_nodes():
+        if not isinstance(n.stmt, (ast.Assign, ast.Expr, ast.Return)):
+            continue
+        if needle in ast.dump(n.stmt):
+            out.add(n.index)
+    return out
+
+
+class TestStraightLine:
+    def test_linear_body_chains_to_exit(self):
+        cfg = cfg_for("""
+            def f():
+                a = 1
+                b = 2
+                return a + b
+        """)
+        assert cfg.can_reach_exit(cfg.entry)
+        # the return reaches exit, and nothing may-raise in `a = 1`
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        assert cfg.nodes[a_node].esuccs == set()
+
+    def test_call_statements_get_exception_edges(self):
+        cfg = cfg_for("""
+            def f():
+                x = g()
+                return x
+        """)
+        call_node = next(iter(nodes_matching(cfg, "'g'")))
+        assert cfg.raise_exit in cfg.nodes[call_node].esuccs
+
+    def test_avoiding_a_mandatory_node_blocks_exit(self):
+        cfg = cfg_for("""
+            def f():
+                a = 1
+                b = 2
+        """)
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        b_node = next(iter(nodes_matching(cfg, "'b'")))
+        assert not cfg.can_reach_exit(a_node, avoiding={b_node})
+
+
+class TestBranchesAndLoops:
+    def test_if_has_two_way_flow(self):
+        cfg = cfg_for("""
+            def f(c):
+                if c:
+                    a = 1
+                else:
+                    b = 2
+                tail = 3
+        """)
+        tail = next(iter(nodes_matching(cfg, "'tail'")))
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        b_node = next(iter(nodes_matching(cfg, "'b'")))
+        # either branch alone still reaches the tail
+        assert tail in cfg.reachable(a_node)
+        assert tail in cfg.reachable(b_node)
+        # but avoiding the tail blocks exit from both
+        assert not cfg.can_reach_exit(a_node, avoiding={tail})
+        assert not cfg.can_reach_exit(b_node, avoiding={tail})
+
+    def test_skippable_if_body_is_avoidable(self):
+        cfg = cfg_for("""
+            def f(c):
+                a = 1
+                if c:
+                    release = 2
+        """)
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        release = next(iter(nodes_matching(cfg, "'release'")))
+        # the false branch skips the body, so exit is reachable
+        assert cfg.can_reach_exit(a_node, avoiding={release})
+
+    def test_while_loop_has_back_edge_and_exit(self):
+        cfg = cfg_for("""
+            def f(c):
+                while c:
+                    body = 1
+                tail = 2
+        """)
+        body = next(iter(nodes_matching(cfg, "'body'")))
+        tail = next(iter(nodes_matching(cfg, "'tail'")))
+        assert body in cfg.reachable(cfg.entry)
+        assert tail in cfg.reachable(body)  # via the back edge + loop exit
+
+
+class TestTryFinally:
+    def test_finally_is_on_both_routes(self):
+        cfg = cfg_for("""
+            def f():
+                try:
+                    risky()
+                finally:
+                    cleanup = 1
+        """)
+        cleanup = next(iter(nodes_matching(cfg, "'cleanup'")))
+        risky = next(iter(nodes_matching(cfg, "risky")))
+        # exception or not, control cannot reach an exit around cleanup
+        assert not cfg.can_reach_exit(risky, avoiding={cleanup})
+        # and the finally forwards the pending exception outwards
+        assert cfg.raise_exit in cfg.reachable(cleanup)
+
+    def test_statement_between_acquire_and_try_leaks(self):
+        cfg = cfg_for("""
+            def f():
+                a = acquire()
+                gap = other()
+                try:
+                    use()
+                finally:
+                    release = 1
+        """)
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        release = next(iter(nodes_matching(cfg, "'release'")))
+        # the gap statement may raise before the try protects anything
+        assert cfg.can_reach_exit(a_node, avoiding={release})
+
+    def test_return_threads_through_finally(self):
+        cfg = cfg_for("""
+            def f():
+                try:
+                    return early()
+                finally:
+                    cleanup = 1
+        """)
+        ret = next(
+            n.index for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Return)
+        )
+        cleanup = next(iter(nodes_matching(cfg, "'cleanup'")))
+        assert not cfg.can_reach_exit(ret, avoiding={cleanup})
+
+
+class TestHandlers:
+    def test_narrow_handler_keeps_a_decline_path(self):
+        cfg = cfg_for("""
+            def f():
+                a = acquire()
+                try:
+                    use()
+                except ValueError:
+                    release = 1
+                    raise
+        """)
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        release = next(iter(nodes_matching(cfg, "'release'")))
+        # a TypeError would sail past the handler: exit stays reachable
+        assert cfg.can_reach_exit(a_node, avoiding={release})
+
+    def test_baseexception_handler_is_total(self):
+        cfg = cfg_for("""
+            def f():
+                a = acquire()
+                try:
+                    b = acquire()
+                except BaseException:
+                    release = 1
+                    raise
+                tail = 2
+        """)
+        b_node = next(iter(nodes_matching(cfg, "'b'")))
+        release = next(iter(nodes_matching(cfg, "'release'")))
+        tail = next(iter(nodes_matching(cfg, "'tail'")))
+        # the only exit routes are the tail (normal) or through release
+        assert not cfg.can_reach_exit(b_node, avoiding={release, tail})
+
+    def test_bare_except_is_total(self):
+        cfg = cfg_for("""
+            def f():
+                try:
+                    use()
+                except:
+                    handled = 1
+                tail = 2
+        """)
+        use = next(iter(nodes_matching(cfg, "use")))
+        handled = next(iter(nodes_matching(cfg, "'handled'")))
+        tail = next(iter(nodes_matching(cfg, "'tail'")))
+        assert not cfg.can_reach_exit(use, avoiding={handled, tail})
+
+
+class TestMayRaiseOverride:
+    def test_custom_predicate_suppresses_exception_edges(self):
+        src = """
+            def f():
+                cleanup()
+        """
+        tree = ast.parse(textwrap.dedent(src))
+        fn = tree.body[0]
+        default = build_cfg(fn)
+        node = default.stmt_nodes()[0]
+        assert node.esuccs  # conservative default: the call may raise
+        refined = build_cfg(fn, may_raise=lambda stmt: False)
+        assert refined.stmt_nodes()[0].esuccs == set()
+
+    def test_acquire_statements_own_raise_does_not_count(self):
+        cfg = cfg_for("""
+            def f():
+                a = acquire()
+        """)
+        a_node = next(iter(nodes_matching(cfg, "'a'")))
+        # from the acquire itself, only the normal edge seeds the walk —
+        # but the fall-off exit is still reachable, of course
+        assert cfg.can_reach_exit(a_node)
+        # the node's exceptional successor is raise_exit, yet a walk
+        # avoiding nothing but starting "after completion" never needs it
+        assert cfg.raise_exit in cfg.nodes[a_node].esuccs

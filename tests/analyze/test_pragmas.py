@@ -1,4 +1,4 @@
-"""Pragma parsing: ignore / hot-path / holds-lock comments."""
+"""Pragma parsing: ignore / hot-path / holds-lock / blocking / owns-shm."""
 
 import textwrap
 
@@ -63,3 +63,33 @@ class TestModuleAndDefPragmas:
         p = parse_pragmas("def broken(:\n")
         assert not p.hot_path
         assert p.ignores == {}
+
+
+class TestAsyncAndLifetimePragmas:
+    def test_blocking_declaration_on_def_line(self):
+        p = parse(
+            """\
+            class ShardSet:
+                def __init__(self):  # analyze: blocking — forks pools
+                    pass
+            """
+        )
+        assert p.declares_blocking(2)
+        assert not p.declares_blocking(3)
+
+    def test_blocking_ok_suppresses_the_async_rule_only(self):
+        p = parse("time.sleep(1)  # analyze: blocking-ok startup only\n")
+        assert p.is_suppressed("async-blocking-call", 1)
+        assert not p.is_suppressed("resource-lifetime", 1)
+        # blocking-ok is an allowance, not a blocking declaration
+        assert not p.declares_blocking(1)
+
+    def test_owns_shm_on_def_line(self):
+        p = parse(
+            """\
+            def keeper(n):  # analyze: owns-shm long-lived by design
+                pass
+            """
+        )
+        assert p.owns_shm(1)
+        assert not p.owns_shm(2)

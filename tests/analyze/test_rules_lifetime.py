@@ -1,0 +1,184 @@
+"""Resource-lifetime rule: path-sensitive leak detection over the CFG."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analyze import analyze_source
+
+REPO = Path(__file__).resolve().parents[2]
+PROCPOOL = REPO / "src" / "repro" / "parallel" / "procpool.py"
+
+
+def findings_for(src, relpath="pkg/mod.py"):
+    found = analyze_source(textwrap.dedent(src), relpath)
+    return [f for f in found if f.rule == "resource-lifetime"]
+
+
+class TestLeakDetection:
+    def test_no_cleanup_at_all(self):
+        found = findings_for("""
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(name):
+                shm = SharedMemory(name=name)
+                return bytes(shm.buf)
+        """)
+        assert len(found) == 1
+        assert "'shm'" in found[0].message
+
+    def test_second_allocation_raising_leaks_the_first(self):
+        # The exact procpool bug this rule was built for.
+        found = findings_for("""
+            def f(n):
+                a = _create_shm(n)
+                b = _create_shm(n)
+                try:
+                    work(a.name, b.name)
+                finally:
+                    _destroy_shm(a)
+                    _destroy_shm(b)
+        """)
+        assert len(found) == 1
+        assert "'a'" in found[0].message
+
+    def test_paired_guard_pattern_is_clean(self):
+        found = findings_for("""
+            def f(n):
+                a = _create_shm(n)
+                try:
+                    b = _create_shm(n)
+                except BaseException:
+                    _destroy_shm(a)
+                    raise
+                try:
+                    work(a.name, b.name)
+                finally:
+                    _destroy_shm(a)
+                    _destroy_shm(b)
+        """)
+        assert found == []
+
+    def test_close_without_unlink_by_owner(self):
+        found = findings_for("""
+            def f(n):
+                s = _create_shm(n)
+                try:
+                    use(s.buf)
+                finally:
+                    s.close()
+        """)
+        assert len(found) == 1
+        assert "unlink" in found[0].message
+
+    def test_attacher_only_needs_close(self):
+        found = findings_for("""
+            def f(name):
+                s = _attach_shm(name)
+                try:
+                    use(s.buf)
+                finally:
+                    s.close()
+        """)
+        assert found == []
+
+    def test_release_only_on_one_branch_leaks(self):
+        found = findings_for("""
+            def f(name, cond):
+                s = _attach_shm(name)
+                if cond:
+                    s.close()
+        """)
+        assert len(found) == 1
+
+
+class TestEscapeAnalysis:
+    def test_returned_resource_is_exempt(self):
+        found = findings_for("""
+            def make(n):
+                s = _create_shm(n)
+                return s
+        """)
+        assert found == []
+
+    def test_stored_resource_is_exempt(self):
+        found = findings_for("""
+            class Pool:
+                def grab(self, n):
+                    s = _create_shm(n)
+                    self.seg = s
+        """)
+        assert found == []
+
+    def test_passed_resource_is_exempt(self):
+        found = findings_for("""
+            def grab(n, stack):
+                s = _create_shm(n)
+                stack.push(s)
+        """)
+        assert found == []
+
+
+class TestEscapeHatches:
+    def test_owns_shm_pragma_exempts_the_function(self):
+        found = findings_for("""
+            def keeper(n):  # analyze: owns-shm
+                s = _create_shm(n)
+                use(s.buf)
+        """)
+        assert found == []
+
+    def test_ignore_pragma_suppresses_the_line(self):
+        found = findings_for("""
+            def f(name):
+                s = _attach_shm(name)  # analyze: ignore[resource-lifetime]
+                use(s.buf)
+        """)
+        assert found == []
+
+
+class TestSeededMutations:
+    """Mutating the real procpool cleanup must re-surface the finding."""
+
+    def _mutated_findings(self, old, new):
+        source = PROCPOOL.read_text(encoding="utf-8")
+        assert old in source, "mutation anchor not found in procpool.py"
+        return [
+            f
+            for f in analyze_source(
+                source.replace(old, new), "src/repro/parallel/procpool.py"
+            )
+            if f.rule == "resource-lifetime"
+        ]
+
+    def test_shipped_procpool_is_clean(self):
+        found = self._mutated_findings("import", "import")
+        assert found == []
+
+    def test_removing_compress_cleanup_is_caught(self):
+        found = self._mutated_findings(
+            "    finally:\n"
+            "        _destroy_shm(in_shm)\n"
+            "        _destroy_shm(arena_shm)",
+            "    finally:\n"
+            "        _destroy_shm(arena_shm)",
+        )
+        assert len(found) == 1
+        assert "'in_shm'" in found[0].message
+        assert found[0].symbol == "compress_components_procpool"
+
+    def test_removing_the_pairing_guard_is_caught(self):
+        found = self._mutated_findings(
+            "    payload_shm = _create_shm(len(comp.payload))\n"
+            "    try:\n"
+            "        out_shm = _create_shm(header.n * header.traits.itemsize)\n"
+            "    except BaseException:\n"
+            "        # Same pairing discipline as the compress path: never let the\n"
+            "        # second allocation failing orphan the first segment.\n"
+            "        _destroy_shm(payload_shm)\n"
+            "        raise\n",
+            "    payload_shm = _create_shm(len(comp.payload))\n"
+            "    out_shm = _create_shm(header.n * header.traits.itemsize)\n",
+        )
+        assert len(found) == 1
+        assert "'payload_shm'" in found[0].message
+        assert found[0].symbol == "decompress_components_procpool"

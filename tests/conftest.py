@@ -1,0 +1,37 @@
+"""Shared fixtures: opt-in runtime sanitizers.
+
+``REPRO_SANITIZE=1`` (what the CI ``sanitizer-smoke`` job sets) arms
+both runtime sanitizers around every test in the run: the asyncio
+slow-callback tripwire and the ``/dev/shm`` leak auditor.  Off by
+default — the auditor's grace window would slow the full suite, and
+tier-1 runs should measure the code, not the sanitizers.
+"""
+
+import os
+
+import pytest
+
+from repro.testing.sanitizers import shm_leak_auditor, slow_callback_tripwire
+
+_SANITIZE = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+@pytest.fixture(autouse=_SANITIZE)
+def _repro_sanitizers():
+    with shm_leak_auditor():
+        with slow_callback_tripwire():
+            yield
+
+
+@pytest.fixture
+def loop_tripwire():
+    """Fail the test if its event loop ran a callback past the threshold."""
+    with slow_callback_tripwire() as collector:
+        yield collector
+
+
+@pytest.fixture
+def shm_auditor():
+    """Fail the test if it leaves new segments behind in /dev/shm."""
+    with shm_leak_auditor() as leaked:
+        yield leaked

@@ -1,0 +1,89 @@
+"""Runtime sanitizers: tripwire and shm auditor fire on real violations."""
+
+import asyncio
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.testing.sanitizers import (
+    SanitizerError,
+    shm_leak_auditor,
+    slow_callback_tripwire,
+)
+
+
+class TestSlowCallbackTripwire:
+    def test_blocking_callback_trips(self):
+        async def blocks():
+            time.sleep(0.15)
+
+        with pytest.raises(SanitizerError) as exc:
+            with slow_callback_tripwire(threshold=0.05):
+                asyncio.run(blocks())
+        assert "run_in_executor" in str(exc.value)
+
+    def test_clean_async_code_passes(self):
+        async def yields():
+            await asyncio.sleep(0.01)
+
+        with slow_callback_tripwire(threshold=0.05):
+            asyncio.run(yields())
+
+    def test_executor_routed_work_passes(self):
+        async def routed():
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, time.sleep, 0.15)
+
+        with slow_callback_tripwire(threshold=0.05):
+            asyncio.run(routed())
+
+    def test_patch_is_reverted_on_exit(self):
+        original = asyncio.new_event_loop
+        with slow_callback_tripwire():
+            assert asyncio.new_event_loop is not original
+        assert asyncio.new_event_loop is original
+
+
+class TestShmLeakAuditor:
+    def test_leaked_segment_is_reported(self):
+        leaked_name = None
+        with pytest.raises(SanitizerError) as exc:
+            with shm_leak_auditor(grace=0.2):
+                seg = shared_memory.SharedMemory(create=True, size=64)
+                leaked_name = seg.name
+                seg.close()  # closed but never unlinked: the name survives
+        assert leaked_name.split("/")[-1] in str(exc.value)
+        shared_memory.SharedMemory(name=leaked_name).unlink()
+
+    def test_clean_create_close_unlink_passes(self):
+        with shm_leak_auditor(grace=0.2):
+            seg = shared_memory.SharedMemory(create=True, size=64)
+            seg.close()
+            seg.unlink()
+
+    def test_preexisting_segments_are_ignored(self):
+        outer = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with shm_leak_auditor(grace=0.2):
+                pass  # the outer segment predates the block: not a leak
+        finally:
+            outer.close()
+            outer.unlink()
+
+
+class TestProcpoolUnderAuditor:
+    """The procpool round-trip holds the no-leak property end to end."""
+
+    def test_compress_roundtrip_leaves_no_segments(self):
+        np = pytest.importorskip("numpy")
+        from repro.parallel.procpool import (
+            compress_components_procpool,
+            decompress_components_procpool,
+        )
+
+        data = np.linspace(0.0, 1.0, 4096, dtype=np.float32)
+        with shm_leak_auditor(grace=3.0):
+            comp = compress_components_procpool(data, 1e-3, n_procs=2)
+            out = decompress_components_procpool(comp, n_procs=2)
+        assert np.max(np.abs(out - data)) <= 1e-3 + 1e-7
