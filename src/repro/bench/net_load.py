@@ -149,9 +149,10 @@ async def _run_net_load_async(
             stats = await cli.stats()
     except (OSError, RemoteError):
         pass  # analyze: ignore[hygiene] - stats are best-effort decoration
+    slo = own_server.slo.report() if own_server is not None else None
     if own_server is not None:
         await own_server.drain()
-    return cold, dup, stats
+    return cold, dup, stats, slo
 
 
 def run_net_load(
@@ -168,11 +169,17 @@ def run_net_load(
     seed: int = 0,
     tenant: str | None = None,
     connect: tuple[str, int] | None = None,
+    trace_chrome: str | None = None,
 ) -> dict:
     """Run the cold + duplicate phases; return the JSON-ready report.
 
     With ``connect=(host, port)`` an already-running server is driven;
     otherwise an in-process server is started and drained afterwards.
+    With ``trace_chrome=PATH`` the whole run executes under tracing and
+    the stitched spans are exported as a Chrome trace-event file; the
+    report then carries a ``trace`` summary (span / trace / orphan
+    counts — for an in-process server every request should stitch into
+    one trace with zero orphans).
     """
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
@@ -201,7 +208,16 @@ def run_net_load(
         )
 
     t0 = time.monotonic()
-    cold, dup, stats = asyncio.run(runner())
+    trace_doc = None
+    if trace_chrome:
+        from ..observe.telemetry import write_chrome_trace
+
+        with observe.trace() as sink:
+            cold, dup, stats, slo = asyncio.run(runner())
+        trace_doc = write_chrome_trace(trace_chrome, sink.spans)
+        trace_doc["path"] = trace_chrome
+    else:
+        cold, dup, stats, slo = asyncio.run(runner())
     report = {
         "config": {
             "chunks": chunks,
@@ -227,6 +243,10 @@ def run_net_load(
     }
     if stats is not None:
         report["server_stats"] = stats
+    if slo is not None:
+        report["slo"] = slo
+    if trace_doc is not None:
+        report["trace"] = trace_doc
     return report
 
 
@@ -300,4 +320,10 @@ def format_net_report(report: dict) -> str:
         f"  cache speedup: {report['cache_speedup']:.2f}x  "
         f"protocol errors: {report['protocol_errors']}"
     )
+    trace = report.get("trace")
+    if trace is not None:
+        lines.append(
+            f"  trace: {trace['spans']} span(s) in {trace['traces']} "
+            f"trace(s), {trace['orphans']} orphan(s) -> {trace['path']}"
+        )
     return "\n".join(lines)

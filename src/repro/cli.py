@@ -19,6 +19,8 @@ Mirrors the reference SZx artifact's usage on raw binary arrays::
     szx serve      --listen 0.0.0.0:8641 --shards 4 --workers 2
     szx client     compress data.f32 -o data.szx --connect host:8641 -e 1e-3
     szx net-bench  --clients 4 --chunks 64 --report net.json
+    szx top       --connect host:8641 --interval 2
+    szx trace     REQUEST_ID --connect host:8641
     szx assess    data.f32 recon.f32 --dtype f32 -e 1e-3
     szx bundle    a.szx b.szx -o fields.szxa --names a,b
     szx extract   fields.szxa a -o a.f32
@@ -710,6 +712,7 @@ def _cmd_net_bench(args) -> int:
         seed=args.seed,
         tenant=args.tenant,
         connect=_parse_hostport(args.connect) if args.connect else None,
+        trace_chrome=args.trace_chrome,
     )
     print(format_net_report(report))
     if args.report:
@@ -726,6 +729,170 @@ def _cmd_net_bench(args) -> int:
         )
         print(f"perf run {args.perf_label!r} -> {paths['run']}")
     return 0 if report["protocol_errors"] == 0 else 1
+
+
+# -- live observability commands ----------------------------------------
+
+def _http_get(connect: str, path: str, *, timeout: float = 5.0) -> str:
+    """GET a path from a running server's HTTP adapter; returns the body."""
+    import urllib.request
+
+    host, port = _parse_hostport(connect)
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=timeout
+    ) as resp:
+        return resp.read().decode("utf-8")
+
+
+def _prom_values(text: str) -> dict:
+    """Prometheus text exposition -> ``{sample_name: value}``."""
+    values: dict = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, raw = line.rpartition(" ")
+        try:
+            values[name] = float(raw)
+        except ValueError:
+            continue
+    return values
+
+
+def _render_top(connect: str, health: dict, stats: dict, prom: dict) -> str:
+    """One screenful of server health: SLO burn, queues, cache, counters."""
+    lines = [
+        f"szx top — {connect}  status {health.get('status', '?')}  "
+        f"uptime {health.get('uptime_s', 0.0):.0f}s  "
+        f"{health.get('shards', '?')} shard(s), "
+        f"{health.get('backend', '?')} backend"
+    ]
+    cache = stats.get("cache", {})
+    lines.append(
+        f"queue {stats.get('queue_depth', 0)}  "
+        f"inflight {stats.get('inflight', 0)}  "
+        f"cache {cache.get('hits', 0)} hit / {cache.get('misses', 0)} miss "
+        f"({cache.get('bytes', 0) / 1e6:.1f} MB, "
+        f"{cache.get('evictions', 0)} evicted)"
+    )
+    slo = health.get("slo") or {}
+    verdict = "HEALTHY" if slo.get("healthy", True) else "BURNING"
+    lines.append(f"slo: {slo.get('events', 0)} event(s)  {verdict}")
+    for name, doc in sorted(slo.get("targets", {}).items()):
+        bound = (
+            f" <{doc['latency_ms']:g}ms" if doc.get("latency_ms") else ""
+        )
+        burns = "  ".join(
+            f"{w}s {win['burn_rate']:.2f}"
+            for w, win in sorted(
+                doc.get("windows", {}).items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(
+            f"  {name:<14} obj {doc['objective'] * 100:g}%{bound}  "
+            f"burn {burns}"
+        )
+    alerts = slo.get("alerts", [])
+    if alerts:
+        for a in alerts:
+            lines.append(
+                f"  ALERT [{a['severity']}] {a['target']}: "
+                f"burn {a['burn_rate_short']:.1f} (short) / "
+                f"{a['burn_rate_long']:.1f} (long) >= {a['threshold']:g}"
+            )
+    else:
+        lines.append("  alerts: none")
+    interesting = {
+        k: v for k, v in prom.items()
+        if k.startswith(("net_", "serve_")) and "{" not in k
+    }
+    if interesting:
+        lines.append("counters:")
+        for key in sorted(interesting)[:12]:
+            lines.append(f"  {key:<40} {interesting[key]:g}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """Live terminal view of a running server's health/SLO surface."""
+    import urllib.error
+
+    while True:
+        try:
+            health = json.loads(_http_get(args.connect, "/healthz"))
+            stats = json.loads(_http_get(args.connect, "/stats"))
+            try:
+                prom = _prom_values(_http_get(args.connect, "/metrics"))
+            except (urllib.error.URLError, OSError):
+                prom = {}
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: {args.connect}: {exc}", file=sys.stderr)
+            return EXIT_CORRUPT
+        if not args.once:
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_top(args.connect, health, stats, prom), flush=True)
+        if args.once:
+            return 0
+        try:
+            import time as _time
+
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_trace(args) -> int:
+    """Fetch per-request stage timelines from /debug/requests."""
+    import urllib.error
+
+    if not args.list and not args.request_id:
+        raise SystemExit("szx trace needs a REQUEST_ID (or --list)")
+    query = "?limit=" + str(args.limit)
+    if args.request_id:
+        query += f"&id={args.request_id}"
+    if args.errors:
+        query += "&errors=1"
+    if args.slow:
+        query += "&slow=1"
+    try:
+        doc = json.loads(_http_get(args.connect, "/debug/requests" + query))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: {args.connect}: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    entries = doc.get("requests", [])
+    if not entries:
+        target = args.request_id or "recent requests"
+        print(
+            f"no timeline for {target} (ring holds the last "
+            f"{doc.get('capacity', '?')} slow/errored/sampled requests)"
+        )
+        return 1
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    for entry in entries:
+        if args.list:
+            flag = entry.get("status", "?")
+            lines = [
+                f"{entry['request_id']}  {entry.get('verb', '?'):<10} "
+                f"{flag:<12} {entry.get('total_ms', 0.0):>9.2f} ms"
+            ]
+        else:
+            lines = [
+                f"request {entry['request_id']}  verb {entry.get('verb')}  "
+                f"status {entry.get('status')}  "
+                f"total {entry.get('total_ms', 0.0):.2f} ms"
+            ]
+            if entry.get("trace_id"):
+                lines.append(f"  trace_id {entry['trace_id']}")
+            if entry.get("error"):
+                lines.append(f"  error {entry['error']}")
+            stages = entry.get("stages_ms", {})
+            total = sum(stages.values()) or 1.0
+            for stage, ms in stages.items():
+                bar = "#" * max(1, int(30 * ms / total)) if ms > 0 else ""
+                lines.append(f"  {stage:<14} {ms:>9.3f} ms  {bar}")
+        print("\n".join(lines))
+    return 0
 
 
 def _cmd_assess(args) -> int:
@@ -1108,6 +1275,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", help="write the full JSON report here"
     )
     pnb.add_argument(
+        "--trace-chrome", metavar="PATH",
+        help="run under tracing and export the stitched spans as a "
+        "Chrome trace-event file (open in chrome://tracing / Perfetto)",
+    )
+    pnb.add_argument(
         "--perf-label", metavar="LABEL",
         help="record per-phase PerfRecords into the perf ledger as LABEL",
     )
@@ -1115,6 +1287,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf-dir", metavar="DIR", help="perf ledger directory override"
     )
     pnb.set_defaults(fn=_cmd_net_bench)
+
+    pt = sub.add_parser(
+        "top",
+        help="live terminal view of a running server's health/SLO surface",
+    )
+    pt.add_argument(
+        "--connect", default="127.0.0.1:8641", metavar="HOST:PORT"
+    )
+    pt.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    pt.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
+    pt.set_defaults(fn=_cmd_top)
+
+    ptr = sub.add_parser(
+        "trace",
+        help="fetch a request's stage timeline from a running server",
+    )
+    ptr.add_argument(
+        "request_id", nargs="?",
+        help="request id (from client response metadata / --list)",
+    )
+    ptr.add_argument(
+        "--connect", default="127.0.0.1:8641", metavar="HOST:PORT"
+    )
+    ptr.add_argument(
+        "--list", action="store_true",
+        help="list recent requests in the server's ring buffer instead",
+    )
+    ptr.add_argument(
+        "--errors", action="store_true", help="only errored requests"
+    )
+    ptr.add_argument(
+        "--slow", action="store_true", help="only slow requests"
+    )
+    ptr.add_argument(
+        "--limit", type=int, default=50,
+        help="max entries to fetch (default 50)",
+    )
+    ptr.add_argument(
+        "--json", action="store_true", help="print raw JSON entries"
+    )
+    ptr.set_defaults(fn=_cmd_trace)
 
     pa = sub.add_parser("assess", help="quality report for a reconstruction")
     pa.add_argument("original")

@@ -19,7 +19,9 @@ import asyncio
 
 import numpy as np
 
+from .. import observe
 from ..codec import CodecConfig
+from ..observe.telemetry import from_span
 from . import protocol
 from .errors import ConnectionClosedError, RemoteError, remote_error_for
 
@@ -35,6 +37,14 @@ class NetClient:
         async with await NetClient.connect("127.0.0.1", 8641) as cli:
             stream, meta = await cli.compress(arr, err_bound=1e-3)
             back, _ = await cli.decompress(stream)
+
+    When tracing is enabled, each request opens a detached
+    ``net.client.request`` span and propagates its trace context in an
+    SXP2 frame, so server-side spans join the client's trace.  With
+    tracing off the client speaks plain SXP1 — byte-identical to the
+    pre-trace wire format.  ``last_request_id`` / ``last_timeline``
+    hold the server-attributed stage ledger of the most recent request
+    (the payload of ``szx trace <request-id>``).
     """
 
     def __init__(self, reader, writer, *,
@@ -44,6 +54,8 @@ class NetClient:
         self._writer = writer
         self.max_frame = max_frame
         self.tenant = tenant
+        self.last_request_id: str | None = None
+        self.last_timeline: dict | None = None
 
     @classmethod
     async def connect(cls, host: str, port: int, *,
@@ -76,27 +88,43 @@ class NetClient:
         meta = dict(meta or {})
         if self.tenant is not None:
             meta.setdefault("tenant", self.tenant)
-        self._writer.write(protocol.encode_frame(kind, meta, payload))
-        await self._writer.drain()
-        frame = await protocol.read_frame(
-            self._reader, max_frame=self.max_frame
+        sp = observe.open_span(
+            "net.client.request", bytes_in=len(payload),
+            verb=protocol.REQUEST_KINDS.get(kind, f"0x{kind:02x}"),
         )
-        if frame is None:
-            raise ConnectionClosedError(
-                "server closed the connection before replying"
+        ctx = from_span(sp)
+        try:
+            self._writer.write(protocol.encode_frame(
+                kind, meta, payload,
+                ctx=ctx.to_traceparent() if ctx is not None else None,
+            ))
+            await self._writer.drain()
+            frame = await protocol.read_frame(
+                self._reader, max_frame=self.max_frame
             )
-        rkind, rmeta, rpayload = frame
-        status = protocol.RESPONSE_KINDS.get(rkind)
-        if status is None:
-            raise ConnectionClosedError(
-                f"server answered with a request kind 0x{rkind:02x}"
-            )
-        if status != "ok":
-            raise remote_error_for(
-                rmeta.get("code", status),
-                rmeta.get("error", f"server answered {status}"),
-                retry_after_s=rmeta.get("retry_after_s"),
-            )
+            if frame is None:
+                raise ConnectionClosedError(
+                    "server closed the connection before replying"
+                )
+            rkind, rmeta, rpayload = frame
+            status = protocol.RESPONSE_KINDS.get(rkind)
+            if status is None:
+                raise ConnectionClosedError(
+                    f"server answered with a request kind 0x{rkind:02x}"
+                )
+            self.last_request_id = rmeta.get("request_id")
+            self.last_timeline = rmeta.get("timeline")
+            if status != "ok":
+                raise remote_error_for(
+                    rmeta.get("code", status),
+                    rmeta.get("error", f"server answered {status}"),
+                    retry_after_s=rmeta.get("retry_after_s"),
+                )
+        except BaseException as exc:
+            sp.finish(error=exc)
+            raise
+        sp.set(bytes_out=len(rpayload),
+               request_id=rmeta.get("request_id")).finish()
         return rmeta, rpayload
 
     async def _request_retry(self, kind, meta, payload, retries: int):

@@ -1,9 +1,14 @@
 """Length-prefixed binary wire protocol for the network front door.
 
-One frame carries one request or one response::
+One frame carries one request or one response.  Two wire versions
+coexist, distinguished by the magic::
 
-    frame := magic "SXP1" (4) | u32 body_len | body
-    body  := u8 kind | u32 meta_len | meta (JSON, UTF-8) | payload
+    frame    := magic "SXP1" (4) | u32 body_len | body_v1
+    body_v1  := u8 kind | u32 meta_len | meta (JSON, UTF-8) | payload
+
+    frame    := magic "SXP2" (4) | u32 body_len | body_v2
+    body_v2  := u8 kind | u8 ctx_len | ctx (UTF-8)
+                | u32 meta_len | meta (JSON, UTF-8) | payload
 
 All integers are big-endian.  ``kind`` identifies the verb on requests
 (``compress`` / ``decompress`` / ``stats`` / ``health``) and the status
@@ -11,6 +16,13 @@ on responses (``ok`` or a typed error code); ``meta`` is a small JSON
 object (tenant, codec parameters, array dtype/shape, error details) and
 ``payload`` is the bulk bytes — the raw array for ``compress``, the SZx
 stream for ``decompress``, and vice versa on the way back.
+
+Version 2 adds exactly one field: ``ctx``, a W3C ``traceparent`` string
+carrying the distributed trace context.  Compatibility is two-way by
+construction: :func:`encode_frame` with no context emits byte-identical
+SXP1 frames, so old servers never see the new magic from old clients,
+and the server always answers in the version the request arrived in,
+so old clients never receive SXP2 (see ``tests/net/test_protocol_compat``).
 
 The 4-byte magic doubles as the protocol sniffer: HTTP/1.1 request
 lines start with a method token (``GET ``, ``POST``, ...), so the
@@ -37,8 +49,17 @@ from .errors import (
     ProtocolError,
 )
 
-#: Wire magic; the trailing "1" is the protocol version.
+#: Wire magic; the trailing digit is the protocol version.
 MAGIC = b"SXP1"
+
+#: Version-2 magic: identical framing plus a trace-context field.
+MAGIC_V2 = b"SXP2"
+
+#: magic -> protocol version number.
+MAGIC_VERSIONS = {MAGIC: 1, MAGIC_V2: 2}
+
+#: Cap on the encoded trace-context field (the length prefix is a u8).
+MAX_CONTEXT_LEN = 255
 
 #: Default per-frame byte cap (prefix + body).  512 MiB covers any
 #: realistic scientific chunk while bounding a hostile length prefix.
@@ -82,84 +103,189 @@ ERROR_KIND_FOR_CODE = {
 #: dtypes the wire accepts for raw arrays (what the codec supports).
 WIRE_DTYPES = {"float32": np.float32, "float64": np.float64}
 
-_PRELUDE = struct.Struct(">4sI")     # magic, body length
-_BODY_HEAD = struct.Struct(">BI")    # kind, meta length
+_PRELUDE = struct.Struct(">4sI")      # magic, body length
+_BODY_HEAD = struct.Struct(">BI")     # v1: kind, meta length
+_BODY_HEAD2 = struct.Struct(">BB")    # v2: kind, ctx length (meta follows)
+_META_LEN = struct.Struct(">I")
 
 #: HTTP/1.1 method prefixes recognised by the protocol sniffer.
 HTTP_METHOD_PREFIXES = (b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI")
 
 
+class Frame(tuple):
+    """A decoded frame: unpacks as ``(kind, meta, payload)``.
+
+    A tuple subclass so the decode API is unchanged for every existing
+    caller — ``kind, meta, payload = decode_frame(...)`` and equality
+    against plain 3-tuples both still hold — while the version-2 fields
+    ride along as attributes: ``ctx`` (the ``traceparent`` string or
+    None) and ``version`` (1 or 2, which the server echoes back so old
+    clients never see SXP2 responses).
+    """
+
+    def __new__(cls, kind: int, meta: dict, payload: bytes,
+                ctx: str | None = None, version: int = 1):
+        self = super().__new__(cls, (kind, meta, payload))
+        self.ctx = ctx
+        self.version = version
+        return self
+
+    @property
+    def kind(self):
+        return self[0]
+
+    @property
+    def meta(self):
+        return self[1]
+
+    @property
+    def payload(self):
+        return self[2]
+
+
 def encode_frame(kind: int, meta: dict | None = None,
-                 payload: bytes = b"") -> bytes:
-    """Serialize one frame."""
+                 payload: bytes = b"", *, ctx: str | None = None,
+                 version: int | None = None) -> bytes:
+    """Serialize one frame.
+
+    With neither *ctx* nor *version* this emits a byte-identical SXP1
+    frame (the pre-trace wire format).  Passing a trace context — or
+    requesting ``version=2`` explicitly — emits SXP2.  ``version=1``
+    with a context is an error: v1 has nowhere to put it.
+    """
     if kind not in REQUEST_KINDS and kind not in RESPONSE_KINDS:
         raise ValueError(f"unknown frame kind 0x{kind:02x}")
+    if version is None:
+        version = 2 if ctx is not None else 1
+    if version not in (1, 2):
+        raise ValueError(f"unknown protocol version {version!r}")
+    if version == 1 and ctx is not None:
+        raise ValueError("protocol v1 frames cannot carry a trace context")
     meta_bytes = json.dumps(
         meta or {}, separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
-    body_len = _BODY_HEAD.size + len(meta_bytes) + len(payload)
+    if version == 1:
+        body_len = _BODY_HEAD.size + len(meta_bytes) + len(payload)
+        return b"".join((
+            _PRELUDE.pack(MAGIC, body_len),
+            _BODY_HEAD.pack(kind, len(meta_bytes)),
+            meta_bytes,
+            payload,
+        ))
+    ctx_bytes = (ctx or "").encode("utf-8")
+    if len(ctx_bytes) > MAX_CONTEXT_LEN:
+        raise ValueError(
+            f"trace context of {len(ctx_bytes)} bytes exceeds the "
+            f"{MAX_CONTEXT_LEN}-byte field"
+        )
+    body_len = (_BODY_HEAD2.size + len(ctx_bytes) + _META_LEN.size
+                + len(meta_bytes) + len(payload))
     return b"".join((
-        _PRELUDE.pack(MAGIC, body_len),
-        _BODY_HEAD.pack(kind, len(meta_bytes)),
+        _PRELUDE.pack(MAGIC_V2, body_len),
+        _BODY_HEAD2.pack(kind, len(ctx_bytes)),
+        ctx_bytes,
+        _META_LEN.pack(len(meta_bytes)),
         meta_bytes,
         payload,
     ))
 
 
-def decode_body(body: bytes) -> tuple[int, dict, bytes]:
-    """Parse a frame body into ``(kind, meta, payload)``."""
-    if len(body) < _BODY_HEAD.size:
-        raise ProtocolError(
-            f"frame body truncated: {len(body)} < {_BODY_HEAD.size} bytes"
-        )
-    kind, meta_len = _BODY_HEAD.unpack_from(body)
+def _check_kind(kind: int) -> int:
     if kind not in REQUEST_KINDS and kind not in RESPONSE_KINDS:
         raise ProtocolError(f"unknown frame kind 0x{kind:02x}")
-    meta_end = _BODY_HEAD.size + meta_len
-    if meta_end > len(body):
-        raise ProtocolError(
-            f"frame metadata overruns body: {meta_len} bytes declared, "
-            f"{len(body) - _BODY_HEAD.size} available"
-        )
+    return kind
+
+
+def _parse_meta(raw: bytes) -> dict:
     try:
-        meta = json.loads(body[_BODY_HEAD.size:meta_end].decode("utf-8"))
+        meta = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"frame metadata is not valid JSON: {exc}") from exc
     if not isinstance(meta, dict):
         raise ProtocolError(
             f"frame metadata must be a JSON object, got {type(meta).__name__}"
         )
-    return kind, meta, body[meta_end:]
+    return meta
 
 
-def decode_frame(data: bytes) -> tuple[int, dict, bytes]:
+def decode_body(body: bytes, version: int = 1) -> Frame:
+    """Parse a frame body into a :class:`Frame` (``(kind, meta, payload)``)."""
+    if version == 1:
+        if len(body) < _BODY_HEAD.size:
+            raise ProtocolError(
+                f"frame body truncated: {len(body)} < {_BODY_HEAD.size} bytes"
+            )
+        kind, meta_len = _BODY_HEAD.unpack_from(body)
+        _check_kind(kind)
+        meta_end = _BODY_HEAD.size + meta_len
+        if meta_end > len(body):
+            raise ProtocolError(
+                f"frame metadata overruns body: {meta_len} bytes declared, "
+                f"{len(body) - _BODY_HEAD.size} available"
+            )
+        meta = _parse_meta(body[_BODY_HEAD.size:meta_end])
+        return Frame(kind, meta, body[meta_end:], ctx=None, version=1)
+    if version != 2:
+        raise ProtocolError(f"unknown protocol version {version!r}")
+    if len(body) < _BODY_HEAD2.size:
+        raise ProtocolError(
+            f"frame body truncated: {len(body)} < {_BODY_HEAD2.size} bytes"
+        )
+    kind, ctx_len = _BODY_HEAD2.unpack_from(body)
+    _check_kind(kind)
+    ctx_end = _BODY_HEAD2.size + ctx_len
+    if ctx_end + _META_LEN.size > len(body):
+        raise ProtocolError(
+            f"frame context overruns body: {ctx_len} bytes declared, "
+            f"{len(body) - _BODY_HEAD2.size} available"
+        )
+    try:
+        ctx = body[_BODY_HEAD2.size:ctx_end].decode("utf-8") or None
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"frame context is not valid UTF-8: {exc}") from exc
+    (meta_len,) = _META_LEN.unpack_from(body, ctx_end)
+    meta_start = ctx_end + _META_LEN.size
+    meta_end = meta_start + meta_len
+    if meta_end > len(body):
+        raise ProtocolError(
+            f"frame metadata overruns body: {meta_len} bytes declared, "
+            f"{len(body) - meta_start} available"
+        )
+    meta = _parse_meta(body[meta_start:meta_end])
+    return Frame(kind, meta, body[meta_end:], ctx=ctx, version=2)
+
+
+def decode_frame(data: bytes) -> Frame:
     """Parse one complete in-memory frame (tests / HTTP bridging)."""
     if len(data) < _PRELUDE.size:
         raise ProtocolError(f"frame truncated: {len(data)} bytes")
     magic, body_len = _PRELUDE.unpack_from(data)
-    if magic != MAGIC:
+    version = MAGIC_VERSIONS.get(magic)
+    if version is None:
         raise ProtocolError(f"bad frame magic {magic!r}")
     if len(data) != _PRELUDE.size + body_len:
         raise ProtocolError(
             f"frame length mismatch: prefix says {body_len}, "
             f"{len(data) - _PRELUDE.size} bytes present"
         )
-    return decode_body(data[_PRELUDE.size:])
+    return decode_body(data[_PRELUDE.size:], version)
 
 
 async def read_frame(reader, *, max_frame: int = DEFAULT_MAX_FRAME,
                      first_bytes: bytes = b""):
     """Read one frame from an asyncio stream reader.
 
-    Returns ``(kind, meta, payload)``, or ``None`` on clean EOF at a
-    frame boundary.  *first_bytes* carries bytes the caller already
-    consumed while sniffing the protocol.
+    Returns a :class:`Frame` (unpacks as ``(kind, meta, payload)``), or
+    ``None`` on clean EOF at a frame boundary.  *first_bytes* carries
+    bytes the caller already consumed while sniffing the protocol.
+    Accepts both wire versions; the frame records which one arrived.
     """
     prelude = await _read_exact(reader, _PRELUDE.size, first_bytes)
     if prelude is None:
         return None
     magic, body_len = _PRELUDE.unpack(prelude)
-    if magic != MAGIC:
+    version = MAGIC_VERSIONS.get(magic)
+    if version is None:
         raise ProtocolError(f"bad frame magic {magic!r}")
     if body_len > max_frame:
         raise FrameTooLargeError(
@@ -170,7 +296,7 @@ async def read_frame(reader, *, max_frame: int = DEFAULT_MAX_FRAME,
         raise ConnectionClosedError(
             f"connection closed mid-frame ({body_len} body bytes expected)"
         )
-    return decode_body(body)
+    return decode_body(body, version)
 
 
 async def _read_exact(reader, n: int, first_bytes: bytes):
@@ -193,17 +319,18 @@ async def _read_exact(reader, n: int, first_bytes: bytes):
 def sniff_protocol(first_bytes: bytes) -> str:
     """Classify a connection by its first four bytes.
 
-    Returns ``"binary"`` for the framed protocol, ``"http"`` for an
-    HTTP/1.1 request line, and raises :class:`ProtocolError` otherwise.
+    Returns ``"binary"`` for the framed protocol (either wire version),
+    ``"http"`` for an HTTP/1.1 request line, and raises
+    :class:`ProtocolError` otherwise.
     """
-    if first_bytes[:4] == MAGIC:
+    if first_bytes[:4] in MAGIC_VERSIONS:
         return "binary"
     if any(first_bytes[:4] == p[:4] or p.startswith(first_bytes)
            for p in HTTP_METHOD_PREFIXES):
         return "http"
     raise ProtocolError(
         f"unrecognised protocol preamble {first_bytes[:4]!r} "
-        "(expected SXP1 magic or an HTTP method)"
+        "(expected SXP1/SXP2 magic or an HTTP method)"
     )
 
 

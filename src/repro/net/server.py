@@ -44,9 +44,17 @@ import functools
 import json
 import signal
 import time
+from urllib.parse import parse_qs, urlsplit
 
 from .. import observe
 from ..codec import CodecConfig
+from ..observe.export import render_prometheus
+from ..observe.telemetry import (
+    RequestLog,
+    RequestTimeline,
+    SLOEngine,
+    parse_traceparent,
+)
 from ..serve.errors import (
     JobTimeoutError,
     ServiceClosedError,
@@ -61,15 +69,20 @@ from .shards import ShardSet
 #: Fallback tenant for requests that do not name one.
 DEFAULT_TENANT = "default"
 
+#: Response codes the SLO engine counts as server errors.  Client-side
+#: outcomes (bad_request) and policy answers (rate_limited, draining)
+#: do not burn the error budget: they are the server doing its job.
+SLO_ERROR_CODES = frozenset({"internal", "overloaded"})
+
 
 class _Request:
     """One admitted request travelling handler → fair queue → dispatcher."""
 
     __slots__ = ("kind", "meta", "payload", "digest", "config", "array",
-                 "tenant", "future", "span", "shard")
+                 "tenant", "future", "span", "shard", "timeline")
 
     def __init__(self, kind, meta, payload, digest, config, array, tenant,
-                 future, span):
+                 future, span, timeline=None):
         self.kind = kind
         self.meta = meta
         self.payload = payload
@@ -80,6 +93,7 @@ class _Request:
         self.future = future
         self.span = span
         self.shard = None
+        self.timeline = timeline
 
 
 class NetServer:
@@ -99,6 +113,10 @@ class NetServer:
         max_frame: int = protocol.DEFAULT_MAX_FRAME,
         queue_capacity: int = 128,
         batching: bool = True,
+        slo_targets=None,
+        slo_policies=None,
+        request_log_capacity: int = 256,
+        slow_request_ms: float = 100.0,
     ):
         self.host = host
         self.port = port
@@ -106,6 +124,10 @@ class NetServer:
         self.default_config = default_config or CodecConfig(err_bound=1e-3)
         self.quotas = quotas or TenantQuotas()
         self.cache = ChunkCache(cache_bytes)
+        slo_kwargs = {} if slo_policies is None else {"policies": slo_policies}
+        self.slo = SLOEngine(slo_targets, **slo_kwargs)
+        self.request_log = RequestLog(request_log_capacity,
+                                      slow_ms=slow_request_ms)
         self._shard_args = dict(
             n_shards=shards,
             workers_per_shard=workers_per_shard,
@@ -238,6 +260,8 @@ class NetServer:
                 observe.gauge(f"net.tenant.pending.{tenant}").set(
                     self._queue.pending(tenant)
                 )
+            if req.timeline is not None:
+                req.timeline.mark("queue_wait")
             # Nest the worker-side job spans under the wire request span
             # (detached spans cross the thread boundary safely).
             parent = req.span if isinstance(req.span, observe.Span) else None
@@ -245,12 +269,12 @@ class NetServer:
                 if req.kind == protocol.COMPRESS:
                     req.shard, fut = self.shards.submit_compress(
                         req.digest, req.array, req.config,
-                        parent_span=parent,
+                        parent_span=parent, timeline=req.timeline,
                     )
                 else:
                     req.shard, fut = self.shards.submit_decompress(
                         req.digest, req.payload, req.config,
-                        parent_span=parent,
+                        parent_span=parent, timeline=req.timeline,
                     )
             except Exception as exc:  # noqa: BLE001 - forwarded to the response
                 if not req.future.done():
@@ -313,6 +337,7 @@ class NetServer:
             # Drain semantics snapshot: a frame whose first byte arrived
             # before the drain began is in-flight and must complete.
             reject = self._draining
+            t_first = time.perf_counter()
             self._enter_request()
             try:
                 try:
@@ -328,13 +353,51 @@ class NetServer:
                 if frame is None:
                     return
                 kind, meta, payload = frame
+                ctx = parse_traceparent(frame.ctx) if frame.ctx else None
+                timeline = self._new_timeline(kind, payload, ctx, t_first)
+                timeline.mark("read")
                 code, rmeta, rpayload = await self._process(
-                    kind, meta, payload, reject_draining=reject
+                    kind, meta, payload, reject_draining=reject,
+                    ctx=ctx, timeline=timeline,
                 )
-                writer.write(protocol.encode_frame(code, rmeta, rpayload))
+                # Answer in the version the request arrived in: an SXP1
+                # client must never see the SXP2 magic.
+                reply_ctx = frame.ctx if frame.version >= 2 else None
+                out = protocol.encode_frame(
+                    code, rmeta, rpayload,
+                    ctx=reply_ctx, version=frame.version,
+                )
+                timeline.mark("serialize")
+                writer.write(out)
                 await writer.drain()
+                timeline.mark("write")
+                self._finish_timeline(timeline, kind, code, len(rpayload))
             finally:
                 self._exit_request()
+
+    def _new_timeline(self, kind: int, payload: bytes, ctx,
+                      started_at: float) -> RequestTimeline:
+        """Stage ledger for one wire request (always on, span-free)."""
+        return RequestTimeline(
+            protocol.REQUEST_KINDS.get(kind, f"0x{kind:02x}"),
+            request_id=ctx.request_id if ctx is not None else None,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            started_at=started_at,
+        ).set(bytes_in=len(payload))
+
+    def _finish_timeline(self, timeline: RequestTimeline, kind: int,
+                         code: int, bytes_out: int) -> None:
+        """Seal the ledger; feed the request ring buffer and the SLO
+        engine (compress/decompress only — health and stats probes are
+        not part of the served workload)."""
+        if protocol.REQUEST_KINDS.get(kind) not in ("compress", "decompress"):
+            return
+        status = protocol.RESPONSE_KINDS.get(code, f"0x{code:02x}")
+        timeline.set(bytes_out=bytes_out)
+        timeline.finish(status,
+                        error=None if status == "ok" else status)
+        self.request_log.record(timeline)
+        self.slo.record(timeline.total_s, error=status in SLO_ERROR_CODES)
 
     def _error_frame(self, code: str, message: str,
                      retry_after_s: float | None = None) -> bytes:
@@ -351,18 +414,25 @@ class NetServer:
     # -- request processing ----------------------------------------------
     async def _process(self, kind: int, meta: dict, payload: bytes, *,
                        reject_draining: bool | None = None,
+                       ctx=None, timeline: RequestTimeline | None = None,
                        ) -> tuple[int, dict, bytes]:
         """Execute one request; returns ``(response kind, meta, payload)``.
 
         *reject_draining* is the drain snapshot taken when the request's
         first byte arrived; requests already in flight when the drain
         began run to completion (None falls back to the live flag).
+        *ctx* is the propagated :class:`TraceContext` (if the peer sent
+        one) and *timeline* the per-request stage ledger — both handlers
+        supply them; direct callers (tests) may omit them.
         """
         if reject_draining is None:
             reject_draining = self._draining
         verb = protocol.REQUEST_KINDS.get(kind)
         if verb is None:
             return self._error("bad_request", f"unknown verb 0x{kind:02x}")
+        if timeline is None:
+            timeline = self._new_timeline(kind, payload, ctx,
+                                          time.perf_counter())
         if observe.enabled():
             observe.counter(f"net.requests.{verb}").inc()
             observe.counter("net.bytes_in").inc(len(payload))
@@ -371,25 +441,35 @@ class NetServer:
         if verb == "stats":
             return protocol.OK, self._stats_doc(), b""
         if reject_draining:
-            return self._error(
+            code, rmeta, rpayload = self._error(
                 "draining", "server is draining; retry against a live replica",
                 retry_after_s=1.0,
             )
+            rmeta["request_id"] = timeline.request_id
+            return code, rmeta, rpayload
         tenant = str(meta.get("tenant") or DEFAULT_TENANT)
+        timeline.set(tenant=tenant)
         admitted, retry_after = self.quotas.admit(tenant)
+        timeline.mark("admission")
         if not admitted:
-            return self._error(
+            code, rmeta, rpayload = self._error(
                 "rate_limited",
                 f"tenant {tenant!r} is over its request rate",
                 retry_after_s=retry_after,
             )
+            rmeta["request_id"] = timeline.request_id
+            return code, rmeta, rpayload
         t0 = time.monotonic()
         self._enter_request()
         try:
             if verb == "compress":
-                result = await self._process_compress(meta, payload, tenant)
+                result = await self._process_compress(
+                    meta, payload, tenant, ctx, timeline
+                )
             else:
-                result = await self._process_decompress(meta, payload, tenant)
+                result = await self._process_decompress(
+                    meta, payload, tenant, ctx, timeline
+                )
         finally:
             self._exit_request()
         if observe.enabled():
@@ -397,7 +477,11 @@ class NetServer:
                 time.monotonic() - t0
             )
             observe.counter("net.bytes_out").inc(len(result[2]))
-        return result
+        code, rmeta, rpayload = result
+        rmeta = dict(rmeta)
+        rmeta["request_id"] = timeline.request_id
+        rmeta["timeline"] = timeline.stages_ms()
+        return code, rmeta, rpayload
 
     def _error(self, code: str, message: str,
                retry_after_s: float | None = None) -> tuple[int, dict, bytes]:
@@ -420,7 +504,7 @@ class NetServer:
             checksum=bool(meta.get("checksum", base.checksum)),
         )
 
-    async def _process_compress(self, meta, payload, tenant):
+    async def _process_compress(self, meta, payload, tenant, ctx, timeline):
         try:
             config = self._request_config(meta)
             if config.err_bound is None:
@@ -436,22 +520,26 @@ class NetServer:
             block_size=config.block_size, checksum=config.checksum,
         )
         sp = observe.open_span(
-            "net.request", bytes_in=len(payload),
+            "net.request", bytes_in=len(payload), context=ctx,
             verb="compress", tenant=tenant, digest=digest[:12],
         )
+        self._join_trace(timeline, sp, ctx)
         cached = self.cache.get(key)
+        timeline.mark("cache_lookup")
         if cached is not None:
             sp.set(bytes_out=len(cached), cache="hit").finish()
             if observe.enabled():
                 observe.counter("net.responses.ok").inc()
             return protocol.OK, {"cache": "hit", "digest": digest}, cached
         ok, resp = await self._run_on_shard(
-            protocol.COMPRESS, meta, payload, tenant, digest, config, arr, sp,
+            protocol.COMPRESS, meta, payload, tenant, digest, config, arr,
+            sp, timeline,
         )
         if not ok:
             return resp
         req, stream = resp
         self.cache.put(key, stream)
+        timeline.mark("stitch")
         sp.set(bytes_out=len(stream), cache="miss", shard=req.shard).finish()
         if observe.enabled():
             observe.counter("net.responses.ok").inc()
@@ -459,21 +547,24 @@ class NetServer:
             "cache": "miss", "digest": digest, "shard": req.shard,
         }, stream
 
-    async def _process_decompress(self, meta, payload, tenant):
+    async def _process_decompress(self, meta, payload, tenant, ctx, timeline):
         if not payload:
             return self._error("bad_request", "decompress needs a stream payload")
         digest = content_digest(payload)
         sp = observe.open_span(
-            "net.request", bytes_in=len(payload),
+            "net.request", bytes_in=len(payload), context=ctx,
             verb="decompress", tenant=tenant, digest=digest[:12],
         )
+        self._join_trace(timeline, sp, ctx)
         ok, resp = await self._run_on_shard(
-            protocol.DECOMPRESS, meta, payload, tenant, digest, None, None, sp,
+            protocol.DECOMPRESS, meta, payload, tenant, digest, None, None,
+            sp, timeline,
         )
         if not ok:
             return resp
         req, arr = resp
         out = arr.tobytes()
+        timeline.mark("stitch")
         sp.set(bytes_out=len(out), shard=req.shard).finish()
         if observe.enabled():
             observe.counter("net.responses.ok").inc()
@@ -481,8 +572,21 @@ class NetServer:
         rmeta["shard"] = req.shard
         return protocol.OK, rmeta, out
 
+    @staticmethod
+    def _join_trace(timeline, sp, ctx) -> None:
+        """Tie the stage ledger to the server span's trace.
+
+        When the peer did not send a context but tracing is on, the
+        server span starts a fresh trace — adopt its id as the request
+        id so ``szx trace`` and the span tree agree on names.
+        """
+        if sp.trace_id:
+            timeline.set(trace_id=sp.trace_id)
+            if ctx is None:
+                timeline.request_id = sp.trace_id[:16]
+
     async def _run_on_shard(self, kind, meta, payload, tenant, digest,
-                            config, arr, sp):
+                            config, arr, sp, timeline=None):
         """Queue a request through WFQ → shard; await the result.
 
         Returns ``(True, (request, result))`` or ``(False, error_triple)``.
@@ -490,7 +594,7 @@ class NetServer:
         policy = self.quotas.policy(tenant)
         req = _Request(
             kind, meta, payload, digest, config, arr, tenant,
-            asyncio.get_running_loop().create_future(), sp,
+            asyncio.get_running_loop().create_future(), sp, timeline,
         )
         try:
             self._queue.push(
@@ -523,11 +627,13 @@ class NetServer:
             return False, self._error(
                 "internal", f"{type(exc).__name__}: {exc}"
             )
+        if timeline is not None:
+            timeline.mark("execute")
         return True, (req, result)
 
     # -- stats / health ---------------------------------------------------
-    def _health_doc(self) -> dict:
-        return {
+    def _health_doc(self, *, include_slo: bool = False) -> dict:
+        doc = {
             "status": "draining" if self._draining else "ok",
             "shards": len(self.shards) if self.shards else 0,
             "backend": self.shards.backend if self.shards else None,
@@ -536,6 +642,9 @@ class NetServer:
                 if self._started_at is not None else 0.0
             ),
         }
+        if include_slo:
+            doc["slo"] = self.slo.report()
+        return doc
 
     def _stats_doc(self) -> dict:
         return {
@@ -550,22 +659,28 @@ class NetServer:
     async def _handle_http(self, reader, writer, first: bytes) -> None:
         """Minimal HTTP/1.1 bridge: one request, then close.
 
-        Routes: ``GET /health``, ``GET /stats``, ``POST /compress``,
+        Routes: ``GET /health``, ``GET /healthz`` (health + SLO burn
+        report), ``GET /stats``, ``GET /metrics`` (Prometheus text),
+        ``GET /debug/requests`` (recent request timelines; filters
+        ``id``, ``errors``, ``slow``, ``limit``), ``POST /compress``,
         ``POST /decompress``.  Codec parameters travel as ``X-SZX-*``
-        headers; bodies are the same raw/stream bytes as the binary
-        protocol.  Retryable errors map to 429/503 with ``Retry-After``.
-        The request counts as in-flight for drain purposes from its
-        first sniffed byte to the written reply.
+        headers and a ``traceparent`` header joins the request to a
+        distributed trace; bodies are the same raw/stream bytes as the
+        binary protocol.  Retryable errors map to 429/503 with
+        ``Retry-After``.  The request counts as in-flight for drain
+        purposes from its first sniffed byte to the written reply.
         """
         reject = self._draining
+        t_first = time.perf_counter()
         self._enter_request()
         try:
-            await self._handle_http_inner(reader, writer, first, reject)
+            await self._handle_http_inner(reader, writer, first, reject,
+                                          t_first)
         finally:
             self._exit_request()
 
     async def _handle_http_inner(self, reader, writer, first: bytes,
-                                 reject: bool) -> None:
+                                 reject: bool, t_first: float) -> None:
         try:
             head = first + await asyncio.wait_for(
                 reader.readuntil(b"\r\n\r\n"), timeout=30.0
@@ -593,24 +708,41 @@ class NetServer:
             return
         body = await reader.readexactly(length) if length else b""
 
-        route = (method, path)
-        if route == ("GET", "/health"):
-            await self._http_reply(writer, 200, self._health_doc())
+        parts = urlsplit(path)
+        route = (method, parts.path)
+        if route in (("GET", "/health"), ("GET", "/healthz")):
+            await self._http_reply(
+                writer, 200,
+                self._health_doc(include_slo=parts.path == "/healthz"),
+            )
             return
         if route == ("GET", "/stats"):
             await self._http_reply(writer, 200, self._stats_doc())
             return
+        if route == ("GET", "/metrics"):
+            await self._http_reply(
+                writer, 200, render_prometheus().encode("utf-8"), raw=True,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if route == ("GET", "/debug/requests"):
+            await self._http_debug_requests(writer, parts.query)
+            return
         if route not in (("POST", "/compress"), ("POST", "/decompress")):
             await self._http_reply(
-                writer, 404, {"error": f"no route {method} {path}"}
+                writer, 404, {"error": f"no route {method} {parts.path}"}
             )
             return
 
         meta = self._http_codec_meta(headers, len(body))
-        kind = (protocol.COMPRESS if path == "/compress"
+        kind = (protocol.COMPRESS if parts.path == "/compress"
                 else protocol.DECOMPRESS)
+        ctx = parse_traceparent(headers.get("traceparent"))
+        timeline = self._new_timeline(kind, body, ctx, t_first)
+        timeline.mark("read")
         code, rmeta, rpayload = await self._process(
-            kind, meta, body, reject_draining=reject
+            kind, meta, body, reject_draining=reject,
+            ctx=ctx, timeline=timeline,
         )
         status_name = protocol.RESPONSE_KINDS[code]
         if status_name == "ok":
@@ -619,9 +751,12 @@ class NetServer:
                 if isinstance(v, (list, dict)) else str(v)
                 for k, v in rmeta.items()
             }
+            timeline.mark("serialize")
             await self._http_reply(
                 writer, 200, rpayload, raw=True, extra_headers=extra
             )
+            timeline.mark("write")
+            self._finish_timeline(timeline, kind, code, len(rpayload))
             return
         http_status = {
             "bad_request": 400, "rate_limited": 429,
@@ -632,6 +767,33 @@ class NetServer:
             extra["Retry-After"] = f"{max(rmeta['retry_after_s'], 0.0):.3f}"
         await self._http_reply(writer, http_status, rmeta,
                                extra_headers=extra)
+        timeline.mark("write")
+        self._finish_timeline(timeline, kind, code, 0)
+
+    async def _http_debug_requests(self, writer, query: str) -> None:
+        """Serve the recent-request ring buffer with optional filters."""
+        q = {k: v[-1] for k, v in parse_qs(query).items()}
+        try:
+            limit = int(q.get("limit", "50"))
+            if limit < 1:
+                raise ValueError(limit)
+        except ValueError:
+            await self._http_reply(
+                writer, 400, {"error": f"bad limit {q.get('limit')!r}"}
+            )
+            return
+        entries = self.request_log.snapshot(
+            request_id=q.get("id"),
+            errors_only=q.get("errors") in ("1", "true"),
+            slow_only=q.get("slow") in ("1", "true"),
+            limit=limit,
+        )
+        await self._http_reply(writer, 200, {
+            "requests": entries,
+            "count": len(entries),
+            "slow_ms": self.request_log.slow_ms,
+            "capacity": self.request_log.capacity,
+        })
 
     @staticmethod
     def _parse_http_head(head: bytes):
@@ -685,16 +847,17 @@ class NetServer:
 
     @staticmethod
     async def _http_reply(writer, status: int, payload, *, raw: bool = False,
-                          extra_headers: dict | None = None) -> None:
+                          extra_headers: dict | None = None,
+                          content_type: str | None = None) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    413: "Payload Too Large", 429: "Too Many Requests",
                    500: "Internal Server Error", 503: "Service Unavailable"}
         if raw:
             body = payload
-            ctype = "application/octet-stream"
+            ctype = content_type or "application/octet-stream"
         else:
             body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-            ctype = "application/json"
+            ctype = content_type or "application/json"
         head = [
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
             f"Content-Type: {ctype}",

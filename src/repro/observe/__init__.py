@@ -16,7 +16,12 @@ Three pieces (see docs/ARCHITECTURE.md §Observability):
 * **perf** — the performance-telemetry subsystem (perf-record schema,
   append-only ledger + ``BENCH_<suite>.json`` summaries, sampling
   profiler, regression engine, fixed-seed suites) behind
-  ``szx perf record/compare/report``.
+  ``szx perf record/compare/report``;
+* **telemetry** — distributed tracing for the serving stack:
+  W3C-traceparent :class:`TraceContext` propagation, per-request
+  :class:`RequestTimeline` stage ledgers + :class:`RequestLog` ring
+  buffer, Chrome-trace export / trace stitching, and the rolling
+  multi-window burn-rate :class:`SLOEngine`.
 
 Everything is off by default: ``span()`` returns a shared no-op object
 and hot-path metric updates are guarded by :func:`enabled`, so the
@@ -42,6 +47,18 @@ from .export import (
     render_prometheus,
 )
 from .sinks import InMemorySink, JsonLinesSink, TreePrinterSink, render_tree
+from .telemetry import (
+    ChromeTraceSink,
+    RequestLog,
+    RequestTimeline,
+    SLOEngine,
+    SLOTarget,
+    TraceContext,
+    find_orphans,
+    parse_traceparent,
+    stitch_traces,
+    write_chrome_trace,
+)
 from .spans import (
     Span,
     current_span,
@@ -82,7 +99,18 @@ __all__ = [
     "MetricsJsonlWriter",
     "PeriodicMetricsFlusher",
     "read_metrics_jsonl",
+    "TraceContext",
+    "parse_traceparent",
+    "RequestTimeline",
+    "RequestLog",
+    "SLOTarget",
+    "SLOEngine",
+    "ChromeTraceSink",
+    "write_chrome_trace",
+    "stitch_traces",
+    "find_orphans",
     "perf",
+    "telemetry",
 ]
 
 from . import perf  # noqa: E402  (import-light; suites import codec lazily)

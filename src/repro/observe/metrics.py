@@ -149,21 +149,78 @@ class Histogram:
         return out
 
 
-class MetricsRegistry:
-    """Named metric instruments, created on first use."""
+#: Default cap on distinct dynamic-label instruments per metric family.
+DEFAULT_MAX_LABEL_SETS = 64
 
-    def __init__(self):
+#: Trailing name component of the per-family spillover instrument.
+OVERFLOW_LABEL = "__overflow__"
+
+#: Counter bumped every time a new label set is refused (the warning
+#: signal that some call site is minting unbounded per-request names).
+CARDINALITY_WARNING = "observe.cardinality.limited"
+
+
+def _family(name: str) -> str:
+    """The metric family of a dotted name (everything before the last
+    component, which by convention carries the dynamic label: tenant,
+    shard, verb, response code)."""
+    return name.rsplit(".", 1)[0] if "." in name else name
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    Dynamic labels are encoded as the last dotted name component
+    (``net.tenant.pending.<tenant>``), so an adversarial or merely
+    enthusiastic workload could mint unbounded instruments.  The
+    registry caps distinct members per family at *max_label_sets*:
+    past the cap, updates are routed to one ``<family>.__overflow__``
+    spillover instrument and :data:`CARDINALITY_WARNING` is bumped —
+    aggregates stay correct, memory stays bounded, and the warning
+    counter makes the offending family visible in ``szx stats``.
+    """
+
+    def __init__(self, *, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        if not isinstance(max_label_sets, int) or isinstance(max_label_sets, bool) \
+                or max_label_sets < 1:
+            raise ValueError(
+                f"max_label_sets must be a positive int, got {max_label_sets!r}"
+            )
+        self.max_label_sets = max_label_sets
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # (instrument class name, family) -> live member count
+        self._families: dict[tuple[str, str], int] = {}
 
     def _get(self, table: dict, name: str, cls):
+        overflowed = False
         with self._lock:
             inst = table.get(name)
-            if inst is None:
+            if inst is not None:
+                return inst
+            key = (cls.__name__, _family(name))
+            members = self._families.get(key, 0)
+            if members >= self.max_label_sets \
+                    and not name.endswith(OVERFLOW_LABEL):
+                overflowed = True
+                over_name = f"{key[1]}.{OVERFLOW_LABEL}"
+                inst = table.get(over_name)
+                if inst is None:
+                    inst = table[over_name] = cls(over_name)
+            else:
                 inst = table[name] = cls(name)
-            return inst
+                if not name.endswith(OVERFLOW_LABEL):
+                    self._families[key] = members + 1
+            if overflowed:
+                warn = self._counters.get(CARDINALITY_WARNING)
+                if warn is None:
+                    warn = self._counters[CARDINALITY_WARNING] = \
+                        Counter(CARDINALITY_WARNING)
+        if overflowed:
+            warn.inc()
+        return inst
 
     # The table *references* are immutable (assigned once in __init__);
     # their contents are only read or written inside _get/snapshot/reset,
@@ -205,6 +262,7 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._families.clear()
 
 
 #: The process-wide registry every instrumentation point feeds.

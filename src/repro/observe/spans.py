@@ -22,6 +22,7 @@ still be open when the child finishes, as in a fork/join pool).
 from __future__ import annotations
 
 import functools
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -30,6 +31,16 @@ _lock = threading.Lock()
 _tls = threading.local()
 _sinks: list = []
 _enabled = False
+
+
+def _new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
 
 
 def enabled() -> bool:
@@ -60,6 +71,12 @@ class _NullSpan:
 
     __slots__ = ()
 
+    # Trace identity is absent on the no-op span; call sites can read
+    # these uniformly (`if sp.trace_id: ...`) without isinstance checks.
+    trace_id = None
+    span_id = None
+    parent_span_id = None
+
     def __enter__(self):
         return self
 
@@ -82,9 +99,11 @@ class Span:
     __slots__ = (
         "name", "parent", "children", "bytes_in", "bytes_out", "extra",
         "thread", "t0", "t1", "cpu0", "cpu1", "error",
+        "trace_id", "span_id", "parent_span_id", "delivered", "_orphans",
     )
 
-    def __init__(self, name, bytes_in=None, bytes_out=None, parent=None, extra=None):
+    def __init__(self, name, bytes_in=None, bytes_out=None, parent=None,
+                 extra=None, context=None):
         self.name = str(name)
         self.parent = parent if isinstance(parent, Span) else None
         self.children: list[Span] = []
@@ -94,6 +113,24 @@ class Span:
         self.thread = threading.current_thread().name
         self.t0 = self.t1 = self.cpu0 = self.cpu1 = 0.0
         self.error = None
+        self.span_id = _new_span_id()
+        # A remote context (propagated over the wire) seeds the trace id
+        # and the causal parent; otherwise both are inherited from the
+        # in-process parent once it is known (see _bind_ids).
+        self.trace_id = getattr(context, "trace_id", None)
+        self.parent_span_id = getattr(context, "parent_span_id", None)
+        self.delivered = False
+        self._orphans = None
+
+    def _bind_ids(self):
+        """Inherit trace identity from the parent (or start a trace)."""
+        if self.parent is not None:
+            if self.trace_id is None:
+                self.trace_id = self.parent.trace_id
+            if self.parent_span_id is None:
+                self.parent_span_id = self.parent.span_id
+        if self.trace_id is None:
+            self.trace_id = _new_trace_id()
 
     # -- context manager ------------------------------------------------
     def __enter__(self):
@@ -103,6 +140,7 @@ class Span:
         if self.parent is None and stack:
             self.parent = stack[-1]
         stack.append(self)
+        self._bind_ids()
         self.cpu0 = time.process_time()
         self.t0 = time.perf_counter()
         return self
@@ -115,26 +153,57 @@ class Span:
         stack = getattr(_tls, "stack", [])
         if stack and stack[-1] is self:
             stack.pop()
-        if self.parent is not None:
-            # Cross-thread children may outlive their parent (e.g. a job
-            # finishing after the submitting request's span closed); an
-            # already-finished parent has been delivered, so attaching to
-            # it would silently drop this span — deliver it as a root.
-            with _lock:
-                parent_open = not self.parent.t1
-                if parent_open:
-                    self.parent.children.append(self)
-            if not parent_open:
-                self._deliver()
-        else:
-            self._deliver()
+        self._close_into_tree()
         return False
+
+    def _close_into_tree(self):
+        """Attach to the parent, or deliver as a root in causal order.
+
+        Cross-thread children may outlive their parent (e.g. a job
+        finishing after the submitting request's span closed).  An
+        already-*delivered* parent has reached the sinks, so the child
+        is delivered as its own root.  A parent that is closed but not
+        yet delivered is mid-delivery (or waiting inside a tree whose
+        root is still open): emitting the child now would put it at the
+        sinks *before* its logical parent, so it is buffered on the
+        parent and flushed — still as a root — right after the tree
+        containing the parent is delivered.
+        """
+        if self.parent is None:
+            self._deliver()
+            return
+        with _lock:
+            if not self.parent.t1:
+                self.parent.children.append(self)
+                return
+            if not self.parent.delivered:
+                if self.parent._orphans is None:
+                    self.parent._orphans = []
+                self.parent._orphans.append(self)
+                return
+        self._deliver()
 
     def _deliver(self):
         with _lock:
             sinks = list(_sinks)
         for sink in sinks:
             sink.emit(self)
+        # Mark the delivered tree, then flush children that closed after
+        # their parent did but before this delivery: they were buffered
+        # (see _close_into_tree) and are emitted now, as roots, strictly
+        # after the tree containing their parent.
+        pending = []
+        with _lock:
+            stack = [self]
+            while stack:
+                sp = stack.pop()
+                sp.delivered = True
+                if sp._orphans:
+                    pending.extend(sp._orphans)
+                    sp._orphans = None
+                stack.extend(sp.children)
+        for sp in pending:
+            sp._deliver()
 
     def finish(self, *, error=None):
         """Close a detached span opened with :func:`open_span`.
@@ -150,15 +219,7 @@ class Span:
         self.cpu1 = time.process_time()
         if error is not None:
             self.error = type(error).__name__
-        if self.parent is not None:
-            with _lock:
-                parent_open = not self.parent.t1
-                if parent_open:
-                    self.parent.children.append(self)
-            if not parent_open:
-                self._deliver()
-        else:
-            self._deliver()
+        self._close_into_tree()
         return self
 
     # -- recording ------------------------------------------------------
@@ -201,6 +262,11 @@ class Span:
             d["bytes_in"] = int(self.bytes_in)
         if self.bytes_out is not None:
             d["bytes_out"] = int(self.bytes_out)
+        if self.trace_id:
+            d["trace_id"] = self.trace_id
+            d["span_id"] = self.span_id
+        if self.parent_span_id:
+            d["parent_span_id"] = self.parent_span_id
         if self.error:
             d["error"] = self.error
         if self.extra:
@@ -213,19 +279,23 @@ class Span:
         return f"Span({self.name!r}, wall={self.wall_s * 1e3:.3f}ms)"
 
 
-def span(name, *, bytes_in=None, bytes_out=None, parent=None, **extra):
+def span(name, *, bytes_in=None, bytes_out=None, parent=None, context=None,
+         **extra):
     """Open a timed span (context manager).
 
     Returns the shared no-op span when tracing is disabled, so the call
-    is safe (and nearly free) in hot paths.
+    is safe (and nearly free) in hot paths.  *context* may carry a
+    remote :class:`~repro.observe.telemetry.TraceContext` — the span
+    then joins that trace instead of starting one.
     """
     if not _enabled:  # analyze: ignore[lock-discipline] - benign stale read
         return _NULL_SPAN
     return Span(name, bytes_in=bytes_in, bytes_out=bytes_out, parent=parent,
-                extra=extra)
+                extra=extra, context=context)
 
 
-def open_span(name, *, bytes_in=None, bytes_out=None, parent=None, **extra):
+def open_span(name, *, bytes_in=None, bytes_out=None, parent=None,
+              context=None, **extra):
     """Begin a *detached* span: timed now, closed via ``.finish()``.
 
     Unlike :func:`span`, the returned span is never pushed onto the
@@ -239,7 +309,8 @@ def open_span(name, *, bytes_in=None, bytes_out=None, parent=None, **extra):
     if not _enabled:  # analyze: ignore[lock-discipline] - benign stale read
         return _NULL_SPAN
     sp = Span(name, bytes_in=bytes_in, bytes_out=bytes_out, parent=parent,
-              extra=extra)
+              extra=extra, context=context)
+    sp._bind_ids()
     sp.cpu0 = time.process_time()
     sp.t0 = time.perf_counter()
     return sp

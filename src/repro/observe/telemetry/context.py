@@ -1,0 +1,112 @@
+"""W3C-traceparent-style distributed trace context.
+
+A :class:`TraceContext` is the piece of a trace that crosses a process
+or network boundary: the 128-bit trace id, the 64-bit id of the span on
+the *sending* side (which becomes the causal parent on the receiving
+side), and a flags byte.  On the wire it is the standard ``traceparent``
+header value::
+
+    00-<32 hex trace_id>-<16 hex parent_span_id>-<2 hex flags>
+
+The same string travels in three places: the ``traceparent`` HTTP
+header, the context field of an SXP2 binary frame, and the shared-memory
+job descriptors handed to process-pool workers.  Parsing is strict but
+never raises on the receive path — a malformed header simply yields
+``None`` and the server starts a fresh trace, so a bad client cannot
+poison request handling.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Only version 00 of the traceparent format exists today.
+TRACEPARENT_VERSION = "00"
+
+#: "Sampled" flag bit (we propagate it verbatim; sampling is up to the
+#: caller's sink configuration).
+FLAG_SAMPLED = 0x01
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
+
+
+def _is_hex(s: str, n: int) -> bool:
+    return len(s) == n and all(c in _HEX for c in s)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable trace context crossing a propagation boundary."""
+
+    trace_id: str
+    parent_span_id: str
+    flags: int = FLAG_SAMPLED
+
+    def to_traceparent(self) -> str:
+        """Render as a ``traceparent`` header value."""
+        return (
+            f"{TRACEPARENT_VERSION}-{self.trace_id}"
+            f"-{self.parent_span_id}-{self.flags & 0xFF:02x}"
+        )
+
+    def child_of(self, span_id: str) -> "TraceContext":
+        """The context to propagate onward from a span in this trace."""
+        return TraceContext(self.trace_id, span_id, self.flags)
+
+    @property
+    def request_id(self) -> str:
+        """Short id used to key request timelines (half the trace id)."""
+        return self.trace_id[:16]
+
+
+def from_span(sp) -> TraceContext | None:
+    """Build the outgoing context for work parented to *sp*.
+
+    Returns None for the no-op span (tracing disabled) or any span
+    without a bound trace id, so call sites can do
+    ``ctx = from_span(sp)`` unconditionally.
+    """
+    trace_id = getattr(sp, "trace_id", None)
+    span_id = getattr(sp, "span_id", None)
+    if not trace_id or not span_id:
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+def parse_traceparent(value) -> TraceContext | None:
+    """Parse a ``traceparent`` header value; None when malformed.
+
+    Accepts exactly the version-00 shape.  An all-zero trace or span id
+    is invalid per the W3C spec and rejected too.
+    """
+    if not isinstance(value, str):
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, parent_id, flags = parts
+    if version != TRACEPARENT_VERSION:
+        return None
+    if not _is_hex(trace_id, 32) or not _is_hex(parent_id, 16):
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    return TraceContext(trace_id, parent_id, int(flags, 16))
+
+
+def new_context() -> TraceContext:
+    """A fresh root context (new trace, synthetic parent span id)."""
+    return TraceContext(new_trace_id(), new_span_id())

@@ -1,0 +1,191 @@
+"""Rolling-window SLO targets and multi-window burn-rate alerts.
+
+The engine consumes one event per finished request — latency plus an
+error flag — and maintains per-second buckets over the last few hours.
+Each :class:`SLOTarget` defines what "good" means:
+
+* an **availability** target (``latency_ms=None``) counts errors as
+  bad events;
+* a **latency** target counts requests slower than ``latency_ms`` as
+  bad — "99% of requests under 250 ms" is the threshold form of a p99
+  objective, which is what makes it rolling-window computable.
+
+Burn rate is the classic error-budget derivative: with an objective of
+``o``, the budget is ``1 - o`` and the burn over a window is
+``bad_fraction / (1 - o)`` — burn 1.0 spends the budget exactly at the
+period's end, burn 14.4 spends a 30-day budget in ~2 days.  Alerts use
+the multi-window form (Google SRE workbook): a policy fires only when
+*both* its long and short windows burn above the threshold, so a stale
+spike cannot page after recovery.
+
+Everything takes an injectable ``clock`` so tests can drive time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One objective over the request stream."""
+
+    name: str
+    objective: float = 0.999
+    latency_ms: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective!r}"
+            )
+        if self.latency_ms is not None and self.latency_ms <= 0:
+            raise ValueError(
+                f"latency_ms must be positive, got {self.latency_ms!r}"
+            )
+
+    def is_bad(self, latency_s: float, error: bool) -> bool:
+        if self.latency_ms is None:
+            return error
+        return error or latency_s * 1e3 > self.latency_ms
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """Fire *severity* when both windows burn above *threshold*."""
+
+    long_s: int
+    short_s: int
+    threshold: float
+    severity: str
+
+
+#: Standard fast/slow pairs: page on a ~2-day budget burn, ticket on a
+#: ~5-day one (thresholds from the SRE workbook for a 30-day period).
+DEFAULT_POLICIES = (
+    BurnRatePolicy(long_s=3600, short_s=300, threshold=14.4, severity="page"),
+    BurnRatePolicy(long_s=21600, short_s=1800, threshold=6.0,
+                   severity="ticket"),
+)
+
+
+def default_targets(*, latency_ms: float = 250.0,
+                    availability_objective: float = 0.999,
+                    latency_objective: float = 0.99) -> tuple:
+    return (
+        SLOTarget("availability", objective=availability_objective),
+        SLOTarget("latency_p99", objective=latency_objective,
+                  latency_ms=latency_ms),
+    )
+
+
+class SLOEngine:
+    """Bucketed rolling windows over request outcomes.  Thread-safe."""
+
+    def __init__(self, targets=None, policies=DEFAULT_POLICIES, *,
+                 clock=time.monotonic):
+        self.targets = tuple(targets) if targets is not None \
+            else default_targets()
+        names = [t.name for t in self.targets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO target names: {names}")
+        self.policies = tuple(policies)
+        self._clock = clock
+        windows = {p.long_s for p in self.policies}
+        windows |= {p.short_s for p in self.policies}
+        self._windows = tuple(sorted(windows))
+        self._max_window = max(self._windows) if self._windows else 3600
+        self._lock = threading.Lock()
+        # second -> [total, {target_name: bad_count}]
+        self._buckets: dict[int, list] = {}
+        self.events = 0
+
+    # -- ingest ---------------------------------------------------------
+    def record(self, latency_s: float, *, error: bool = False) -> None:
+        sec = int(self._clock())
+        with self._lock:
+            bucket = self._buckets.get(sec)
+            if bucket is None:
+                bucket = self._buckets[sec] = [0, {}]
+                self._prune(sec)
+            bucket[0] += 1
+            self.events += 1
+            for t in self.targets:
+                if t.is_bad(latency_s, error):
+                    bucket[1][t.name] = bucket[1].get(t.name, 0) + 1
+
+    def _prune(self, now_sec: int) -> None:
+        # Called under self._lock, at most once per distinct second.
+        horizon = now_sec - self._max_window - 1
+        for sec in [s for s in self._buckets  # analyze: ignore[lock-discipline] - caller holds _lock
+                    if s < horizon]:
+            del self._buckets[sec]  # analyze: ignore[lock-discipline] - caller holds _lock
+
+    # -- queries --------------------------------------------------------
+    def window_counts(self, target_name: str, window_s: int):
+        """``(bad, total)`` event counts over the trailing window."""
+        now = self._clock()
+        lo = int(now) - int(window_s)
+        bad = total = 0
+        with self._lock:
+            for sec, (n, bads) in self._buckets.items():
+                if sec > lo:
+                    total += n
+                    bad += bads.get(target_name, 0)
+        return bad, total
+
+    def burn_rate(self, target: SLOTarget, window_s: int) -> float:
+        """Error-budget burn over the window (0.0 when no traffic)."""
+        bad, total = self.window_counts(target.name, window_s)
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - target.objective)
+
+    def alerts(self) -> list[dict]:
+        """Policies currently firing (both windows above threshold)."""
+        out = []
+        for target in self.targets:
+            for policy in self.policies:
+                long_burn = self.burn_rate(target, policy.long_s)
+                short_burn = self.burn_rate(target, policy.short_s)
+                if long_burn >= policy.threshold \
+                        and short_burn >= policy.threshold:
+                    out.append({
+                        "target": target.name,
+                        "severity": policy.severity,
+                        "threshold": policy.threshold,
+                        "long_s": policy.long_s,
+                        "short_s": policy.short_s,
+                        "burn_rate_long": round(long_burn, 3),
+                        "burn_rate_short": round(short_burn, 3),
+                    })
+        return out
+
+    def report(self) -> dict:
+        """Full burn-rate report (the ``/healthz`` payload's slo key)."""
+        targets = {}
+        for target in self.targets:
+            windows = {}
+            for window_s in self._windows:
+                bad, total = self.window_counts(target.name, window_s)
+                burn = 0.0 if total == 0 \
+                    else (bad / total) / (1.0 - target.objective)
+                windows[str(window_s)] = {
+                    "total": total,
+                    "bad": bad,
+                    "burn_rate": round(burn, 3),
+                }
+            doc = {"objective": target.objective, "windows": windows}
+            if target.latency_ms is not None:
+                doc["latency_ms"] = target.latency_ms
+            targets[target.name] = doc
+        alerts = self.alerts()
+        return {
+            "events": self.events,  # analyze: ignore[lock-discipline] - atomic int read
+
+            "targets": targets,
+            "alerts": alerts,
+            "healthy": not any(a["severity"] == "page" for a in alerts),
+        }

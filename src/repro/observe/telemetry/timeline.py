@@ -1,0 +1,186 @@
+"""Per-request stage ledgers and the recent-request ring buffer.
+
+A :class:`RequestTimeline` is the always-on, low-overhead answer to
+"where did this request spend its time?".  Unlike spans it needs no
+tracing to be enabled: it is a flat dict of stage → seconds filled in
+two ways —
+
+* :meth:`~RequestTimeline.mark` splits the *sequential* request path
+  (read, admission, cache lookup, queue wait, execute, stitch, write)
+  by charging the time since the previous mark to the named stage, and
+* :meth:`~RequestTimeline.put` adds *out-of-band* attributions measured
+  by other threads (the service worker's queue-wait and kernel time),
+  which overlap stages already charged by ``mark`` and therefore do not
+  advance the sequential clock.
+
+The finished ledger travels back to the client in response metadata and
+is retained server-side in a :class:`RequestLog` ring buffer, which is
+what ``GET /debug/requests`` and ``szx trace <request-id>`` read.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+
+def new_request_id() -> str:
+    """A fresh 64-bit request id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
+
+
+class RequestTimeline:
+    """Stage ledger for one request.  Thread-safe; insertion-ordered."""
+
+    __slots__ = (
+        "request_id", "verb", "tenant", "trace_id", "status", "error",
+        "bytes_in", "bytes_out", "wall_time", "started_at", "finished_at",
+        "_t_last", "_stages", "_lock",
+    )
+
+    def __init__(self, verb: str = "", *, tenant: str = "",
+                 request_id: str | None = None, trace_id: str | None = None,
+                 started_at: float | None = None):
+        self.request_id = request_id or new_request_id()
+        self.verb = verb
+        self.tenant = tenant
+        self.trace_id = trace_id
+        self.status = None
+        self.error = None
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.wall_time = time.time()
+        now = time.perf_counter()
+        self.started_at = started_at if started_at is not None else now
+        self.finished_at = 0.0
+        self._t_last = self.started_at
+        self._stages: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------
+    def mark(self, stage: str) -> float:
+        """Charge the time since the previous mark to *stage*."""
+        now = time.perf_counter()
+        with self._lock:
+            dt = now - self._t_last
+            self._t_last = now
+            self._stages[stage] = self._stages.get(stage, 0.0) + dt
+        return dt
+
+    def put(self, stage: str, seconds: float) -> None:
+        """Add an out-of-band attribution (does not advance the clock)."""
+        if seconds < 0:
+            seconds = 0.0
+        with self._lock:
+            self._stages[stage] = self._stages.get(stage, 0.0) + seconds
+
+    def set(self, *, bytes_in=None, bytes_out=None, tenant=None,
+            trace_id=None) -> "RequestTimeline":
+        if bytes_in is not None:
+            self.bytes_in = int(bytes_in)
+        if bytes_out is not None:
+            self.bytes_out = int(bytes_out)
+        if tenant is not None:
+            self.tenant = tenant
+        if trace_id is not None:
+            self.trace_id = trace_id
+        return self
+
+    def finish(self, status: str = "ok", *, error: str | None = None):
+        """Stamp the terminal status.  Idempotent."""
+        if self.finished_at:
+            return self
+        self.finished_at = time.perf_counter()
+        self.status = status
+        self.error = error
+        return self
+
+    # -- derived --------------------------------------------------------
+    @property
+    def total_s(self) -> float:
+        end = self.finished_at or time.perf_counter()
+        return end - self.started_at
+
+    def stages_ms(self) -> dict[str, float]:
+        """Stage ledger in milliseconds (insertion order preserved)."""
+        with self._lock:
+            return {k: round(v * 1e3, 3) for k, v in self._stages.items()}
+
+    def to_dict(self) -> dict:
+        d = {
+            "request_id": self.request_id,
+            "verb": self.verb,
+            "status": self.status or "open",
+            "total_ms": round(self.total_s * 1e3, 3),
+            "stages_ms": self.stages_ms(),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "time": self.wall_time,
+        }
+        if self.tenant:
+            d["tenant"] = self.tenant
+        if self.trace_id:
+            d["trace_id"] = self.trace_id
+        if self.error:
+            d["error"] = self.error
+        return d
+
+
+class RequestLog:
+    """Fixed-size ring buffer of finished request timelines.
+
+    Entries are immutable snapshots (dicts) taken at record time, so the
+    asyncio thread can serve ``/debug/requests`` without racing worker
+    threads still holding the timeline object.
+    """
+
+    def __init__(self, capacity: int = 256, *, slow_ms: float = 100.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.slow_ms = float(slow_ms)
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, timeline: RequestTimeline) -> dict:
+        entry = timeline.to_dict()
+        entry["slow"] = entry["total_ms"] >= self.slow_ms
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.maxlen  # analyze: ignore[lock-discipline] - maxlen is immutable
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, request_id: str) -> dict | None:
+        """The most recent entry with this request id (None if evicted)."""
+        with self._lock:
+            for entry in reversed(self._entries):
+                if entry["request_id"] == request_id:
+                    return dict(entry)
+        return None
+
+    def snapshot(self, *, request_id: str | None = None,
+                 errors_only: bool = False, slow_only: bool = False,
+                 limit: int = 50) -> list[dict]:
+        """Recent entries, newest first, optionally filtered."""
+        with self._lock:
+            entries = list(self._entries)
+        out = []
+        for entry in reversed(entries):
+            if request_id is not None and entry["request_id"] != request_id:
+                continue
+            if errors_only and entry["status"] == "ok":
+                continue
+            if slow_only and not entry["slow"]:
+                continue
+            out.append(dict(entry))
+            if len(out) >= limit:
+                break
+        return out

@@ -146,10 +146,14 @@ def _guarded(fn, task: tuple, kill_token_dir: str | None):
 def _compress_task(task: tuple):
     (
         in_name, arena_name, dtype_str, n_values, lo, hi,
-        arena_off, arena_cap, abs_bound, block_size,
+        arena_off, arena_cap, abs_bound, block_size, trace_ctx,
     ) = task
     import time as _time
 
+    # The trace context rides in the job descriptor; the worker mints
+    # its own span id here, in its own process, so the parent-side
+    # reconstruction carries a causally real cross-process identity.
+    span_id = os.urandom(8).hex() if trace_ctx else ""
     t0 = os.times()
     w0 = _time.perf_counter()
     in_shm = _attach_shm(in_name)
@@ -177,6 +181,7 @@ def _compress_task(task: tuple):
             _time.perf_counter() - w0,
             (t1.user - t0.user) + (t1.system - t0.system),
             os.getpid(),
+            span_id,
         )
     finally:
         in_shm.close()
@@ -186,10 +191,11 @@ def _decompress_task(task: tuple):
     (
         payload_name, out_name, dtype_str, total_n, block_size, err_bound,
         lo, hi, n_blocks, mask_bytes, mu_bytes, zsize_bytes,
-        payload_lo, payload_hi,
+        payload_lo, payload_hi, trace_ctx,
     ) = task
     import time as _time
 
+    span_id = os.urandom(8).hex() if trace_ctx else ""
     w0 = _time.perf_counter()
     dtype = np.dtype(dtype_str)
     traits = traits_for(dtype)
@@ -222,7 +228,7 @@ def _decompress_task(task: tuple):
         out[lo:hi] = decompress_blocks(sub)
     finally:
         out_shm.close()
-    return (_time.perf_counter() - w0, 0.0, os.getpid())
+    return (_time.perf_counter() - w0, 0.0, os.getpid(), span_id)
 
 
 # -- the managed pool ---------------------------------------------------
@@ -368,18 +374,40 @@ atexit.register(shutdown_default_pools)
 # -- parent-side orchestration ------------------------------------------
 
 
+def _task_trace_ctx(root):
+    """The traceparent string a task descriptor should carry (or None).
+
+    Built from the *current* procpool root span, so worker ids minted
+    against it join the request's distributed trace.
+    """
+    from ..observe.telemetry import from_span
+
+    ctx = from_span(root) if isinstance(root, observe.Span) else None
+    return ctx.to_traceparent() if ctx is not None else None
+
+
 def _emit_worker_spans(root, reports, bytes_in: list) -> None:
-    """Reconstruct ``procworker[i]`` child spans from worker reports."""
+    """Reconstruct ``procworker[i]`` child spans from worker reports.
+
+    Each report carries the span id the worker minted in its own
+    process; the reconstructed span adopts it (instead of the parent
+    minting a fresh one), so the cross-process parent/child edge in the
+    stitched trace points at an id that really originated in the
+    worker.
+    """
     if not (observe.enabled() and isinstance(root, observe.Span)):
         return
-    for i, (wall_s, cpu_s, pid) in enumerate(reports):
+    for i, (wall_s, cpu_s, pid, span_id) in enumerate(reports):
         with observe.span(
             f"procworker[{i}]", parent=root, bytes_in=bytes_in[i], pid=pid,
             cpu_s=round(cpu_s, 6),
         ) as sp:
             pass
-        # The span body ran in another process; restore its real window.
+        # The span body ran in another process; restore its real window
+        # and the identity minted over there.
         sp.t0 = sp.t1 - wall_s
+        if span_id:
+            sp.span_id = span_id
         observe.histogram("parallel.procpool.task_s").observe(wall_s)
 
 
@@ -455,8 +483,9 @@ def compress_components_procpool(
         with observe.span(
             "szx.procpool.compress", bytes_in=int(flat.nbytes), workers=len(ranges)
         ) as root:
-            results = pool.run(_compress_task, tasks)
-            _emit_worker_spans(root, [r[5:8] for r in results], bytes_in)
+            ctx = _task_trace_ctx(root)
+            results = pool.run(_compress_task, [t + (ctx,) for t in tasks])
+            _emit_worker_spans(root, [r[5:9] for r in results], bytes_in)
 
         payload = b"".join(
             bytes(arena_shm.buf[arena_offs[i] : arena_offs[i] + results[i][3]])
@@ -551,7 +580,8 @@ def decompress_components_procpool(
             "szx.procpool.decompress", bytes_in=len(comp.payload),
             workers=len(ranges),
         ) as root:
-            results = pool.run(_decompress_task, tasks)
+            ctx = _task_trace_ctx(root)
+            results = pool.run(_decompress_task, [t + (ctx,) for t in tasks])
             _emit_worker_spans(root, results, bytes_in)
 
         out = np.ndarray((header.n,), dtype=dtype, buffer=out_shm.buf).copy()

@@ -88,6 +88,10 @@ class _Job:
     #: The submitter's innermost open span (None when untraced) — worker
     #: spans attach here so ``serve.job.*`` nests under the request.
     parent_span: object = None
+    #: The request's stage ledger (a
+    #: :class:`repro.observe.telemetry.RequestTimeline`, or None) —
+    #: workers attribute queue-wait and kernel time into it.
+    timeline: object = None
 
 
 class CompressionService:
@@ -252,6 +256,7 @@ class CompressionService:
         timeout_s: float | None = None,
         block: bool | None = None,
         parent_span=None,
+        timeline=None,
     ) -> Future:
         """Enqueue a compression job; returns a ``Future[bytes]``.
 
@@ -262,7 +267,9 @@ class CompressionService:
         *parent_span* overrides the submitting thread's current span as
         the parent for worker-side job spans — asyncio callers (the
         network front door) pass their detached request span, which the
-        thread-local stack cannot carry across awaits.
+        thread-local stack cannot carry across awaits.  *timeline* is
+        the request's stage ledger: the worker adds ``serve_wait`` and
+        ``kernel`` attributions to it.
         """
         config = config or self.default_config
         if config is None or config.err_bound is None:
@@ -285,6 +292,7 @@ class CompressionService:
             engine=config.engine,
             checksum=config.checksum,
             parent_span=self._parent_span(parent_span),
+            timeline=timeline,
         )
         return self._admit(job, block)
 
@@ -296,6 +304,7 @@ class CompressionService:
         timeout_s: float | None = None,
         block: bool | None = None,
         parent_span=None,
+        timeline=None,
     ) -> Future:
         """Enqueue a decompression job; returns a ``Future[ndarray]``."""
         config = config or self.default_config or CodecConfig()
@@ -308,6 +317,7 @@ class CompressionService:
             payload=bytes(stream),
             config=config.replace(workers=1),
             parent_span=self._parent_span(parent_span),
+            timeline=timeline,
         )
         return self._admit(job, block)
 
@@ -381,6 +391,8 @@ class CompressionService:
         now = time.monotonic()
         if observe.enabled():
             observe.histogram("serve.job.wait_s").observe(now - job.submitted_at)
+        if job.timeline is not None:
+            job.timeline.put("serve_wait", now - job.submitted_at)
         if job.deadline is not None and now > job.deadline:
             self._count("timeouts")
             job.future.set_exception(
@@ -491,6 +503,8 @@ class CompressionService:
             job.future.set_exception(exc)
             return
         self._record_exec(t0)
+        if job.timeline is not None:
+            job.timeline.put("kernel", time.monotonic() - t0)
         self._count("served")
         job.future.set_result(result)
 
@@ -530,8 +544,11 @@ class CompressionService:
                 job.future.set_exception(exc)
             return
         self._record_exec(t0)
+        batch_s = time.monotonic() - t0
         self._count("served", len(live))
         for job, stream in zip(live, streams):
+            if job.timeline is not None:
+                job.timeline.put("kernel", batch_s)
             job.future.set_result(stream)
 
     def _record_exec(self, t0: float) -> None:

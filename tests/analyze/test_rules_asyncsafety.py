@@ -297,9 +297,9 @@ class TestSeededMutations:
         # and an unflushed response buffer.
         findings = analyze_tree_with_mutation(
             "src/repro/net/server.py",
-            "writer.write(protocol.encode_frame(code, rmeta, rpayload))\n"
+            "writer.write(out)\n"
             "                await writer.drain()",
-            "writer.write(protocol.encode_frame(code, rmeta, rpayload))\n"
+            "writer.write(out)\n"
             "                writer.drain()",
         )
         hits = [f for f in findings if f.rule == "unawaited-coroutine"]

@@ -1,4 +1,5 @@
-"""CLI surface: `szx serve`, `szx client`, `szx net-bench`."""
+"""CLI surface: `szx serve`, `szx client`, `szx net-bench`,
+`szx top`, `szx trace`."""
 
 import json
 import os
@@ -40,6 +41,27 @@ class TestNetBenchCli:
         cases = [r["workload"]["case"] for r in run_doc["records"]]
         assert any(c.startswith("cold/") for c in cases)
         assert any(c.startswith("dup/") for c in cases)
+
+    def test_trace_chrome_exports_stitched_traces(self, tmp_path, capsys):
+        trace_path = tmp_path / "net.trace.json"
+        report_path = tmp_path / "net.json"
+        assert main([
+            "net-bench", "--chunks", "6", "--values", "256",
+            "--clients", "2", "--shards", "1", "--warmup", "1",
+            "--trace-chrome", str(trace_path),
+            "--report", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "0 orphan(s)" in out
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+        report = json.loads(report_path.read_text())
+        assert report["trace"]["orphans"] == 0
+        assert report["trace"]["untraced_spans"] == 0
+        # 6 cold + 6 dup + 1 warmup requests, plus the stats probe.
+        assert report["trace"]["traces"] >= 13
+        assert report["slo"]["healthy"] is True
+        assert report["slo"]["events"] >= 13
 
 
 class TestClientCliErrors:
@@ -116,3 +138,55 @@ class TestServeClientSubprocess:
             out, _ = proc.communicate(timeout=30)
         assert proc.returncode == 0, out
         assert "drained cleanly" in out
+
+    def test_top_and_trace_against_live_server(self, tmp_path):
+        proc, port, env = self._spawn_server("--metrics")
+        try:
+            data = np.cumsum(
+                np.random.default_rng(7).normal(size=2000)
+            ).astype(np.float32)
+            raw = tmp_path / "in.f32"
+            data.tofile(raw)
+            r = self._client(
+                env, "compress", str(raw), "-o", str(tmp_path / "out.szx"),
+                "--connect", f"127.0.0.1:{port}", "-e", "1e-3",
+            )
+            assert r.returncode == 0, r.stdout + r.stderr
+
+            def szx(*args):
+                return subprocess.run(
+                    [sys.executable, "-m", "repro.cli", *args],
+                    env=env, capture_output=True, text=True, timeout=60,
+                )
+
+            r = szx("top", "--connect", f"127.0.0.1:{port}", "--once")
+            assert r.returncode == 0, r.stdout + r.stderr
+            assert "status ok" in r.stdout
+            assert "HEALTHY" in r.stdout
+            assert "availability" in r.stdout
+
+            r = szx("trace", "--list", "--connect", f"127.0.0.1:{port}")
+            assert r.returncode == 0, r.stdout + r.stderr
+            rid = r.stdout.split()[0]
+            assert len(rid) == 16
+
+            r = szx("trace", rid, "--connect", f"127.0.0.1:{port}")
+            assert r.returncode == 0, r.stdout + r.stderr
+            assert f"request {rid}" in r.stdout
+            assert "kernel" in r.stdout
+
+            r = szx("trace", "ffff000011112222",
+                    "--connect", f"127.0.0.1:{port}")
+            assert r.returncode == 1
+            assert "no timeline" in r.stdout
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+
+    def test_top_connection_refused_is_diagnostic(self):
+        from repro.cli import main as climain
+
+        assert climain(["top", "--connect", "127.0.0.1:1", "--once"]) == 2
+        assert climain(["trace", "deadbeefdeadbeef",
+                        "--connect", "127.0.0.1:1"]) == 2

@@ -1,0 +1,190 @@
+"""SXP1 ↔ SXP2 wire compatibility.
+
+SXP2 adds a trace-context field to the frame body; the compatibility
+contract is (a) a frame encoded without a context is byte-identical to
+the legacy SXP1 layout, and (b) the server answers every request in the
+protocol version it arrived in, so pre-trace clients round-trip
+unchanged against new servers.
+"""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro import observe
+from repro.net import NetClient, NetServer, protocol
+
+RNG = np.random.default_rng(99)
+
+
+def field(n=2048):
+    return np.cumsum(RNG.normal(size=n)).astype(np.float32)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(fn, **server_kwargs):
+    server = await NetServer(**server_kwargs).start()
+    try:
+        return await fn(server)
+    finally:
+        await server.drain()
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    observe.reset_metrics()
+    yield
+    observe.reset_metrics()
+
+
+def _legacy_encode(kind: int, meta: dict, payload: bytes) -> bytes:
+    """The SXP1 layout, written out long-hand as an old client would."""
+    import json
+
+    meta_blob = json.dumps(
+        meta, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body = (
+        struct.pack(">B", kind)
+        + struct.pack(">I", len(meta_blob)) + meta_blob
+        + payload
+    )
+    return protocol.MAGIC + struct.pack(">I", len(body)) + body
+
+
+class TestFrameEncoding:
+    def test_no_context_emits_byte_identical_sxp1(self):
+        meta = {"err_bound": 1e-3, "dtype": "float32"}
+        ours = protocol.encode_frame(protocol.COMPRESS, meta, b"\x01\x02")
+        assert ours == _legacy_encode(protocol.COMPRESS, meta, b"\x01\x02")
+        assert ours.startswith(protocol.MAGIC)
+
+    def test_context_switches_to_sxp2(self):
+        ctx = "00-" + "a" * 32 + "-" + "b" * 16 + "-01"
+        blob = protocol.encode_frame(
+            protocol.COMPRESS, {"x": 1}, b"pp", ctx=ctx
+        )
+        assert blob.startswith(protocol.MAGIC_V2)
+        frame = protocol.decode_frame(blob)
+        assert frame.version == 2
+        assert frame.ctx == ctx
+        kind, meta, payload = frame  # 3-tuple unpack still works
+        assert (kind, meta, payload) == (protocol.COMPRESS, {"x": 1}, b"pp")
+
+    def test_v2_without_context_and_empty_ctx_decode(self):
+        blob = protocol.encode_frame(protocol.STATS, version=2)
+        frame = protocol.decode_frame(blob)
+        assert frame.version == 2
+        assert frame.ctx is None
+
+    def test_v1_with_context_rejected(self):
+        with pytest.raises(ValueError, match="v1"):
+            protocol.encode_frame(
+                protocol.STATS, ctx="00-" + "a" * 32 + "-" + "b" * 16 + "-01",
+                version=1,
+            )
+
+    def test_oversized_context_rejected(self):
+        with pytest.raises(ValueError, match="context"):
+            protocol.encode_frame(protocol.STATS, ctx="x" * 300)
+
+    def test_sniffer_accepts_both_magics(self):
+        assert protocol.sniff_protocol(protocol.MAGIC) == "binary"
+        assert protocol.sniff_protocol(protocol.MAGIC_V2) == "binary"
+
+    def test_v1_round_trip_unchanged(self):
+        blob = protocol.encode_frame(protocol.HEALTH, {"a": 1}, b"zz")
+        frame = protocol.decode_frame(blob)
+        assert frame.version == 1
+        assert frame.ctx is None
+        assert tuple(frame) == (protocol.HEALTH, {"a": 1}, b"zz")
+
+
+class TestOldClientAgainstNewServer:
+    """A pre-SXP2 client speaking raw legacy frames round-trips."""
+
+    async def _raw_request(self, server, blob: bytes):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port
+        )
+        try:
+            writer.write(blob)
+            await writer.drain()
+            return await protocol.read_frame(reader)
+        finally:
+            writer.close()
+
+    def test_legacy_compress_gets_sxp1_reply(self):
+        data = field(1024)
+
+        async def scenario(server):
+            meta = protocol.array_wire_meta(data)
+            meta["err_bound"] = 1e-3
+            frame = await self._raw_request(
+                server, _legacy_encode(protocol.COMPRESS, meta, data.tobytes())
+            )
+            assert frame.version == 1       # server answered in kind
+            assert frame.ctx is None
+            assert protocol.RESPONSE_KINDS[frame.kind] == "ok"
+            assert frame.meta["request_id"]
+            return frame.payload
+
+        stream = run(with_server(scenario, shards=1))
+        assert len(stream) > 0
+
+    def test_legacy_client_even_with_tracing_on_server(self):
+        """Server-side tracing must not leak SXP2 frames to v1 peers."""
+        data = field(512)
+
+        async def scenario(server):
+            meta = protocol.array_wire_meta(data)
+            meta["err_bound"] = 1e-3
+            frame = await self._raw_request(
+                server, _legacy_encode(protocol.COMPRESS, meta, data.tobytes())
+            )
+            assert frame.version == 1
+            assert protocol.RESPONSE_KINDS[frame.kind] == "ok"
+
+        with observe.trace():
+            run(with_server(scenario, shards=1))
+
+    def test_new_client_gets_context_echo_on_sxp2(self):
+        data = field(512)
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                _, meta = await cli.compress(data, err_bound=1e-3)
+                return meta
+
+        # Tracing on -> client sends SXP2; the reply carries the
+        # request id derived from the client's own trace id.
+        with observe.trace() as sink:
+            meta = run(with_server(scenario, shards=1))
+        client_roots = [
+            sp for sp in sink.spans if sp.name == "net.client.request"
+        ]
+        assert meta["request_id"] == client_roots[0].trace_id[:16]
+
+    def test_mixed_version_clients_share_one_server(self):
+        data = field(512)
+
+        async def scenario(server):
+            meta = protocol.array_wire_meta(data)
+            meta["err_bound"] = 1e-3
+            legacy = await self._raw_request(
+                server, _legacy_encode(protocol.COMPRESS, meta, data.tobytes())
+            )
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                stream, _ = await cli.compress(data, err_bound=1e-3)
+            assert legacy.payload == stream  # same bytes both wire versions
+
+        run(with_server(scenario, shards=1))

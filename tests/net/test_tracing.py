@@ -1,0 +1,344 @@
+"""End-to-end distributed tracing and the live health/SLO surface.
+
+The continuity tests are the satellite acceptance check: one traced
+round trip through the full client → server → shard → service → worker
+path must stitch into a single trace — every span carries the client's
+trace id and every recorded causal parent resolves within that trace —
+for each execution backend.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import observe
+from repro.net import NetClient, NetServer
+from repro.net.server import SLO_ERROR_CODES
+from repro.observe.telemetry import (
+    SLOTarget,
+    find_orphans,
+    stitch_traces,
+    trace_summary,
+)
+
+RNG = np.random.default_rng(77)
+
+
+def field(n=4096):
+    return np.cumsum(RNG.normal(size=n)).astype(np.float32)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(fn, **server_kwargs):
+    server = await NetServer(**server_kwargs).start()
+    try:
+        return await fn(server)
+    finally:
+        await server.drain()
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    observe.reset_metrics()
+    yield
+    observe.reset_metrics()
+
+
+class TestTraceContinuity:
+    """One request = one trace, with resolvable parents, per backend."""
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 1),      # serial execution path
+        ("thread", 2),
+        ("process", 2),
+    ])
+    def test_round_trip_stitches_single_trace(self, backend, workers):
+        data = field(6000)
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                stream, meta = await cli.compress(data, err_bound=1e-3)
+                back, _ = await cli.decompress(stream)
+                assert np.abs(back - data).max() <= 1e-3 + 1e-12
+                return meta
+
+        with observe.trace() as sink:
+            meta = run(with_server(
+                scenario, shards=1, workers_per_shard=workers,
+                backend=backend,
+            ))
+
+        summary = trace_summary(sink.spans)
+        assert summary["orphans"] == 0, [
+            (sp.name, sp.parent_span_id) for sp in find_orphans(sink.spans)
+        ]
+        assert summary["untraced_spans"] == 0
+        # compress + decompress = exactly two stitched traces.
+        traces = stitch_traces(sink.spans)
+        assert len(traces) == 2
+        for spans in traces.values():
+            names = {sp.name for sp in spans}
+            assert "net.client.request" in names
+            assert "net.request" in names
+            ids = {sp.span_id for sp in spans}
+            for sp in spans:
+                if sp.parent_span_id:
+                    assert sp.parent_span_id in ids
+
+        # The server attributed the request back to the client's trace.
+        compress_trace = next(
+            tid for tid, spans in traces.items()
+            if any(sp.name == "serve.job.compress" for sp in spans)
+        )
+        assert meta["request_id"] == compress_trace[:16]
+
+    def test_process_workers_join_client_trace(self):
+        """Worker-side spans reconstructed from shm results must carry
+        the worker-minted span ids so the tree is causally exact."""
+        data = field(40_000)  # large enough to fan across both workers
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                await cli.compress(data, err_bound=1e-3)
+
+        with observe.trace() as sink:
+            run(with_server(
+                scenario, shards=1, workers_per_shard=2, backend="process",
+            ))
+        workers = [
+            sp for root in sink.spans
+            for sp in _walk(root) if sp.name.startswith("procworker[")
+        ]
+        assert workers
+        traces = stitch_traces(sink.spans)
+        assert len(traces) == 1
+        assert find_orphans(sink.spans) == []
+
+    def test_timeline_metadata_reaches_client(self):
+        data = field()
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                _, meta = await cli.compress(data, err_bound=1e-3)
+                assert cli.last_request_id == meta["request_id"]
+                assert cli.last_timeline == meta["timeline"]
+                return meta
+
+        meta = run(with_server(scenario, shards=1))
+        stages = meta["timeline"]
+        for stage in ("read", "queue_wait", "execute", "kernel",
+                      "serve_wait"):
+            assert stage in stages, stages
+        assert all(v >= 0 for v in stages.values())
+
+    def test_untraced_client_still_gets_request_id(self):
+        """Tracing off end to end: no spans, but the timeline surface
+        (request id + stage ledger) still works."""
+        data = field()
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                _, meta = await cli.compress(data, err_bound=1e-3)
+                return meta
+
+        meta = run(with_server(scenario, shards=1))
+        assert len(meta["request_id"]) == 16
+        assert meta["timeline"]
+
+
+def _walk(root):
+    stack = [root]
+    while stack:
+        sp = stack.pop()
+        yield sp
+        stack.extend(sp.children)
+
+
+class TestRequestLogAndSLO:
+    def test_server_records_timelines_and_slo_events(self):
+        data = field()
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                await cli.compress(data, err_bound=1e-3)
+                await cli.compress(data, err_bound=1e-3)  # cache hit
+            assert len(server.request_log) == 2
+            entries = server.request_log.snapshot()
+            assert all(e["status"] == "ok" for e in entries)
+            assert server.slo.events == 2
+            assert server.slo.report()["healthy"] is True
+
+        run(with_server(scenario, shards=1))
+
+    def test_bad_request_burns_no_error_budget(self):
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                from repro.net import RemoteBadRequestError
+                from repro.net import protocol as proto
+                with pytest.raises(RemoteBadRequestError):
+                    await cli.request(
+                        proto.COMPRESS, {"err_bound": 1e-3}, b"xx"
+                    )
+            assert server.slo.events == 1
+            avail = server.slo.targets[0]
+            assert server.slo.burn_rate(avail, 300) == 0.0
+
+        assert "bad_request" not in SLO_ERROR_CODES
+        run(with_server(scenario, shards=1))
+
+    def test_custom_slo_targets_accepted(self):
+        async def scenario(server):
+            assert [t.name for t in server.slo.targets] == ["gold"]
+
+        run(with_server(
+            scenario, shards=1,
+            slo_targets=(SLOTarget("gold", objective=0.95),),
+        ))
+
+
+class TestHealthEndpoints:
+    async def _http(self, server, raw: bytes) -> bytes:
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port
+        )
+        writer.write(raw)
+        await writer.drain()
+        data = await reader.read()
+        writer.close()
+        return data
+
+    @staticmethod
+    def _body(resp: bytes):
+        head, _, body = resp.partition(b"\r\n\r\n")
+        return head, body
+
+    def test_healthz_includes_burn_rate_report(self):
+        async def scenario(server):
+            head, body = self._body(await self._http(
+                server, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            ))
+            assert head.startswith(b"HTTP/1.1 200")
+            doc = json.loads(body)
+            assert doc["status"] == "ok"
+            slo = doc["slo"]
+            assert slo["healthy"] is True
+            assert set(slo["targets"]) \
+                == {"availability", "latency_p99"}
+            # Plain /health stays lean (no SLO payload).
+            _, lean = self._body(await self._http(
+                server, b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n"
+            ))
+            assert "slo" not in json.loads(lean)
+
+        run(with_server(scenario))
+
+    def test_metrics_endpoint_serves_prometheus_text(self):
+        data = field(512)
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                await cli.compress(data, err_bound=1e-3)
+            resp = await self._http(
+                server, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            head, body = self._body(resp)
+            assert head.startswith(b"HTTP/1.1 200")
+            assert b"text/plain" in head
+            assert b"net_requests_compress_total 1" in body
+
+        observe.enable()
+        try:
+            run(with_server(scenario, shards=1))
+        finally:
+            observe.disable()
+
+    def test_debug_requests_filters_and_limits(self):
+        data = field(512)
+
+        async def scenario(server):
+            async with await NetClient.connect(
+                server.host, server.port
+            ) as cli:
+                _, meta = await cli.compress(data, err_bound=1e-3)
+                await cli.compress(data, err_bound=1e-3)
+            rid = meta["request_id"]
+            _, body = self._body(await self._http(
+                server, b"GET /debug/requests HTTP/1.1\r\nHost: x\r\n\r\n"
+            ))
+            doc = json.loads(body)
+            assert doc["count"] == 2
+            assert doc["capacity"] == server.request_log.capacity
+            _, body = self._body(await self._http(
+                server,
+                f"GET /debug/requests?id={rid} HTTP/1.1\r\n"
+                f"Host: x\r\n\r\n".encode(),
+            ))
+            doc = json.loads(body)
+            assert doc["count"] == 1
+            assert doc["requests"][0]["request_id"] == rid
+            assert doc["requests"][0]["stages_ms"]
+            head, _ = self._body(await self._http(
+                server,
+                b"GET /debug/requests?limit=zero HTTP/1.1\r\n"
+                b"Host: x\r\n\r\n",
+            ))
+            assert head.startswith(b"HTTP/1.1 400")
+            _, body = self._body(await self._http(
+                server,
+                b"GET /debug/requests?limit=1 HTTP/1.1\r\nHost: x\r\n\r\n",
+            ))
+            assert json.loads(body)["count"] == 1
+
+        run(with_server(scenario, shards=1))
+
+    def test_http_traceparent_joins_trace_and_logs_timeline(self):
+        data = field(256)
+        trace_id = "ab" * 16
+        parent = "cd" * 8
+
+        async def scenario(server):
+            body = data.tobytes()
+            req = (
+                f"POST /compress HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"traceparent: 00-{trace_id}-{parent}-01\r\n"
+                f"X-SZX-Err-Bound: 0.001\r\nX-SZX-Shape: 256\r\n\r\n"
+            ).encode() + body
+            resp = await self._http(server, req)
+            assert resp.startswith(b"HTTP/1.1 200")
+            entry = server.request_log.snapshot()[0]
+            assert entry["request_id"] == trace_id[:16]
+            assert entry["trace_id"] == trace_id
+
+        with observe.trace() as sink:
+            run(with_server(scenario, shards=1))
+        server_spans = [
+            sp for root in sink.spans for sp in _walk(root)
+            if sp.name == "net.request"
+        ]
+        assert server_spans
+        assert all(sp.trace_id == trace_id for sp in server_spans)
+        # The remote parent span lives in the (simulated) client's
+        # process, so within this capture the server span's parent is
+        # — correctly — the one unresolvable id.
+        assert {sp.parent_span_id for sp in find_orphans(sink.spans)} \
+            <= {parent}
